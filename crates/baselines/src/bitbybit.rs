@@ -1,0 +1,123 @@
+//! Bit-by-bit encryption — the cost profile of the BKKV [11] family.
+//!
+//! [11] encrypts single bits with `ω(n)` group elements and `ω(n)`
+//! exponentiations per bit. This baseline reproduces that *cost shape*
+//! (experiment T2 measures it with the same instrumentation as DLR):
+//! each plaintext bit is a Naor–Segev encryption of `g^b` under an
+//! `n_elems`-element key.
+
+use crate::naor_segev::{self, NsCt, NsPk, NsSk};
+use dlr_curve::Group;
+use rand::RngCore;
+
+/// Public key (one NS key reused across bit positions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPk<G: Group> {
+    inner: NsPk<G>,
+}
+
+/// Secret key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSk<G: Group> {
+    inner: NsSk<G>,
+}
+
+/// Ciphertext: one NS ciphertext **per bit**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitCt<G: Group> {
+    /// Per-bit component ciphertexts.
+    pub bits: Vec<NsCt<G>>,
+}
+
+impl<G: Group> BitCt<G> {
+    /// Total group elements in this ciphertext (the T2 metric).
+    pub fn group_elements(&self) -> usize {
+        self.bits.iter().map(|ct| ct.c.len() + 1).sum()
+    }
+}
+
+/// Generate keys with `n_elems` group elements of key material per bit
+/// (the `ω(n)` knob).
+pub fn keygen<G: Group, R: RngCore + ?Sized>(n_elems: usize, rng: &mut R) -> (BitPk<G>, BitSk<G>) {
+    let (pk, sk) = naor_segev::keygen(n_elems, rng);
+    (BitPk { inner: pk }, BitSk { inner: sk })
+}
+
+/// Encrypt a byte string bit-by-bit (MSB first).
+pub fn encrypt<G: Group, R: RngCore + ?Sized>(
+    pk: &BitPk<G>,
+    message: &[u8],
+    rng: &mut R,
+) -> BitCt<G> {
+    let g = G::generator();
+    let bits = message
+        .iter()
+        .flat_map(|byte| (0..8).rev().map(move |i| (byte >> i) & 1 == 1))
+        .map(|b| {
+            let m = if b { g } else { G::identity() };
+            naor_segev::encrypt(&pk.inner, &m, rng)
+        })
+        .collect();
+    BitCt { bits }
+}
+
+/// Decrypt. Returns `None` if any component is malformed or decodes to
+/// neither `1` nor `g`.
+pub fn decrypt<G: Group>(sk: &BitSk<G>, ct: &BitCt<G>) -> Option<Vec<u8>> {
+    if !ct.bits.len().is_multiple_of(8) {
+        return None;
+    }
+    let g = G::generator();
+    let mut out = vec![0u8; ct.bits.len() / 8];
+    for (i, comp) in ct.bits.iter().enumerate() {
+        let m = naor_segev::decrypt(&sk.inner, comp)?;
+        if m == g {
+            out[i / 8] |= 1 << (7 - i % 8);
+        } else if !m.is_identity() {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_curve::modgroup::{Mini1009, ModGroup};
+    use rand::SeedableRng;
+
+    type MG = ModGroup<Mini1009>;
+
+    #[test]
+    fn roundtrip() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(6);
+        let (pk, sk) = keygen::<MG, _>(4, &mut r);
+        for msg in [&b"a"[..], b"hello", &[0u8, 255, 170]] {
+            let ct = encrypt(&pk, msg, &mut r);
+            assert_eq!(decrypt(&sk, &ct).as_deref(), Some(msg));
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_message_and_n() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(7);
+        let (pk4, _) = keygen::<MG, _>(4, &mut r);
+        let (pk8, _) = keygen::<MG, _>(8, &mut r);
+        let ct4 = encrypt(&pk4, b"ab", &mut r);
+        let ct8 = encrypt(&pk8, b"ab", &mut r);
+        // 16 bits × (n+1) elements
+        assert_eq!(ct4.group_elements(), 16 * 5);
+        assert_eq!(ct8.group_elements(), 16 * 9);
+        let ct4long = encrypt(&pk4, b"abcd", &mut r);
+        assert_eq!(ct4long.group_elements(), 32 * 5);
+    }
+
+    #[test]
+    fn truncated_ciphertext_rejected() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(8);
+        let (pk, sk) = keygen::<MG, _>(4, &mut r);
+        let mut ct = encrypt(&pk, b"x", &mut r);
+        ct.bits.pop();
+        assert_eq!(decrypt(&sk, &ct), None);
+    }
+}

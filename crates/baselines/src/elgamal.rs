@@ -1,0 +1,96 @@
+//! Plain ElGamal over an abstract prime-order group — the efficiency floor
+//! for the T2 comparison (no leakage resilience whatsoever) and the
+//! secret-key scheme inside the naive single-device baseline.
+
+use dlr_curve::Group;
+use dlr_math::FieldElement;
+use rand::RngCore;
+
+/// ElGamal public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElGamalPk<G: Group> {
+    /// `h = g^x`.
+    pub h: G,
+}
+
+/// ElGamal secret key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElGamalSk<G: Group> {
+    /// The exponent `x`.
+    pub x: G::Scalar,
+}
+
+/// ElGamal ciphertext `(g^t, m·h^t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElGamalCt<G: Group> {
+    /// `g^t`.
+    pub a: G,
+    /// `m·h^t`.
+    pub b: G,
+}
+
+/// Generate a key pair.
+pub fn keygen<G: Group, R: RngCore + ?Sized>(rng: &mut R) -> (ElGamalPk<G>, ElGamalSk<G>) {
+    let x = G::Scalar::random(rng);
+    (
+        ElGamalPk {
+            h: G::generator().pow(&x),
+        },
+        ElGamalSk { x },
+    )
+}
+
+/// Encrypt a group element.
+pub fn encrypt<G: Group, R: RngCore + ?Sized>(
+    pk: &ElGamalPk<G>,
+    m: &G,
+    rng: &mut R,
+) -> ElGamalCt<G> {
+    let t = G::Scalar::random(rng);
+    ElGamalCt {
+        a: G::generator().pow(&t),
+        b: m.op(&pk.h.pow(&t)),
+    }
+}
+
+/// Decrypt.
+pub fn decrypt<G: Group>(sk: &ElGamalSk<G>, ct: &ElGamalCt<G>) -> G {
+    ct.b.div(&ct.a.pow(&sk.x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_curve::gt::Gt;
+    use dlr_curve::modgroup::{Mini1009, ModGroup};
+    use dlr_curve::Toy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_gt_group() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(1);
+        let (pk, sk) = keygen::<Gt<Toy>, _>(&mut r);
+        let m = Gt::<Toy>::random(&mut r);
+        let ct = encrypt(&pk, &m, &mut r);
+        assert_eq!(decrypt(&sk, &ct), m);
+    }
+
+    #[test]
+    fn roundtrip_mini_group() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(2);
+        let (pk, sk) = keygen::<ModGroup<Mini1009>, _>(&mut r);
+        let m = ModGroup::<Mini1009>::random(&mut r);
+        let ct = encrypt(&pk, &m, &mut r);
+        assert_eq!(decrypt(&sk, &ct), m);
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(3);
+        let (pk, _sk) = keygen::<ModGroup<Mini1009>, _>(&mut r);
+        let (_pk2, sk2) = keygen::<ModGroup<Mini1009>, _>(&mut r);
+        let m = ModGroup::<Mini1009>::random(&mut r);
+        let ct = encrypt(&pk, &m, &mut r);
+        assert_ne!(decrypt(&sk2, &ct), m);
+    }
+}

@@ -1,0 +1,20 @@
+//! # dlr-baselines — comparison schemes for the experiments
+//!
+//! The schemes the paper compares against (§1.2.1 / footnote 3), built on
+//! the same group substrate and instrumentation as DLR so the comparisons
+//! are apples-to-apples:
+//!
+//! * [`elgamal`] — plain ElGamal (efficiency floor, zero leakage
+//!   resilience);
+//! * [`naor_segev`] — bounded-leakage PKE ([32]): leakage-resilient but
+//!   *not refreshable* — the "hole in the bucket";
+//! * [`bitbybit`] — bit-by-bit encryption with `ω(n)` elements per bit,
+//!   the BKKV [11] cost profile;
+//! * [`naive`] — the single-device negative control: a bit-probe adversary
+//!   recovers the whole key and wins the IND game with probability 1
+//!   (experiment F3's contrast to DLR's flat 1/2).
+
+pub mod bitbybit;
+pub mod elgamal;
+pub mod naive;
+pub mod naor_segev;

@@ -1,0 +1,185 @@
+//! The naive single-device scheme and its collapse under continual
+//! leakage — the negative control of experiment F3.
+//!
+//! The whole secret key (an ElGamal exponent) sits in one device's secret
+//! memory. There is no refresh: with the public key fixed, the unique
+//! secret key cannot be re-randomized ("the hole in the bucket" problem
+//! that [11] names and this paper's *distribution* solves differently).
+//! A bit-probe adversary that leaks a bounded number of bits per period
+//! therefore accumulates the entire key after `⌈|sk|/b⌉` periods and wins
+//! the IND game with probability 1.
+
+use crate::elgamal::{self, ElGamalCt, ElGamalPk, ElGamalSk};
+use dlr_curve::Group;
+use dlr_leakage::leakfn::{window_bits, LeakInput};
+use dlr_leakage::Bits;
+use dlr_math::FieldElement;
+use dlr_protocol::Device;
+use rand::RngCore;
+
+/// The naive scheme's single device, with `sk` fully resident in secret
+/// memory.
+pub struct NaiveDevice<G: Group> {
+    /// The underlying public key.
+    pub pk: ElGamalPk<G>,
+    sk: ElGamalSk<G>,
+    device: Device,
+}
+
+impl<G: Group> NaiveDevice<G> {
+    /// Generate keys and load the device.
+    pub fn keygen<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let (pk, sk) = elgamal::keygen::<G, _>(rng);
+        let mut device = Device::new("NAIVE");
+        device.secret.store("sk", sk.x.to_bytes_be());
+        Self { pk, sk, device }
+    }
+
+    /// The device under leakage.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Decrypt (the honest path).
+    pub fn decrypt(&self, ct: &ElGamalCt<G>) -> G {
+        elgamal::decrypt(&self.sk, ct)
+    }
+
+    /// Secret-memory size in bits.
+    pub fn secret_bits(&self) -> usize {
+        self.device.secret.total_bits()
+    }
+}
+
+/// Result of the probe game against the naive scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaiveGameResult {
+    /// Whether the adversary recovered the full key.
+    pub key_recovered: bool,
+    /// Whether the adversary won the IND challenge.
+    pub won: bool,
+    /// Periods the probe ran.
+    pub periods: u64,
+}
+
+/// Run the bit-probe game against the naive single-device scheme:
+/// `bits_per_period` bits of the (static) secret memory leak each period.
+pub fn run_naive_probe_game<G: Group, R: RngCore>(
+    bits_per_period: usize,
+    periods: u64,
+    rng: &mut R,
+) -> NaiveGameResult {
+    let target = NaiveDevice::<G>::keygen(rng);
+    let total_bits = target.secret_bits();
+
+    // Leakage phase: fixed memory, advancing probe window.
+    let mut collected = Bits::new();
+    let mut offset = 0usize;
+    for _ in 0..periods {
+        if offset >= total_bits {
+            break;
+        }
+        let take = bits_per_period.min(total_bits - offset);
+        let mut f = window_bits(offset, take);
+        let view = target.device().secret.view();
+        let out = f.eval(&LeakInput {
+            secret: &view,
+            public: &[],
+        });
+        collected.extend(&out);
+        offset += take;
+    }
+
+    let key_recovered = collected.len() >= total_bits;
+    let candidate_sk = if key_recovered {
+        // reassemble the exponent from the leaked bits
+        let bytes: Vec<u8> = collected
+            .as_bytes()
+            .iter()
+            .copied()
+            .take(total_bits / 8)
+            .collect();
+        G::Scalar::from_bytes_be(&bytes).map(|x| ElGamalSk::<G> { x })
+    } else {
+        None
+    };
+
+    // Challenge phase.
+    let m0 = G::random(rng);
+    let m1 = G::random(rng);
+    let b = rng.next_u32() & 1 == 1;
+    let challenge = elgamal::encrypt(&target.pk, if b { &m1 } else { &m0 }, rng);
+
+    let guess = match &candidate_sk {
+        Some(sk) => {
+            let m = elgamal::decrypt(sk, &challenge);
+            if m == m1 {
+                true
+            } else if m == m0 {
+                false
+            } else {
+                rng.next_u32() & 1 == 1
+            }
+        }
+        None => rng.next_u32() & 1 == 1,
+    };
+
+    NaiveGameResult {
+        key_recovered,
+        won: guess == b,
+        periods,
+    }
+}
+
+/// Estimate the probe's win rate over many trials.
+pub fn estimate_naive_win_rate<G: Group, R: RngCore>(
+    bits_per_period: usize,
+    periods: u64,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut wins = 0usize;
+    for _ in 0..trials {
+        if run_naive_probe_game::<G, _>(bits_per_period, periods, rng).won {
+            wins += 1;
+        }
+    }
+    wins as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_curve::gt::Gt;
+    use dlr_curve::Toy;
+    use rand::SeedableRng;
+
+    type G = Gt<Toy>;
+
+    #[test]
+    fn full_probe_recovers_key_and_wins() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(11);
+        // scalar is 8 bytes = 64 bits on the toy curve; 16 bits/period × 4
+        for _ in 0..10 {
+            let res = run_naive_probe_game::<G, _>(16, 4, &mut r);
+            assert!(res.key_recovered);
+            assert!(res.won, "with the full key the adversary always wins");
+        }
+    }
+
+    #[test]
+    fn partial_probe_no_advantage() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(12);
+        let rate = estimate_naive_win_rate::<G, _>(16, 2, 60, &mut r);
+        assert!((rate - 0.5).abs() < 0.25, "rate = {rate}");
+    }
+
+    #[test]
+    fn win_rate_jumps_at_coverage_threshold() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(13);
+        let before = estimate_naive_win_rate::<G, _>(16, 3, 40, &mut r);
+        let after = estimate_naive_win_rate::<G, _>(16, 4, 40, &mut r);
+        assert!(after > 0.95, "after = {after}");
+        assert!(before < 0.85, "before = {before}");
+    }
+}

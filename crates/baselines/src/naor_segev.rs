@@ -1,0 +1,111 @@
+//! Naor–Segev-style bounded-leakage PKE ([32], the scheme the paper's
+//! secret sharing is "inspired by").
+//!
+//! `pk = (g_1, …, g_ℓ, h = ∏ g_i^{x_i})`, `sk = (x_1, …, x_ℓ)`;
+//! `Enc(m) = (g_1^t, …, g_ℓ^t, m·h^t)`; `Dec(c) = c_0 / ∏ c_i^{x_i}`.
+//!
+//! Leakage-resilient up to `~(ℓ−2)·log p − 2·log(1/ε)` bits **in total**
+//! (leftover hash lemma) — but the key cannot be refreshed while keeping
+//! `pk` fixed, so under *continual* leakage the budget eventually runs dry:
+//! the "hole in the bucket". Experiment F4 contrasts its collapse with
+//! DLR's flat advantage curve.
+
+use dlr_curve::Group;
+use dlr_math::FieldElement;
+use rand::RngCore;
+
+/// Public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsPk<G: Group> {
+    /// The bases `g_i` (random, unknown dlog).
+    pub g: Vec<G>,
+    /// `h = ∏ g_i^{x_i}`.
+    pub h: G,
+}
+
+/// Secret key (the leakage target).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsSk<G: Group> {
+    /// The exponent vector.
+    pub x: Vec<G::Scalar>,
+}
+
+/// Ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsCt<G: Group> {
+    /// `g_i^t`.
+    pub c: Vec<G>,
+    /// `m·h^t`.
+    pub c0: G,
+}
+
+/// Generate an `ℓ`-element key pair.
+pub fn keygen<G: Group, R: RngCore + ?Sized>(ell: usize, rng: &mut R) -> (NsPk<G>, NsSk<G>) {
+    assert!(ell >= 1);
+    let g: Vec<G> = (0..ell).map(|_| G::random(rng)).collect();
+    let x: Vec<G::Scalar> = (0..ell).map(|_| G::Scalar::random(rng)).collect();
+    let h = G::product_of_powers(&g, &x);
+    (NsPk { g, h }, NsSk { x })
+}
+
+/// Encrypt a group element.
+pub fn encrypt<G: Group, R: RngCore + ?Sized>(pk: &NsPk<G>, m: &G, rng: &mut R) -> NsCt<G> {
+    let t = G::Scalar::random(rng);
+    NsCt {
+        c: pk.g.iter().map(|gi| gi.pow(&t)).collect(),
+        c0: m.op(&pk.h.pow(&t)),
+    }
+}
+
+/// Decrypt. Returns `None` on a length mismatch.
+pub fn decrypt<G: Group>(sk: &NsSk<G>, ct: &NsCt<G>) -> Option<G> {
+    if sk.x.len() != ct.c.len() {
+        return None;
+    }
+    Some(ct.c0.div(&G::product_of_powers(&ct.c, &sk.x)))
+}
+
+/// The analytic total-leakage bound (bits) this scheme tolerates:
+/// `(ℓ−2)·log p − 2·log(1/ε)` (leftover hash lemma with output `log p`).
+pub fn leakage_bound(ell: usize, log_p: u32, n: u32) -> i64 {
+    (ell as i64 - 2) * log_p as i64 - 2 * n as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_curve::modgroup::{Mini1009, ModGroup};
+    use dlr_curve::{Toy, G};
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(4);
+        for ell in [1usize, 2, 8] {
+            let (pk, sk) = keygen::<G<Toy>, _>(ell, &mut r);
+            let m = G::<Toy>::random(&mut r);
+            let ct = encrypt(&pk, &m, &mut r);
+            assert_eq!(decrypt(&sk, &ct), Some(m), "ell={ell}");
+        }
+    }
+
+    #[test]
+    fn key_length_checked() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(5);
+        let (pk, sk) = keygen::<ModGroup<Mini1009>, _>(4, &mut r);
+        let m = ModGroup::<Mini1009>::random(&mut r);
+        let ct = encrypt(&pk, &m, &mut r);
+        let short = NsSk {
+            x: sk.x[..3].to_vec(),
+        };
+        assert_eq!(decrypt(&short, &ct), None);
+    }
+
+    #[test]
+    fn leakage_bound_shape() {
+        // grows linearly in ℓ, shrinks in n
+        assert!(leakage_bound(10, 256, 128) > leakage_bound(5, 256, 128));
+        assert!(leakage_bound(10, 256, 128) > leakage_bound(10, 256, 512));
+        assert_eq!(leakage_bound(2, 256, 0), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! A1 — ablation: the §5.2 ciphertext-reuse remark vs fresh per-protocol
+//! ciphertexts (one full period: decrypt + refresh).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlr_core::dlr::{self, CommMode};
+use dlr_core::params::SchemeParams;
+use dlr_curve::{Group, Pairing, Toy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_mode(c: &mut Criterion, label: &str, mode: CommMode) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let params = SchemeParams::derive::<<Toy as Pairing>::Scalar>(16, 256);
+    let (pk, s1, s2) = dlr::keygen::<Toy, _>(params, &mut rng);
+    let mut p1 = dlr::Party1::with_mode(pk.clone(), s1, mode);
+    let mut p2 = dlr::Party2::new(pk.clone(), s2);
+    let m = <Toy as Pairing>::Gt::random(&mut rng);
+    let ct = dlr::encrypt(&pk, &m, &mut rng);
+
+    c.bench_function(&format!("a1/full-period/{label}"), |b| {
+        b.iter(|| {
+            let out = dlr::decrypt_local(&mut p1, &mut p2, &ct, &mut rng).unwrap();
+            dlr::refresh_local(&mut p1, &mut p2, &mut rng).unwrap();
+            out
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_mode(c, "reuse", CommMode::Reuse);
+    bench_mode(c, "fresh", CommMode::Fresh);
+}
+
+criterion_group! {
+    name = a1;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(a1);

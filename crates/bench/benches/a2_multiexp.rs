@@ -1,0 +1,37 @@
+//! A2 — ablation: Straus interleaved multi-exponentiation vs naive
+//! per-base exponentiation (the workhorse of `P2`'s protocol role).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlr_curve::{multiexp, Group, Pairing, Toy, G};
+use dlr_math::FieldElement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut group = c.benchmark_group("a2/multiexp");
+    for n in [4usize, 16, 64] {
+        let bases: Vec<G<Toy>> = (0..n).map(|_| G::random(&mut rng)).collect();
+        let exps: Vec<<Toy as Pairing>::Scalar> = (0..n)
+            .map(|_| <Toy as Pairing>::Scalar::random(&mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("straus", n), &n, |b, _| {
+            b.iter(|| multiexp::straus_raw(&bases, &exps))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| multiexp::naive(&bases, &exps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = a2;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(a2);

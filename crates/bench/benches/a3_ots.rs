@@ -1,0 +1,42 @@
+//! A3 — ablation: one-time signature choices inside the BCHK transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlr_hash::ots::{Lamport, OneTimeSignature, Winternitz};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_ots<S: OneTimeSignature>(c: &mut Criterion, label: &str) {
+    let mut rng = StdRng::seed_from_u64(23);
+    c.bench_function(&format!("a3/{label}/generate"), |b| {
+        b.iter(|| S::generate(&mut rng))
+    });
+    let msg = b"the ciphertext bytes to be signed";
+    c.bench_function(&format!("a3/{label}/sign"), |b| {
+        b.iter(|| {
+            let (sk, _vk) = S::generate(&mut rng);
+            S::sign(sk, msg)
+        })
+    });
+    let (sk, vk) = S::generate(&mut rng);
+    let sig = S::sign(sk, msg);
+    c.bench_function(&format!("a3/{label}/verify"), |b| {
+        b.iter(|| assert!(S::verify(&vk, msg, &sig)))
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_ots::<Lamport>(c, "lamport");
+    bench_ots::<Winternitz<4>>(c, "wots16");
+    bench_ots::<Winternitz<8>>(c, "wots256");
+}
+
+criterion_group! {
+    name = a3;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(a3);

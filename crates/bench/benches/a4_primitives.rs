@@ -1,0 +1,52 @@
+//! A4 — primitive costs across all curve parameter sets: pairing, G/GT
+//! exponentiation, hash-to-curve. These are the atoms every protocol
+//! figure decomposes into.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlr_curve::{Group, Pairing, Ss1024, Ss512, Ss768, Toy};
+use dlr_math::FieldElement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_curve<E: Pairing>(c: &mut Criterion, label: &str) {
+    let mut rng = StdRng::seed_from_u64(29);
+    let g = E::G1::generator();
+    let gt = E::Gt::generator();
+    let s = E::Scalar::random(&mut rng);
+    let p = E::G1::random(&mut rng);
+    let q = E::G2::random(&mut rng);
+
+    c.bench_function(&format!("a4/{label}/pairing"), |b| {
+        b.iter(|| E::pair(&p, &q))
+    });
+    c.bench_function(&format!("a4/{label}/g-exp"), |b| b.iter(|| g.pow(&s)));
+    c.bench_function(&format!("a4/{label}/gt-exp"), |b| b.iter(|| gt.pow(&s)));
+    c.bench_function(&format!("a4/{label}/g1-random"), |b| {
+        b.iter(|| E::G1::random(&mut rng))
+    });
+    c.bench_function(&format!("a4/{label}/g2-random"), |b| {
+        b.iter(|| E::G2::random(&mut rng))
+    });
+    c.bench_function(&format!("a4/{label}/gt-random"), |b| {
+        b.iter(|| E::Gt::random(&mut rng))
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_curve::<Toy>(c, "TOY");
+    bench_curve::<Ss512>(c, "SS512");
+    bench_curve::<Ss768>(c, "SS768");
+    bench_curve::<Ss1024>(c, "SS1024");
+    bench_curve::<dlr_bls12::Bls12_381>(c, "BLS12-381");
+}
+
+criterion_group! {
+    name = a4;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(a4);

@@ -1,0 +1,52 @@
+//! F1 — wall-clock split between the main processor `P1` and the auxiliary
+//! device `P2` per protocol phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlr_core::dlr;
+use dlr_core::params::SchemeParams;
+use dlr_curve::{Group, Pairing, Toy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let params = SchemeParams::derive::<<Toy as Pairing>::Scalar>(16, 256);
+    let (pk, s1, s2) = dlr::keygen::<Toy, _>(params, &mut rng);
+    let mut p1 = dlr::Party1::new(pk.clone(), s1);
+    let mut p2 = dlr::Party2::new(pk.clone(), s2);
+    let m = <Toy as Pairing>::Gt::random(&mut rng);
+    let ct = dlr::encrypt(&pk, &m, &mut rng);
+
+    // pre-build messages so each side is timed in isolation
+    let msg1 = p1.dec_start(&ct, &mut rng);
+    c.bench_function("f1/dec/p2-respond", |b| {
+        b.iter(|| p2.dec_respond(&msg1).unwrap())
+    });
+    c.bench_function("f1/dec/p1-start", |b| {
+        b.iter(|| p1.dec_start(&ct, &mut rng))
+    });
+
+    let rmsg1 = p1.ref_start(&mut rng);
+    c.bench_function("f1/ref/p2-respond", |b| {
+        b.iter(|| {
+            let out = p2.ref_respond(&rmsg1, &mut rng).unwrap();
+            // drop the staged share so the state machine stays reusable
+            p2.ref_complete().unwrap();
+            out
+        })
+    });
+    c.bench_function("f1/ref/p1-start", |b| {
+        b.iter(|| p1.ref_start(&mut rng))
+    });
+}
+
+criterion_group! {
+    name = f1;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(f1);

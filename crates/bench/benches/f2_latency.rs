@@ -1,0 +1,53 @@
+//! F2 — latency of Gen/Enc/Dec/Ref vs security level and leakage
+//! parameter. The protocol phases run on TOY and SS512; κ/ℓ scaling is
+//! shown by sweeping λ on TOY.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlr_core::dlr;
+use dlr_core::params::SchemeParams;
+use dlr_curve::{Group, Pairing, Ss512, Toy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_suite<E: Pairing>(c: &mut Criterion, label: &str, n: u32, lambda: u32) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let params = SchemeParams::derive::<E::Scalar>(n, lambda);
+    let (pk, s1, s2) = dlr::keygen::<E, _>(params, &mut rng);
+    let mut p1 = dlr::Party1::new(pk.clone(), s1);
+    let mut p2 = dlr::Party2::new(pk.clone(), s2);
+    let m = E::Gt::random(&mut rng);
+    let ct = dlr::encrypt(&pk, &m, &mut rng);
+
+    c.bench_function(&format!("f2/{label}/keygen"), |b| {
+        b.iter(|| dlr::keygen::<E, _>(params, &mut rng))
+    });
+    c.bench_function(&format!("f2/{label}/encrypt"), |b| {
+        b.iter(|| dlr::encrypt(&pk, &m, &mut rng))
+    });
+    c.bench_function(&format!("f2/{label}/decrypt-protocol"), |b| {
+        b.iter(|| dlr::decrypt_local(&mut p1, &mut p2, &ct, &mut rng).unwrap())
+    });
+    c.bench_function(&format!("f2/{label}/refresh-protocol"), |b| {
+        b.iter(|| dlr::refresh_local(&mut p1, &mut p2, &mut rng).unwrap())
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    // λ sweep on TOY: ℓ, κ grow linearly in λ / log p
+    bench_suite::<Toy>(c, "TOY/lam64", 16, 64);
+    bench_suite::<Toy>(c, "TOY/lam256", 16, 256);
+    bench_suite::<Toy>(c, "TOY/lam1024", 16, 1024);
+    // benchmark-grade curve
+    bench_suite::<Ss512>(c, "SS512/lam512", 64, 512);
+}
+
+criterion_group! {
+    name = f2;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(f2);

@@ -1,0 +1,35 @@
+//! F6 — secure-storage throughput: refresh and retrieve latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlr_core::params::SchemeParams;
+use dlr_core::storage::LeakyStorage;
+use dlr_curve::{Pairing, Toy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let params = SchemeParams::derive::<<Toy as Pairing>::Scalar>(16, 64);
+    let mut store = LeakyStorage::<Toy>::store(params, &[0xabu8; 256], &mut rng);
+
+    c.bench_function("f6/storage-refresh-period", |b| {
+        b.iter(|| store.refresh(&mut rng).unwrap())
+    });
+    c.bench_function("f6/storage-retrieve", |b| {
+        b.iter(|| store.retrieve(&mut rng).unwrap())
+    });
+    c.bench_function("f6/storage-store-1kb", |b| {
+        b.iter(|| LeakyStorage::<Toy>::store(params, &[1u8; 1024], &mut rng))
+    });
+}
+
+criterion_group! {
+    name = f6;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(f6);

@@ -1,0 +1,62 @@
+//! F7 — DIBE and CCA2 phase latencies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlr_core::params::SchemeParams;
+use dlr_core::{cca2, dibe, ibe};
+use dlr_curve::{Group, Pairing, Toy};
+use dlr_hash::ots::Winternitz;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+type W16 = Winternitz<4>;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let params = SchemeParams::derive::<<Toy as Pairing>::Scalar>(16, 64);
+    let n_id = 16usize;
+    let (ibe_params, ms1, ms2) = dibe::dibe_keygen::<Toy, _>(params, n_id, &mut rng);
+    let mut p1 = dibe::DibeParty1::new(ibe_params.clone(), ms1);
+    let mut p2 = dibe::DibeParty2::new(ibe_params.clone(), ms2);
+    let m = <Toy as Pairing>::Gt::random(&mut rng);
+
+    c.bench_function("f7/dibe-idkey-gen-protocol", |b| {
+        b.iter(|| dibe::idkey_local(&mut p1, &mut p2, b"alice", &mut rng).unwrap())
+    });
+
+    let (id1, id2) = dibe::idkey_local(&mut p1, &mut p2, b"alice", &mut rng).unwrap();
+    let mut ip1 = dibe::IdParty1::new(&ibe_params, id1);
+    let mut ip2 = dibe::IdParty2::new(&ibe_params, id2);
+    let ct = ibe::encrypt(&ibe_params, b"alice", &m, &mut rng);
+
+    c.bench_function("f7/ibe-encrypt", |b| {
+        b.iter(|| ibe::encrypt(&ibe_params, b"alice", &m, &mut rng))
+    });
+    c.bench_function("f7/dibe-decrypt-protocol", |b| {
+        b.iter(|| dibe::dibe_decrypt_local(&mut ip1, &mut ip2, &ct, &mut rng).unwrap())
+    });
+    c.bench_function("f7/dibe-idkey-refresh", |b| {
+        b.iter(|| dibe::dibe_refresh_idkey_local(&mut ip1, &mut ip2, &mut rng).unwrap())
+    });
+
+    c.bench_function("f7/cca2-encrypt-wots16", |b| {
+        b.iter(|| cca2::encrypt::<Toy, W16, _>(&ibe_params, &m, &mut rng))
+    });
+    let cct = cca2::encrypt::<Toy, W16, _>(&ibe_params, &m, &mut rng);
+    c.bench_function("f7/cca2-verify-wots16", |b| {
+        b.iter(|| assert!(cca2::verify(&cct)))
+    });
+    c.bench_function("f7/cca2-decrypt-distributed", |b| {
+        b.iter(|| cca2::decrypt_distributed(&mut p1, &mut p2, &cct, &mut rng).unwrap())
+    });
+}
+
+criterion_group! {
+    name = f7;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(f7);

@@ -1,0 +1,56 @@
+//! T2 — encryption cost across schemes (timing counterpart of
+//! `harness t2`'s operation counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlr_baselines::{bitbybit, elgamal, naor_segev};
+use dlr_core::dlr;
+use dlr_core::params::SchemeParams;
+use dlr_curve::{Group, Gt, Pairing, Ss512, Toy, G};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let params = SchemeParams::derive::<<Toy as Pairing>::Scalar>(16, 64);
+
+    let (pk, _s1, _s2) = dlr::keygen::<Toy, _>(params, &mut rng);
+    let m = Gt::<Toy>::random(&mut rng);
+    c.bench_function("t2/TOY/dlr-encrypt", |b| {
+        b.iter(|| dlr::encrypt(&pk, &m, &mut rng))
+    });
+
+    let (epk, _) = elgamal::keygen::<Gt<Toy>, _>(&mut rng);
+    c.bench_function("t2/TOY/elgamal-gt-encrypt", |b| {
+        b.iter(|| elgamal::encrypt(&epk, &m, &mut rng))
+    });
+
+    let (npk, _) = naor_segev::keygen::<G<Toy>, _>(params.ell, &mut rng);
+    let gm = G::<Toy>::random(&mut rng);
+    c.bench_function("t2/TOY/naor-segev-encrypt", |b| {
+        b.iter(|| naor_segev::encrypt(&npk, &gm, &mut rng))
+    });
+
+    let (bpk, _) = bitbybit::keygen::<G<Toy>, _>(16, &mut rng);
+    c.bench_function("t2/TOY/bitbybit-encrypt-16bits", |b| {
+        b.iter(|| bitbybit::encrypt(&bpk, b"ab", &mut rng))
+    });
+
+    // headline scheme at benchmark scale
+    let params512 = SchemeParams::derive::<<Ss512 as Pairing>::Scalar>(64, 512);
+    let (pk512, _, _) = dlr::keygen::<Ss512, _>(params512, &mut rng);
+    let m512 = Gt::<Ss512>::random(&mut rng);
+    c.bench_function("t2/SS512/dlr-encrypt", |b| {
+        b.iter(|| dlr::encrypt(&pk512, &m512, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = t2;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(t2);

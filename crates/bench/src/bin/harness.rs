@@ -1,0 +1,67 @@
+//! The experiment harness: regenerates every table and figure of
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p dlr-bench --bin harness -- all
+//! cargo run --release -p dlr-bench --bin harness -- t1 f3
+//! ```
+
+use dlr_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |k: &str| all || args.iter().any(|a| a == k);
+
+    // Trial counts: quick mode for CI-ish runs, deeper with --full.
+    let full = args.iter().any(|a| a == "--full");
+    let trials = if full { 200 } else { 40 };
+
+    let mut ran = 0;
+    if want("t1") {
+        println!("{}\n", exp::t1_refresh_leakage_comparison());
+        ran += 1;
+    }
+    if want("t2") {
+        println!("{}\n", exp::t2_efficiency_comparison());
+        ran += 1;
+    }
+    if want("t3") {
+        println!("{}\n", exp::t3_theorem41_bounds());
+        ran += 1;
+    }
+    if want("f1") {
+        println!("{}\n", exp::f1_device_work_split());
+        ran += 1;
+    }
+    if want("f3") {
+        println!("{}\n", exp::f3_attack_resilience(trials));
+        ran += 1;
+    }
+    if want("f4") {
+        println!("{}\n", exp::f4_continual_property(trials));
+        ran += 1;
+    }
+    if want("f5") {
+        println!("{}\n", exp::f5_entropy_margins());
+        ran += 1;
+    }
+    if want("f6") {
+        println!("{}\n", exp::f6_storage_system());
+        ran += 1;
+    }
+    if want("f7") {
+        println!("{}\n", exp::f7_dibe_cca2_overhead());
+        ran += 1;
+    }
+    if want("f8") {
+        println!("{}\n", exp::f8_backend_comparison());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!(
+            "usage: harness [--full] [all | t1 t2 t3 f1 f3 f4 f5 f6 f7 f8]\n(F2 latency figures: cargo bench -p dlr-bench)"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,622 @@
+//! The experiment implementations — one function per table/figure of
+//! EXPERIMENTS.md.
+//!
+//! All experiments run on the TOY parameter set so the whole suite
+//! completes in seconds; the criterion benches cover the larger parameter
+//! sets for timing.
+
+use crate::table::Table;
+use dlr_baselines::{bitbybit, elgamal, naive, naor_segev};
+use dlr_core::params::SchemeParams;
+use dlr_core::party::P1Layout;
+use dlr_core::{cca2, dibe, dlr, ibe, storage};
+use dlr_curve::counters;
+use dlr_curve::{Group, Gt, Pairing, Toy, G};
+use dlr_hash::ots::{Lamport, OneTimeSignature, Winternitz};
+use dlr_leakage::adversaries::BitProbe;
+use dlr_leakage::bounds::{LeakageBounds, PRIOR_COSTS, PRIOR_WORK};
+use dlr_leakage::entropy::{leak_sigma_prefix, HpskeEntropy};
+use dlr_leakage::game::{estimate_win_rate, GameConfig};
+use dlr_math::FieldElement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type E = Toy;
+type Fr = <E as Pairing>::Scalar;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn toy_params() -> SchemeParams {
+    SchemeParams::derive::<Fr>(16, 64)
+}
+
+fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// **T1** — tolerated leakage fraction *during key refresh* (§1.2.1 ¶3).
+pub fn t1_refresh_leakage_comparison() -> String {
+    let mut t = Table::new(["scheme", "refresh leakage fraction", "source"]);
+    for prior in PRIOR_WORK {
+        t.row([prior.name, prior.display, prior.reference]);
+    }
+    // Ours, from the implemented memory layout, at growing λ.
+    for lambda in [1u32 << 10, 1 << 14, 1 << 20] {
+        let params = SchemeParams::derive_for_bits(256, 256, lambda);
+        let b = LeakageBounds::theorem41(&params);
+        t.row([
+            "DLR (this repo)".to_string(),
+            format!(
+                "P1: {} (→1/2),  P2: {} (proof: 1)",
+                f3(b.rho1_refresh()),
+                f3(b.rho2_refresh())
+            ),
+            format!("measured layout, λ=2^{}", lambda.trailing_zeros()),
+        ]);
+    }
+    format!(
+        "T1 — tolerated leakage fraction during key refresh\n{}",
+        t.render()
+    )
+}
+
+/// **T2** — per-encryption efficiency (footnote 3), measured via the group
+/// operation counters.
+pub fn t2_efficiency_comparison() -> String {
+    let mut r = rng(1000);
+    let params = toy_params();
+    let mut t = Table::new([
+        "scheme",
+        "granularity",
+        "ct elements",
+        "ct bytes",
+        "G-exp",
+        "GT-exp",
+        "pairings",
+    ]);
+
+    // DLR
+    let (pk, _s1, _s2) = dlr::keygen::<E, _>(params, &mut r);
+    let m = Gt::<E>::random(&mut r);
+    let (_ct, ops) = counters::measure(|| dlr::encrypt(&pk, &m, &mut r));
+    t.row([
+        "DLR (measured)".to_string(),
+        "GT element".to_string(),
+        "2".to_string(),
+        dlr::Ciphertext::<E>::byte_len().to_string(),
+        ops.g_pow.to_string(),
+        ops.gt_pow.to_string(),
+        format!("{} (e(g1,g2) cached in pk)", ops.pairings),
+    ]);
+
+    // ElGamal floor over GT
+    let (epk, _esk) = elgamal::keygen::<Gt<E>, _>(&mut r);
+    let (_c, ops) = counters::measure(|| elgamal::encrypt(&epk, &m, &mut r));
+    t.row([
+        "ElGamal-GT (measured)".to_string(),
+        "GT element".to_string(),
+        "2".to_string(),
+        (2 * Gt::<E>::byte_len()).to_string(),
+        ops.g_pow.to_string(),
+        ops.gt_pow.to_string(),
+        ops.pairings.to_string(),
+    ]);
+
+    // Naor–Segev (bounded leakage, not refreshable)
+    let (npk, _nsk) = naor_segev::keygen::<G<E>, _>(params.ell, &mut r);
+    let gm = G::<E>::random(&mut r);
+    let (nct, ops) = counters::measure(|| naor_segev::encrypt(&npk, &gm, &mut r));
+    t.row([
+        "Naor-Segev [32] (measured)".to_string(),
+        "G element".to_string(),
+        (nct.c.len() + 1).to_string(),
+        ((nct.c.len() + 1) * G::<E>::byte_len()).to_string(),
+        ops.g_pow.to_string(),
+        ops.gt_pow.to_string(),
+        ops.pairings.to_string(),
+    ]);
+
+    // Bit-by-bit ([11]-style cost), per 16-bit message, n_elems = 16
+    let n_elems = 16usize;
+    let (bpk, _bsk) = bitbybit::keygen::<G<E>, _>(n_elems, &mut r);
+    let (bct, ops) = counters::measure(|| bitbybit::encrypt(&bpk, b"ab", &mut r));
+    t.row([
+        format!("bit-by-bit [11]-style, n={n_elems} (measured)"),
+        "bit".to_string(),
+        format!("{} for 16 bits", bct.group_elements()),
+        (bct.group_elements() * G::<E>::byte_len()).to_string(),
+        format!("{} ({}/bit)", ops.g_pow, ops.g_pow / 16),
+        ops.gt_pow.to_string(),
+        ops.pairings.to_string(),
+    ]);
+
+    let mut asym = Table::new(["scheme", "granularity", "ct elements", "exp/enc", "notes"]);
+    for c in PRIOR_COSTS {
+        asym.row([c.name, c.granularity, c.ct_elements, c.exps_per_enc, c.notes]);
+    }
+
+    format!(
+        "T2 — per-encryption cost, measured on TOY (ℓ={}, κ={})\n{}\nT2b — asymptotic claims from the paper (footnote 3)\n{}",
+        params.ell,
+        params.kappa,
+        t.render(),
+        asym.render()
+    )
+}
+
+/// **T3** — Theorem 4.1 leakage bounds and rates vs λ, analytic from the
+/// implemented layout plus measured device memory sizes.
+pub fn t3_theorem41_bounds() -> String {
+    let mut t = Table::new([
+        "λ", "κ", "ℓ", "m1 (bits)", "b1=λ", "ρ1", "ρ1_ref", "ρ2", "ρ2_ref",
+    ]);
+    for lambda in [256u32, 1024, 4096, 16384, 1 << 20] {
+        let params = SchemeParams::derive_for_bits(256, 128, lambda);
+        let b = LeakageBounds::theorem41(&params);
+        t.row([
+            lambda.to_string(),
+            params.kappa.to_string(),
+            params.ell.to_string(),
+            b.m1_normal_bits.to_string(),
+            b.b1_bits.to_string(),
+            f3(b.rho1()),
+            f3(b.rho1_refresh()),
+            f3(b.rho2()),
+            format!("{} (proof: 1)", f3(b.rho2_refresh())),
+        ]);
+    }
+
+    // Measured secret-memory sizes on the implementation (TOY curve).
+    let mut m = Table::new([
+        "λ",
+        "P1 secret bits (streaming)",
+        "P1 secret bits (plain)",
+        "P2 secret bits",
+        "analytic m1+log p",
+    ]);
+    let mut r = rng(1100);
+    for lambda in [64u32, 256, 1024] {
+        let params = SchemeParams::derive::<Fr>(16, lambda);
+        let (pk, s1, s2) = dlr::keygen::<E, _>(params, &mut r);
+        let streaming = dlr_core::party::AnyParty1::new(
+            P1Layout::Streaming,
+            pk.clone(),
+            s1.clone(),
+            &mut r,
+        );
+        let plain = dlr_core::party::AnyParty1::new(P1Layout::Plain, pk.clone(), s1, &mut r);
+        let p2 = dlr::Party2::new(pk, s2);
+        let bounds = LeakageBounds::theorem41(&params);
+        m.row([
+            lambda.to_string(),
+            streaming.device().secret.total_bits().to_string(),
+            plain.device().secret.total_bits().to_string(),
+            p2.device().secret.total_bits().to_string(),
+            bounds.m1_normal_bits.to_string(),
+        ]);
+    }
+
+    format!(
+        "T3 — Theorem 4.1 bounds (log p = 256, n = 128); ρ1 → 1−o(1), ρ1_ref → 1/2−o(1)\n{}\nT3b — measured secret-memory sizes (TOY curve; stored bytes ≥ entropy bits)\n{}",
+        t.render(),
+        m.render()
+    )
+}
+
+/// **F1** — the device work split (§1.1 "simplicity of one of the two
+/// devices"): P2 does only products-of-powers, never pairs.
+pub fn f1_device_work_split() -> String {
+    let mut out = String::from("F1 — per-protocol operation counts by device\n");
+    let mut r = rng(1200);
+    for lambda in [64u32, 256] {
+        let params = SchemeParams::derive::<Fr>(16, lambda);
+        let (pk, s1, s2) = dlr::keygen::<E, _>(params, &mut r);
+        let mut p1 = dlr_core::party::AnyParty1::new(P1Layout::Streaming, pk.clone(), s1, &mut r);
+        let mut p2 = dlr::Party2::new(pk.clone(), s2);
+        let m = Gt::<E>::random(&mut r);
+        let ct = dlr::encrypt(&pk, &m, &mut r);
+
+        let mut t = Table::new(["phase", "device", "G-exp", "GT-exp", "pairings", "msg bytes"]);
+        let (m1, ops1) = counters::measure(|| p1.dec_start(&ct, &mut r));
+        let m1_bytes = m1.to_bytes().len();
+        let (m2, ops2) = counters::measure(|| p2.dec_respond(&m1).unwrap());
+        let m2_bytes = m2.to_bytes().len();
+        let (_mm, ops1b) = counters::measure(|| p1.dec_finish(&m2).unwrap());
+        t.row([
+            "decrypt".to_string(),
+            "P1".to_string(),
+            (ops1.g_pow + ops1b.g_pow).to_string(),
+            (ops1.gt_pow + ops1b.gt_pow).to_string(),
+            (ops1.pairings + ops1b.pairings).to_string(),
+            m1_bytes.to_string(),
+        ]);
+        t.row([
+            "decrypt".to_string(),
+            "P2".to_string(),
+            ops2.g_pow.to_string(),
+            ops2.gt_pow.to_string(),
+            ops2.pairings.to_string(),
+            m2_bytes.to_string(),
+        ]);
+
+        let (r1, opsr1) = counters::measure(|| p1.ref_start(&mut r));
+        let r1_bytes = r1.to_bytes().len();
+        let (r2, opsr2) = counters::measure(|| p2.ref_respond(&r1, &mut r).unwrap());
+        let r2_bytes = r2.to_bytes().len();
+        let (_, opsr1b) = counters::measure(|| {
+            p1.ref_finish(&r2, &mut r).unwrap();
+            p1.ref_complete().unwrap();
+            p2.ref_complete().unwrap();
+        });
+        t.row([
+            "refresh".to_string(),
+            "P1".to_string(),
+            (opsr1.g_pow + opsr1b.g_pow).to_string(),
+            (opsr1.gt_pow + opsr1b.gt_pow).to_string(),
+            (opsr1.pairings + opsr1b.pairings).to_string(),
+            r1_bytes.to_string(),
+        ]);
+        t.row([
+            "refresh".to_string(),
+            "P2".to_string(),
+            opsr2.g_pow.to_string(),
+            opsr2.gt_pow.to_string(),
+            opsr2.pairings.to_string(),
+            r2_bytes.to_string(),
+        ]);
+
+        out.push_str(&format!(
+            "\nλ = {lambda} (ℓ = {}, κ = {}):\n{}",
+            params.ell,
+            params.kappa,
+            t.render()
+        ));
+    }
+    out.push_str("\nNote: P2 performs zero pairings in every phase — it is the paper's 'auxiliary device' (smart card).\n");
+    out
+}
+
+/// **F3** — attack resilience: bit-probe win rates against DLR vs the
+/// naive single-device baseline, as the per-period leakage rate grows.
+pub fn f3_attack_resilience(trials: usize) -> String {
+    let mut r = rng(1300);
+    let params = toy_params();
+    let share2_bits = params.ell * Fr::byte_len() * 8;
+    let cfg = GameConfig::theorem_bounds::<E>(params, P1Layout::Streaming);
+    let naive_sk_bits = Fr::byte_len() * 8; // 64 on TOY
+    let periods = 4u64;
+
+    let mut t = Table::new([
+        "rate (fraction/period)",
+        "DLR win rate",
+        "naive single-device win rate",
+    ]);
+    for frac in [0.05f64, 0.125, 0.25, 0.5, 1.0] {
+        let p2_bits = ((share2_bits as f64) * frac) as usize;
+        let p1_bits = ((params.lambda as f64) * frac / periods as f64) as usize;
+        let stats = estimate_win_rate::<E, _>(
+            &cfg,
+            || Box::new(BitProbe::new(p1_bits, p2_bits, periods)),
+            trials,
+            &mut r,
+        );
+        let naive_bits = ((naive_sk_bits as f64) * frac) as usize;
+        let naive_rate =
+            naive::estimate_naive_win_rate::<Gt<E>, _>(naive_bits, periods, trials, &mut r);
+        t.row([
+            format!("{frac:.3}"),
+            format!("{} (aborts {})", f3(stats.win_rate()), stats.aborts),
+            f3(naive_rate),
+        ]);
+    }
+    format!(
+        "F3 — bit-probe adversary, {periods} periods, {trials} trials/point (TOY)\nDLR stays at ≈ 1/2 at every rate (shares refresh + split); the naive\nscheme collapses once cumulative coverage reaches its key size (rate ≥ 0.25).\n{}",
+        t.render()
+    )
+}
+
+/// **F4** — the continual property: total leaked bits grow without bound
+/// while DLR's advantage stays flat.
+pub fn f4_continual_property(trials: usize) -> String {
+    let mut r = rng(1400);
+    let params = toy_params();
+    let cfg = GameConfig::theorem_bounds::<E>(params, P1Layout::Streaming);
+    let per_period_p2 = 64usize; // well inside b2
+    let naive_bits = 16usize; // naive key = 64 bits → covered at 4 periods
+
+    let mut t = Table::new([
+        "periods",
+        "DLR total leaked (bits)",
+        "DLR win rate",
+        "naive win rate",
+        "NS [32] budget state",
+    ]);
+    let ns_budget = naor_segev::leakage_bound(params.ell, params.log_p, params.n);
+    for periods in [1u64, 2, 4, 8, 16] {
+        let stats = estimate_win_rate::<E, _>(
+            &cfg,
+            || Box::new(BitProbe::new(8, per_period_p2, periods)),
+            trials,
+            &mut r,
+        );
+        let total = periods * (8 + per_period_p2 as u64);
+        let naive_rate =
+            naive::estimate_naive_win_rate::<Gt<E>, _>(naive_bits, periods, trials, &mut r);
+        let ns_state = if (total as i64) <= ns_budget {
+            format!("ok ({total}/{ns_budget})")
+        } else {
+            format!("EXHAUSTED ({total}/{ns_budget})")
+        };
+        t.row([
+            periods.to_string(),
+            total.to_string(),
+            f3(stats.win_rate()),
+            f3(naive_rate),
+            ns_state,
+        ]);
+    }
+    format!(
+        "F4 — advantage vs number of periods at fixed per-period leakage ({trials} trials/point)\nDLR's win rate is flat while its lifetime leakage grows linearly; the\nnon-refreshable baselines have a finite budget (NS) or collapse (naive).\n{}",
+        t.render()
+    )
+}
+
+/// **F5** — exact HPSKE entropy margins on mini groups (Def. 5.1(2)).
+pub fn f5_entropy_margins() -> String {
+    let mut t = Table::new([
+        "κ", "ℓ", "λ (bits)", "prior H∞", "H̃∞(m|c,L)", "loss", "≥ prior−log r−λ ?",
+    ]);
+    let log_r = 17f64.log2();
+    for (kappa, ell, lambdas) in [(1usize, 1usize, &[0u32, 1, 2, 3, 4][..]), (2, 1, &[0, 2, 4])] {
+        let exp = HpskeEntropy::<dlr_curve::modgroup::Mini17>::new(kappa, ell);
+        let leak = leak_sigma_prefix();
+        for &lam in lambdas {
+            let res = exp.exact(lam, &leak);
+            let floor = res.prior_entropy - log_r - lam as f64;
+            t.row([
+                kappa.to_string(),
+                ell.to_string(),
+                lam.to_string(),
+                f3(res.prior_entropy),
+                f3(res.conditional_entropy),
+                f3(res.loss()),
+                (res.conditional_entropy >= floor - 1e-9).to_string(),
+            ]);
+        }
+    }
+    format!(
+        "F5 — exact average min-entropy of HPSKE plaintexts given ciphertexts\nand λ bits of key leakage (MINI17 group, exhaustive enumeration).\nThe ciphertext itself costs ≤ log r bits; leakage costs ≤ λ more — the\nleftover-hash-lemma shape behind Definition 5.1(2).\n{}",
+        t.render()
+    )
+}
+
+/// **F6** — the secure-storage system (§4.4): correctness and churn across
+/// periods.
+pub fn f6_storage_system() -> String {
+    let mut r = rng(1600);
+    let params = toy_params();
+    let payload = b"long-term secret stored on continually leaky hardware";
+    let mut store = storage::LeakyStorage::<E>::store(params, payload, &mut r);
+    let mut t = Table::new(["period", "ct bytes", "ct changed", "retrieve ok", "refresh ms"]);
+    let mut prev = store
+        .storage_device()
+        .public
+        .get("ciphertext")
+        .unwrap()
+        .to_vec();
+    for period in 1..=6u64 {
+        let t0 = std::time::Instant::now();
+        store.refresh(&mut r).unwrap();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cur = store
+            .storage_device()
+            .public
+            .get("ciphertext")
+            .unwrap()
+            .to_vec();
+        let ok = store.retrieve(&mut r).unwrap() == payload;
+        t.row([
+            period.to_string(),
+            cur.len().to_string(),
+            (cur != prev).to_string(),
+            ok.to_string(),
+            format!("{ms:.1}"),
+        ]);
+        prev = cur;
+    }
+    format!(
+        "F6 — secure storage on leaky devices: every period re-randomizes the\nstored ciphertext and refreshes the key shares; the payload survives.\n{}",
+        t.render()
+    )
+}
+
+/// **F7** — DIBE + CCA2 overhead: key/ciphertext sizes and operation
+/// counts, incl. the OTS choice ablation.
+pub fn f7_dibe_cca2_overhead() -> String {
+    let mut r = rng(1700);
+    let params = toy_params();
+    let n_id = 16usize;
+    let (ibe_params, ms1, ms2) = dibe::dibe_keygen::<E, _>(params, n_id, &mut r);
+    let mut p1 = dibe::DibeParty1::new(ibe_params.clone(), ms1);
+    let mut p2 = dibe::DibeParty2::new(ibe_params.clone(), ms2);
+
+    let ((id1, _id2), idops) = counters::measure(|| {
+        dibe::idkey_local(&mut p1, &mut p2, b"alice@example.org", &mut r).unwrap()
+    });
+
+    let mut t = Table::new(["object", "value"]);
+    let g_bytes = G::<E>::byte_len();
+    t.row([
+        "identity bits n_id".to_string(),
+        n_id.to_string(),
+    ]);
+    t.row([
+        "master share sk1 (elements)".to_string(),
+        format!("{} G = {} bytes", params.ell + 1, (params.ell + 1) * g_bytes),
+    ]);
+    t.row([
+        "identity share sk1_ID (elements)".to_string(),
+        format!(
+            "{} G = {} bytes",
+            n_id + params.ell + 1,
+            (n_id + params.ell + 1) * g_bytes
+        ),
+    ]);
+    t.row([
+        "idkey-gen protocol ops".to_string(),
+        format!("{idops}"),
+    ]);
+    let m = Gt::<E>::random(&mut r);
+    let ibe_ct = ibe::encrypt(&ibe_params, b"alice@example.org", &m, &mut r);
+    t.row([
+        "IBE ciphertext bytes".to_string(),
+        ibe_ct.to_bytes().len().to_string(),
+    ]);
+    let _ = id1;
+
+    // CCA2 with three OTS choices
+    let mut o = Table::new(["OTS", "vk bytes", "sig bytes", "cca2 ct bytes", "enc ms"]);
+    macro_rules! ots_row {
+        ($name:expr, $S:ty) => {{
+            let t0 = std::time::Instant::now();
+            let ct = cca2::encrypt::<E, $S, _>(&ibe_params, &m, &mut r);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(cca2::verify(&ct));
+            o.row([
+                $name.to_string(),
+                <$S>::verify_key_bytes(&ct.vk).len().to_string(),
+                <$S>::signature_bytes(&ct.sig).len().to_string(),
+                ct.to_bytes().len().to_string(),
+                format!("{ms:.1}"),
+            ]);
+        }};
+    }
+    ots_row!("Lamport", Lamport);
+    ots_row!("WOTS w=16", Winternitz<4>);
+    ots_row!("WOTS w=256", Winternitz<8>);
+
+    format!(
+        "F7 — DIBE and CCA2 overhead (TOY, n_id = {n_id})\n{}\nOTS ablation inside the BCHK transform:\n{}",
+        t.render(),
+        o.render()
+    )
+}
+
+/// **F8** — backend comparison: the same scheme over the faithful Type-1
+/// supersingular instantiation vs the Type-3 BLS12-381 production backend.
+pub fn f8_backend_comparison() -> String {
+    use dlr_bls12::Bls12_381;
+
+    fn row<P: Pairing>(label: &str, n: u32, lambda: u32, t: &mut Table) {
+        let mut r = rng(1800);
+        let params = SchemeParams::derive::<P::Scalar>(n, lambda);
+        let (pk, s1, s2) = dlr::keygen::<P, _>(params, &mut r);
+        let mut p1 = dlr::Party1::new(pk.clone(), s1);
+        let mut p2 = dlr::Party2::new(pk.clone(), s2);
+        let m = <P as Pairing>::Gt::random(&mut r);
+
+        let (ct, enc_ops) = counters::measure(|| dlr::encrypt(&pk, &m, &mut r));
+        let t0 = std::time::Instant::now();
+        let out = dlr::decrypt_local(&mut p1, &mut p2, &ct, &mut r).unwrap();
+        let dec_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out, m);
+        let t0 = std::time::Instant::now();
+        dlr::refresh_local(&mut p1, &mut p2, &mut r).unwrap();
+        let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        t.row([
+            label.to_string(),
+            format!("κ={} ℓ={}", params.kappa, params.ell),
+            ct.to_bytes().len().to_string(),
+            format!("{}G1+{}GT exp", enc_ops.g_pow, enc_ops.gt_pow),
+            format!("{dec_ms:.0}"),
+            format!("{ref_ms:.0}"),
+        ]);
+    }
+
+    let mut t = Table::new([
+        "backend",
+        "params (n=16, λ=64)",
+        "ct bytes",
+        "enc cost",
+        "dec ms",
+        "refresh ms",
+    ]);
+    row::<Toy>("TOY (Type-1 supersingular, 71-bit)", 16, 64, &mut t);
+    row::<dlr_curve::Ss512>("SS512 (Type-1 supersingular)", 16, 64, &mut t);
+    row::<Bls12_381>("BLS12-381 (Type-3, from scratch)", 16, 64, &mut t);
+
+    format!(
+        "F8 — the same generic scheme over both pairing backends (wall-clock,
+release-mode single run; BLS12-381 uses the transparent affine-F_q12
+Miller loop, so its pairings are deliberately unoptimized)
+{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_contains_all_schemes() {
+        let s = t1_refresh_leakage_comparison();
+        for name in ["BKKV", "LLW", "DLWW", "LRW", "DLR"] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn t2_measures_two_exps_for_dlr() {
+        let s = t2_efficiency_comparison();
+        assert!(s.contains("DLR (measured)"));
+        assert!(s.contains("bit-by-bit"));
+    }
+
+    #[test]
+    fn t3_rates_move_with_lambda() {
+        let s = t3_theorem41_bounds();
+        assert!(s.contains("ρ1"));
+        assert!(s.contains("0.500 (proof: 1)"));
+    }
+
+    #[test]
+    fn f1_p2_never_pairs() {
+        let s = f1_device_work_split();
+        // every P2 row must end with zero pairings — checked in the text
+        for line in s.lines().filter(|l| l.contains("| P2")) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            assert_eq!(cells[cells.len() - 3], "0", "P2 paired! {line}");
+        }
+    }
+
+    #[test]
+    fn f5_floor_always_holds() {
+        let s = f5_entropy_margins();
+        assert!(!s.contains("false"), "entropy floor violated:\n{s}");
+    }
+
+    #[test]
+    fn f6_storage_survives() {
+        let s = f6_storage_system();
+        assert!(!s.contains("| false"), "storage failed:\n{s}");
+    }
+
+    #[test]
+    #[ignore = "slow: runs full protocols on SS512 and BLS12-381"]
+    fn f8_runs_all_backends() {
+        let s = f8_backend_comparison();
+        assert!(s.contains("BLS12-381"));
+        assert!(s.contains("SS512"));
+    }
+
+    #[test]
+    fn f7_has_ots_ablation() {
+        let s = f7_dibe_cca2_overhead();
+        assert!(s.contains("Lamport"));
+        assert!(s.contains("WOTS w=16"));
+    }
+}

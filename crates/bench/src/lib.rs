@@ -1,0 +1,10 @@
+//! # dlr-bench — the experiment harness
+//!
+//! Each public function regenerates one table/figure of EXPERIMENTS.md and
+//! returns it as preformatted text; the `harness` binary prints them. The
+//! timing-grade numbers live in the criterion benches (`benches/`).
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,120 @@
+//! Field tower helpers for BLS12-381: `F_{q²} = F_q[u]/(u²+1)` (reusing
+//! [`dlr_math::Fp2`]) plus the non-residue `ξ = 1 + u` and a square root
+//! in `F_{q²}` (needed to hash to G2).
+
+use crate::params::Fq;
+use dlr_math::bignum;
+use dlr_math::{FieldElement, Fp2};
+use std::sync::OnceLock;
+
+/// `F_{q²}`.
+pub type Fq2 = Fp2<Fq>;
+
+/// The sextic non-residue `ξ = 1 + u` used to build
+/// `F_{q⁶} = F_{q²}[v]/(v³ − ξ)`.
+pub fn xi() -> Fq2 {
+    Fq2::new(Fq::one(), Fq::one())
+}
+
+/// Multiply by `ξ = 1 + u`: `(c0 + c1·u)(1 + u) = (c0 − c1) + (c0 + c1)u`.
+pub fn mul_by_xi(a: &Fq2) -> Fq2 {
+    Fq2::new(a.c0 - a.c1, a.c0 + a.c1)
+}
+
+fn exponent_q_minus_3_over_4() -> &'static Vec<u64> {
+    static E: OnceLock<Vec<u64>> = OnceLock::new();
+    E.get_or_init(|| {
+        let (e, rem) = bignum::div_small(&bignum::sub(&crate::params::q_big(), &[3]), 4);
+        assert_eq!(rem, 0);
+        e
+    })
+}
+
+fn exponent_q_minus_1_over_2() -> &'static Vec<u64> {
+    static E: OnceLock<Vec<u64>> = OnceLock::new();
+    E.get_or_init(|| {
+        let (e, rem) = bignum::div_small(&bignum::sub(&crate::params::q_big(), &[1]), 2);
+        assert_eq!(rem, 0);
+        e
+    })
+}
+
+/// Square root in `F_{q²}` for `q ≡ 3 (mod 4)` (the "complex method" of
+/// Adj–Rodríguez-Henríquez, as used in RFC 9380). Returns `None` for
+/// non-residues.
+pub fn fq2_sqrt(a: &Fq2) -> Option<Fq2> {
+    if a.is_zero() {
+        return Some(*a);
+    }
+    let a1 = a.pow_vartime(exponent_q_minus_3_over_4());
+    let x0 = a1 * *a; // a^{(q+1)/4}
+    let alpha = a1 * x0; // a^{(q-1)/2}
+    let candidate = if alpha == -Fq2::one() {
+        // x = u·x0
+        Fq2::i() * x0
+    } else {
+        let b = (Fq2::one() + alpha).pow_vartime(exponent_q_minus_1_over_2());
+        b * x0
+    };
+    (candidate.square() == *a).then_some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn xi_is_not_a_cube_or_square_heuristic() {
+        // ξ must be a quadratic AND cubic non-residue for the tower to be a
+        // field; verify via exponent tests: ξ^{(q²−1)/2} ≠ 1, ξ^{(q²−1)/3} ≠ 1
+        let q = crate::params::q_big();
+        let q2m1 = bignum::sub(&bignum::mul(&q, &q), &[1]);
+        let (half, r0) = bignum::div_small(&q2m1, 2);
+        let (third, r1) = bignum::div_small(&q2m1, 3);
+        assert_eq!((r0, r1), (0, 0));
+        assert_ne!(xi().pow_vartime(&half), Fq2::one(), "ξ is a square!");
+        assert_ne!(xi().pow_vartime(&third), Fq2::one(), "ξ is a cube!");
+    }
+
+    #[test]
+    fn mul_by_xi_matches_generic_mul() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fq2::random(&mut r);
+            assert_eq!(mul_by_xi(&a), a * xi());
+        }
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        let mut r = rng();
+        let mut qr = 0;
+        let mut qnr = 0;
+        for _ in 0..20 {
+            let a = Fq2::random(&mut r);
+            let sq = a.square();
+            let root = fq2_sqrt(&sq).expect("squares have roots");
+            assert!(root == a || root == -a);
+            match fq2_sqrt(&a) {
+                Some(s) => {
+                    assert_eq!(s.square(), a);
+                    qr += 1;
+                }
+                None => qnr += 1,
+            }
+        }
+        assert!(qr > 0 && qnr > 0, "both classes should appear: {qr}/{qnr}");
+    }
+
+    #[test]
+    fn sqrt_zero_and_one() {
+        assert_eq!(fq2_sqrt(&Fq2::zero()), Some(Fq2::zero()));
+        let one_root = fq2_sqrt(&Fq2::one()).unwrap();
+        assert_eq!(one_root.square(), Fq2::one());
+    }
+}

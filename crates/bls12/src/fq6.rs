@@ -1,0 +1,189 @@
+//! `F_{q⁶} = F_{q²}[v]/(v³ − ξ)`.
+
+use crate::fields::{mul_by_xi, Fq2};
+use dlr_math::FieldElement;
+use rand::RngCore;
+
+/// An element `c0 + c1·v + c2·v²`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Fq6 {
+    /// Constant coefficient.
+    pub c0: Fq2,
+    /// Coefficient of `v`.
+    pub c1: Fq2,
+    /// Coefficient of `v²`.
+    pub c2: Fq2,
+}
+
+impl Fq6 {
+    /// Construct from coefficients.
+    pub fn new(c0: Fq2, c1: Fq2, c2: Fq2) -> Self {
+        Self { c0, c1, c2 }
+    }
+
+    /// Embed an `F_{q²}` element.
+    pub fn from_fq2(c0: Fq2) -> Self {
+        Self::new(c0, Fq2::zero(), Fq2::zero())
+    }
+
+    /// The element `v`.
+    pub fn v() -> Self {
+        Self::new(Fq2::zero(), Fq2::one(), Fq2::zero())
+    }
+
+    /// Multiply by `v`: `(c0 + c1 v + c2 v²)·v = ξ·c2 + c0 v + c1 v²`.
+    pub fn mul_by_v(&self) -> Self {
+        Self::new(mul_by_xi(&self.c2), self.c0, self.c1)
+    }
+}
+
+impl core::ops::Add for Fq6 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.c0 + rhs.c0, self.c1 + rhs.c1, self.c2 + rhs.c2)
+    }
+}
+
+impl core::ops::Sub for Fq6 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.c0 - rhs.c0, self.c1 - rhs.c1, self.c2 - rhs.c2)
+    }
+}
+
+impl core::ops::Neg for Fq6 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.c0, -self.c1, -self.c2)
+    }
+}
+
+impl core::ops::Mul for Fq6 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Toom-style interpolation (standard v³ = ξ reduction):
+        let a = &self;
+        let b = &rhs;
+        let v0 = a.c0 * b.c0;
+        let v1 = a.c1 * b.c1;
+        let v2 = a.c2 * b.c2;
+        let c0 = v0 + mul_by_xi(&((a.c1 + a.c2) * (b.c1 + b.c2) - v1 - v2));
+        let c1 = (a.c0 + a.c1) * (b.c0 + b.c1) - v0 - v1 + mul_by_xi(&v2);
+        let c2 = (a.c0 + a.c2) * (b.c0 + b.c2) - v0 - v2 + v1;
+        Self::new(c0, c1, c2)
+    }
+}
+
+impl core::ops::AddAssign for Fq6 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl core::ops::SubAssign for Fq6 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl core::ops::MulAssign for Fq6 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl FieldElement for Fq6 {
+    fn zero() -> Self {
+        Self::new(Fq2::zero(), Fq2::zero(), Fq2::zero())
+    }
+    fn one() -> Self {
+        Self::new(Fq2::one(), Fq2::zero(), Fq2::zero())
+    }
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+    fn inverse(&self) -> Option<Self> {
+        // standard cubic-extension inversion
+        let a = self;
+        let t0 = a.c0.square() - mul_by_xi(&(a.c1 * a.c2));
+        let t1 = mul_by_xi(&a.c2.square()) - a.c0 * a.c1;
+        let t2 = a.c1.square() - a.c0 * a.c2;
+        let norm = a.c0 * t0 + mul_by_xi(&(a.c2 * t1)) + mul_by_xi(&(a.c1 * t2));
+        let ninv = norm.inverse()?;
+        Some(Self::new(t0 * ninv, t1 * ninv, t2 * ninv))
+    }
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::new(Fq2::random(rng), Fq2::random(rng), Fq2::random(rng))
+    }
+    fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = self.c0.to_bytes_be();
+        out.extend_from_slice(&self.c1.to_bytes_be());
+        out.extend_from_slice(&self.c2.to_bytes_be());
+        out
+    }
+    fn from_bytes_be(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::byte_len() {
+            return None;
+        }
+        let step = Fq2::byte_len();
+        Some(Self::new(
+            Fq2::from_bytes_be(&bytes[..step])?,
+            Fq2::from_bytes_be(&bytes[step..2 * step])?,
+            Fq2::from_bytes_be(&bytes[2 * step..])?,
+        ))
+    }
+    fn byte_len() -> usize {
+        3 * Fq2::byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(6)
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fq6::random(&mut r);
+            let b = Fq6::random(&mut r);
+            let c = Fq6::random(&mut r);
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fq6::one());
+            }
+        }
+    }
+
+    #[test]
+    fn v_cubed_is_xi() {
+        let v = Fq6::v();
+        let v3 = v * v * v;
+        assert_eq!(v3, Fq6::from_fq2(crate::fields::xi()));
+        // and mul_by_v agrees with multiplication by v
+        let mut r = rng();
+        let a = Fq6::random(&mut r);
+        assert_eq!(a.mul_by_v(), a * v);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut r = rng();
+        let a = Fq6::random(&mut r);
+        assert_eq!(Fq6::from_bytes_be(&a.to_bytes_be()), Some(a));
+        assert_eq!(Fq6::from_bytes_be(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn pow_vartime_consistent() {
+        let mut r = rng();
+        let a = Fq6::random(&mut r);
+        assert_eq!(a.pow_vartime(&[5]), a * a * a * a * a);
+    }
+}

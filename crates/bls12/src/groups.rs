@@ -1,0 +1,325 @@
+//! The BLS12-381 source groups `G1 ⊂ E(F_q)` and `G2 ⊂ E'(F_{q²})` as
+//! [`dlr_curve::Group`] instances (so the generic Πss/HPSKE machinery of
+//! `dlr-core` works over them unchanged).
+
+use crate::fields::{fq2_sqrt, mul_by_xi, Fq2};
+use crate::params::{g1_cofactor, g2_cofactor, r_limbs, Fq, Fr};
+use crate::wcurve::JPoint;
+use dlr_curve::{Group, GroupKind};
+use dlr_math::{FieldElement, PrimeField};
+use rand::RngCore;
+use std::sync::OnceLock;
+
+/// `b = 4` for `E : y² = x³ + 4`.
+pub fn b_g1() -> Fq {
+    Fq::from_u64(4)
+}
+
+/// `b' = 4·(1 + u)` for the sextic twist `E' : y² = x³ + 4(1+u)`.
+pub fn b_g2() -> Fq2 {
+    mul_by_xi(&Fq2::from_base(Fq::from_u64(4)))
+}
+
+macro_rules! impl_bls_group {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $F:ty, $b:expr, $cofactor:expr, $sqrt:expr,
+        $domain:literal, $kind:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug)]
+        pub struct $name(pub(crate) JPoint<$F>);
+
+        impl $name {
+            /// Construct from affine coordinates, checking the curve
+            /// equation (but not subgroup membership).
+            pub fn from_affine(x: $F, y: $F) -> Option<Self> {
+                let p = JPoint::from_affine(x, y);
+                p.is_on_curve(&$b).then_some(Self(p))
+            }
+
+            /// Affine coordinates (`None` at infinity).
+            pub fn to_affine(&self) -> Option<($F, $F)> {
+                self.0.to_affine()
+            }
+
+            /// Compressed serialization (tag ‖ x, with `y` recovered via a
+            /// square root on parse).
+            pub fn to_bytes_compressed(&self) -> Vec<u8> {
+                let len = 1 + <$F>::byte_len();
+                match self.to_affine() {
+                    None => vec![0u8; len],
+                    Some((x, y)) => {
+                        let neg = -y;
+                        let sign = y.to_bytes_be() > neg.to_bytes_be();
+                        let mut out = Vec::with_capacity(len);
+                        out.push(if sign { 3 } else { 2 });
+                        out.extend_from_slice(&x.to_bytes_be());
+                        out
+                    }
+                }
+            }
+
+            /// Parse a compressed point.
+            pub fn from_bytes_compressed(bytes: &[u8]) -> Option<Self> {
+                if bytes.len() != 1 + <$F>::byte_len() {
+                    return None;
+                }
+                match bytes[0] {
+                    0 => bytes.iter().all(|&b| b == 0).then(Self::identity),
+                    tag @ (2 | 3) => {
+                        let x = <$F>::from_bytes_be(&bytes[1..])?;
+                        let rhs = x.square() * x + $b;
+                        let y = $sqrt(&rhs)?;
+                        let neg = -y;
+                        let y_sign = y.to_bytes_be() > neg.to_bytes_be();
+                        let y = if y_sign == (tag == 3) { y } else { neg };
+                        Some(Self(JPoint::from_affine(x, y)))
+                    }
+                    _ => None,
+                }
+            }
+
+            /// Hash bytes onto the prime-order subgroup
+            /// (try-and-increment + cofactor clearing; deterministic).
+            pub fn hash_to_group(domain: &[u8], msg: &[u8]) -> Self {
+                let flen = <$F>::byte_len() + 16;
+                for ctr in 0u32..u32::MAX {
+                    let mut info = $domain.to_vec();
+                    info.extend_from_slice(&ctr.to_be_bytes());
+                    let bytes = dlr_hash::hkdf::hkdf(domain, msg, &info, flen + 1);
+                    let x = reduce_bytes::<$F>(&bytes[..flen]);
+                    let rhs = x.square() * x + $b;
+                    if let Some(y) = $sqrt(&rhs) {
+                        let y = if bytes[flen] & 1 == 1 { -y } else { y };
+                        let cleared = JPoint::from_affine(x, y).mul_limbs($cofactor);
+                        if !cleared.is_infinity() {
+                            return Self(cleared);
+                        }
+                    }
+                }
+                unreachable!("hash_to_group exhausted the counter space")
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self(JPoint::infinity())
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, rhs: &Self) -> bool {
+                self.0.eq_point(&rhs.0)
+            }
+        }
+        impl Eq for $name {}
+
+        impl core::hash::Hash for $name {
+            fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+                state.write(&self.to_bytes());
+            }
+        }
+
+        impl Group for $name {
+            type Scalar = Fr;
+            const NAME: &'static str = stringify!($name);
+            const KIND: GroupKind = $kind;
+
+            fn identity() -> Self {
+                Self(JPoint::infinity())
+            }
+
+            fn generator() -> Self {
+                static GEN: OnceLock<Vec<u8>> = OnceLock::new();
+                let bytes = GEN.get_or_init(|| {
+                    Self::hash_to_group($domain, b"generator").to_bytes()
+                });
+                Self::from_bytes(bytes).expect("cached generator")
+            }
+
+            fn raw_op(&self, rhs: &Self) -> Self {
+                Self(self.0.add(&rhs.0))
+            }
+
+            fn raw_double(&self) -> Self {
+                Self(self.0.double())
+            }
+
+            fn inverse(&self) -> Self {
+                Self(self.0.neg())
+            }
+
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                let mut seed = [0u8; 32];
+                rng.fill_bytes(&mut seed);
+                Self::hash_to_group(b"dlr-bls12-random", &seed)
+            }
+
+            fn to_bytes(&self) -> Vec<u8> {
+                let len = Self::byte_len();
+                match self.to_affine() {
+                    None => vec![0u8; len],
+                    Some((x, y)) => {
+                        let mut out = Vec::with_capacity(len);
+                        out.push(4);
+                        out.extend_from_slice(&x.to_bytes_be());
+                        out.extend_from_slice(&y.to_bytes_be());
+                        out
+                    }
+                }
+            }
+
+            fn from_bytes(bytes: &[u8]) -> Option<Self> {
+                if bytes.len() != Self::byte_len() {
+                    return None;
+                }
+                match bytes[0] {
+                    0 => bytes.iter().all(|&b| b == 0).then(Self::identity),
+                    4 => {
+                        let flen = <$F>::byte_len();
+                        let x = <$F>::from_bytes_be(&bytes[1..1 + flen])?;
+                        let y = <$F>::from_bytes_be(&bytes[1 + flen..])?;
+                        Self::from_affine(x, y)
+                    }
+                    _ => None,
+                }
+            }
+
+            fn byte_len() -> usize {
+                1 + 2 * <$F>::byte_len()
+            }
+
+            fn is_in_subgroup(&self) -> bool {
+                self.0.is_on_curve(&$b) && self.0.mul_limbs(r_limbs()).is_infinity()
+            }
+        }
+    };
+}
+
+/// Reduce arbitrary bytes into the coordinate field.
+fn reduce_bytes<F: CoordinateField>(bytes: &[u8]) -> F {
+    F::from_reduced(bytes)
+}
+
+/// Helper trait: both coordinate fields can absorb arbitrary bytes.
+pub trait CoordinateField: FieldElement {
+    /// Interpret bytes as a (reduced) field element.
+    fn from_reduced(bytes: &[u8]) -> Self;
+}
+
+impl CoordinateField for Fq {
+    fn from_reduced(bytes: &[u8]) -> Self {
+        <Fq as PrimeField>::from_bytes_be_reduced(bytes)
+    }
+}
+
+impl CoordinateField for Fq2 {
+    fn from_reduced(bytes: &[u8]) -> Self {
+        let half = bytes.len() / 2;
+        Fq2::new(
+            <Fq as PrimeField>::from_bytes_be_reduced(&bytes[..half]),
+            <Fq as PrimeField>::from_bytes_be_reduced(&bytes[half..]),
+        )
+    }
+}
+
+fn fq_sqrt(a: &Fq) -> Option<Fq> {
+    a.sqrt()
+}
+
+impl_bls_group!(
+    /// `G1`: the order-`r` subgroup of `E(F_q) : y² = x³ + 4`.
+    G1, Fq, b_g1(), g1_cofactor(), fq_sqrt, b"dlr-bls12-g1", GroupKind::Source
+);
+
+impl_bls_group!(
+    /// `G2`: the order-`r` subgroup of the sextic twist
+    /// `E'(F_{q²}) : y² = x³ + 4(1+u)`.
+    G2, Fq2, b_g2(), g2_cofactor(), fq2_sqrt, b"dlr-bls12-g2", GroupKind::Source
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn g1_generator_valid() {
+        let g = G1::generator();
+        assert!(!g.is_identity());
+        assert!(g.is_in_subgroup());
+        assert_eq!(G1::generator(), g);
+    }
+
+    #[test]
+    fn g2_generator_valid() {
+        let g = G2::generator();
+        assert!(!g.is_identity());
+        assert!(g.is_in_subgroup(), "g2 cofactor clearing failed — twist order wrong?");
+    }
+
+    #[test]
+    fn g1_group_laws_and_scalars() {
+        let mut r = rng();
+        let p = G1::random(&mut r);
+        let q = G1::random(&mut r);
+        assert_eq!(p.op(&q), q.op(&p));
+        assert_eq!(p.op(&p.inverse()), G1::identity());
+        let s = Fr::random(&mut r);
+        let t = Fr::random(&mut r);
+        assert_eq!(p.pow(&s).op(&p.pow(&t)), p.pow(&(s + t)));
+        // order r
+        assert_eq!(p.pow(&(-Fr::one())).op(&p), G1::identity());
+    }
+
+    #[test]
+    fn g2_group_laws_and_scalars() {
+        let mut r = rng();
+        let p = G2::random(&mut r);
+        assert!(p.is_in_subgroup());
+        let s = Fr::random(&mut r);
+        let t = Fr::random(&mut r);
+        assert_eq!(p.pow(&s).pow(&t), p.pow(&(s * t)));
+        assert_eq!(p.pow(&(-Fr::one())).op(&p), G2::identity());
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let mut r = rng();
+        let p = G1::random(&mut r);
+        assert_eq!(G1::from_bytes(&p.to_bytes()), Some(p));
+        let q = G2::random(&mut r);
+        assert_eq!(G2::from_bytes(&q.to_bytes()), Some(q));
+        assert_eq!(G1::from_bytes(&G1::identity().to_bytes()), Some(G1::identity()));
+        assert_eq!(G1::from_bytes(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn compressed_roundtrips() {
+        let mut r = rng();
+        let p = G1::random(&mut r);
+        assert_eq!(G1::from_bytes_compressed(&p.to_bytes_compressed()), Some(p));
+        let q = G2::random(&mut r);
+        assert_eq!(G2::from_bytes_compressed(&q.to_bytes_compressed()), Some(q));
+        assert_eq!(
+            G1::from_bytes_compressed(&G1::identity().to_bytes_compressed()),
+            Some(G1::identity())
+        );
+        assert!(q.to_bytes_compressed().len() < q.to_bytes().len());
+    }
+
+    #[test]
+    fn multiexp_via_group_trait() {
+        let mut r = rng();
+        let bases: Vec<G2> = (0..4).map(|_| G2::random(&mut r)).collect();
+        let exps: Vec<Fr> = (0..4).map(|_| Fr::random(&mut r)).collect();
+        let fast = G2::product_of_powers(&bases, &exps);
+        let slow = dlr_curve::multiexp::naive(&bases, &exps);
+        assert_eq!(fast, slow);
+    }
+}

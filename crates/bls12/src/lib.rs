@@ -1,0 +1,47 @@
+//! # dlr-bls12 — BLS12-381 from scratch: the Type-3 production backend
+//!
+//! The paper is written for a symmetric (Type-1) pairing, which
+//! `dlr-curve` instantiates with supersingular curves. Modern deployments
+//! use asymmetric (Type-3) curves; this crate builds **BLS12-381** without
+//! external dependencies and plugs it into the same
+//! [`Pairing`](dlr_curve::Pairing) abstraction, so every scheme in
+//! `dlr-core` (DLR, DIBE, DLRCCA2, storage) runs over it unchanged — with
+//! the natural role split: ciphertext components in `G1`, key-share
+//! components in `G2`.
+//!
+//! Design choices (see module docs):
+//!
+//! * only `q`, `r` and the BLS parameter `x` are transcribed; cofactors,
+//!   the twist order, Frobenius and final-exponentiation exponents are
+//!   **derived at runtime** and cross-checked by tests ([`params`]);
+//! * the Miller loop runs transparently over untwisted `E(F_{q¹²})`
+//!   points with the twist direction determined empirically ([`pairing`]);
+//! * tower fields `F_{q²}`/`F_{q⁶}`/`F_{q¹²}` are validated against
+//!   brute-force Frobenius identities ([`fq6`], [`fq12`]).
+//!
+//! ```
+//! use dlr_bls12::pairing::Bls12_381;
+//! use dlr_curve::{Group, Pairing};
+//! use dlr_math::FieldElement;
+//!
+//! let mut rng = rand::thread_rng();
+//! let a = <Bls12_381 as Pairing>::Scalar::random(&mut rng);
+//! let g = <Bls12_381 as Pairing>::G1::generator();
+//! let h = <Bls12_381 as Pairing>::G2::generator();
+//! assert_eq!(
+//!     Bls12_381::pair(&g.pow(&a), &h),
+//!     Bls12_381::pair_generators().pow(&a)
+//! );
+//! ```
+
+pub mod fields;
+pub mod fq12;
+pub mod fq6;
+pub mod groups;
+pub mod pairing;
+pub mod params;
+pub mod wcurve;
+
+pub use groups::{G1, G2};
+pub use pairing::{Bls12_381, Gt};
+pub use params::{Fq, Fr};

@@ -1,0 +1,242 @@
+//! BLS12-381 parameters and *derived* constants.
+//!
+//! Only three constants are transcribed from the standard: the base-field
+//! prime `q`, the subgroup order `r`, and the BLS parameter
+//! `x = -0xd201000000010000`. Everything else — cofactors, twist order,
+//! Frobenius exponents, the final-exponentiation exponent — is **computed
+//! at runtime** from those three (and the computations are cross-checked
+//! by tests), because a silent transcription error in a 1500-bit constant
+//! is the classic way pairing implementations go wrong.
+
+use dlr_math::bignum;
+use dlr_math::define_prime_field;
+use std::sync::OnceLock;
+
+define_prime_field!(
+    /// The BLS12-381 base field `F_q` (381 bits, `q ≡ 3 (mod 4)`).
+    pub struct Fq, 6, "0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"
+);
+
+define_prime_field!(
+    /// The BLS12-381 scalar field `F_r` (255 bits).
+    pub struct Fr, 4, "0x73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+);
+
+/// |x| for the BLS parameter `x = -0xd201000000010000` (x is negative).
+pub const X_ABS: u64 = 0xd201_0000_0001_0000;
+
+/// `q` as a variable-width big integer.
+pub fn q_big() -> Vec<u64> {
+    bignum::from_limbs(&Fq::MODULUS)
+}
+
+/// `r` as a variable-width big integer.
+pub fn r_big() -> Vec<u64> {
+    bignum::from_limbs(&Fr::MODULUS)
+}
+
+/// `r` as little-endian limbs (exponent for subgroup checks).
+pub fn r_limbs() -> &'static [u64] {
+    &Fr::MODULUS
+}
+
+/// The G1 cofactor `h1 = (x−1)²/3` (for negative `x`: `(|x|+1)²/3`).
+pub fn g1_cofactor() -> &'static [u64] {
+    static H1: OnceLock<Vec<u64>> = OnceLock::new();
+    H1.get_or_init(|| {
+        let xm1 = X_ABS as u128 + 1; // |x - 1| for x < 0
+        let sq = bignum::mul(&bignum::from_u128(xm1), &bignum::from_u128(xm1));
+        let (h, rem) = bignum::div_small(&sq, 3);
+        assert_eq!(rem, 0, "(x-1)^2 must be divisible by 3");
+        h
+    })
+}
+
+/// Integer square root (Newton), exact-checked by the caller.
+fn isqrt(n: &[u64]) -> Vec<u64> {
+    if n.is_empty() {
+        return Vec::new();
+    }
+    // initial guess: 2^(ceil(bits/2))
+    let bits = (n.len() - 1) * 64 + (64 - n.last().unwrap().leading_zeros() as usize);
+    let mut x = vec![0u64; bits / 128 + 1];
+    let top = bits / 2;
+    x[top / 64] = 1 << (top % 64);
+    if bignum::cmp(&bignum::mul(&x, &x), n) == core::cmp::Ordering::Less {
+        // ensure initial guess >= sqrt(n)
+        x = bignum::add(&bignum::mul(&x, &[2]), &[1]);
+    }
+    loop {
+        // x' = (x + n/x) / 2
+        let (q, _) = bignum::div_rem(n, &x);
+        let (next, _) = bignum::div_small(&bignum::add(&x, &q), 2);
+        if bignum::cmp(&next, &x) != core::cmp::Ordering::Less {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// The order of the sextic twist `E'(F_{q²})` and the G2 cofactor
+/// `h2 = #E'/r`, derived from `(q, t)` via the twist-order formula
+/// `t₂² − 4q² = −3f²`, with the correct sign choice verified by
+/// divisibility by `r`.
+pub fn g2_cofactor() -> &'static [u64] {
+    static H2: OnceLock<Vec<u64>> = OnceLock::new();
+    H2.get_or_init(|| {
+        let q = q_big();
+        let r = r_big();
+        // trace over Fq: t = x + 1 (negative); |t| = |x| - 1
+        let t_abs = bignum::from_u128(X_ABS as u128 - 1);
+        let t_sq = bignum::mul(&t_abs, &t_abs);
+        // t2 = t² - 2q  (negative); |t2| = 2q - t²
+        let two_q = bignum::mul(&q, &[2]);
+        let t2_abs = bignum::sub(&two_q, &t_sq);
+        // 4q² - t2² = 3f²
+        let four_q2 = bignum::mul(&bignum::mul(&q, &q), &[4]);
+        let t2_sq = bignum::mul(&t2_abs, &t2_abs);
+        let (f_sq, rem) = bignum::div_small(&bignum::sub(&four_q2, &t2_sq), 3);
+        assert_eq!(rem, 0, "4q² − t₂² must be divisible by 3");
+        let f = isqrt(&f_sq);
+        assert_eq!(bignum::mul(&f, &f), f_sq, "f must be an exact square root");
+
+        // Sextic-twist order candidates: q² + 1 − (±3f ± t2)/2. With
+        // t2 < 0 written via |t2|, the four candidates are
+        // q² + 1 ± (3f ∓ |t2|)/2 and q² + 1 ± (3f ± |t2|)/2.
+        let q2p1 = bignum::add(&bignum::mul(&q, &q), &[1]);
+        let three_f = bignum::mul(&f, &[3]);
+        let mut candidates = Vec::new();
+        // (3f + |t2|) and |3f − |t2||, added or subtracted
+        let sum = bignum::add(&three_f, &t2_abs);
+        let diff = if bignum::cmp(&three_f, &t2_abs) == core::cmp::Ordering::Less {
+            bignum::sub(&t2_abs, &three_f)
+        } else {
+            bignum::sub(&three_f, &t2_abs)
+        };
+        for half in [&sum, &diff] {
+            let (h, rem) = bignum::div_small(half, 2);
+            if rem != 0 {
+                continue;
+            }
+            candidates.push(bignum::add(&q2p1, &h));
+            if bignum::cmp(&q2p1, &h) != core::cmp::Ordering::Less {
+                candidates.push(bignum::sub(&q2p1, &h));
+            }
+        }
+        // the right one is divisible by r (and, for BLS curves, exactly one is)
+        let mut hits: Vec<Vec<u64>> = candidates
+            .into_iter()
+            .filter_map(|n| {
+                let (h2, rem) = bignum::div_rem(&n, &r);
+                rem.is_empty().then_some(h2)
+            })
+            .collect();
+        assert!(
+            !hits.is_empty(),
+            "no twist-order candidate divisible by r — formula error"
+        );
+        hits.sort();
+        hits.dedup();
+        assert_eq!(hits.len(), 1, "ambiguous twist order candidates");
+        hits.pop().unwrap()
+    })
+}
+
+/// The "hard part" exponent of the final exponentiation,
+/// `(q⁴ − q² + 1)/r`, derived by exact division.
+pub fn hard_part_exponent() -> &'static [u64] {
+    static E: OnceLock<Vec<u64>> = OnceLock::new();
+    E.get_or_init(|| {
+        let q = q_big();
+        let q2 = bignum::mul(&q, &q);
+        let q4 = bignum::mul(&q2, &q2);
+        let numerator = bignum::add(&bignum::sub(&q4, &q2), &[1]);
+        let (e, rem) = bignum::div_rem(&numerator, &r_big());
+        assert!(rem.is_empty(), "r must divide q⁴ − q² + 1 (cyclotomic)");
+        e
+    })
+}
+
+/// `q²` as limbs (exponent used in the easy part of the final
+/// exponentiation).
+pub fn q_squared() -> &'static [u64] {
+    static E: OnceLock<Vec<u64>> = OnceLock::new();
+    E.get_or_init(|| {
+        let q = q_big();
+        bignum::mul(&q, &q)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_math::mont::is_probable_prime;
+    use dlr_math::PrimeField;
+
+    #[test]
+    fn moduli_are_prime_and_3_mod_4() {
+        assert!(is_probable_prime(&Fq::MODULUS));
+        assert!(is_probable_prime(&Fr::MODULUS));
+        assert!(Fq::modulus_is_3_mod_4());
+        assert_eq!(Fq::modulus_bits(), 381);
+        assert_eq!(Fr::modulus_bits(), 255);
+    }
+
+    #[test]
+    fn r_is_cyclotomic_in_x() {
+        // r = x⁴ − x² + 1 (x negative, even powers only — use |x|)
+        let x2 = bignum::mul(&bignum::from_u128(X_ABS as u128), &bignum::from_u128(X_ABS as u128));
+        let x4 = bignum::mul(&x2, &x2);
+        let r = bignum::add(&bignum::sub(&x4, &x2), &[1]);
+        assert_eq!(r, r_big());
+    }
+
+    #[test]
+    fn q_matches_bls_formula() {
+        // q = (x−1)²·r/3 + x; with x < 0: q = (|x|+1)²·r/3 − |x|
+        let xm1 = bignum::from_u128(X_ABS as u128 + 1);
+        let num = bignum::mul(&bignum::mul(&xm1, &xm1), &r_big());
+        let (third, rem) = bignum::div_small(&num, 3);
+        assert_eq!(rem, 0);
+        let q = bignum::sub(&third, &bignum::from_u128(X_ABS as u128));
+        assert_eq!(q, q_big());
+    }
+
+    #[test]
+    fn g1_cofactor_times_r_is_curve_order() {
+        // #E(Fq) = q + 1 − t = q + 1 + (|x|+1)... t = x+1 (negative),
+        // so #E = q + 1 + (|x| - 1) = q + |x|... careful: t = x + 1,
+        // |t| = |x| - 1 (x negative), #E = q + 1 - t = q + 1 + (|x| - 1)
+        //     = q + |x|.
+        let order = bignum::add(&q_big(), &bignum::from_u128(X_ABS as u128));
+        assert_eq!(bignum::mul(g1_cofactor(), &r_big()), order);
+    }
+
+    #[test]
+    fn g2_cofactor_is_derived_consistently() {
+        let h2 = g2_cofactor();
+        // must be nonzero and large (≈ q²/r ≈ 2^507)
+        let bits = (h2.len() - 1) * 64 + (64 - h2.last().unwrap().leading_zeros() as usize);
+        assert!((500..=515).contains(&bits), "h2 has {bits} bits");
+        // spot-check the well-known low limb of the standard constant
+        assert_eq!(h2[0], 0xcf1c38e31c7238e5, "h2 low limb mismatch");
+    }
+
+    #[test]
+    fn hard_part_exponent_reconstructs() {
+        let e = hard_part_exponent();
+        let q2 = bignum::mul(&q_big(), &q_big());
+        let q4 = bignum::mul(&q2, &q2);
+        let num = bignum::add(&bignum::sub(&q4, &q2), &[1]);
+        assert_eq!(bignum::mul(e, &r_big()), num);
+    }
+
+    #[test]
+    fn isqrt_small_values() {
+        for (n, root) in [(0u64, 0u64), (1, 1), (2, 1), (3, 1), (4, 2), (99, 9), (100, 10)] {
+            let got = isqrt(&bignum::from_limbs(&[n]));
+            let expect = bignum::from_limbs(&[root]);
+            assert_eq!(got, expect, "isqrt({n})");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Generic short-Weierstrass arithmetic for `y² = x³ + b` (a = 0) over any
+//! [`FieldElement`] — shared by G1 (over `F_q`), G2 (over `F_{q²}`) and
+//! the untwisted Miller-loop points (over `F_{q¹²}`).
+
+use dlr_math::FieldElement;
+
+/// A Jacobian point (`z = 0` encodes infinity).
+#[derive(Clone, Copy, Debug)]
+pub struct JPoint<F> {
+    /// Jacobian X.
+    pub x: F,
+    /// Jacobian Y.
+    pub y: F,
+    /// Jacobian Z.
+    pub z: F,
+}
+
+impl<F: FieldElement> JPoint<F> {
+    /// The point at infinity.
+    pub fn infinity() -> Self {
+        Self {
+            x: F::one(),
+            y: F::one(),
+            z: F::zero(),
+        }
+    }
+
+    /// From affine coordinates (unchecked).
+    pub fn from_affine(x: F, y: F) -> Self {
+        Self { x, y, z: F::one() }
+    }
+
+    /// True iff infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Affine coordinates, `None` at infinity.
+    pub fn to_affine(&self) -> Option<(F, F)> {
+        if self.is_infinity() {
+            return None;
+        }
+        let zi = self.z.inverse().expect("nonzero z");
+        let zi2 = zi.square();
+        Some((self.x * zi2, self.y * zi2 * zi))
+    }
+
+    /// Point doubling (a = 0 formulas).
+    pub fn double(&self) -> Self {
+        if self.is_infinity() || self.y.is_zero() {
+            return Self::infinity();
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let y3 = e * (d - x3) - c.double().double().double();
+        let z3 = (self.y * self.z).double();
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Point addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        if self.is_infinity() {
+            return *rhs;
+        }
+        if rhs.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = rhs.x * z1z1;
+        let s1 = self.y * rhs.z * z2z2;
+        let s2 = rhs.y * self.z * z1z1;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::infinity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + rhs.z).square() - z1z1 - z2z2) * h;
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
+    }
+
+    /// Scalar multiplication by little-endian limbs (variable time).
+    pub fn mul_limbs(&self, exp: &[u64]) -> Self {
+        let mut nbits = 0u32;
+        for (i, w) in exp.iter().enumerate() {
+            if *w != 0 {
+                nbits = i as u32 * 64 + (64 - w.leading_zeros());
+            }
+        }
+        let mut acc = Self::infinity();
+        let mut i = nbits;
+        while i > 0 {
+            i -= 1;
+            acc = acc.double();
+            if (exp[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Equality as group elements (cross-multiplied).
+    pub fn eq_point(&self, rhs: &Self) -> bool {
+        match (self.is_infinity(), rhs.is_infinity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            _ => {
+                let z1z1 = self.z.square();
+                let z2z2 = rhs.z.square();
+                self.x * z2z2 == rhs.x * z1z1
+                    && self.y * (z2z2 * rhs.z) == rhs.y * (z1z1 * self.z)
+            }
+        }
+    }
+
+    /// Curve membership for `y² = x³ + b`.
+    pub fn is_on_curve(&self, b: &F) -> bool {
+        if self.is_infinity() {
+            return true;
+        }
+        let z2 = self.z.square();
+        let z6 = z2.square() * z2;
+        self.y.square() == self.x.square() * self.x + *b * z6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Fq;
+    use dlr_math::PrimeField;
+    use rand::SeedableRng;
+
+    fn b4() -> Fq {
+        Fq::from_u64(4)
+    }
+
+    /// Find some point on y² = x³ + 4 over Fq by incrementing x.
+    fn any_point() -> JPoint<Fq> {
+        let mut x = Fq::from_u64(1);
+        loop {
+            let rhs = x.square() * x + b4();
+            if let Some(y) = rhs.sqrt() {
+                return JPoint::from_affine(x, y);
+            }
+            x += Fq::one();
+        }
+    }
+
+    #[test]
+    fn group_laws_on_g1_curve() {
+        let p = any_point();
+        assert!(p.is_on_curve(&b4()));
+        let two_p = p.double();
+        assert!(two_p.is_on_curve(&b4()));
+        assert!(p.add(&p).eq_point(&two_p));
+        assert!(p.add(&two_p).eq_point(&two_p.add(&p)));
+        assert!(p.add(&p.neg()).is_infinity());
+        // (P + 2P) + P == 2P + 2P
+        assert!(p.add(&two_p).add(&p).eq_point(&two_p.double()));
+    }
+
+    #[test]
+    fn mul_limbs_matches_additions(){
+        let p = any_point();
+        let mut acc = JPoint::infinity();
+        for k in 0u64..8 {
+            assert!(p.mul_limbs(&[k]).eq_point(&acc), "k={k}");
+            acc = acc.add(&p);
+        }
+    }
+
+    #[test]
+    fn affine_roundtrip() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(1);
+        let k = rand::Rng::gen_range(&mut r, 2u64..1000);
+        let p = any_point().mul_limbs(&[k]);
+        let (x, y) = p.to_affine().unwrap();
+        assert!(p.eq_point(&JPoint::from_affine(x, y)));
+        assert!(JPoint::<Fq>::infinity().to_affine().is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the BLS12-381 backend: tower-field algebra,
+//! group laws, pairing bilinearity under random inputs, decoder totality.
+
+use dlr_bls12::fields::{fq2_sqrt, Fq2};
+use dlr_bls12::fq12::Fq12;
+use dlr_bls12::fq6::Fq6;
+use dlr_bls12::pairing::{pairing, Gt};
+use dlr_bls12::params::Fr;
+use dlr_bls12::{Bls12_381, G1, G2};
+use dlr_curve::{Group, Pairing};
+use dlr_math::{FieldElement, PrimeField};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    // pairing cases are expensive; keep counts low
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn fq6_field_axioms(seed in any::<u64>()) {
+        let mut r = rng(seed);
+        let a = Fq6::random(&mut r);
+        let b = Fq6::random(&mut r);
+        let c = Fq6::random(&mut r);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inverse().unwrap(), Fq6::one());
+        }
+    }
+
+    #[test]
+    fn fq12_field_axioms(seed in any::<u64>()) {
+        let mut r = rng(seed);
+        let a = Fq12::random(&mut r);
+        let b = Fq12::random(&mut r);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a.square(), a * a);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inverse().unwrap(), Fq12::one());
+        }
+        prop_assert_eq!((a * b).conjugate_q6(), a.conjugate_q6() * b.conjugate_q6());
+    }
+
+    #[test]
+    fn fq2_sqrt_total(seed in any::<u64>()) {
+        let mut r = rng(seed);
+        let a = Fq2::random(&mut r);
+        let sq = a.square();
+        let root = fq2_sqrt(&sq).expect("squares have roots");
+        prop_assert!(root == a || root == -a);
+    }
+
+    #[test]
+    fn g1_g2_scalar_laws(seed in any::<u64>(), x in any::<u64>(), y in any::<u64>()) {
+        let mut r = rng(seed);
+        let p = G1::random(&mut r);
+        let q = G2::random(&mut r);
+        let s = Fr::from_bytes_be_reduced(&x.to_be_bytes());
+        let t = Fr::from_bytes_be_reduced(&y.to_be_bytes());
+        prop_assert_eq!(p.pow(&s).op(&p.pow(&t)), p.pow(&(s + t)));
+        prop_assert_eq!(q.pow(&s).pow(&t), q.pow(&(s * t)));
+    }
+
+    #[test]
+    fn pairing_bilinear(seed in any::<u64>(), x in 1u64..1000, y in 1u64..1000) {
+        let mut r = rng(seed);
+        let p = G1::random(&mut r);
+        let q = G2::random(&mut r);
+        let s = Fr::from_u64(x);
+        let t = Fr::from_u64(y);
+        prop_assert_eq!(
+            Bls12_381::pair(&p.pow(&s), &q.pow(&t)),
+            pairing(&p, &q).pow(&(s * t))
+        );
+    }
+
+    #[test]
+    fn decoders_total(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = G1::from_bytes(&bytes);
+        let _ = G2::from_bytes(&bytes);
+        let _ = Gt::from_bytes(&bytes);
+        let _ = Fq12::from_bytes_be(&bytes);
+    }
+}

@@ -1,0 +1,188 @@
+//! CLI subcommand implementations, generic over the curve parameter set.
+
+use crate::args::{ArgError, Args};
+use dlr_core::dlr::{self, Party1, Party2, PublicKey, Share1, Share2};
+use dlr_core::driver;
+use dlr_core::kem::{self, HybridCiphertext};
+use dlr_core::params::SchemeParams;
+use dlr_curve::{Pairing, Ss1024, Ss512, Ss768, Toy};
+use dlr_protocol::transport::TcpTransport;
+use std::error::Error;
+use std::fs;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+
+type AnyError = Box<dyn Error>;
+
+const HELP: &str = "\
+dlr — distributed public key encryption secure against continual leakage
+
+subcommands:
+  keygen          --out-dir DIR [--curve toy|ss512|ss768|ss1024] [--n N] [--lambda L]
+  info            --pk FILE [--curve C]
+  encrypt         --pk FILE --in FILE --out FILE [--curve C]
+  decrypt         --pk FILE --sk1 FILE --sk2 FILE --in FILE --out FILE [--curve C]
+  refresh         --pk FILE --sk1 FILE --sk2 FILE [--curve C]
+  serve-p2        --pk FILE --sk2 FILE --listen ADDR [--curve C]
+  decrypt-remote  --pk FILE --sk1 FILE --connect ADDR --in FILE --out FILE [--curve C]
+  help
+";
+
+/// Dispatch a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), AnyError> {
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let args = Args::parse(argv)?;
+    match args.get_or("curve", "toy") {
+        "toy" => run::<Toy>(&args),
+        "ss512" => run::<Ss512>(&args),
+        "ss768" => run::<Ss768>(&args),
+        "ss1024" => run::<Ss1024>(&args),
+        other => Err(Box::new(ArgError(format!("unknown curve `{other}`")))),
+    }
+}
+
+fn run<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    match args.command.as_str() {
+        "keygen" => keygen::<E>(args),
+        "info" => info::<E>(args),
+        "encrypt" => encrypt::<E>(args),
+        "decrypt" => decrypt::<E>(args),
+        "refresh" => refresh::<E>(args),
+        "serve-p2" => serve_p2::<E>(args),
+        "decrypt-remote" => decrypt_remote::<E>(args),
+        other => Err(Box::new(ArgError(format!(
+            "unknown subcommand `{other}` (try `dlr help`)"
+        )))),
+    }
+}
+
+fn load_pk<E: Pairing>(args: &Args) -> Result<PublicKey<E>, AnyError> {
+    let bytes = fs::read(args.require("pk")?)?;
+    Ok(PublicKey::<E>::from_bytes(&bytes)?)
+}
+
+fn load_shares<E: Pairing>(
+    args: &Args,
+    pk: &PublicKey<E>,
+) -> Result<(Share1<E>, Share2<E>), AnyError> {
+    let s1 = Share1::<E>::from_bytes(&fs::read(args.require("sk1")?)?, &pk.params)?;
+    let s2 = Share2::<E>::from_bytes(&fs::read(args.require("sk2")?)?, &pk.params)?;
+    Ok((s1, s2))
+}
+
+fn keygen<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let out_dir = args.require("out-dir")?;
+    let n = args.get_u32_or("n", 32)?;
+    let lambda = args.get_u32_or("lambda", 256)?;
+    let params = SchemeParams::derive::<E::Scalar>(n, lambda);
+    let mut rng = rand::thread_rng();
+    let (pk, s1, s2) = dlr::keygen::<E, _>(params, &mut rng);
+
+    fs::create_dir_all(out_dir)?;
+    let dir = Path::new(out_dir);
+    fs::write(dir.join("pk.dlr"), pk.to_bytes())?;
+    fs::write(dir.join("sk1.dlr"), s1.to_bytes())?;
+    fs::write(dir.join("sk2.dlr"), s2.to_bytes())?;
+    println!(
+        "wrote {}/pk.dlr, sk1.dlr (device P1), sk2.dlr (device P2); κ={}, ℓ={}",
+        out_dir, params.kappa, params.ell
+    );
+    println!("provision sk1 and sk2 onto *different* devices, then delete them here.");
+    Ok(())
+}
+
+fn info<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let pk = load_pk::<E>(args)?;
+    let p = pk.params;
+    println!("DLR public key");
+    println!("  security parameter n : {} (ε = 2^-{})", p.n, p.n);
+    println!("  leakage parameter λ  : {} bits/period from P1", p.lambda);
+    println!("  group order bits     : {}", p.log_p);
+    println!("  κ (HPSKE key len)    : {}", p.kappa);
+    println!("  ℓ (Πss key len)      : {}", p.ell);
+    Ok(())
+}
+
+fn encrypt<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let pk = load_pk::<E>(args)?;
+    let payload = fs::read(args.require("in")?)?;
+    let mut rng = rand::thread_rng();
+    let ct = kem::seal(&pk, &payload, &mut rng);
+    fs::write(args.require("out")?, ct.to_bytes())?;
+    println!(
+        "encrypted {} bytes -> {} bytes",
+        payload.len(),
+        ct.to_bytes().len()
+    );
+    Ok(())
+}
+
+fn decrypt<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let pk = load_pk::<E>(args)?;
+    let (s1, s2) = load_shares::<E>(args, &pk)?;
+    let ct = HybridCiphertext::<E>::from_bytes(&fs::read(args.require("in")?)?)?;
+    let mut rng = rand::thread_rng();
+    let mut p1 = Party1::new(pk.clone(), s1);
+    let mut p2 = Party2::new(pk, s2);
+    let payload = kem::open_local(&mut p1, &mut p2, &ct, &mut rng)?;
+    fs::write(args.require("out")?, &payload)?;
+    println!("decrypted {} bytes", payload.len());
+    Ok(())
+}
+
+fn refresh<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let pk = load_pk::<E>(args)?;
+    let (s1, s2) = load_shares::<E>(args, &pk)?;
+    let mut rng = rand::thread_rng();
+    let mut p1 = Party1::new(pk.clone(), s1);
+    let mut p2 = Party2::new(pk.clone(), s2);
+    dlr::refresh_local(&mut p1, &mut p2, &mut rng)?;
+    fs::write(args.require("sk1")?, p1.share().to_bytes())?;
+    fs::write(args.require("sk2")?, p2.share().to_bytes())?;
+    println!("shares refreshed in place (public key unchanged)");
+    Ok(())
+}
+
+fn serve_p2<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let pk = load_pk::<E>(args)?;
+    let sk2_path = args.require("sk2")?.to_string();
+    let s2 = Share2::<E>::from_bytes(&fs::read(&sk2_path)?, &pk.params)?;
+    let listener = TcpListener::bind(args.require("listen")?)?;
+    println!("P2 serving on {}", listener.local_addr()?);
+    let mut p2 = Party2::new(pk, s2);
+    let mut rng = rand::thread_rng();
+    // One connection at a time: P2 is a smart card, not a web server.
+    for stream in listener.incoming() {
+        let mut transport = TcpTransport::new(stream?);
+        match driver::p2_serve_loop(&mut p2, &mut transport, &mut rng) {
+            Ok(served) => {
+                println!("session ended after {served} requests");
+                // persist the (possibly refreshed) share
+                fs::write(&sk2_path, p2.share().to_bytes())?;
+                return Ok(());
+            }
+            Err(e) => eprintln!("session error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn decrypt_remote<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let pk = load_pk::<E>(args)?;
+    let s1 = Share1::<E>::from_bytes(&fs::read(args.require("sk1")?)?, &pk.params)?;
+    let ct = HybridCiphertext::<E>::from_bytes(&fs::read(args.require("in")?)?)?;
+    let mut transport = TcpTransport::new(TcpStream::connect(args.require("connect")?)?);
+    let mut rng = rand::thread_rng();
+    let mut p1 = Party1::new(pk.clone(), s1);
+
+    // KEM decap over the wire, DEM locally.
+    let k = driver::p1_decrypt(&mut p1, &ct.kem, &mut transport, &mut rng)?;
+    let payload = kem::open_with_key::<E>(&k, &ct)?;
+    driver::p1_shutdown(&mut transport)?;
+    fs::write(args.require("out")?, &payload)?;
+    println!("decrypted {} bytes via remote P2", payload.len());
+    Ok(())
+}

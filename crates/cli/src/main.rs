@@ -1,0 +1,33 @@
+//! `dlr` — command-line interface for the distributed encryption system.
+//!
+//! ```text
+//! dlr keygen  --out-dir keys [--curve toy|ss512] [--n 32] [--lambda 256]
+//! dlr info    --pk keys/pk.dlr [--curve toy]
+//! dlr encrypt --pk keys/pk.dlr --in secret.txt --out secret.dlrct
+//! dlr decrypt --pk keys/pk.dlr --sk1 keys/sk1.dlr --sk2 keys/sk2.dlr \
+//!             --in secret.dlrct --out secret.txt
+//! dlr refresh --pk keys/pk.dlr --sk1 keys/sk1.dlr --sk2 keys/sk2.dlr
+//! dlr serve-p2 --pk keys/pk.dlr --sk2 keys/sk2.dlr --listen 127.0.0.1:7700
+//! dlr decrypt-remote --pk keys/pk.dlr --sk1 keys/sk1.dlr \
+//!             --connect 127.0.0.1:7700 --in secret.dlrct --out secret.txt
+//! ```
+//!
+//! `decrypt` runs both protocol roles in-process (useful for tests and
+//! single-host deployments); `serve-p2`/`decrypt-remote` split them across
+//! a real TCP connection, smart-card style.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Wire-codec helpers for group elements, scalars and HPSKE ciphertexts.
+
+use crate::hpske::HpskeCiphertext;
+use dlr_curve::Group;
+use dlr_math::PrimeField;
+use dlr_protocol::{CodecError, Decoder, Encoder};
+
+/// Append a group element (fixed-length raw encoding).
+pub fn put_group<G: Group>(enc: &mut Encoder, g: &G) {
+    let bytes = g.to_bytes();
+    debug_assert_eq!(bytes.len(), G::byte_len());
+    for b in bytes {
+        enc.put_u8(b);
+    }
+}
+
+/// Read a group element.
+pub fn get_group<G: Group>(dec: &mut Decoder<'_>) -> Result<G, CodecError> {
+    let mut buf = Vec::with_capacity(G::byte_len());
+    for _ in 0..G::byte_len() {
+        buf.push(dec.get_u8()?);
+    }
+    G::from_bytes(&buf).ok_or(CodecError::Invalid("group element"))
+}
+
+/// Append a scalar (fixed-length canonical big-endian).
+pub fn put_scalar<F: PrimeField>(enc: &mut Encoder, s: &F) {
+    for b in s.to_bytes_be() {
+        enc.put_u8(b);
+    }
+}
+
+/// Read a scalar.
+pub fn get_scalar<F: PrimeField>(dec: &mut Decoder<'_>) -> Result<F, CodecError> {
+    let mut buf = Vec::with_capacity(F::byte_len());
+    for _ in 0..F::byte_len() {
+        buf.push(dec.get_u8()?);
+    }
+    F::from_bytes_be(&buf).ok_or(CodecError::Invalid("scalar"))
+}
+
+/// Append an HPSKE ciphertext (`u32` coin count, then fixed-size elements).
+pub fn put_hpske<G: Group>(enc: &mut Encoder, ct: &HpskeCiphertext<G>) {
+    enc.put_u32(ct.b.len() as u32);
+    for b in &ct.b {
+        put_group(enc, b);
+    }
+    put_group(enc, &ct.c0);
+}
+
+/// Read an HPSKE ciphertext, enforcing an expected `κ`.
+pub fn get_hpske<G: Group>(
+    dec: &mut Decoder<'_>,
+    expect_kappa: usize,
+) -> Result<HpskeCiphertext<G>, CodecError> {
+    let kappa = dec.get_u32()? as usize;
+    if kappa != expect_kappa {
+        return Err(CodecError::Invalid("hpske kappa mismatch"));
+    }
+    let mut b = Vec::with_capacity(kappa);
+    for _ in 0..kappa {
+        b.push(get_group(dec)?);
+    }
+    let c0 = get_group(dec)?;
+    Ok(HpskeCiphertext { b, c0 })
+}
+
+/// Serialize a scalar vector into a flat byte cell (device-memory mirror).
+pub fn scalars_to_cell<F: PrimeField>(scalars: &[F]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(scalars.len() * F::byte_len());
+    for s in scalars {
+        out.extend_from_slice(&s.to_bytes_be());
+    }
+    out
+}
+
+/// Serialize a group-element vector into a flat byte cell.
+pub fn groups_to_cell<G: Group>(elems: &[G]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(elems.len() * G::byte_len());
+    for g in elems {
+        out.extend_from_slice(&g.to_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpske::HpskeKey;
+    use dlr_curve::modgroup::{Mini1009, ModGroup};
+    use dlr_math::FieldElement;
+    use rand::SeedableRng;
+
+    type MG = ModGroup<Mini1009>;
+
+    #[test]
+    fn group_scalar_roundtrip() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(1);
+        let g = MG::random(&mut r);
+        let s = <MG as Group>::Scalar::random(&mut r);
+        let mut e = Encoder::new();
+        put_group(&mut e, &g);
+        put_scalar(&mut e, &s);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(get_group::<MG>(&mut d).unwrap(), g);
+        assert_eq!(get_scalar::<<MG as Group>::Scalar>(&mut d).unwrap(), s);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn hpske_roundtrip_and_kappa_check() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(2);
+        let key = HpskeKey::generate(3, &mut r);
+        let m = MG::random(&mut r);
+        let ct = crate::hpske::encrypt(&key, &m, &mut r);
+        let mut e = Encoder::new();
+        put_hpske(&mut e, &ct);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(get_hpske::<MG>(&mut d, 3).unwrap(), ct);
+        let mut d = Decoder::new(&buf);
+        assert!(get_hpske::<MG>(&mut d, 4).is_err());
+    }
+
+    #[test]
+    fn invalid_group_bytes_rejected() {
+        // value 2 is not in the Mini1009 subgroup
+        let buf = 2u64.to_be_bytes().to_vec();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(
+            get_group::<MG>(&mut d),
+            Err(CodecError::Invalid("group element"))
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for scheme and protocol operations.
+
+use dlr_protocol::{CodecError, TransportError};
+
+/// Failure of a scheme operation or protocol run.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Wire decoding failed.
+    Codec(CodecError),
+    /// Transport failed.
+    Transport(TransportError),
+    /// A message violated the protocol (wrong lengths, wrong phase, …).
+    Protocol(&'static str),
+    /// A ciphertext failed validation (CCA2 signature check, …).
+    InvalidCiphertext(&'static str),
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::Codec(e) => write!(f, "codec error: {e}"),
+            CoreError::Transport(e) => write!(f, "transport error: {e}"),
+            CoreError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            CoreError::InvalidCiphertext(what) => write!(f, "invalid ciphertext: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Codec(e) => Some(e),
+            CoreError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+impl From<TransportError> for CoreError {
+    fn from(e: TransportError) -> Self {
+        CoreError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::Protocol("bad phase").to_string().contains("bad phase"));
+        assert!(CoreError::from(CodecError::Truncated)
+            .to_string()
+            .contains("truncated"));
+    }
+}

@@ -1,0 +1,277 @@
+//! HPSKE — homomorphic proxy secret key encryption (Definition 5.1,
+//! construction of Lemma 5.2).
+//!
+//! `Π_comm` encrypts the inter-device communication of the decryption and
+//! refresh protocols. It is:
+//!
+//! * **multiplicatively homomorphic coordinate-wise**:
+//!   `Dec'(c_0 · c_1) = m_0 · m_1` (Def. 5.1 part 1) — this is what lets
+//!   `P2` compute on ciphertexts it cannot decrypt ("proxy");
+//! * **entropy-preserving under leakage** (Def. 5.1 part 2): `ℓ` random
+//!   plaintexts keep `≥ log p + 2 log(1/ε)` pseudo average min-entropy even
+//!   given their ciphertexts and `λ` bits of leakage on the key, coins and
+//!   plaintexts — validated *exactly* on mini groups by experiment F5.
+//!
+//! Construction (Lemma 5.2): `sk_comm = (σ_1, …, σ_κ) ∈ Z_p^κ`;
+//! `Enc'(m) = (b_1, …, b_κ, m·∏ b_j^{σ_j})` with `b_j` random group
+//! elements; `Dec'(b_1, …, b_κ, b_0) = b_0 / ∏ b_j^{σ_j}`.
+//!
+//! Because the key is a plain exponent vector, **one key works for both
+//! `G` and `GT`** ("HPSKE for ℓ, G, GT") — which the §5.2 ciphertext-reuse
+//! remark exploits: a ciphertext over `G` paired coordinate-wise with a
+//! point `A` becomes a valid ciphertext over `GT` under the same key (see
+//! [`pair_ciphertext`]).
+
+use dlr_curve::{Group, Pairing};
+use dlr_math::PrimeField;
+use rand::RngCore;
+
+/// HPSKE secret key `(σ_1, …, σ_κ)` — shared across every group with
+/// scalar field `F`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpskeKey<F> {
+    /// The exponent vector.
+    pub sigma: Vec<F>,
+}
+
+impl<F: PrimeField> HpskeKey<F> {
+    /// `Gen'`: sample a `κ`-element key.
+    pub fn generate<R: RngCore + ?Sized>(kappa: usize, rng: &mut R) -> Self {
+        Self {
+            sigma: (0..kappa).map(|_| F::random(rng)).collect(),
+        }
+    }
+
+    /// Key length `κ`.
+    pub fn kappa(&self) -> usize {
+        self.sigma.len()
+    }
+}
+
+/// HPSKE ciphertext `(b_1, …, b_κ, c_0)` over a group `G`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpskeCiphertext<G> {
+    /// Random coins `b_j` (group elements).
+    pub b: Vec<G>,
+    /// Payload component `m · ∏ b_j^{σ_j}`.
+    pub c0: G,
+}
+
+/// `Enc'` with caller-chosen coins (the reuse remark requires the caller to
+/// keep the coins so it can later pair them).
+pub fn encrypt_with_coins<G: Group>(
+    key: &HpskeKey<G::Scalar>,
+    m: &G,
+    coins: Vec<G>,
+) -> HpskeCiphertext<G> {
+    assert_eq!(coins.len(), key.sigma.len(), "coin count must equal κ");
+    let mask = G::product_of_powers(&coins, &key.sigma);
+    HpskeCiphertext {
+        c0: m.op(&mask),
+        b: coins,
+    }
+}
+
+/// `Enc'`: encrypt a group element under fresh random coins.
+pub fn encrypt<G: Group, R: RngCore + ?Sized>(
+    key: &HpskeKey<G::Scalar>,
+    m: &G,
+    rng: &mut R,
+) -> HpskeCiphertext<G> {
+    let coins: Vec<G> = (0..key.sigma.len()).map(|_| G::random(rng)).collect();
+    encrypt_with_coins(key, m, coins)
+}
+
+/// `Dec'`: recover the plaintext. Returns `None` on a length mismatch.
+pub fn decrypt<G: Group>(key: &HpskeKey<G::Scalar>, ct: &HpskeCiphertext<G>) -> Option<G> {
+    if ct.b.len() != key.sigma.len() {
+        return None;
+    }
+    let mask = G::product_of_powers(&ct.b, &key.sigma);
+    Some(ct.c0.div(&mask))
+}
+
+impl<G: Group> HpskeCiphertext<G> {
+    /// Coordinate-wise product (Def. 5.1 part 1):
+    /// `Dec'(self · rhs) = Dec'(self) · Dec'(rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertexts have different `κ`.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.b.len(), rhs.b.len(), "κ mismatch");
+        Self {
+            b: self
+                .b
+                .iter()
+                .zip(rhs.b.iter())
+                .map(|(x, y)| x.op(y))
+                .collect(),
+            c0: self.c0.op(&rhs.c0),
+        }
+    }
+
+    /// Coordinate-wise inverse: `Dec'(self^{-1}) = Dec'(self)^{-1}`.
+    pub fn invert(&self) -> Self {
+        Self {
+            b: self.b.iter().map(Group::inverse).collect(),
+            c0: self.c0.inverse(),
+        }
+    }
+
+    /// Coordinate-wise quotient.
+    pub fn div(&self, rhs: &Self) -> Self {
+        self.mul(&rhs.invert())
+    }
+
+    /// Coordinate-wise power: `Dec'(self^s) = Dec'(self)^s`.
+    pub fn pow(&self, s: &G::Scalar) -> Self {
+        Self {
+            b: self.b.iter().map(|x| x.pow(s)).collect(),
+            c0: self.c0.pow(s),
+        }
+    }
+
+    /// `∏ ctsᵢ^{expsᵢ}` computed coordinate-wise with one multi-
+    /// exponentiation per coordinate — this is the entirety of `P2`'s
+    /// per-protocol computation (the "auxiliary device is simple" claim of
+    /// §1.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent.
+    pub fn product_of_powers(cts: &[Self], exps: &[G::Scalar]) -> Self {
+        assert_eq!(cts.len(), exps.len(), "cts/exps length mismatch");
+        assert!(!cts.is_empty(), "need at least one ciphertext");
+        let kappa = cts[0].b.len();
+        let mut b = Vec::with_capacity(kappa);
+        for j in 0..kappa {
+            let bases: Vec<G> = cts.iter().map(|ct| ct.b[j]).collect();
+            b.push(G::product_of_powers(&bases, exps));
+        }
+        let bases: Vec<G> = cts.iter().map(|ct| ct.c0).collect();
+        let c0 = G::product_of_powers(&bases, exps);
+        Self { b, c0 }
+    }
+
+    /// Serialized length for a given `κ`.
+    pub fn byte_len(kappa: usize) -> usize {
+        (kappa + 1) * G::byte_len()
+    }
+}
+
+/// The §5.2 reuse map: pair every coordinate of a `G`-ciphertext with a
+/// point `A`, yielding a valid `GT`-ciphertext **of `e(A, m)` under the
+/// same key**:
+///
+/// ```text
+/// (b_1, …, b_κ, m·∏ b_j^{σ_j})  ↦  (e(A,b_1), …, e(A,b_κ), e(A,m)·∏ e(A,b_j)^{σ_j})
+/// ```
+pub fn pair_ciphertext<E: Pairing>(
+    a: &E::G1,
+    ct: &HpskeCiphertext<E::G2>,
+) -> HpskeCiphertext<E::Gt> {
+    HpskeCiphertext {
+        b: ct.b.iter().map(|bj| E::pair(a, bj)).collect(),
+        c0: E::pair(a, &ct.c0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_curve::modgroup::{Mini1009, ModGroup};
+    use dlr_curve::{Gt, Toy, G};
+    use dlr_math::FieldElement;
+    use rand::SeedableRng;
+
+    type MG = ModGroup<Mini1009>;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn roundtrip_g_and_gt() {
+        let mut r = rng();
+        let key = HpskeKey::generate(3, &mut r);
+        let mg = G::<Toy>::random(&mut r);
+        let ct = encrypt(&key, &mg, &mut r);
+        assert_eq!(decrypt(&key, &ct), Some(mg));
+        // same key works over GT
+        let mt = Gt::<Toy>::random(&mut r);
+        let ct = encrypt(&key, &mt, &mut r);
+        assert_eq!(decrypt(&key, &ct), Some(mt));
+    }
+
+    #[test]
+    fn homomorphism_mul() {
+        let mut r = rng();
+        let key = HpskeKey::generate(4, &mut r);
+        let m0 = MG::random(&mut r);
+        let m1 = MG::random(&mut r);
+        let c0 = encrypt(&key, &m0, &mut r);
+        let c1 = encrypt(&key, &m1, &mut r);
+        assert_eq!(decrypt(&key, &c0.mul(&c1)), Some(m0.op(&m1)));
+        assert_eq!(decrypt(&key, &c0.div(&c1)), Some(m0.div(&m1)));
+    }
+
+    #[test]
+    fn homomorphism_pow() {
+        let mut r = rng();
+        let key = HpskeKey::generate(4, &mut r);
+        let m = MG::random(&mut r);
+        let s = <MG as Group>::Scalar::random(&mut r);
+        let ct = encrypt(&key, &m, &mut r);
+        assert_eq!(decrypt(&key, &ct.pow(&s)), Some(m.pow(&s)));
+    }
+
+    #[test]
+    fn product_of_powers_is_p2s_job() {
+        let mut r = rng();
+        let key = HpskeKey::generate(3, &mut r);
+        let ms: Vec<MG> = (0..5).map(|_| MG::random(&mut r)).collect();
+        let ss: Vec<_> = (0..5).map(|_| <MG as Group>::Scalar::random(&mut r)).collect();
+        let cts: Vec<_> = ms.iter().map(|m| encrypt(&key, m, &mut r)).collect();
+        let combined = HpskeCiphertext::product_of_powers(&cts, &ss);
+        let expect = MG::product_of_powers(&ms, &ss);
+        assert_eq!(decrypt(&key, &combined), Some(expect));
+    }
+
+    #[test]
+    fn pair_ciphertext_reuse_remark() {
+        let mut r = rng();
+        let key = HpskeKey::generate(2, &mut r);
+        let m = G::<Toy>::random(&mut r);
+        let a = G::<Toy>::random(&mut r);
+        let ct_g = encrypt(&key, &m, &mut r);
+        let ct_gt = pair_ciphertext::<Toy>(&a, &ct_g);
+        // decrypts (under the SAME key) to e(A, m)
+        let expect = <Toy as dlr_curve::Pairing>::pair(&a, &m);
+        assert_eq!(decrypt(&key, &ct_gt), Some(expect));
+    }
+
+    #[test]
+    fn wrong_kappa_rejected() {
+        let mut r = rng();
+        let key = HpskeKey::generate(4, &mut r);
+        let short = HpskeKey {
+            sigma: key.sigma[..2].to_vec(),
+        };
+        let m = MG::random(&mut r);
+        let ct = encrypt(&key, &m, &mut r);
+        assert_eq!(decrypt(&short, &ct), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "κ mismatch")]
+    fn mul_checks_kappa() {
+        let mut r = rng();
+        let k2 = HpskeKey::generate(2, &mut r);
+        let k3 = HpskeKey::generate(3, &mut r);
+        let m = MG::random(&mut r);
+        let a = encrypt(&k2, &m, &mut r);
+        let b = encrypt(&k3, &m, &mut r);
+        let _ = a.mul(&b);
+    }
+}

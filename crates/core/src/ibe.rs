@@ -1,0 +1,347 @@
+//! The Boneh–Boyen-style identity based encryption substrate (§4.2).
+//!
+//! This is the per-bit-parameter variant the paper builds on: public
+//! parameters contain a matrix `U ∈ G^{n×2}`; an identity hashes to bits
+//! `H(ID) = (b_1, …, b_n)`; the identity secret key is
+//!
+//! ```text
+//! sk_ID = (g^{r_1}, …, g^{r_n},  M = g_2^α · ∏_j u_{j,b_j}^{r_j})
+//! ```
+//!
+//! and a ciphertext for `m ∈ GT` is
+//!
+//! ```text
+//! (A = g^t,  C_j = u_{j,b_j}^t,  B = m · e(g_1, g_2)^t)
+//! ```
+//!
+//! with decryption `m = B · ∏_j e(C_j, g^{r_j}) / e(A, M)`.
+//!
+//! The **single-processor** scheme here serves two roles: the substrate
+//! DLRIBE distributes (see [`crate::dibe`]), and a baseline for the
+//! efficiency experiments. The identity-bit count `n_id` is configurable
+//! (256 = full SHA-256 strength; tests use small values).
+
+use crate::codec::{get_group, put_group};
+use crate::error::CoreError;
+use crate::params::SchemeParams;
+use dlr_curve::{Group, Pairing};
+use dlr_math::FieldElement;
+use dlr_protocol::{Decoder, Encoder};
+use rand::RngCore;
+
+/// IBE public parameters.
+///
+/// The per-bit matrix `U` is published in **both** pairing slots with
+/// correlated exponents (`u1_{j,b} = g^{c_{j,b}}`, `u2_{j,b} = h^{c_{j,b}}`):
+/// ciphertext components use the `G1` copy, key components the `G2` copy.
+/// For Type-1 curves the two copies coincide up to the shared exponent; the
+/// `c_{j,b}` exist only inside `setup` (the trusted, leak-free generation
+/// phase) and are erased with its stack frame.
+#[derive(Debug, PartialEq, Eq)]
+pub struct IbeParams<E: Pairing> {
+    /// Derived scheme parameters (used by the distributed variant).
+    pub params: SchemeParams,
+    /// Identity hash length in bits.
+    pub n_id: usize,
+    /// `z = e(g_1, g_2)`.
+    pub z: E::Gt,
+    /// The per-bit matrix in the ciphertext slot.
+    pub u1: Vec<[E::G1; 2]>,
+    /// The per-bit matrix in the key slot.
+    pub u2: Vec<[E::G2; 2]>,
+}
+
+/// The master secret key `msk = g_2^α` (single-processor form; the
+/// distributed scheme never materialises this).
+#[derive(Debug, PartialEq, Eq)]
+pub struct MasterKey<E: Pairing> {
+    /// `g_2^α`.
+    pub msk: E::G2,
+}
+
+/// An identity secret key.
+#[derive(Debug, PartialEq, Eq)]
+pub struct IdentityKey<E: Pairing> {
+    /// `h^{r_j}` for each identity bit (`h` the `G2` generator).
+    pub r_g: Vec<E::G2>,
+    /// `M = g_2^α · ∏_j u2_{j,b_j}^{r_j}`.
+    pub m: E::G2,
+}
+
+/// An IBE ciphertext.
+#[derive(Debug, PartialEq, Eq)]
+pub struct IbeCiphertext<E: Pairing> {
+    /// `A = g^t`.
+    pub big_a: E::G1,
+    /// `C_j = u1_{j,b_j}^t`.
+    pub c: Vec<E::G1>,
+    /// `B = m · z^t`.
+    pub big_b: E::Gt,
+}
+
+impl<E: Pairing> IbeCiphertext<E> {
+    /// Serialize (the CCA2 transform signs these bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        put_group(&mut enc, &self.big_a);
+        enc.put_u32(self.c.len() as u32);
+        for cj in &self.c {
+            put_group(&mut enc, cj);
+        }
+        put_group(&mut enc, &self.big_b);
+        enc.finish()
+    }
+
+    /// Parse, enforcing the expected identity-bit count.
+    pub fn from_bytes(bytes: &[u8], n_id: usize) -> Result<Self, CoreError> {
+        let mut dec = Decoder::new(bytes);
+        let big_a = get_group::<E::G1>(&mut dec)?;
+        let count = dec.get_u32()? as usize;
+        if count != n_id {
+            return Err(CoreError::Protocol("identity bit count mismatch"));
+        }
+        let mut c = Vec::with_capacity(count);
+        for _ in 0..count {
+            c.push(get_group::<E::G1>(&mut dec)?);
+        }
+        let big_b = get_group::<E::Gt>(&mut dec)?;
+        dec.finish()?;
+        Ok(Self { big_a, c, big_b })
+    }
+}
+
+/// Hash an identity to `n_id` bits via HKDF-SHA-256.
+pub fn hash_identity(id: &[u8], n_id: usize) -> Vec<bool> {
+    let bytes = dlr_hash::hkdf::hkdf(b"dlr-ibe-identity", id, b"H(ID)", n_id.div_ceil(8));
+    (0..n_id)
+        .map(|i| (bytes[i / 8] >> (7 - i % 8)) & 1 == 1)
+        .collect()
+}
+
+/// Sample the correlated per-bit matrix in both pairing slots. The
+/// exponents `c_{j,b}` never leave this function.
+#[allow(clippy::type_complexity)]
+pub(crate) fn sample_u_matrix<E: Pairing, R: RngCore + ?Sized>(
+    n_id: usize,
+    g: &E::G1,
+    h: &E::G2,
+    rng: &mut R,
+) -> (Vec<[E::G1; 2]>, Vec<[E::G2; 2]>) {
+    let mut u1 = Vec::with_capacity(n_id);
+    let mut u2 = Vec::with_capacity(n_id);
+    for _ in 0..n_id {
+        let c0 = E::Scalar::random(rng);
+        let c1 = E::Scalar::random(rng);
+        u1.push([g.pow(&c0), g.pow(&c1)]);
+        u2.push([h.pow(&c0), h.pow(&c1)]);
+    }
+    (u1, u2)
+}
+
+/// `Setup`: generate public parameters and the master secret key.
+///
+/// Returns `(params, msk, shares-precursor)` where the third component is
+/// the `(α, g_2)` pair consumed by [`crate::dibe::dibe_keygen`] — callers of
+/// the *single-processor* scheme should ignore it (it is secret
+/// randomness of the generation phase).
+pub fn setup<E: Pairing, R: RngCore + ?Sized>(
+    scheme: SchemeParams,
+    n_id: usize,
+    rng: &mut R,
+) -> (IbeParams<E>, MasterKey<E>) {
+    assert!(n_id > 0, "identity length must be positive");
+    let g = E::G1::generator();
+    let h = E::G2::generator();
+    let alpha = E::Scalar::random(rng);
+    let g1 = g.pow(&alpha);
+    let g2 = E::G2::random(rng);
+    let z = E::pair(&g1, &g2);
+    let (u1, u2) = sample_u_matrix::<E, _>(n_id, &g, &h, rng);
+    (
+        IbeParams {
+            params: scheme,
+            n_id,
+            z,
+            u1,
+            u2,
+        },
+        MasterKey {
+            msk: g2.pow(&alpha),
+        },
+    )
+}
+
+/// `Extract`: derive the identity key for `id` from the master key.
+pub fn extract<E: Pairing, R: RngCore + ?Sized>(
+    params: &IbeParams<E>,
+    master: &MasterKey<E>,
+    id: &[u8],
+    rng: &mut R,
+) -> IdentityKey<E> {
+    let bits = hash_identity(id, params.n_id);
+    let r: Vec<E::Scalar> = (0..params.n_id).map(|_| E::Scalar::random(rng)).collect();
+    let h = E::G2::generator();
+    let r_g: Vec<E::G2> = r.iter().map(|rj| h.pow(rj)).collect();
+    // W = ∏ u2_{j,b_j}^{r_j}
+    let bases: Vec<E::G2> = bits
+        .iter()
+        .enumerate()
+        .map(|(j, &b)| params.u2[j][b as usize])
+        .collect();
+    let w = E::G2::product_of_powers(&bases, &r);
+    IdentityKey {
+        r_g,
+        m: master.msk.op(&w),
+    }
+}
+
+/// `Enc_ID(m)`.
+pub fn encrypt<E: Pairing, R: RngCore + ?Sized>(
+    params: &IbeParams<E>,
+    id: &[u8],
+    m: &E::Gt,
+    rng: &mut R,
+) -> IbeCiphertext<E> {
+    let bits = hash_identity(id, params.n_id);
+    let t = E::Scalar::random(rng);
+    let g = E::G1::generator();
+    IbeCiphertext {
+        big_a: g.pow(&t),
+        c: bits
+            .iter()
+            .enumerate()
+            .map(|(j, &b)| params.u1[j][b as usize].pow(&t))
+            .collect(),
+        big_b: m.op(&params.z.pow(&t)),
+    }
+}
+
+/// `Dec`: `m = B · ∏_j e(C_j, g^{r_j}) / e(A, M)`.
+pub fn decrypt<E: Pairing>(key: &IdentityKey<E>, ct: &IbeCiphertext<E>) -> Result<E::Gt, CoreError> {
+    if key.r_g.len() != ct.c.len() {
+        return Err(CoreError::Protocol("identity key / ciphertext mismatch"));
+    }
+    let mut acc = ct.big_b;
+    for (cj, rj) in ct.c.iter().zip(key.r_g.iter()) {
+        acc = acc.op(&E::pair(cj, rj));
+    }
+    Ok(acc.div(&E::pair(&ct.big_a, &key.m)))
+}
+
+
+impl<E: Pairing> Clone for IbeParams<E> {
+    fn clone(&self) -> Self {
+        Self {
+            params: self.params,
+            n_id: self.n_id,
+            z: self.z,
+            u1: self.u1.clone(),
+            u2: self.u2.clone(),
+        }
+    }
+}
+
+
+impl<E: Pairing> Clone for MasterKey<E> {
+    fn clone(&self) -> Self {
+        Self {
+            msk: self.msk,
+        }
+    }
+}
+
+
+impl<E: Pairing> Clone for IdentityKey<E> {
+    fn clone(&self) -> Self {
+        Self {
+            r_g: self.r_g.clone(),
+            m: self.m,
+        }
+    }
+}
+
+
+impl<E: Pairing> Clone for IbeCiphertext<E> {
+    fn clone(&self) -> Self {
+        Self {
+            big_a: self.big_a,
+            c: self.c.clone(),
+            big_b: self.big_b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_curve::Toy;
+    use rand::SeedableRng;
+
+    type E = Toy;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(41)
+    }
+
+    fn tiny() -> SchemeParams {
+        SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut r = rng();
+        let (params, msk) = setup::<E, _>(tiny(), 16, &mut r);
+        let key = extract(&params, &msk, b"alice@example.org", &mut r);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = encrypt(&params, b"alice@example.org", &m, &mut r);
+        assert_eq!(decrypt(&key, &ct).unwrap(), m);
+    }
+
+    #[test]
+    fn wrong_identity_key_fails() {
+        let mut r = rng();
+        let (params, msk) = setup::<E, _>(tiny(), 16, &mut r);
+        let key_bob = extract(&params, &msk, b"bob", &mut r);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = encrypt(&params, b"alice", &m, &mut r);
+        assert_ne!(decrypt(&key_bob, &ct).unwrap(), m);
+    }
+
+    #[test]
+    fn two_keys_same_identity_both_work() {
+        // Extraction is randomized; any extracted key must decrypt.
+        let mut r = rng();
+        let (params, msk) = setup::<E, _>(tiny(), 12, &mut r);
+        let k1 = extract(&params, &msk, b"carol", &mut r);
+        let k2 = extract(&params, &msk, b"carol", &mut r);
+        assert_ne!(k1, k2);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = encrypt(&params, b"carol", &m, &mut r);
+        assert_eq!(decrypt(&k1, &ct).unwrap(), m);
+        assert_eq!(decrypt(&k2, &ct).unwrap(), m);
+    }
+
+    #[test]
+    fn identity_hash_properties() {
+        let h1 = hash_identity(b"alice", 64);
+        let h2 = hash_identity(b"alice", 64);
+        let h3 = hash_identity(b"alicf", 64);
+        assert_eq!(h1.len(), 64);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        // not constant
+        assert!(h1.iter().any(|&b| b) && h1.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn ciphertext_serialization() {
+        let mut r = rng();
+        let (params, _) = setup::<E, _>(tiny(), 8, &mut r);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = encrypt(&params, b"dave", &m, &mut r);
+        let bytes = ct.to_bytes();
+        assert_eq!(IbeCiphertext::<E>::from_bytes(&bytes, 8).unwrap(), ct);
+        assert!(IbeCiphertext::<E>::from_bytes(&bytes, 9).is_err());
+        assert!(IbeCiphertext::<E>::from_bytes(&bytes[..12], 8).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Hybrid encryption (KEM/DEM) on top of DLR.
+//!
+//! The paper's scheme encrypts group elements `m ∈ GT`. To store or send
+//! *byte strings* (the examples and the §4.4 storage system want this), we
+//! use DLR as a KEM: encapsulate a uniformly random `K ∈ GT`, derive a
+//! symmetric key by hashing it, and encrypt-then-MAC the payload with an
+//! HKDF-SHA-256 keystream and HMAC-SHA-256. This layer is a practical
+//! extension beyond the paper (documented in DESIGN.md); its security
+//! reduces to the CPA security of DLR plus standard PRF assumptions on
+//! HMAC.
+
+use crate::dlr::{self, Ciphertext, Party1, Party2, PublicKey};
+use crate::error::CoreError;
+use dlr_curve::{Group, Pairing};
+use dlr_hash::hkdf;
+use dlr_hash::hmac::{ct_eq, hmac_sha256};
+use rand::RngCore;
+
+/// Symmetric part of a hybrid ciphertext (encrypt-then-MAC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemCiphertext {
+    /// XOR-keystream-encrypted payload.
+    pub body: Vec<u8>,
+    /// HMAC-SHA-256 over (KEM ciphertext ‖ body).
+    pub tag: [u8; 32],
+}
+
+/// A full hybrid ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridCiphertext<E: Pairing> {
+    /// DLR encryption of the KEM key `K ∈ GT`.
+    pub kem: Ciphertext<E>,
+    /// Symmetric payload.
+    pub dem: DemCiphertext,
+}
+
+impl<E: Pairing> HybridCiphertext<E> {
+    /// Serialize (magic ‖ KEM part ‖ body ‖ tag).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = dlr_protocol::Encoder::new();
+        enc.put_u32(0x444c_524b); // "DLRK"
+        enc.put_bytes(&self.kem.to_bytes());
+        enc.put_bytes(&self.dem.body);
+        enc.put_bytes(&self.dem.tag);
+        enc.finish()
+    }
+
+    /// Parse a serialized hybrid ciphertext.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut dec = dlr_protocol::Decoder::new(bytes);
+        if dec.get_u32()? != 0x444c_524b {
+            return Err(CoreError::Protocol("not a DLR hybrid ciphertext"));
+        }
+        let kem = Ciphertext::<E>::from_bytes(dec.get_bytes()?)?;
+        let body = dec.get_bytes()?.to_vec();
+        let tag_bytes = dec.get_bytes()?;
+        let tag: [u8; 32] = tag_bytes
+            .try_into()
+            .map_err(|_| CoreError::Protocol("bad tag length"))?;
+        dec.finish()?;
+        Ok(Self {
+            kem,
+            dem: DemCiphertext { body, tag },
+        })
+    }
+}
+
+fn derive_keys(k: &[u8]) -> ([u8; 32], [u8; 32]) {
+    let okm = hkdf::hkdf(b"dlr-kem", k, b"enc|mac", 64);
+    let mut enc_key = [0u8; 32];
+    let mut mac_key = [0u8; 32];
+    enc_key.copy_from_slice(&okm[..32]);
+    mac_key.copy_from_slice(&okm[32..]);
+    (enc_key, mac_key)
+}
+
+fn keystream_xor(enc_key: &[u8; 32], data: &mut [u8]) {
+    for (counter, chunk) in data.chunks_mut(32).enumerate() {
+        let block = hkdf::expand(enc_key, &(counter as u32).to_be_bytes(), 32);
+        for (b, k) in chunk.iter_mut().zip(block.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Encrypt an arbitrary byte payload under a DLR public key.
+pub fn seal<E: Pairing, R: RngCore + ?Sized>(
+    pk: &PublicKey<E>,
+    payload: &[u8],
+    rng: &mut R,
+) -> HybridCiphertext<E> {
+    let k = E::Gt::random(rng);
+    seal_with_key(pk, payload, &k, rng)
+}
+
+/// [`seal`] with a caller-chosen KEM key (the storage system keeps the key
+/// to re-MAC after re-randomization).
+pub fn seal_with_key<E: Pairing, R: RngCore + ?Sized>(
+    pk: &PublicKey<E>,
+    payload: &[u8],
+    k: &E::Gt,
+    rng: &mut R,
+) -> HybridCiphertext<E> {
+    let kem = dlr::encrypt(pk, k, rng);
+    let (enc_key, mac_key) = derive_keys(&k.to_bytes());
+    let mut body = payload.to_vec();
+    keystream_xor(&enc_key, &mut body);
+    let mut mac_input = kem.to_bytes();
+    mac_input.extend_from_slice(&body);
+    let tag = hmac_sha256(&mac_key, &mac_input);
+    HybridCiphertext {
+        kem,
+        dem: DemCiphertext { body, tag },
+    }
+}
+
+/// Decrypt a hybrid ciphertext with the two key-share devices.
+///
+/// # Errors
+///
+/// Fails if the MAC does not verify (tampered ciphertext) or the protocol
+/// fails.
+pub fn open_local<E: Pairing, R: RngCore + ?Sized>(
+    p1: &mut Party1<E>,
+    p2: &mut Party2<E>,
+    ct: &HybridCiphertext<E>,
+    rng: &mut R,
+) -> Result<Vec<u8>, CoreError> {
+    let k = dlr::decrypt_local(p1, p2, &ct.kem, rng)?;
+    open_with_key::<E>(&k, ct)
+}
+
+/// Open the symmetric part given an already-decapsulated KEM key (the
+/// remote-`P2` path decapsulates over the wire first).
+///
+/// # Errors
+///
+/// Fails if the MAC does not verify.
+pub fn open_with_key<E: Pairing>(
+    k: &E::Gt,
+    ct: &HybridCiphertext<E>,
+) -> Result<Vec<u8>, CoreError> {
+    let (enc_key, mac_key) = derive_keys(&k.to_bytes());
+    let mut mac_input = ct.kem.to_bytes();
+    mac_input.extend_from_slice(&ct.dem.body);
+    let expect = hmac_sha256(&mac_key, &mac_input);
+    if !ct_eq(&expect, &ct.dem.tag) {
+        return Err(CoreError::InvalidCiphertext("MAC verification failed"));
+    }
+    let mut body = ct.dem.body.clone();
+    keystream_xor(&enc_key, &mut body);
+    Ok(body)
+}
+
+/// Re-randomize the KEM part and re-MAC (the MAC binds the DEM body to
+/// the *current* KEM bytes, so fresh randomness requires a fresh tag; the
+/// payload key `k` is unchanged).
+///
+/// Provided for the §4.4 storage system: the stored ciphertext must change
+/// every period so leakage about old ciphertext bytes goes stale.
+pub fn reseal_randomness<E: Pairing, R: RngCore + ?Sized>(
+    pk: &PublicKey<E>,
+    ct: &HybridCiphertext<E>,
+    k: &E::Gt,
+    rng: &mut R,
+) -> HybridCiphertext<E> {
+    let kem = dlr::rerandomize(pk, &ct.kem, rng);
+    let (_, mac_key) = derive_keys(&k.to_bytes());
+    let mut mac_input = kem.to_bytes();
+    mac_input.extend_from_slice(&ct.dem.body);
+    let tag = hmac_sha256(&mac_key, &mac_input);
+    HybridCiphertext {
+        kem,
+        dem: DemCiphertext {
+            body: ct.dem.body.clone(),
+            tag,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SchemeParams;
+    use dlr_curve::Toy;
+    use rand::SeedableRng;
+
+    type E = Toy;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(71)
+    }
+
+    fn setup(r: &mut rand::rngs::StdRng) -> (Party1<E>, Party2<E>, PublicKey<E>) {
+        let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+        let (pk, s1, s2) = dlr::keygen::<E, _>(params, r);
+        (Party1::new(pk.clone(), s1), Party2::new(pk.clone(), s2), pk)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut r = rng();
+        let (mut p1, mut p2, pk) = setup(&mut r);
+        for payload in [&b""[..], b"x", b"hello hybrid world", &[0xaa; 1000]] {
+            let ct = seal(&pk, payload, &mut r);
+            let out = open_local(&mut p1, &mut p2, &ct, &mut r).unwrap();
+            assert_eq!(out, payload);
+        }
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut r = rng();
+        let (mut p1, mut p2, pk) = setup(&mut r);
+        let mut ct = seal(&pk, b"payload", &mut r);
+        ct.dem.body[0] ^= 1;
+        assert!(matches!(
+            open_local(&mut p1, &mut p2, &ct, &mut r),
+            Err(CoreError::InvalidCiphertext(_))
+        ));
+    }
+
+    #[test]
+    fn open_after_refresh() {
+        let mut r = rng();
+        let (mut p1, mut p2, pk) = setup(&mut r);
+        let ct = seal(&pk, b"survives refresh", &mut r);
+        dlr::refresh_local(&mut p1, &mut p2, &mut r).unwrap();
+        assert_eq!(
+            open_local(&mut p1, &mut p2, &ct, &mut r).unwrap(),
+            b"survives refresh"
+        );
+    }
+
+    #[test]
+    fn keystream_is_deterministic_involution() {
+        let key = [7u8; 32];
+        let mut data = b"some data longer than a single 32-byte block!!".to_vec();
+        let orig = data.clone();
+        keystream_xor(&key, &mut data);
+        assert_ne!(data, orig);
+        keystream_xor(&key, &mut data);
+        assert_eq!(data, orig);
+    }
+}

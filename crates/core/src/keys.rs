@@ -1,0 +1,195 @@
+//! Serialization of key material (public keys and shares).
+//!
+//! The share encodings exist so deployments can provision the two devices
+//! (write `sk2` onto the smart card at manufacture, say). They are
+//! deliberately *not* encrypted — transporting a share is exactly as
+//! sensitive as the provisioning step of the paper's model assumes — and
+//! each blob carries a magic tag plus the full parameter block so a device
+//! can reject keys from a mismatched instance.
+
+use crate::codec::{get_group, get_scalar, put_group, put_scalar};
+use crate::dlr::{PublicKey, Share1, Share2};
+use crate::error::CoreError;
+use crate::params::SchemeParams;
+use dlr_curve::Pairing;
+use dlr_protocol::{Decoder, Encoder};
+
+const MAGIC_PK: u32 = 0x444c_5230; // "DLR0"
+const MAGIC_SK1: u32 = 0x444c_5231;
+const MAGIC_SK2: u32 = 0x444c_5232;
+
+fn put_params(enc: &mut Encoder, p: &SchemeParams) {
+    enc.put_u32(p.n);
+    enc.put_u32(p.lambda);
+    enc.put_u32(p.log_p);
+    enc.put_u32(p.kappa as u32);
+    enc.put_u32(p.ell as u32);
+}
+
+fn get_params(dec: &mut Decoder<'_>) -> Result<SchemeParams, CoreError> {
+    let n = dec.get_u32()?;
+    let lambda = dec.get_u32()?;
+    let log_p = dec.get_u32()?;
+    let kappa = dec.get_u32()? as usize;
+    let ell = dec.get_u32()? as usize;
+    let derived = SchemeParams::derive_for_bits(log_p, n, lambda);
+    if derived.kappa != kappa || derived.ell != ell {
+        return Err(CoreError::Protocol("parameter block inconsistent"));
+    }
+    Ok(derived)
+}
+
+impl<E: Pairing> PublicKey<E> {
+    /// Serialize the public key.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u32(MAGIC_PK);
+        put_params(&mut enc, &self.params);
+        put_group(&mut enc, &self.z);
+        enc.finish()
+    }
+
+    /// Parse a serialized public key.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut dec = Decoder::new(bytes);
+        if dec.get_u32()? != MAGIC_PK {
+            return Err(CoreError::Protocol("not a DLR public key"));
+        }
+        let params = get_params(&mut dec)?;
+        let z = get_group::<E::Gt>(&mut dec)?;
+        dec.finish()?;
+        Ok(Self { params, z })
+    }
+}
+
+impl<E: Pairing> Share1<E> {
+    /// Serialize `sk_1` (sensitive!).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u32(MAGIC_SK1);
+        enc.put_u32(self.a.len() as u32);
+        for a in &self.a {
+            put_group(&mut enc, a);
+        }
+        put_group(&mut enc, &self.phi);
+        enc.finish()
+    }
+
+    /// Parse `sk_1`, enforcing the instance's ℓ.
+    pub fn from_bytes(bytes: &[u8], params: &SchemeParams) -> Result<Self, CoreError> {
+        let mut dec = Decoder::new(bytes);
+        if dec.get_u32()? != MAGIC_SK1 {
+            return Err(CoreError::Protocol("not a DLR share-1"));
+        }
+        let count = dec.get_u32()? as usize;
+        if count != params.ell {
+            return Err(CoreError::Protocol("share length mismatch"));
+        }
+        let mut a = Vec::with_capacity(count);
+        for _ in 0..count {
+            a.push(get_group::<E::G2>(&mut dec)?);
+        }
+        let phi = get_group::<E::G2>(&mut dec)?;
+        dec.finish()?;
+        Ok(Self { a, phi })
+    }
+}
+
+impl<E: Pairing> Share2<E> {
+    /// Serialize `sk_2` (sensitive!).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u32(MAGIC_SK2);
+        enc.put_u32(self.s.len() as u32);
+        for s in &self.s {
+            put_scalar(&mut enc, s);
+        }
+        enc.finish()
+    }
+
+    /// Parse `sk_2`, enforcing the instance's ℓ.
+    pub fn from_bytes(bytes: &[u8], params: &SchemeParams) -> Result<Self, CoreError> {
+        let mut dec = Decoder::new(bytes);
+        if dec.get_u32()? != MAGIC_SK2 {
+            return Err(CoreError::Protocol("not a DLR share-2"));
+        }
+        let count = dec.get_u32()? as usize;
+        if count != params.ell {
+            return Err(CoreError::Protocol("share length mismatch"));
+        }
+        let mut s = Vec::with_capacity(count);
+        for _ in 0..count {
+            s.push(get_scalar::<E::Scalar>(&mut dec)?);
+        }
+        dec.finish()?;
+        Ok(Self { s })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dlr;
+    use dlr_curve::{Group, Toy};
+    use rand::SeedableRng;
+
+    type E = Toy;
+
+    fn setup() -> (PublicKey<E>, Share1<E>, Share2<E>) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(111);
+        let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+        dlr::keygen::<E, _>(params, &mut r)
+    }
+
+    #[test]
+    fn roundtrip_all_key_material() {
+        let (pk, s1, s2) = setup();
+        let pk2 = PublicKey::<E>::from_bytes(&pk.to_bytes()).unwrap();
+        assert_eq!(pk2, pk);
+        let s1b = Share1::<E>::from_bytes(&s1.to_bytes(), &pk.params).unwrap();
+        assert_eq!(s1b, s1);
+        let s2b = Share2::<E>::from_bytes(&s2.to_bytes(), &pk.params).unwrap();
+        assert_eq!(s2b, s2);
+    }
+
+    #[test]
+    fn magic_tags_disambiguate() {
+        let (pk, s1, s2) = setup();
+        assert!(PublicKey::<E>::from_bytes(&s1.to_bytes()).is_err());
+        assert!(Share1::<E>::from_bytes(&pk.to_bytes(), &pk.params).is_err());
+        assert!(Share2::<E>::from_bytes(&s1.to_bytes(), &pk.params).is_err());
+        assert!(Share1::<E>::from_bytes(&s2.to_bytes(), &pk.params).is_err());
+    }
+
+    #[test]
+    fn parameter_mismatch_rejected() {
+        let (pk, s1, _s2) = setup();
+        let other = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 256);
+        assert!(Share1::<E>::from_bytes(&s1.to_bytes(), &other).is_err());
+        let _ = pk;
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (pk, _s1, _s2) = setup();
+        let bytes = pk.to_bytes();
+        assert!(PublicKey::<E>::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(PublicKey::<E>::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn parsed_keys_actually_work() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(112);
+        let (pk, s1, s2) = setup();
+        let pk2 = PublicKey::<E>::from_bytes(&pk.to_bytes()).unwrap();
+        let s1b = Share1::<E>::from_bytes(&s1.to_bytes(), &pk.params).unwrap();
+        let s2b = Share2::<E>::from_bytes(&s2.to_bytes(), &pk.params).unwrap();
+        let mut p1 = dlr::Party1::new(pk2.clone(), s1b);
+        let mut p2 = dlr::Party2::new(pk2.clone(), s2b);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = dlr::encrypt(&pk2, &m, &mut r);
+        assert_eq!(dlr::decrypt_local(&mut p1, &mut p2, &ct, &mut r).unwrap(), m);
+    }
+}

@@ -1,0 +1,50 @@
+//! # dlr-core — distributed public key schemes secure against continual leakage
+//!
+//! The primary contribution of *Akavia–Goldwasser–Hazay, PODC 2012*,
+//! implemented in full:
+//!
+//! * [`pss`] — Πss, the secret-sharing symmetric encryption (§4.1);
+//! * [`hpske`] — Π_comm, homomorphic proxy secret key encryption
+//!   (Def. 5.1 / Lemma 5.2);
+//! * [`dlr`] — the DLR DPKE (Construction 5.3): `Gen`, `Enc`, and the
+//!   two-party `Dec` / `Ref` protocols with explicit device memories;
+//! * [`params`] — the κ/ℓ parameter derivation of §5.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dlr_core::{dlr, params::SchemeParams};
+//! use dlr_curve::{Group, Pairing, Toy};
+//!
+//! let mut rng = rand::thread_rng();
+//! let params = SchemeParams::derive::<<Toy as Pairing>::Scalar>(16, 64);
+//! let (pk, sk1, sk2) = dlr::keygen::<Toy, _>(params, &mut rng);
+//! let mut p1 = dlr::Party1::new(pk.clone(), sk1);
+//! let mut p2 = dlr::Party2::new(pk.clone(), sk2);
+//!
+//! let m = <Toy as Pairing>::Gt::random(&mut rng);
+//! let ct = dlr::encrypt(&pk, &m, &mut rng);
+//! let out = dlr::decrypt_local(&mut p1, &mut p2, &ct, &mut rng)?;
+//! assert_eq!(out, m);
+//! dlr::refresh_local(&mut p1, &mut p2, &mut rng)?; // same pk, new shares
+//! # Ok::<(), dlr_core::CoreError>(())
+//! ```
+
+pub mod cca2;
+pub mod codec;
+pub mod dibe;
+pub mod dlr;
+pub mod driver;
+pub mod error;
+pub mod hpske;
+pub mod ibe;
+pub mod kem;
+pub mod keys;
+pub mod params;
+pub mod party;
+pub mod pss;
+pub mod streaming;
+pub mod storage;
+
+pub use error::CoreError;
+pub use params::SchemeParams;

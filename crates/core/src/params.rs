@@ -1,0 +1,135 @@
+//! Scheme parameter derivation (§5 preamble).
+//!
+//! Throughout the paper: `n` is the security parameter, `λ > 0` the leakage
+//! parameter, `ε = 2^{-n}`, and with `log p` the bit length of the group
+//! order:
+//!
+//! ```text
+//! κ = 1 + (λ + 2·log(1/ε)) / log p        (HPSKE key length)
+//! ℓ = 7 + 3κ + 2·log(1/ε) / log p          (Πss key length)
+//! ```
+//!
+//! Divisions are taken as ceilings so the entropy margins of the leftover
+//! hash lemma are never undershot.
+
+use dlr_math::PrimeField;
+
+/// Derived parameters of a DLR instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchemeParams {
+    /// Security parameter `n` (`ε = 2^{-n}`).
+    pub n: u32,
+    /// Leakage parameter `λ` in bits.
+    pub lambda: u32,
+    /// Bit length of the prime group order (`log p` in the paper).
+    pub log_p: u32,
+    /// HPSKE secret-key length `κ`.
+    pub kappa: usize,
+    /// Πss secret-key length `ℓ`.
+    pub ell: usize,
+}
+
+impl SchemeParams {
+    /// Derive parameters for a scalar field `F` (the group order), security
+    /// parameter `n` and leakage parameter `lambda` (bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn derive<F: PrimeField>(n: u32, lambda: u32) -> Self {
+        Self::derive_for_bits(F::modulus_bits(), n, lambda)
+    }
+
+    /// Derive parameters for an explicit `log p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `log_p == 0`.
+    pub fn derive_for_bits(log_p: u32, n: u32, lambda: u32) -> Self {
+        assert!(n > 0, "security parameter must be positive");
+        assert!(log_p > 0, "group order must be nontrivial");
+        // log(1/ε) = n
+        let kappa = 1 + ((lambda as u64 + 2 * n as u64).div_ceil(log_p as u64)) as usize;
+        let ell = 7 + 3 * kappa + (2 * n as u64).div_ceil(log_p as u64) as usize;
+        Self {
+            n,
+            lambda,
+            log_p,
+            kappa,
+            ell,
+        }
+    }
+
+    /// Size in bits of `P1`'s secret key share `sk1 = (a_1..a_ℓ, Φ)` in the
+    /// plain layout (`ℓ+1` group elements; a group element costs
+    /// ~`log p` bits of entropy but 2·|F_p| bytes on this curve — we count
+    /// *stored bytes*, which is what leakage functions see).
+    pub fn share1_elements(&self) -> usize {
+        self.ell + 1
+    }
+
+    /// Number of scalars in `P2`'s share `sk2 = (s_1..s_ℓ)`.
+    pub fn share2_elements(&self) -> usize {
+        self.ell
+    }
+
+    /// Number of scalars in the HPSKE key `sk_comm`.
+    pub fn comm_key_elements(&self) -> usize {
+        self.kappa
+    }
+
+    /// `|sk_comm|` in bits as the paper counts it: `κ · log p`.
+    pub fn comm_key_bits(&self) -> u64 {
+        self.kappa as u64 * self.log_p as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_match_paper() {
+        // log p = 256, n = 128, λ = 2048:
+        // κ = 1 + ceil((2048 + 256)/256) = 1 + 9 = 10
+        // ℓ = 7 + 30 + ceil(256/256) = 38
+        let p = SchemeParams::derive_for_bits(256, 128, 2048);
+        assert_eq!(p.kappa, 10);
+        assert_eq!(p.ell, 38);
+        assert_eq!(p.share1_elements(), 39);
+        assert_eq!(p.share2_elements(), 38);
+        assert_eq!(p.comm_key_elements(), 10);
+        assert_eq!(p.comm_key_bits(), 2560);
+    }
+
+    #[test]
+    fn zero_lambda_still_valid() {
+        let p = SchemeParams::derive_for_bits(256, 128, 0);
+        // κ = 1 + ceil(256/256) = 2, ℓ = 7 + 6 + 1 = 14
+        assert_eq!(p.kappa, 2);
+        assert_eq!(p.ell, 14);
+    }
+
+    #[test]
+    fn kappa_grows_linearly_in_lambda() {
+        let base = SchemeParams::derive_for_bits(256, 128, 0).kappa;
+        let big = SchemeParams::derive_for_bits(256, 128, 256 * 100).kappa;
+        assert_eq!(big - base, 100);
+    }
+
+    #[test]
+    fn derive_uses_field_modulus() {
+        use dlr_curve::params::FrToy;
+        let p = SchemeParams::derive::<FrToy>(32, 128);
+        assert_eq!(p.log_p, 63);
+        // κ = 1 + ceil((128+64)/63) = 1 + 4 = 5; ℓ = 7 + 15 + ceil(64/63)=2 → 24
+        assert_eq!(p.kappa, 5);
+        assert_eq!(p.ell, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_rejected() {
+        SchemeParams::derive_for_bits(256, 0, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Πss — the secondary symmetric encryption scheme used to secret-share the
+//! master key (§4.1).
+//!
+//! * `Gen_ss` picks `sk_ss = (s_1, …, s_ℓ)` with each `s_i ∈ Z_p` uniform;
+//! * `Enc_ss(m) = (a_1, …, a_ℓ, m·∏ a_i^{s_i})` with the `a_i` *sampled
+//!   directly as random group elements* (their discrete logs never exist in
+//!   memory — the §5.2 remark);
+//! * `Dec_ss(c_1, …, c_ℓ, c_0) = c_0 / ∏ c_i^{s_i}`.
+//!
+//! DLR stores the Πss key on device `P2` and a Πss encryption of the master
+//! key `g_2^α` on device `P1`; together they form a refreshable,
+//! leakage-resilient secret sharing that can decrypt DLR ciphertexts
+//! without ever reconstructing `g_2^α` (BHHO/Naor–Segev style — by the
+//! leftover hash lemma, `⟨a⃗, s⃗⟩`-type products retain entropy under
+//! bounded leakage on `s⃗`).
+
+use dlr_curve::Group;
+use dlr_math::FieldElement;
+use rand::RngCore;
+
+/// Πss secret key `(s_1, …, s_ℓ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PssKey<F> {
+    /// The exponent vector.
+    pub s: Vec<F>,
+}
+
+/// Πss ciphertext `(a_1, …, a_ℓ, c_0)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PssCiphertext<G> {
+    /// Random group-element coins `a_i`.
+    pub a: Vec<G>,
+    /// Payload component `m · ∏ a_i^{s_i}`.
+    pub c0: G,
+}
+
+/// `Gen_ss`: sample an `ℓ`-element key.
+pub fn generate<G: Group, R: RngCore + ?Sized>(ell: usize, rng: &mut R) -> PssKey<G::Scalar> {
+    PssKey {
+        s: (0..ell).map(|_| G::Scalar::random(rng)).collect(),
+    }
+}
+
+/// `Enc_ss` with caller-chosen coins (the refresh protocol needs to pick
+/// the `a_i` ahead of time).
+pub fn encrypt_with_coins<G: Group>(key: &PssKey<G::Scalar>, m: &G, coins: Vec<G>) -> PssCiphertext<G> {
+    assert_eq!(coins.len(), key.s.len(), "coin count must equal key length");
+    let mask = G::product_of_powers(&coins, &key.s);
+    PssCiphertext {
+        c0: m.op(&mask),
+        a: coins,
+    }
+}
+
+/// `Enc_ss`: encrypt a group element.
+pub fn encrypt<G: Group, R: RngCore + ?Sized>(
+    key: &PssKey<G::Scalar>,
+    m: &G,
+    rng: &mut R,
+) -> PssCiphertext<G> {
+    let coins: Vec<G> = (0..key.s.len()).map(|_| G::random(rng)).collect();
+    encrypt_with_coins(key, m, coins)
+}
+
+/// `Dec_ss`: recover the plaintext. Returns `None` on a length mismatch.
+pub fn decrypt<G: Group>(key: &PssKey<G::Scalar>, ct: &PssCiphertext<G>) -> Option<G> {
+    if ct.a.len() != key.s.len() {
+        return None;
+    }
+    let mask = G::product_of_powers(&ct.a, &key.s);
+    Some(ct.c0.div(&mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_curve::modgroup::{Mini1009, ModGroup};
+    use dlr_curve::{Toy, G};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn roundtrip_curve_group() {
+        let mut r = rng();
+        let key = generate::<G<Toy>, _>(8, &mut r);
+        let m = G::<Toy>::random(&mut r);
+        let ct = encrypt(&key, &m, &mut r);
+        assert_eq!(decrypt(&key, &ct), Some(m));
+    }
+
+    #[test]
+    fn roundtrip_mini_group() {
+        let mut r = rng();
+        for ell in [1usize, 2, 5] {
+            let key = generate::<ModGroup<Mini1009>, _>(ell, &mut r);
+            let m = ModGroup::<Mini1009>::random(&mut r);
+            let ct = encrypt(&key, &m, &mut r);
+            assert_eq!(decrypt(&key, &ct), Some(m), "ell={ell}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut r = rng();
+        let key = generate::<ModGroup<Mini1009>, _>(4, &mut r);
+        let other = generate::<ModGroup<Mini1009>, _>(4, &mut r);
+        let m = ModGroup::<Mini1009>::random(&mut r);
+        let ct = encrypt(&key, &m, &mut r);
+        // overwhelmingly likely to differ
+        assert_ne!(decrypt(&other, &ct), Some(m));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut r = rng();
+        let key = generate::<ModGroup<Mini1009>, _>(4, &mut r);
+        let short = PssKey {
+            s: key.s[..3].to_vec(),
+        };
+        let m = ModGroup::<Mini1009>::random(&mut r);
+        let ct = encrypt(&key, &m, &mut r);
+        assert_eq!(decrypt(&short, &ct), None);
+    }
+
+    #[test]
+    fn rerandomized_coins_same_plaintext() {
+        // Two encryptions of the same message under the same key decrypt
+        // identically but share no coins (fresh randomness).
+        let mut r = rng();
+        let key = generate::<G<Toy>, _>(4, &mut r);
+        let m = G::<Toy>::random(&mut r);
+        let c1 = encrypt(&key, &m, &mut r);
+        let c2 = encrypt(&key, &m, &mut r);
+        assert_ne!(c1.a, c2.a);
+        assert_eq!(decrypt(&key, &c1), decrypt(&key, &c2));
+    }
+
+    #[test]
+    #[should_panic(expected = "coin count")]
+    fn coin_count_enforced() {
+        let mut r = rng();
+        let key = generate::<G<Toy>, _>(4, &mut r);
+        let m = G::<Toy>::random(&mut r);
+        encrypt_with_coins(&key, &m, vec![G::<Toy>::random(&mut r); 3]);
+    }
+}

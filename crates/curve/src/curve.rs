@@ -1,0 +1,529 @@
+//! The pairing source group `G`: the order-`r` subgroup of the
+//! supersingular curve `E : y² = x³ + x` over `F_p`.
+//!
+//! Points are held in Jacobian coordinates `(X, Y, Z)` with affine
+//! `(X/Z², Y/Z³)` and the point at infinity encoded by `Z = 0`. Equality
+//! and hashing are defined on the underlying affine point, so the same
+//! group element in different coordinates compares equal.
+
+use crate::params::SsParams;
+use crate::traits::{Group, GroupKind};
+use core::any::TypeId;
+use core::hash::{Hash, Hasher};
+use core::marker::PhantomData;
+use dlr_math::{FieldElement, PrimeField};
+use parking_lot::Mutex;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// An element of the source group `G` (Jacobian coordinates).
+#[derive(Clone, Copy, Debug)]
+pub struct G<P: SsParams> {
+    x: P::Fp,
+    y: P::Fp,
+    z: P::Fp,
+    _marker: PhantomData<P>,
+}
+
+impl<P: SsParams> Default for G<P> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<P: SsParams> G<P> {
+    fn jacobian(x: P::Fp, y: P::Fp, z: P::Fp) -> Self {
+        Self {
+            x,
+            y,
+            z,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Construct from affine coordinates, verifying the curve equation.
+    pub fn from_affine(x: P::Fp, y: P::Fp) -> Option<Self> {
+        if !Self::is_on_curve_affine(&x, &y) {
+            return None;
+        }
+        Some(Self::jacobian(x, y, P::Fp::one()))
+    }
+
+    /// Affine coordinates, or `None` for the point at infinity.
+    pub fn to_affine(&self) -> Option<(P::Fp, P::Fp)> {
+        if self.z.is_zero() {
+            return None;
+        }
+        let zinv = self.z.inverse().expect("nonzero z");
+        let zinv2 = zinv.square();
+        let zinv3 = zinv2 * zinv;
+        Some((self.x * zinv2, self.y * zinv3))
+    }
+
+    /// Curve membership for affine coordinates: `y² = x³ + x`.
+    pub fn is_on_curve_affine(x: &P::Fp, y: &P::Fp) -> bool {
+        y.square() == x.square() * *x + *x
+    }
+
+    /// True iff this point satisfies the curve equation (in Jacobian form:
+    /// `Y² = X³ + X·Z⁴`).
+    pub fn is_on_curve(&self) -> bool {
+        if self.z.is_zero() {
+            return true;
+        }
+        let z2 = self.z.square();
+        let z4 = z2.square();
+        self.y.square() == self.x.square() * self.x + self.x * z4
+    }
+
+    fn double_internal(&self) -> Self {
+        if self.z.is_zero() || self.y.is_zero() {
+            return Self::identity();
+        }
+        // dbl-2007-bl for y² = x³ + a·x with a = 1
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let yyyy = yy.square();
+        let zz = self.z.square();
+        let s = ((self.x + yy).square() - xx - yyyy).double();
+        let m = xx.double() + xx + zz.square(); // 3·XX + a·ZZ², a = 1
+        let t = m.square() - s.double();
+        let y3 = m * (s - t) - yyyy.double().double().double();
+        let z3 = (self.y + self.z).square() - yy - zz;
+        Self::jacobian(t, y3, z3)
+    }
+
+    fn add_internal(&self, rhs: &Self) -> Self {
+        if self.z.is_zero() {
+            return *rhs;
+        }
+        if rhs.z.is_zero() {
+            return *self;
+        }
+        // add-2007-bl
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = rhs.x * z1z1;
+        let s1 = self.y * rhs.z * z2z2;
+        let s2 = rhs.y * self.z * z1z1;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double_internal();
+            }
+            return Self::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + rhs.z).square() - z1z1 - z2z2) * h;
+        Self::jacobian(x3, y3, z3)
+    }
+
+    /// Compressed serialization: a tag byte (0 = infinity, 2/3 = sign of
+    /// `y`) plus the x-coordinate — roughly half the uncompressed size.
+    pub fn to_bytes_compressed(&self) -> Vec<u8> {
+        let len = 1 + P::Fp::byte_len();
+        match self.to_affine() {
+            None => vec![0u8; len],
+            Some((x, y)) => {
+                let neg = -y;
+                let sign = y.to_bytes_be() > neg.to_bytes_be();
+                let mut out = Vec::with_capacity(len);
+                out.push(if sign { 3 } else { 2 });
+                out.extend_from_slice(&x.to_bytes_be());
+                out
+            }
+        }
+    }
+
+    /// Parse a compressed point, recovering `y` via a square root.
+    pub fn from_bytes_compressed(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 1 + P::Fp::byte_len() {
+            return None;
+        }
+        match bytes[0] {
+            0 => bytes.iter().all(|&b| b == 0).then(Self::identity),
+            tag @ (2 | 3) => {
+                let x = P::Fp::from_bytes_be(&bytes[1..])?;
+                let rhs = x.square() * x + x;
+                let y = rhs.sqrt()?;
+                let neg = -y;
+                let y_sign = y.to_bytes_be() > neg.to_bytes_be();
+                let want_sign = tag == 3;
+                let y = if y_sign == want_sign { y } else { neg };
+                Some(Self::jacobian(x, y, P::Fp::one()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Map arbitrary bytes to a group element (try-and-increment +
+    /// cofactor clearing). Deterministic in `(domain, msg)`.
+    pub fn hash_to_group(domain: &[u8], msg: &[u8]) -> Self {
+        let xlen = P::Fp::byte_len() + 16; // oversample to smooth the mod-p bias
+        for ctr in 0u32..u32::MAX {
+            let mut info = b"dlr-h2c".to_vec();
+            info.extend_from_slice(&ctr.to_be_bytes());
+            let bytes = dlr_hash::hkdf::hkdf(domain, msg, &info, xlen + 1);
+            let x = P::Fp::from_bytes_be_reduced(&bytes[..xlen]);
+            let rhs = x.square() * x + x;
+            if let Some(y) = rhs.sqrt() {
+                // pick the sign from the last derived byte for determinism
+                let y = if bytes[xlen] & 1 == 1 { -y } else { y };
+                let point = Self::jacobian(x, y, P::Fp::one());
+                let cleared = point.pow_vartime_limbs(P::COFACTOR);
+                if !cleared.z.is_zero() {
+                    return cleared;
+                }
+            }
+        }
+        unreachable!("hash_to_group exhausted the counter space")
+    }
+}
+
+type GeneratorCache = Mutex<HashMap<TypeId, (Vec<u8>, Vec<u8>)>>;
+
+fn generator_cache() -> &'static GeneratorCache {
+    static CACHE: OnceLock<GeneratorCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn derive_generator<P: SsParams>() -> G<P> {
+    G::<P>::hash_to_group(P::GENERATOR_DOMAIN, b"generator")
+}
+
+impl<P: SsParams> PartialEq for G<P> {
+    fn eq(&self, other: &Self) -> bool {
+        let self_inf = self.z.is_zero();
+        let other_inf = other.z.is_zero();
+        if self_inf || other_inf {
+            return self_inf == other_inf;
+        }
+        // (X1/Z1², Y1/Z1³) == (X2/Z2², Y2/Z2³) cross-multiplied
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        self.x * z2z2 == other.x * z1z1
+            && self.y * (z2z2 * other.z) == other.y * (z1z1 * self.z)
+    }
+}
+
+impl<P: SsParams> Eq for G<P> {}
+
+impl<P: SsParams> Hash for G<P> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the canonical affine form so Jacobian representatives of the
+        // same point hash identically.
+        match self.to_affine() {
+            None => state.write_u8(0),
+            Some((x, y)) => {
+                state.write_u8(4);
+                state.write(&x.to_bytes_be());
+                state.write(&y.to_bytes_be());
+            }
+        }
+    }
+}
+
+impl<P: SsParams> Group for G<P> {
+    type Scalar = P::Fr;
+    const NAME: &'static str = "G";
+    const KIND: GroupKind = GroupKind::Source;
+
+    fn identity() -> Self {
+        Self::jacobian(P::Fp::one(), P::Fp::one(), P::Fp::zero())
+    }
+
+    fn generator() -> Self {
+        let key = TypeId::of::<P>();
+        {
+            let cache = generator_cache().lock();
+            if let Some((xb, yb)) = cache.get(&key) {
+                let x = P::Fp::from_bytes_be(xb).expect("cached generator x");
+                let y = P::Fp::from_bytes_be(yb).expect("cached generator y");
+                return Self::jacobian(x, y, P::Fp::one());
+            }
+        }
+        let g = derive_generator::<P>();
+        let (x, y) = g.to_affine().expect("generator is not infinity");
+        generator_cache()
+            .lock()
+            .insert(key, (x.to_bytes_be(), y.to_bytes_be()));
+        g
+    }
+
+    fn raw_op(&self, rhs: &Self) -> Self {
+        self.add_internal(rhs)
+    }
+
+    fn raw_double(&self) -> Self {
+        self.double_internal()
+    }
+
+    fn inverse(&self) -> Self {
+        Self::jacobian(self.x, -self.y, self.z)
+    }
+
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Hash fresh randomness to the curve: the resulting point has no
+        // known discrete logarithm relative to anything.
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Self::hash_to_group(b"dlr-random-point", &seed)
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let len = Self::byte_len();
+        match self.to_affine() {
+            None => vec![0u8; len],
+            Some((x, y)) => {
+                let mut out = Vec::with_capacity(len);
+                out.push(4);
+                out.extend_from_slice(&x.to_bytes_be());
+                out.extend_from_slice(&y.to_bytes_be());
+                out
+            }
+        }
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::byte_len() {
+            return None;
+        }
+        match bytes[0] {
+            0 => {
+                if bytes.iter().all(|&b| b == 0) {
+                    Some(Self::identity())
+                } else {
+                    None
+                }
+            }
+            4 => {
+                let flen = P::Fp::byte_len();
+                let x = P::Fp::from_bytes_be(&bytes[1..1 + flen])?;
+                let y = P::Fp::from_bytes_be(&bytes[1 + flen..])?;
+                Self::from_affine(x, y)
+            }
+            _ => None,
+        }
+    }
+
+    fn byte_len() -> usize {
+        1 + 2 * P::Fp::byte_len()
+    }
+
+    fn is_in_subgroup(&self) -> bool {
+        if !self.is_on_curve() {
+            return false;
+        }
+        let r_bytes = P::Fr::modulus_be_bytes();
+        let mut limbs: Vec<u64> = Vec::new();
+        let mut le = r_bytes;
+        le.reverse();
+        for ch in le.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..ch.len()].copy_from_slice(ch);
+            limbs.push(u64::from_le_bytes(b));
+        }
+        self.pow_vartime_limbs(&limbs).is_identity()
+    }
+}
+
+impl<P: SsParams> dlr_math::Erase for G<P>
+where
+    P::Fp: dlr_math::Erase,
+{
+    fn erase(&mut self) {
+        self.x.erase();
+        self.y.erase();
+        self.z.erase();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Ss512, Toy};
+    use rand::SeedableRng;
+
+    type GT = G<Toy>;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn generator_is_valid() {
+        let g = GT::generator();
+        assert!(g.is_on_curve());
+        assert!(!g.is_identity());
+        assert!(g.is_in_subgroup());
+        // deterministic / cached
+        assert_eq!(GT::generator(), GT::generator());
+    }
+
+    #[test]
+    fn group_laws() {
+        let mut r = rng();
+        let a = GT::random(&mut r);
+        let b = GT::random(&mut r);
+        let c = GT::random(&mut r);
+        assert_eq!(a.op(&b), b.op(&a));
+        assert_eq!(a.op(&b).op(&c), a.op(&b.op(&c)));
+        assert_eq!(a.op(&GT::identity()), a);
+        assert_eq!(a.op(&a.inverse()), GT::identity());
+        assert_eq!(a.raw_double(), a.op(&a));
+    }
+
+    #[test]
+    fn scalar_mult_distributes() {
+        let mut r = rng();
+        let g = GT::random(&mut r);
+        let s = <Toy as SsParams>::Fr::random(&mut r);
+        let t = <Toy as SsParams>::Fr::random(&mut r);
+        assert_eq!(g.pow(&s).op(&g.pow(&t)), g.pow(&(s + t)));
+        assert_eq!(g.pow(&s).pow(&t), g.pow(&(s * t)));
+        assert_eq!(g.pow(&<Toy as SsParams>::Fr::zero()), GT::identity());
+        assert_eq!(g.pow(&<Toy as SsParams>::Fr::one()), g);
+    }
+
+    #[test]
+    fn ladder_matches_pow() {
+        let mut r = rng();
+        let g = GT::random(&mut r);
+        for _ in 0..5 {
+            let s = <Toy as SsParams>::Fr::random(&mut r);
+            assert_eq!(g.pow_ladder(&s), g.pow(&s));
+        }
+        assert_eq!(g.pow_ladder(&<Toy as SsParams>::Fr::zero()), GT::identity());
+        assert_eq!(g.pow_ladder(&<Toy as SsParams>::Fr::one()), g);
+    }
+
+    #[test]
+    fn order_annihilates() {
+        let mut r = rng();
+        let g = GT::random(&mut r);
+        assert!(g.is_in_subgroup());
+        // g^(r-1) · g == identity
+        let rm1 = -<Toy as SsParams>::Fr::one();
+        assert_eq!(g.pow(&rm1).op(&g), GT::identity());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut r = rng();
+        let a = GT::random(&mut r);
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), GT::byte_len());
+        assert_eq!(GT::from_bytes(&bytes), Some(a));
+        // identity
+        let id = GT::identity();
+        assert_eq!(GT::from_bytes(&id.to_bytes()), Some(id));
+        // off-curve rejected
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        // either parses to a different valid point (unlikely) or None
+        if let Some(p) = GT::from_bytes(&bad) {
+            assert!(p.is_on_curve());
+            assert_ne!(p, a);
+        }
+        // wrong length rejected
+        assert_eq!(GT::from_bytes(&bytes[1..]), None);
+        // garbage tag rejected
+        let mut tagged = bytes;
+        tagged[0] = 7;
+        assert_eq!(GT::from_bytes(&tagged), None);
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let p = GT::random(&mut r);
+            let c = p.to_bytes_compressed();
+            assert_eq!(c.len(), 1 + <Toy as SsParams>::Fp::byte_len());
+            assert_eq!(GT::from_bytes_compressed(&c), Some(p));
+            // strictly smaller than uncompressed
+            assert!(c.len() < p.to_bytes().len());
+        }
+        let id = GT::identity();
+        assert_eq!(GT::from_bytes_compressed(&id.to_bytes_compressed()), Some(id));
+        assert_eq!(GT::from_bytes_compressed(&[9u8; 17]), None);
+        assert_eq!(GT::from_bytes_compressed(&[2u8]), None);
+    }
+
+    #[test]
+    fn hash_to_group_is_deterministic_and_spread() {
+        let p1 = GT::hash_to_group(b"domain", b"m1");
+        let p2 = GT::hash_to_group(b"domain", b"m1");
+        let p3 = GT::hash_to_group(b"domain", b"m2");
+        let p4 = GT::hash_to_group(b"other", b"m1");
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert_ne!(p1, p4);
+        assert!(p1.is_in_subgroup());
+    }
+
+    #[test]
+    fn multiexp_matches_naive() {
+        let mut r = rng();
+        for n in [0usize, 1, 2, 5, 9] {
+            let bases: Vec<GT> = (0..n).map(|_| GT::random(&mut r)).collect();
+            let exps: Vec<_> = (0..n)
+                .map(|_| <Toy as SsParams>::Fr::random(&mut r))
+                .collect();
+            let fast = GT::product_of_powers(&bases, &exps);
+            let slow = crate::multiexp::naive(&bases, &exps);
+            assert_eq!(fast, slow, "n={n}");
+        }
+    }
+
+    #[test]
+    fn equality_across_representations() {
+        let mut r = rng();
+        let a = GT::random(&mut r);
+        let doubled = a.raw_double(); // non-trivial Z
+        let affine = doubled.to_affine().unwrap();
+        let normalized = GT::from_affine(affine.0, affine.1).unwrap();
+        assert_eq!(doubled, normalized);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        doubled.hash(&mut h1);
+        normalized.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn ss512_generator_smoke() {
+        let g = G::<Ss512>::generator();
+        assert!(g.is_on_curve());
+        assert!(g.is_in_subgroup());
+        let mut r = rng();
+        let s = <Ss512 as SsParams>::Fr::random(&mut r);
+        let h = g.pow(&s);
+        assert!(h.is_on_curve());
+        assert_eq!(G::<Ss512>::from_bytes(&h.to_bytes()), Some(h));
+    }
+
+    #[test]
+    fn ops_are_counted() {
+        let mut r = rng();
+        let a = GT::random(&mut r);
+        let s = <Toy as SsParams>::Fr::random(&mut r);
+        let (_, report) = crate::counters::measure(|| {
+            let _ = a.op(&a);
+            let _ = a.pow(&s);
+            let _ = GT::product_of_powers(&[a, a], &[s, s]);
+        });
+        assert_eq!(report.g_op, 1);
+        assert_eq!(report.g_pow, 3); // 1 pow + 2 from the multiexp
+    }
+}

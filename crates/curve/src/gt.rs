@@ -1,0 +1,214 @@
+//! The pairing target group `GT`: the order-`r` subgroup `μ_r ⊂ F_{p²}*`.
+//!
+//! Every element produced by the pairing (and by [`Group::random`]) is
+//! *unitary* (norm 1), which makes inversion a conjugation — the cheap
+//! `GT` arithmetic is one reason encrypting into `GT` (as DLR does) is
+//! practical.
+
+use crate::params::SsParams;
+use crate::traits::{Group, GroupKind};
+use crate::util::field_modulus_limbs;
+use core::any::TypeId;
+use core::marker::PhantomData;
+use dlr_math::{FieldElement, Fp2};
+use parking_lot::Mutex;
+use rand::RngCore;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// An element of `GT` (invariant: unitary, i.e. norm 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Gt<P: SsParams> {
+    pub(crate) value: Fp2<P::Fp>,
+    _marker: PhantomData<P>,
+}
+
+impl<P: SsParams> Default for Gt<P> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<P: SsParams> Gt<P> {
+    pub(crate) fn from_unitary(value: Fp2<P::Fp>) -> Self {
+        debug_assert!(value.is_unitary(), "Gt invariant: unitary element");
+        Self {
+            value,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying `F_{p²}` value.
+    pub fn as_fp2(&self) -> &Fp2<P::Fp> {
+        &self.value
+    }
+}
+
+fn gt_generator_cache() -> &'static Mutex<HashMap<TypeId, Vec<u8>>> {
+    static CACHE: OnceLock<Mutex<HashMap<TypeId, Vec<u8>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl<P: SsParams> Group for Gt<P> {
+    type Scalar = P::Fr;
+    const NAME: &'static str = "GT";
+    const KIND: GroupKind = GroupKind::Target;
+
+    fn identity() -> Self {
+        Self {
+            value: Fp2::one(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn generator() -> Self {
+        let key = TypeId::of::<P>();
+        {
+            let cache = gt_generator_cache().lock();
+            if let Some(bytes) = cache.get(&key) {
+                return Self::from_bytes(bytes).expect("cached Gt generator");
+            }
+        }
+        // e(g, g) for the source-group generator g — generates GT by
+        // non-degeneracy of the modified Tate pairing.
+        let g = crate::curve::G::<P>::generator();
+        let gt = crate::pairing::tate_pairing::<P>(&g, &g);
+        assert!(!gt.is_identity(), "pairing degenerate on generator");
+        gt_generator_cache().lock().insert(key, gt.to_bytes());
+        gt
+    }
+
+    fn raw_op(&self, rhs: &Self) -> Self {
+        Self::from_unitary(self.value * rhs.value)
+    }
+
+    fn raw_double(&self) -> Self {
+        Self::from_unitary(self.value.square())
+    }
+
+    fn inverse(&self) -> Self {
+        Self::from_unitary(self.value.unitary_inverse())
+    }
+
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Project a random F_{p²}* element onto μ_r via the final
+        // exponentiation map z ↦ z^{(p²−1)/r}; the result is uniform in GT
+        // and carries no known discrete logarithm.
+        loop {
+            let z = Fp2::<P::Fp>::random(rng);
+            if z.is_zero() {
+                continue;
+            }
+            let gt = crate::pairing::final_exponentiation::<P>(z);
+            if !gt.is_identity() {
+                return gt;
+            }
+        }
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        self.value.to_bytes_be()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let value = Fp2::<P::Fp>::from_bytes_be(bytes)?;
+        if !value.is_unitary() {
+            return None;
+        }
+        Some(Self {
+            value,
+            _marker: PhantomData,
+        })
+    }
+
+    fn byte_len() -> usize {
+        Fp2::<P::Fp>::byte_len()
+    }
+
+    fn is_in_subgroup(&self) -> bool {
+        self.value.is_unitary()
+            && self
+                .pow_vartime_limbs(&field_modulus_limbs::<P::Fr>())
+                .is_identity()
+    }
+}
+
+impl<P: SsParams> dlr_math::Erase for Gt<P>
+where
+    P::Fp: dlr_math::Erase,
+{
+    fn erase(&mut self) {
+        self.value.erase();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Toy;
+    use rand::SeedableRng;
+
+    type T = Gt<Toy>;
+    type Fr = <Toy as crate::params::SsParams>::Fr;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn group_laws() {
+        let mut r = rng();
+        let a = T::random(&mut r);
+        let b = T::random(&mut r);
+        assert_eq!(a.op(&b), b.op(&a));
+        assert_eq!(a.op(&a.inverse()), T::identity());
+        assert_eq!(a.op(&T::identity()), a);
+        assert_eq!(a.raw_double(), a.op(&a));
+    }
+
+    #[test]
+    fn random_lands_in_subgroup() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = T::random(&mut r);
+            assert!(a.is_in_subgroup());
+            assert!(!a.is_identity());
+        }
+    }
+
+    #[test]
+    fn exponent_arithmetic() {
+        let mut r = rng();
+        let a = T::random(&mut r);
+        let s = Fr::random(&mut r);
+        let t = Fr::random(&mut r);
+        assert_eq!(a.pow(&s).op(&a.pow(&t)), a.pow(&(s + t)));
+        assert_eq!(a.pow(&s).pow(&t), a.pow(&(s * t)));
+    }
+
+    #[test]
+    fn serialization_roundtrip_and_validation() {
+        let mut r = rng();
+        let a = T::random(&mut r);
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), T::byte_len());
+        assert_eq!(T::from_bytes(&bytes), Some(a));
+        // a random non-unitary Fp2 element must be rejected
+        let mut z = dlr_math::Fp2::<<Toy as crate::params::SsParams>::Fp>::random(&mut r);
+        while z.is_unitary() {
+            z = dlr_math::Fp2::random(&mut r);
+        }
+        assert_eq!(T::from_bytes(&z.to_bytes_be()), None);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let g = T::generator();
+        assert!(!g.is_identity());
+        assert!(g.is_in_subgroup());
+        // g^(r-1) != identity (r prime, so any non-identity element has order r)
+        let rm1 = -Fr::one();
+        assert!(!g.pow(&rm1).is_identity());
+        assert_eq!(g.pow(&rm1).op(&g), T::identity());
+    }
+}

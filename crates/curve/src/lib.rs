@@ -1,0 +1,51 @@
+//! # dlr-curve — symmetric (Type-1) pairing groups from scratch
+//!
+//! The bilinear-group substrate of the DLR workspace: a supersingular curve
+//! `E : y² = x³ + x` over `F_p` (`p ≡ 3 mod 4`, embedding degree 2) with the
+//! distortion-map-modified Tate pairing, giving exactly the symmetric map
+//! `e : G × G → GT` that *Akavia–Goldwasser–Hazay (PODC'12)* assume from
+//! their parameter generator `G(1^n)`.
+//!
+//! * [`traits`] — the [`Group`] / [`Pairing`] abstractions (multiplicative
+//!   notation, matching the paper);
+//! * [`params`] — parameter sets [`Toy`](params::Toy),
+//!   [`Ss512`](params::Ss512), [`Ss768`](params::Ss768),
+//!   [`Ss1024`](params::Ss1024), each of which *is* a [`Pairing`];
+//! * [`curve`] — the source group [`G`](curve::G) (Jacobian arithmetic,
+//!   hash-to-curve, unknown-dlog sampling);
+//! * [`gt`] — the target group [`Gt`](gt::Gt) `⊂ F_{p²}*`;
+//! * [`pairing`] — affine Miller loop + final exponentiation;
+//! * [`multiexp`] — Straus interleaved multi-exponentiation;
+//! * [`modgroup`] — tiny-order groups for exhaustive entropy experiments;
+//! * [`counters`] — thread-local operation counts backing the efficiency
+//!   experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlr_curve::{Group, Pairing};
+//! use dlr_curve::params::Toy;
+//! use dlr_math::FieldElement;
+//!
+//! type G = <Toy as Pairing>::G1; // = G2 on this symmetric (Type-1) curve
+//! let mut rng = rand::thread_rng();
+//! let a = <Toy as Pairing>::Scalar::random(&mut rng);
+//! // e(g^a, g) = e(g, g)^a
+//! let lhs = Toy::pair(&G::generator().pow(&a), &G::generator());
+//! assert_eq!(lhs, Toy::pair_generators().pow(&a));
+//! ```
+
+pub mod counters;
+pub mod curve;
+pub mod gt;
+pub mod modgroup;
+pub mod multiexp;
+pub mod pairing;
+pub mod params;
+pub mod traits;
+mod util;
+
+pub use curve::G;
+pub use gt::Gt;
+pub use params::{Ss1024, Ss512, Ss768, SsParams, Toy};
+pub use traits::{Group, GroupKind, Pairing};

@@ -1,0 +1,285 @@
+//! Mini Schnorr groups: prime-order subgroups of `Z_P^*` with *tiny* order.
+//!
+//! These groups are deliberately insecure — their whole point is that the
+//! discrete logarithm is easy, so the exact-entropy experiments (F5 in
+//! EXPERIMENTS.md) can enumerate the full key space of Πss/HPSKE and compute
+//! the average min-entropy `H̃∞(·|leakage)` **exactly**, validating the
+//! leftover-hash-lemma margin of Definition 5.1(2) numerically.
+//!
+//! They also serve as cheap `Group` instances for property tests of the
+//! generic scheme code.
+
+use crate::traits::{Group, GroupKind};
+use core::marker::PhantomData;
+use dlr_math::{define_prime_field, PrimeField};
+use rand::RngCore;
+
+define_prime_field!(
+    /// Scalar field of order 17.
+    pub struct Fr17, 1, "0x11"
+);
+define_prime_field!(
+    /// Scalar field of order 251.
+    pub struct Fr251, 1, "0xfb"
+);
+define_prime_field!(
+    /// Scalar field of order 1009.
+    pub struct Fr1009, 1, "0x3f1"
+);
+
+/// Parameters of a mini group: subgroup of order `R` inside `Z_P^*`.
+pub trait MiniParams:
+    Sized + Copy + Clone + core::fmt::Debug + PartialEq + Eq + core::hash::Hash + Send + Sync + Default + 'static
+{
+    /// Scalar field (prime subgroup order).
+    type Fr: PrimeField;
+    /// The ambient prime modulus `P` (fits in `u64`).
+    const P: u64;
+    /// Subgroup order `r` (`r | P − 1`).
+    const R: u64;
+    /// A generator of the order-`r` subgroup.
+    const H: u64;
+    /// Name for diagnostics.
+    const NAME: &'static str;
+}
+
+/// Mini group of order 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mini17;
+impl MiniParams for Mini17 {
+    type Fr = Fr17;
+    const P: u64 = 4_398_046_512_053;
+    const R: u64 = 17;
+    const H: u64 = 481_375_420_476;
+    const NAME: &'static str = "MINI17";
+}
+
+/// Mini group of order 251.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mini251;
+impl MiniParams for Mini251 {
+    type Fr = Fr251;
+    const P: u64 = 4_398_046_513_163;
+    const R: u64 = 251;
+    const H: u64 = 1_456_802_961_573;
+    const NAME: &'static str = "MINI251";
+}
+
+/// Mini group of order 1009.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mini1009;
+impl MiniParams for Mini1009 {
+    type Fr = Fr1009;
+    const P: u64 = 4_398_046_534_621;
+    const R: u64 = 1009;
+    const H: u64 = 3_237_106_488_104;
+    const NAME: &'static str = "MINI1009";
+}
+
+/// An element of the order-`r` subgroup of `Z_P^*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModGroup<M: MiniParams> {
+    value: u64,
+    _marker: PhantomData<M>,
+}
+
+impl<M: MiniParams> Default for ModGroup<M> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+fn mul_mod(a: u64, b: u64, p: u64) -> u64 {
+    ((a as u128 * b as u128) % p as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, p: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, p);
+        }
+        base = mul_mod(base, base, p);
+        exp >>= 1;
+    }
+    acc
+}
+
+impl<M: MiniParams> ModGroup<M> {
+    /// Raw subgroup value in `Z_P^*`.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Construct from a raw value, verifying subgroup membership.
+    pub fn from_value(value: u64) -> Option<Self> {
+        if value == 0 || value >= M::P {
+            return None;
+        }
+        if pow_mod(value, M::R, M::P) != 1 {
+            return None;
+        }
+        Some(Self {
+            value,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Enumerate all `r` elements of the group (feasible: `r` is tiny).
+    pub fn iter_elements() -> impl Iterator<Item = Self> {
+        (0..M::R).map(|k| Self::generator().pow_vartime_limbs(&[k]))
+    }
+
+    /// Brute-force discrete logarithm to the generator base — this group
+    /// exists so that experiments *can* do this.
+    pub fn dlog(&self) -> u64 {
+        let g = Self::generator();
+        let mut acc = Self::identity();
+        for k in 0..M::R {
+            if acc == *self {
+                return k;
+            }
+            acc = acc.raw_op(&g);
+        }
+        unreachable!("element not in subgroup despite invariant")
+    }
+}
+
+impl<M: MiniParams> Group for ModGroup<M> {
+    type Scalar = M::Fr;
+    const NAME: &'static str = M::NAME;
+    const KIND: GroupKind = GroupKind::Plain;
+
+    fn identity() -> Self {
+        Self {
+            value: 1,
+            _marker: PhantomData,
+        }
+    }
+
+    fn generator() -> Self {
+        Self {
+            value: M::H,
+            _marker: PhantomData,
+        }
+    }
+
+    fn raw_op(&self, rhs: &Self) -> Self {
+        Self {
+            value: mul_mod(self.value, rhs.value, M::P),
+            _marker: PhantomData,
+        }
+    }
+
+    fn inverse(&self) -> Self {
+        // order r: x^{r-1} = x^{-1}
+        Self {
+            value: pow_mod(self.value, M::R - 1, M::P),
+            _marker: PhantomData,
+        }
+    }
+
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // NOTE: mini groups exist for exhaustive experiments where dlogs are
+        // recoverable by design, so sampling via a random exponent is fine
+        // here (unlike the curve groups, where `random` must avoid creating
+        // a known dlog).
+        let k = rng.next_u64() % M::R;
+        Self::generator().pow_vartime_limbs(&[k])
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        self.value.to_be_bytes().to_vec()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let arr: [u8; 8] = bytes.try_into().ok()?;
+        Self::from_value(u64::from_be_bytes(arr))
+    }
+
+    fn byte_len() -> usize {
+        8
+    }
+
+    fn is_in_subgroup(&self) -> bool {
+        pow_mod(self.value, M::R, M::P) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_math::FieldElement;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn generator_has_exact_order() {
+        fn check<M: MiniParams>() {
+            let g = ModGroup::<M>::generator();
+            assert!(g.is_in_subgroup());
+            assert_ne!(g, ModGroup::<M>::identity());
+            assert_eq!(g.pow_vartime_limbs(&[M::R]), ModGroup::<M>::identity());
+        }
+        check::<Mini17>();
+        check::<Mini251>();
+        check::<Mini1009>();
+    }
+
+    #[test]
+    fn enumeration_is_complete() {
+        let all: HashSet<_> = ModGroup::<Mini17>::iter_elements().collect();
+        assert_eq!(all.len(), 17);
+        let all: HashSet<_> = ModGroup::<Mini251>::iter_elements().collect();
+        assert_eq!(all.len(), 251);
+    }
+
+    #[test]
+    fn dlog_inverts_pow() {
+        let g = ModGroup::<Mini251>::generator();
+        for k in [0u64, 1, 2, 100, 250] {
+            assert_eq!(g.pow_vartime_limbs(&[k]).dlog(), k);
+        }
+    }
+
+    #[test]
+    fn group_laws_and_scalars() {
+        let mut r = rng();
+        let a = ModGroup::<Mini1009>::random(&mut r);
+        let b = ModGroup::<Mini1009>::random(&mut r);
+        assert_eq!(a.op(&b), b.op(&a));
+        assert_eq!(a.op(&a.inverse()), ModGroup::<Mini1009>::identity());
+        let s = Fr1009::random(&mut r);
+        let t = Fr1009::random(&mut r);
+        assert_eq!(a.pow(&s).pow(&t), a.pow(&(s * t)));
+        assert_eq!(a.pow(&s).op(&a.pow(&t)), a.pow(&(s + t)));
+    }
+
+    #[test]
+    fn multiexp_matches_naive_mini() {
+        let mut r = rng();
+        let bases: Vec<ModGroup<Mini251>> =
+            (0..7).map(|_| ModGroup::random(&mut r)).collect();
+        let exps: Vec<Fr251> = (0..7).map(|_| Fr251::random(&mut r)).collect();
+        assert_eq!(
+            ModGroup::product_of_powers(&bases, &exps),
+            crate::multiexp::naive(&bases, &exps)
+        );
+    }
+
+    #[test]
+    fn serialization_validates_membership() {
+        let g = ModGroup::<Mini17>::generator();
+        assert_eq!(ModGroup::<Mini17>::from_bytes(&g.to_bytes()), Some(g));
+        // 2 is (almost surely) not in the order-17 subgroup
+        assert_eq!(ModGroup::<Mini17>::from_value(2), None);
+        assert_eq!(ModGroup::<Mini17>::from_value(0), None);
+        assert_eq!(ModGroup::<Mini17>::from_value(M_P), None);
+        const M_P: u64 = <Mini17 as MiniParams>::P;
+    }
+}

@@ -1,0 +1,243 @@
+//! The modified Tate pairing `ê(P, Q) = e_r(P, φ(Q))^{(p²−1)/r}`.
+//!
+//! `E : y² = x³ + x` over `F_p` with `p ≡ 3 (mod 4)` is supersingular with
+//! distortion map `φ(x, y) = (−x, i·y)` into `E(F_{p²})`. Pairing `P`
+//! against the distorted image of `Q` yields a **symmetric, non-degenerate**
+//! bilinear map `G × G → GT` — the Type-1 map the paper's constructions are
+//! written for.
+//!
+//! Implementation notes:
+//! * the Miller loop runs in affine coordinates over `F_p` only — the
+//!   distorted point's x-coordinate `−x_Q` lies in the base field, so each
+//!   line evaluation is `(λ(x_Q + x_T) − y_T) + y_Q·i` with all arithmetic
+//!   in `F_p` (two `F_p` muls) and only the accumulator living in `F_{p²}`;
+//! * vertical lines evaluate into `F_p*`, which the final exponentiation
+//!   `z ↦ z^{(p−1)·c}` kills (`z^{p−1} = 1` for `z ∈ F_p*`) — standard
+//!   denominator elimination;
+//! * the final exponentiation uses Frobenius: `z^{p−1} = z̄ · z^{−1}`,
+//!   then one `pow` by the cofactor `c = (p+1)/r`.
+
+use crate::counters;
+use crate::curve::G;
+use crate::gt::Gt;
+use crate::params::SsParams;
+use crate::traits::{Group, Pairing};
+use dlr_math::{FieldElement, Fp2, PrimeField};
+
+/// Affine point (never infinity) used inside the Miller loop.
+#[derive(Clone, Copy)]
+struct Affine<F> {
+    x: F,
+    y: F,
+}
+
+/// One Miller doubling step: returns the line value at `φ(Q)` and `2T`.
+fn double_step<F: PrimeField>(t: Affine<F>, xq: &F, yq: &F) -> (Fp2<F>, Option<Affine<F>>) {
+    if t.y.is_zero() {
+        // 2-torsion: tangent is vertical — contributes a subfield factor.
+        return (Fp2::one(), None);
+    }
+    let three_x2_plus_1 = t.x.square().double() + t.x.square() + F::one();
+    let lambda = three_x2_plus_1 * t.y.double().inverse().expect("y != 0");
+    let x3 = lambda.square() - t.x.double();
+    let y3 = lambda * (t.x - x3) - t.y;
+    // line through (T, T) evaluated at φ(Q) = (−x_Q, i·y_Q):
+    //   l = i·y_Q − y_T − λ(−x_Q − x_T) = (λ(x_Q + x_T) − y_T) + y_Q·i
+    let c0 = lambda * (*xq + t.x) - t.y;
+    let line = Fp2::new(c0, *yq);
+    (line, Some(Affine { x: x3, y: y3 }))
+}
+
+/// One Miller addition step: returns the line value at `φ(Q)` and `T + P`.
+fn add_step<F: PrimeField>(
+    t: Affine<F>,
+    p: Affine<F>,
+    xq: &F,
+    yq: &F,
+) -> (Fp2<F>, Option<Affine<F>>) {
+    if t.x == p.x {
+        if t.y == p.y {
+            return double_step(t, xq, yq);
+        }
+        // T = −P: the chord is vertical — subfield factor only.
+        return (Fp2::one(), None);
+    }
+    let lambda = (p.y - t.y) * (p.x - t.x).inverse().expect("x1 != x2");
+    let x3 = lambda.square() - t.x - p.x;
+    let y3 = lambda * (t.x - x3) - t.y;
+    let c0 = lambda * (*xq + t.x) - t.y;
+    let line = Fp2::new(c0, *yq);
+    (line, Some(Affine { x: x3, y: y3 }))
+}
+
+/// Miller loop `f_{r,P}(φ(Q))` over the bits of the subgroup order `r`.
+fn miller_loop<P: SsParams>(p: Affine<P::Fp>, q: Affine<P::Fp>) -> Fp2<P::Fp> {
+    let r_limbs = crate::util::field_modulus_limbs::<P::Fr>();
+    let mut nbits = 0u32;
+    for (i, w) in r_limbs.iter().enumerate() {
+        if *w != 0 {
+            nbits = i as u32 * 64 + (64 - w.leading_zeros());
+        }
+    }
+
+    let mut f = Fp2::<P::Fp>::one();
+    let mut t: Option<Affine<P::Fp>> = Some(p);
+    let mut i = nbits - 1;
+    while i > 0 {
+        i -= 1;
+        f = f.square();
+        if let Some(cur) = t {
+            let (line, next) = double_step(cur, &q.x, &q.y);
+            f *= line;
+            t = next;
+        }
+        if (r_limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+            if let Some(cur) = t {
+                let (line, next) = add_step(cur, p, &q.x, &q.y);
+                f *= line;
+                t = next;
+            } else {
+                // T was the point at infinity: O + P = P, trivial function.
+                t = Some(p);
+            }
+        }
+    }
+    f
+}
+
+/// Final exponentiation `z ↦ z^{(p²−1)/r} = (z̄ / z)^c` mapping into `μ_r`.
+pub fn final_exponentiation<P: SsParams>(z: Fp2<P::Fp>) -> Gt<P> {
+    debug_assert!(!z.is_zero());
+    // z^{p−1} = conj(z) · z^{−1}  (Frobenius on F_{p²} is conjugation)
+    let u = z.conjugate() * z.inverse().expect("nonzero");
+    // now raise to the cofactor c = (p+1)/r
+    let v = u.pow_vartime(P::COFACTOR);
+    Gt::from_unitary(v)
+}
+
+/// The modified Tate pairing `ê : G × G → GT`.
+pub fn tate_pairing<P: SsParams>(p: &G<P>, q: &G<P>) -> Gt<P> {
+    counters::count_pairing();
+    let (pa, qa) = match (p.to_affine(), q.to_affine()) {
+        (Some(pa), Some(qa)) => (pa, qa),
+        // e(O, ·) = e(·, O) = 1
+        _ => return Gt::identity(),
+    };
+    let f = miller_loop::<P>(
+        Affine { x: pa.0, y: pa.1 },
+        Affine { x: qa.0, y: qa.1 },
+    );
+    if f.is_zero() {
+        // Can only happen for inputs outside the order-r subgroup.
+        return Gt::identity();
+    }
+    final_exponentiation::<P>(f)
+}
+
+impl<P: SsParams> Pairing for P {
+    type Scalar = P::Fr;
+    type G1 = G<P>;
+    type G2 = G<P>;
+    type Gt = Gt<P>;
+    const NAME: &'static str = P::NAME;
+
+    fn pair(p: &Self::G1, q: &Self::G2) -> Self::Gt {
+        tate_pairing::<P>(p, q)
+    }
+
+    fn pair_generators() -> Self::Gt {
+        // Gt::generator() caches e(g, g).
+        Gt::<P>::generator()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Ss512, Toy};
+    use rand::SeedableRng;
+
+    type Fr = <Toy as SsParams>::Fr;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn non_degenerate_on_generator() {
+        let g = G::<Toy>::generator();
+        let e = Toy::pair(&g, &g);
+        assert!(!e.is_identity());
+        assert!(e.is_in_subgroup());
+    }
+
+    #[test]
+    fn bilinearity() {
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let q = G::<Toy>::random(&mut r);
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        let lhs = Toy::pair(&p.pow(&a), &q.pow(&b));
+        let rhs = Toy::pair(&p, &q).pow(&(a * b));
+        assert_eq!(lhs, rhs);
+        // additivity in the first slot
+        let p2 = G::<Toy>::random(&mut r);
+        assert_eq!(
+            Toy::pair(&p.op(&p2), &q),
+            Toy::pair(&p, &q).op(&Toy::pair(&p2, &q))
+        );
+    }
+
+    #[test]
+    fn symmetry() {
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let q = G::<Toy>::random(&mut r);
+        assert_eq!(Toy::pair(&p, &q), Toy::pair(&q, &p));
+    }
+
+    #[test]
+    fn identity_slots() {
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let id = G::<Toy>::identity();
+        assert!(Toy::pair(&p, &id).is_identity());
+        assert!(Toy::pair(&id, &p).is_identity());
+    }
+
+    #[test]
+    fn inverse_slot() {
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let q = G::<Toy>::random(&mut r);
+        assert_eq!(Toy::pair(&p.inverse(), &q), Toy::pair(&p, &q).inverse());
+    }
+
+    #[test]
+    fn pair_generators_cached_consistent() {
+        let direct = Toy::pair(&G::<Toy>::generator(), &G::<Toy>::generator());
+        assert_eq!(Toy::pair_generators(), direct);
+        assert_eq!(Gt::<Toy>::generator(), direct);
+    }
+
+    #[test]
+    fn pairing_counter_bumps() {
+        let g = G::<Toy>::generator();
+        let (_, report) = crate::counters::measure(|| {
+            let _ = Toy::pair(&g, &g);
+        });
+        assert_eq!(report.pairings, 1);
+    }
+
+    #[test]
+    fn ss512_bilinearity_smoke() {
+        let mut r = rng();
+        let g = G::<Ss512>::generator();
+        let a = <Ss512 as SsParams>::Fr::random(&mut r);
+        let lhs = Ss512::pair(&g.pow(&a), &g);
+        let rhs = Ss512::pair(&g, &g).pow(&a);
+        assert_eq!(lhs, rhs);
+        assert!(!lhs.is_identity());
+    }
+}

@@ -1,0 +1,229 @@
+//! Supersingular-curve parameter sets.
+//!
+//! All sets share the curve shape `E : y² = x³ + x` over `F_p` with
+//! `p ≡ 3 (mod 4)`, which makes `E` supersingular with `#E(F_p) = p + 1`
+//! and embedding degree 2. The subgroup order `r` is prime with
+//! `p = c·r − 1` (so `c = (p+1)/r` is the cofactor and `r | p + 1`).
+//! The distortion map `φ(x, y) = (−x, i·y)` (with `i² = −1` in `F_{p²}`)
+//! turns the Tate pairing into a **symmetric** pairing
+//! `ê(P, Q) = e(P, φ(Q))` — exactly the Type-1 map `e : G × G → GT` the
+//! paper's parameter generator outputs.
+//!
+//! Parameters were produced by a seeded search (`tools/paramgen.py`): pick
+//! a prime `r`, then scan cofactors `c ≡ 0 (mod 4)` until `p = c·r − 1` is
+//! prime (then `p ≡ 3 (mod 4)` automatically since `4 | c` and `r` is odd).
+//! The `params_validate` tests below re-verify primality and the arithmetic
+//! relations from scratch on every test run.
+//!
+//! | set    | log₂ p | log₂ r | intent |
+//! |--------|--------|--------|--------|
+//! | TOY    | 71     | 63     | fast unit tests & leakage-game simulation |
+//! | SS512  | 512    | 256    | benchmark-grade, ~medium security |
+//! | SS768  | 768    | 256    | higher security margin |
+//! | SS1024 | 1024   | 256    | conservative setting |
+//!
+//! (Security of Type-1 curves is governed by the dlog in `F_{p²}`; these
+//! research-grade sizes reproduce the paper's asymptotics, not a production
+//! security review.)
+
+use core::fmt::Debug;
+use core::hash::Hash;
+use dlr_math::define_prime_field;
+
+define_prime_field!(
+    /// Base field of the TOY curve (71-bit prime, `p ≡ 3 (mod 4)`).
+    pub struct FpToy, 2, "0x42ae6467338a04eeeb"
+);
+define_prime_field!(
+    /// Scalar field of the TOY curve (63-bit prime subgroup order).
+    pub struct FrToy, 1, "0x5ed5e420ff583487"
+);
+define_prime_field!(
+    /// Base field of SS512 (512-bit prime).
+    pub struct Fp512, 8, "0x8000000000000000000000000000000000000000000000000000000000000018ba4ede9892a3b3a5815cab04f516ffb1a9221cd8a5599e9c3c9137d92713e5eb"
+);
+define_prime_field!(
+    /// Shared 256-bit scalar field of SS512/SS768/SS1024.
+    pub struct Fr256, 4, "0x9c7b55f33f4a555666c8d7baaa676515d2f48907cb57039e9d59f778aec33793"
+);
+define_prime_field!(
+    /// Base field of SS768 (768-bit prime).
+    pub struct Fp768, 12, "0x800000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000004129218e4727200ea510294ff0748b7f3b9e1a9175cce37ae470f806bb6b49c41b3"
+);
+define_prime_field!(
+    /// Base field of SS1024 (1024-bit prime).
+    pub struct Fp1024, 16, "0x800000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000025da9ed8b266a7383988013e410c5f981d97fcabbae36e1834e86e45ea9bb92703"
+);
+
+/// A supersingular Type-1 parameter set.
+///
+/// This trait is implemented by the zero-sized marker types [`Toy`],
+/// [`Ss512`], [`Ss768`], [`Ss1024`]; downstream code is generic over it
+/// (usually through the [`Pairing`](crate::traits::Pairing) impl).
+pub trait SsParams:
+    Sized + Copy + Clone + Debug + PartialEq + Eq + Hash + Send + Sync + Default + 'static
+{
+    /// Base field `F_p`.
+    type Fp: dlr_math::PrimeField;
+    /// Scalar field `Z_r` (prime subgroup order; the paper's `Z_p`).
+    type Fr: dlr_math::PrimeField;
+    /// Parameter-set name.
+    const NAME: &'static str;
+    /// Cofactor `c = (p+1)/r`, little-endian limbs.
+    const COFACTOR: &'static [u64];
+    /// Domain-separation seed for deterministic generator derivation.
+    const GENERATOR_DOMAIN: &'static [u8];
+}
+
+/// TOY parameter set: 71-bit base field for fast tests and simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Toy;
+
+impl SsParams for Toy {
+    type Fp = FpToy;
+    type Fr = FrToy;
+    const NAME: &'static str = "TOY";
+    const COFACTOR: &'static [u64] = &[0xb4];
+    const GENERATOR_DOMAIN: &'static [u8] = b"dlr-toy-generator";
+}
+
+const C512: [u64; 4] =
+    dlr_math::limbs::parse_hex("0xd16791f07120ce6adfadd171339ecd9e695ed629d5e1ab2b64c64197c9a25de4");
+const C768: [u64; 8] = dlr_math::limbs::parse_hex("0xd16791f07120ce6adfadd171339ecd9e695ed629d5e1ab2b64c64197c9a25dbb8bc91b933af06c0a09d588faf465864511d6f944e1050eff21d7a6d8f9265ffc");
+const C1024: [u64; 12] = dlr_math::limbs::parse_hex("0xd16791f07120ce6adfadd171339ecd9e695ed629d5e1ab2b64c64197c9a25dbb8bc91b933af06c0a09d588faf465864511d6f944e1050eff21d7a6d8f926595261dd1b09bc1cff6b4da0194f10c8d5b382229cf6ec3cca4628b5816467d2976c");
+
+/// SS512 parameter set: 512-bit base field, 256-bit subgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Ss512;
+
+impl SsParams for Ss512 {
+    type Fp = Fp512;
+    type Fr = Fr256;
+    const NAME: &'static str = "SS512";
+    const COFACTOR: &'static [u64] = &C512;
+    const GENERATOR_DOMAIN: &'static [u8] = b"dlr-ss512-generator";
+}
+
+/// SS768 parameter set: 768-bit base field, 256-bit subgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Ss768;
+
+impl SsParams for Ss768 {
+    type Fp = Fp768;
+    type Fr = Fr256;
+    const NAME: &'static str = "SS768";
+    const COFACTOR: &'static [u64] = &C768;
+    const GENERATOR_DOMAIN: &'static [u8] = b"dlr-ss768-generator";
+}
+
+/// SS1024 parameter set: 1024-bit base field, 256-bit subgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Ss1024;
+
+impl SsParams for Ss1024 {
+    type Fp = Fp1024;
+    type Fr = Fr256;
+    const NAME: &'static str = "SS1024";
+    const COFACTOR: &'static [u64] = &C1024;
+    const GENERATOR_DOMAIN: &'static [u8] = b"dlr-ss1024-generator";
+}
+
+#[cfg(test)]
+mod params_validate {
+    use super::*;
+    use dlr_math::mont::is_probable_prime;
+    use dlr_math::PrimeField;
+
+    /// Schoolbook `c · r` into a wide accumulator, then compare to `p + 1`.
+    fn check_cofactor_relation(p_be: &[u8], r_be: &[u8], c: &[u64]) {
+        // big-endian bytes -> u64 LE limbs
+        fn to_limbs(be: &[u8]) -> Vec<u64> {
+            let mut le: Vec<u8> = be.to_vec();
+            le.reverse();
+            le.chunks(8)
+                .map(|ch| {
+                    let mut b = [0u8; 8];
+                    b[..ch.len()].copy_from_slice(ch);
+                    u64::from_le_bytes(b)
+                })
+                .collect()
+        }
+        let r = to_limbs(r_be);
+        let p = to_limbs(p_be);
+        let mut prod = vec![0u64; r.len() + c.len() + 1];
+        for (i, &ci) in c.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &rj) in r.iter().enumerate() {
+                let t = prod[i + j] as u128 + ci as u128 * rj as u128 + carry;
+                prod[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + r.len();
+            while carry > 0 {
+                let t = prod[k] as u128 + carry;
+                prod[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        // subtract 1
+        let mut borrow = 1u64;
+        for limb in prod.iter_mut() {
+            let (d, b) = limb.overflowing_sub(borrow);
+            *limb = d;
+            borrow = b as u64;
+            if borrow == 0 {
+                break;
+            }
+        }
+        // compare with p (zero-extended)
+        for (i, limb) in prod.iter().enumerate() {
+            let expect = p.get(i).copied().unwrap_or(0);
+            assert_eq!(*limb, expect, "c*r - 1 != p at limb {i}");
+        }
+    }
+
+    fn validate<P: SsParams, const LP: usize, const LR: usize>() {
+        let p = dlr_math::limbs::from_bytes_be::<LP>(&P::Fp::modulus_be_bytes()).unwrap();
+        let r = dlr_math::limbs::from_bytes_be::<LR>(&P::Fr::modulus_be_bytes()).unwrap();
+        assert!(is_probable_prime(&p), "{}: p not prime", P::NAME);
+        assert!(is_probable_prime(&r), "{}: r not prime", P::NAME);
+        assert_eq!(p[0] & 3, 3, "{}: p != 3 mod 4", P::NAME);
+        assert!(P::Fp::modulus_is_3_mod_4());
+        check_cofactor_relation(
+            &P::Fp::modulus_be_bytes(),
+            &P::Fr::modulus_be_bytes(),
+            P::COFACTOR,
+        );
+    }
+
+    #[test]
+    fn toy() {
+        validate::<Toy, 2, 1>();
+    }
+
+    #[test]
+    fn ss512() {
+        validate::<Ss512, 8, 4>();
+    }
+
+    #[test]
+    fn ss768() {
+        validate::<Ss768, 12, 4>();
+    }
+
+    #[test]
+    fn ss1024() {
+        validate::<Ss1024, 16, 4>();
+    }
+
+    #[test]
+    fn modulus_bit_lengths() {
+        assert_eq!(FpToy::modulus_bits(), 71);
+        assert_eq!(FrToy::modulus_bits(), 63);
+        assert_eq!(Fp512::modulus_bits(), 512);
+        assert_eq!(Fr256::modulus_bits(), 256);
+        assert_eq!(Fp768::modulus_bits(), 768);
+        assert_eq!(Fp1024::modulus_bits(), 1024);
+    }
+}

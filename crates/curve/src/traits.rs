@@ -1,0 +1,210 @@
+//! Abstract group and pairing interfaces.
+//!
+//! The paper writes all groups **multiplicatively** (`g^a`, `∏ aᵢ^{sᵢ}`);
+//! these traits keep that notation so the scheme code in `dlr-core` reads
+//! like Construction 5.3. The elliptic-curve source group implements the
+//! operation as point addition; the target group as `F_{p²}` multiplication.
+//!
+//! # Instrumentation
+//!
+//! The public entry points [`Group::op`], [`Group::pow`] and
+//! [`Group::product_of_powers`] bump the thread-local counters in
+//! [`crate::counters`] (one "exponentiation" per base of a
+//! multi-exponentiation); the internal `raw_*` methods do not. The bench
+//! harness uses the counters to reproduce the paper's operation-count
+//! comparisons (footnote 3, device work split of §1.1).
+
+use crate::counters;
+use core::fmt::Debug;
+use core::hash::Hash;
+use dlr_math::PrimeField;
+use rand::RngCore;
+
+/// Which counter family a group's operations are recorded under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKind {
+    /// The pairing source group `G`.
+    Source,
+    /// The pairing target group `GT`.
+    Target,
+    /// A standalone group (mini experiment groups); counted as source.
+    Plain,
+}
+
+/// A prime-order cyclic group, written multiplicatively.
+pub trait Group:
+    Sized + Copy + Clone + Debug + PartialEq + Eq + Hash + Send + Sync + Default + 'static
+{
+    /// The scalar field `Z_p` of the paper (prime group order).
+    type Scalar: PrimeField;
+    /// Human-readable name used in instrumentation output.
+    const NAME: &'static str;
+    /// Counter family for instrumentation.
+    const KIND: GroupKind;
+
+    /// The neutral element.
+    fn identity() -> Self;
+    /// A fixed generator.
+    fn generator() -> Self;
+    /// Group operation without instrumentation (implementation hook).
+    #[doc(hidden)]
+    fn raw_op(&self, rhs: &Self) -> Self;
+    /// Squaring/doubling without instrumentation. Implementations with a
+    /// cheaper dedicated formula should override.
+    #[doc(hidden)]
+    fn raw_double(&self) -> Self {
+        self.raw_op(self)
+    }
+    /// The inverse element (`a^{-1}`).
+    fn inverse(&self) -> Self;
+    /// Sample a uniformly random element **without a known discrete
+    /// logarithm** (the §5.2 remark requires sampling group elements
+    /// directly so their dlogs never exist in any device's memory).
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    /// Serialize to canonical bytes (fixed length [`Self::byte_len`]).
+    fn to_bytes(&self) -> Vec<u8>;
+    /// Parse canonical bytes. Validates well-formedness (e.g. the point is
+    /// on the curve); full prime-order-subgroup membership is checked by
+    /// [`Self::is_in_subgroup`] — see the honest-but-leaky device model
+    /// discussion in `dlr-protocol`.
+    fn from_bytes(bytes: &[u8]) -> Option<Self>;
+    /// Serialized length in bytes.
+    fn byte_len() -> usize;
+    /// Full membership test in the prime-order subgroup.
+    fn is_in_subgroup(&self) -> bool;
+
+    /// The group operation (`a·b` in paper notation).
+    fn op(&self, rhs: &Self) -> Self {
+        match Self::KIND {
+            GroupKind::Target => counters::count_gt_op(),
+            _ => counters::count_g_op(),
+        }
+        self.raw_op(rhs)
+    }
+
+    /// True iff this is the neutral element.
+    fn is_identity(&self) -> bool {
+        *self == Self::identity()
+    }
+
+    /// Exponentiation by a scalar (`a^s`), variable time.
+    fn pow(&self, exp: &Self::Scalar) -> Self {
+        match Self::KIND {
+            GroupKind::Target => counters::count_gt_pow(),
+            _ => counters::count_g_pow(),
+        }
+        let limbs = exp.to_canonical_limbs();
+        self.pow_vartime_limbs(&limbs)
+    }
+
+    /// Exponentiation by a little-endian limb slice (uninstrumented;
+    /// used internally for cofactor clearing and subgroup checks).
+    fn pow_vartime_limbs(&self, exp: &[u64]) -> Self {
+        let mut nbits = 0u32;
+        for (i, w) in exp.iter().enumerate() {
+            if *w != 0 {
+                nbits = i as u32 * 64 + (64 - w.leading_zeros());
+            }
+        }
+        let mut acc = Self::identity();
+        let mut i = nbits;
+        while i > 0 {
+            i -= 1;
+            acc = acc.raw_double();
+            if (exp[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+                acc = acc.raw_op(self);
+            }
+        }
+        acc
+    }
+
+    /// Exponentiation with an **operation-schedule independent of the
+    /// exponent bits**: a Montgomery ladder over the full scalar bit
+    /// length, performing exactly one `raw_op` and one `raw_double` per
+    /// bit. This removes the operation-count/timing channel of
+    /// [`Self::pow`]; residual leakage through branch prediction and
+    /// memory placement remains (no constant-time swap — documented
+    /// best-effort, consistent with the paper's memory-leakage model).
+    fn pow_ladder(&self, exp: &Self::Scalar) -> Self {
+        match Self::KIND {
+            GroupKind::Target => counters::count_gt_pow(),
+            _ => counters::count_g_pow(),
+        }
+        let limbs = exp.to_canonical_limbs();
+        let nbits = Self::Scalar::modulus_bits();
+        let mut r0 = Self::identity();
+        let mut r1 = *self;
+        let mut i = nbits;
+        while i > 0 {
+            i -= 1;
+            let bit = (limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1;
+            if bit {
+                r0 = r0.raw_op(&r1);
+                r1 = r1.raw_double();
+            } else {
+                r1 = r0.raw_op(&r1);
+                r0 = r0.raw_double();
+            }
+        }
+        r0
+    }
+
+    /// `a / b = a · b^{-1}`.
+    fn div(&self, rhs: &Self) -> Self {
+        self.op(&rhs.inverse())
+    }
+
+    /// Exponentiation by a small integer.
+    fn pow_u64(&self, e: u64) -> Self {
+        self.pow(&Self::Scalar::from_u64(e))
+    }
+
+    /// `∏ basesᵢ^{expsᵢ}` — multi-exponentiation via shared-doubling Straus
+    /// interleaving (see [`crate::multiexp`]). Counted as `bases.len()`
+    /// exponentiations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bases` and `exps` have different lengths.
+    fn product_of_powers(bases: &[Self], exps: &[Self::Scalar]) -> Self {
+        assert_eq!(bases.len(), exps.len(), "bases/exps length mismatch");
+        for _ in 0..bases.len() {
+            match Self::KIND {
+                GroupKind::Target => counters::count_gt_pow(),
+                _ => counters::count_g_pow(),
+            }
+        }
+        crate::multiexp::straus_raw(bases, exps)
+    }
+}
+
+/// A bilinear map `e : G1 × G2 → GT` between prime-order groups sharing a
+/// scalar field.
+///
+/// The paper's parameter generator `G(1^n)` outputs a **symmetric**
+/// (Type-1) map — instantiated here by the supersingular parameter sets,
+/// where `G1 = G2`. The trait is stated asymmetrically so the same scheme
+/// code also runs over Type-3 curves (BLS12-381 in `dlr-bls12`), with the
+/// scheme's role assignment: ciphertext components in `G1`, key-share
+/// components in `G2`.
+pub trait Pairing: Sized + Send + Sync + 'static {
+    /// Common scalar field (`Z_p` in the paper).
+    type Scalar: PrimeField;
+    /// First pairing slot (ciphertext side).
+    type G1: Group<Scalar = Self::Scalar>;
+    /// Second pairing slot (key side; equals `G1` for Type-1 curves).
+    type G2: Group<Scalar = Self::Scalar>;
+    /// Target group `GT`, generated by `e(g, h)`.
+    type Gt: Group<Scalar = Self::Scalar>;
+    /// Parameter-set name (e.g. `"SS512"`).
+    const NAME: &'static str;
+
+    /// The bilinear map. Bilinearity: `e(u^a, v^b) = e(u, v)^{ab}`;
+    /// non-degeneracy: `e(g, h)` generates `GT` for generators `g, h`.
+    fn pair(p: &Self::G1, q: &Self::G2) -> Self::Gt;
+
+    /// `e(g, h)` for the fixed generators (cached by implementations).
+    fn pair_generators() -> Self::Gt {
+        Self::pair(&Self::G1::generator(), &Self::G2::generator())
+    }
+}

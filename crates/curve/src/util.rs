@@ -1,0 +1,28 @@
+//! Small shared helpers.
+
+use dlr_math::PrimeField;
+
+/// The modulus of a prime field as little-endian `u64` limbs — used as an
+/// exponent for subgroup checks and the Miller loop bit pattern.
+pub fn field_modulus_limbs<F: PrimeField>() -> Vec<u64> {
+    let mut be = F::modulus_be_bytes();
+    be.reverse();
+    be.chunks(8)
+        .map(|ch| {
+            let mut b = [0u8; 8];
+            b[..ch.len()].copy_from_slice(ch);
+            u64::from_le_bytes(b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FrToy;
+
+    #[test]
+    fn limbs_match_modulus() {
+        assert_eq!(field_modulus_limbs::<FrToy>(), vec![0x5ed5e420ff583487]);
+    }
+}

@@ -1,0 +1,97 @@
+//! HKDF (RFC 5869) over HMAC-SHA-256 — used to derive expandable digest
+//! streams (e.g. hashing identities to `n`-bit strings, deriving
+//! try-and-increment counters for hash-to-curve).
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: compress input keying material into a pseudorandom key.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derive `len` output bytes from a pseudorandom key.
+///
+/// # Panics
+///
+/// Panics if `len > 255 · 32` (the RFC 5869 maximum).
+pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "hkdf expand length too large");
+    let mut okm = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        t = h.finalize().to_vec();
+        let take = (len - okm.len()).min(DIGEST_LEN);
+        okm.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("hkdf counter overflow");
+    }
+    okm
+}
+
+/// Extract-then-expand in one call.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc5869_tc1() {
+        let ikm = vec![0x0bu8; 22];
+        let salt = hex("000102030405060708090a0b0c");
+        let info = hex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            prk.to_vec(),
+            hex("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            okm,
+            hex("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+        );
+    }
+
+    #[test]
+    fn rfc5869_tc3_empty_salt_info() {
+        let ikm = vec![0x0bu8; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            okm,
+            hex("8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+        );
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = extract(b"salt", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            let okm = expand(&prk, b"info", len);
+            assert_eq!(okm.len(), len);
+        }
+        // prefix property: shorter outputs are prefixes of longer ones
+        let long = expand(&prk, b"info", 100);
+        let short = expand(&prk, b"info", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn expand_rejects_huge_len() {
+        expand(&[0u8; 32], b"", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dlr-hash — SHA-2, HMAC, HKDF and one-time signatures from scratch
+//!
+//! Symmetric-crypto substrate for the DLR workspace:
+//!
+//! * [`sha256`] / [`sha512`] — FIPS 180-4 hash functions (validated against
+//!   the FIPS test vectors);
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104 / 4231 vectors);
+//! * [`hkdf`] — HKDF (RFC 5869 vectors), used to derive arbitrary-length
+//!   digest streams for hash-to-curve and identity hashing;
+//! * [`ots`] — Lamport and Winternitz one-time signatures, the ingredient
+//!   the BCHK transform needs to lift the paper's DIBE to a CCA2-secure
+//!   DPKE (§4.3).
+//!
+//! ```
+//! let d = dlr_hash::sha256::digest(b"abc");
+//! assert_eq!(d[0], 0xba);
+//! ```
+
+pub mod hkdf;
+pub mod hmac;
+pub mod ots;
+pub mod sha256;
+pub mod sha512;
+
+pub use ots::OneTimeSignature;

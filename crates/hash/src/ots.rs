@@ -1,0 +1,523 @@
+//! One-time signatures over SHA-256: Lamport and Winternitz (WOTS).
+//!
+//! The DLRCCA2 scheme (§4.3 of the paper) applies the Boneh–Canetti–Halevi–
+//! Katz transform, which needs a **strongly unforgeable one-time signature**:
+//! the IBE identity is the OTS verification key and the OTS signs the
+//! ciphertext. Both schemes here are hash-based (no extra assumptions
+//! beyond SHA-256 behaving as a one-way function), built from scratch.
+//!
+//! `sign` consumes the signing key — the type system enforces the
+//! *one-time* property.
+
+use crate::sha256::{self, DIGEST_LEN};
+use rand::RngCore;
+
+/// A one-time signature scheme.
+pub trait OneTimeSignature {
+    /// Signing key (consumed by signing).
+    type SigningKey;
+    /// Verification key.
+    type VerifyKey: Clone + PartialEq + core::fmt::Debug;
+    /// Signature.
+    type Signature: Clone + PartialEq + core::fmt::Debug;
+
+    /// Generate a fresh key pair.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> (Self::SigningKey, Self::VerifyKey);
+    /// Sign a message, consuming the key.
+    fn sign(sk: Self::SigningKey, message: &[u8]) -> Self::Signature;
+    /// Verify a signature.
+    fn verify(vk: &Self::VerifyKey, message: &[u8], sig: &Self::Signature) -> bool;
+    /// Serialize the verification key (input to the IBE identity hash).
+    fn verify_key_bytes(vk: &Self::VerifyKey) -> Vec<u8>;
+    /// Serialize a signature.
+    fn signature_bytes(sig: &Self::Signature) -> Vec<u8>;
+    /// Parse a verification key.
+    fn verify_key_from_bytes(bytes: &[u8]) -> Option<Self::VerifyKey>;
+    /// Parse a signature.
+    fn signature_from_bytes(bytes: &[u8]) -> Option<Self::Signature>;
+}
+
+// ---------------------------------------------------------------------------
+// Lamport
+// ---------------------------------------------------------------------------
+
+/// Lamport one-time signature over SHA-256.
+///
+/// Keys are 2×256 preimages of 32 bytes; a signature reveals one preimage
+/// per bit of `SHA-256(message)`.
+#[derive(Debug)]
+pub struct Lamport;
+
+/// Lamport signing key: `sk[b][i]` is revealed when bit `i` of the message
+/// digest equals `b`.
+pub struct LamportSigningKey {
+    sk: Box<[[[u8; DIGEST_LEN]; 256]; 2]>,
+}
+
+impl core::fmt::Debug for LamportSigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "LamportSigningKey(<secret>)")
+    }
+}
+
+/// Lamport verification key: hashes of all preimages.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportVerifyKey {
+    pk: Box<[[[u8; DIGEST_LEN]; 256]; 2]>,
+}
+
+impl core::fmt::Debug for LamportVerifyKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let d = sha256::digest(&Lamport::verify_key_bytes(self));
+        write!(f, "LamportVerifyKey(#{:02x}{:02x}{:02x}{:02x}…)", d[0], d[1], d[2], d[3])
+    }
+}
+
+/// Lamport signature: 256 revealed preimages.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportSignature {
+    reveals: Box<[[u8; DIGEST_LEN]; 256]>,
+}
+
+impl core::fmt::Debug for LamportSignature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "LamportSignature(256 preimages)")
+    }
+}
+
+fn digest_bit(digest: &[u8; DIGEST_LEN], i: usize) -> usize {
+    ((digest[i / 8] >> (7 - i % 8)) & 1) as usize
+}
+
+impl OneTimeSignature for Lamport {
+    type SigningKey = LamportSigningKey;
+    type VerifyKey = LamportVerifyKey;
+    type Signature = LamportSignature;
+
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> (Self::SigningKey, Self::VerifyKey) {
+        let mut sk = Box::new([[[0u8; DIGEST_LEN]; 256]; 2]);
+        let mut pk = Box::new([[[0u8; DIGEST_LEN]; 256]; 2]);
+        for b in 0..2 {
+            for i in 0..256 {
+                rng.fill_bytes(&mut sk[b][i]);
+                pk[b][i] = sha256::digest(&sk[b][i]);
+            }
+        }
+        (LamportSigningKey { sk }, LamportVerifyKey { pk })
+    }
+
+    fn sign(sk: Self::SigningKey, message: &[u8]) -> Self::Signature {
+        let d = sha256::digest(message);
+        let mut reveals = Box::new([[0u8; DIGEST_LEN]; 256]);
+        for i in 0..256 {
+            reveals[i] = sk.sk[digest_bit(&d, i)][i];
+        }
+        LamportSignature { reveals }
+    }
+
+    fn verify(vk: &Self::VerifyKey, message: &[u8], sig: &Self::Signature) -> bool {
+        let d = sha256::digest(message);
+        let mut ok = true;
+        for i in 0..256 {
+            let expect = &vk.pk[digest_bit(&d, i)][i];
+            ok &= crate::hmac::ct_eq(&sha256::digest(&sig.reveals[i]), expect);
+        }
+        ok
+    }
+
+    fn verify_key_bytes(vk: &Self::VerifyKey) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 * 256 * DIGEST_LEN);
+        for b in 0..2 {
+            for i in 0..256 {
+                out.extend_from_slice(&vk.pk[b][i]);
+            }
+        }
+        out
+    }
+
+    fn signature_bytes(sig: &Self::Signature) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 * DIGEST_LEN);
+        for i in 0..256 {
+            out.extend_from_slice(&sig.reveals[i]);
+        }
+        out
+    }
+
+    fn verify_key_from_bytes(bytes: &[u8]) -> Option<Self::VerifyKey> {
+        if bytes.len() != 2 * 256 * DIGEST_LEN {
+            return None;
+        }
+        let mut pk = Box::new([[[0u8; DIGEST_LEN]; 256]; 2]);
+        let mut off = 0;
+        for b in 0..2 {
+            for i in 0..256 {
+                pk[b][i].copy_from_slice(&bytes[off..off + DIGEST_LEN]);
+                off += DIGEST_LEN;
+            }
+        }
+        Some(LamportVerifyKey { pk })
+    }
+
+    fn signature_from_bytes(bytes: &[u8]) -> Option<Self::Signature> {
+        if bytes.len() != 256 * DIGEST_LEN {
+            return None;
+        }
+        let mut reveals = Box::new([[0u8; DIGEST_LEN]; 256]);
+        for (i, chunk) in bytes.chunks_exact(DIGEST_LEN).enumerate() {
+            reveals[i].copy_from_slice(chunk);
+        }
+        Some(LamportSignature { reveals })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Winternitz (WOTS)
+// ---------------------------------------------------------------------------
+
+/// Winternitz parameter: digits are processed in base `2^LOG_W`.
+/// Larger `LOG_W` → shorter signatures, more hashing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WinternitzParam {
+    /// w = 4 (2-bit digits)
+    W4,
+    /// w = 16 (4-bit digits) — the usual sweet spot
+    W16,
+    /// w = 256 (8-bit digits)
+    W256,
+}
+
+impl WinternitzParam {
+    fn log_w(self) -> usize {
+        match self {
+            WinternitzParam::W4 => 2,
+            WinternitzParam::W16 => 4,
+            WinternitzParam::W256 => 8,
+        }
+    }
+    fn w(self) -> usize {
+        1 << self.log_w()
+    }
+    /// Number of message digits.
+    pub fn len1(self) -> usize {
+        256usize.div_ceil(self.log_w())
+    }
+    /// Number of checksum digits.
+    pub fn len2(self) -> usize {
+        let max_checksum = self.len1() * (self.w() - 1);
+        let mut bits = 0usize;
+        while (1usize << bits) <= max_checksum {
+            bits += 1;
+        }
+        bits.div_ceil(self.log_w())
+    }
+    /// Total chain count.
+    pub fn chains(self) -> usize {
+        self.len1() + self.len2()
+    }
+}
+
+/// Winternitz one-time signature with runtime parameter `w`.
+#[derive(Debug)]
+pub struct Winternitz<const LOG_W: usize>;
+
+/// Convenience alias: WOTS with w = 16.
+pub type Wots16 = Winternitz<4>;
+
+fn wots_param<const LOG_W: usize>() -> WinternitzParam {
+    match LOG_W {
+        2 => WinternitzParam::W4,
+        4 => WinternitzParam::W16,
+        8 => WinternitzParam::W256,
+        _ => panic!("unsupported Winternitz LOG_W (use 2, 4 or 8)"),
+    }
+}
+
+/// Domain-separated chaining function: `F(chain_index, step, x)`.
+fn chain_step(chain: usize, step: usize, x: &[u8; DIGEST_LEN]) -> [u8; DIGEST_LEN] {
+    let mut h = sha256::Sha256::new();
+    h.update(b"dlr-wots-chain");
+    h.update(&(chain as u32).to_be_bytes());
+    h.update(&(step as u32).to_be_bytes());
+    h.update(x);
+    h.finalize()
+}
+
+fn apply_chain(chain: usize, from: usize, steps: usize, x: &[u8; DIGEST_LEN]) -> [u8; DIGEST_LEN] {
+    let mut cur = *x;
+    for s in from..from + steps {
+        cur = chain_step(chain, s, &cur);
+    }
+    cur
+}
+
+/// Base-w digits of the message digest plus checksum digits.
+fn wots_digits(param: WinternitzParam, message: &[u8]) -> Vec<usize> {
+    let d = sha256::digest(message);
+    let log_w = param.log_w();
+    let mut digits = Vec::with_capacity(param.chains());
+    // message digits, MSB-first
+    let mut acc: u32 = 0;
+    let mut acc_bits = 0usize;
+    for &byte in d.iter() {
+        acc = (acc << 8) | byte as u32;
+        acc_bits += 8;
+        while acc_bits >= log_w {
+            acc_bits -= log_w;
+            digits.push(((acc >> acc_bits) as usize) & (param.w() - 1));
+        }
+    }
+    debug_assert_eq!(digits.len(), param.len1());
+    // checksum: sum of (w-1 - digit), encoded base w, len2 digits MSB-first
+    let checksum: usize = digits.iter().map(|&d| param.w() - 1 - d).sum();
+    let mut cs_digits = vec![0usize; param.len2()];
+    let mut cs = checksum;
+    for slot in cs_digits.iter_mut().rev() {
+        *slot = cs & (param.w() - 1);
+        cs >>= log_w;
+    }
+    debug_assert_eq!(cs, 0, "checksum must fit in len2 digits");
+    digits.extend_from_slice(&cs_digits);
+    digits
+}
+
+/// WOTS signing key.
+pub struct WotsSigningKey {
+    param: WinternitzParam,
+    sk: Vec<[u8; DIGEST_LEN]>,
+}
+
+impl core::fmt::Debug for WotsSigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "WotsSigningKey({:?}, <secret>)", self.param)
+    }
+}
+
+/// WOTS verification key (chain endpoints).
+#[derive(Clone, PartialEq, Eq)]
+pub struct WotsVerifyKey {
+    param: WinternitzParam,
+    pk: Vec<[u8; DIGEST_LEN]>,
+}
+
+impl core::fmt::Debug for WotsVerifyKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "WotsVerifyKey({:?}, {} chains)", self.param, self.pk.len())
+    }
+}
+
+/// WOTS signature (intermediate chain values).
+#[derive(Clone, PartialEq, Eq)]
+pub struct WotsSignature {
+    param: WinternitzParam,
+    sig: Vec<[u8; DIGEST_LEN]>,
+}
+
+impl core::fmt::Debug for WotsSignature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "WotsSignature({:?}, {} chains)", self.param, self.sig.len())
+    }
+}
+
+impl<const LOG_W: usize> OneTimeSignature for Winternitz<LOG_W> {
+    type SigningKey = WotsSigningKey;
+    type VerifyKey = WotsVerifyKey;
+    type Signature = WotsSignature;
+
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> (Self::SigningKey, Self::VerifyKey) {
+        let param = wots_param::<LOG_W>();
+        let chains = param.chains();
+        let mut sk = Vec::with_capacity(chains);
+        let mut pk = Vec::with_capacity(chains);
+        for c in 0..chains {
+            let mut seed = [0u8; DIGEST_LEN];
+            rng.fill_bytes(&mut seed);
+            pk.push(apply_chain(c, 0, param.w() - 1, &seed));
+            sk.push(seed);
+        }
+        (WotsSigningKey { param, sk }, WotsVerifyKey { param, pk })
+    }
+
+    fn sign(sk: Self::SigningKey, message: &[u8]) -> Self::Signature {
+        let digits = wots_digits(sk.param, message);
+        let sig = digits
+            .iter()
+            .enumerate()
+            .map(|(c, &d)| apply_chain(c, 0, d, &sk.sk[c]))
+            .collect();
+        WotsSignature {
+            param: sk.param,
+            sig,
+        }
+    }
+
+    fn verify(vk: &Self::VerifyKey, message: &[u8], sig: &Self::Signature) -> bool {
+        if sig.param != vk.param || sig.sig.len() != vk.pk.len() {
+            return false;
+        }
+        let param = vk.param;
+        let digits = wots_digits(param, message);
+        let mut ok = true;
+        for (c, &d) in digits.iter().enumerate() {
+            let end = apply_chain(c, d, param.w() - 1 - d, &sig.sig[c]);
+            ok &= crate::hmac::ct_eq(&end, &vk.pk[c]);
+        }
+        ok
+    }
+
+    fn verify_key_bytes(vk: &Self::VerifyKey) -> Vec<u8> {
+        let mut out = vec![vk.param.log_w() as u8];
+        for p in &vk.pk {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    fn signature_bytes(sig: &Self::Signature) -> Vec<u8> {
+        let mut out = vec![sig.param.log_w() as u8];
+        for s in &sig.sig {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    fn verify_key_from_bytes(bytes: &[u8]) -> Option<Self::VerifyKey> {
+        let param = wots_param::<LOG_W>();
+        if bytes.first() != Some(&(param.log_w() as u8)) {
+            return None;
+        }
+        let body = &bytes[1..];
+        if body.len() != param.chains() * DIGEST_LEN {
+            return None;
+        }
+        let pk = body
+            .chunks_exact(DIGEST_LEN)
+            .map(|c| {
+                let mut a = [0u8; DIGEST_LEN];
+                a.copy_from_slice(c);
+                a
+            })
+            .collect();
+        Some(WotsVerifyKey { param, pk })
+    }
+
+    fn signature_from_bytes(bytes: &[u8]) -> Option<Self::Signature> {
+        let param = wots_param::<LOG_W>();
+        if bytes.first() != Some(&(param.log_w() as u8)) {
+            return None;
+        }
+        let body = &bytes[1..];
+        if body.len() != param.chains() * DIGEST_LEN {
+            return None;
+        }
+        let sig = body
+            .chunks_exact(DIGEST_LEN)
+            .map(|c| {
+                let mut a = [0u8; DIGEST_LEN];
+                a.copy_from_slice(c);
+                a
+            })
+            .collect();
+        Some(WotsSignature { param, sig })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn lamport_roundtrip() {
+        let mut r = rng();
+        let (sk, vk) = Lamport::generate(&mut r);
+        let sig = Lamport::sign(sk, b"hello world");
+        assert!(Lamport::verify(&vk, b"hello world", &sig));
+        assert!(!Lamport::verify(&vk, b"hello worle", &sig));
+    }
+
+    #[test]
+    fn lamport_wrong_key_rejected() {
+        let mut r = rng();
+        let (sk, _vk) = Lamport::generate(&mut r);
+        let (_, vk2) = Lamport::generate(&mut r);
+        let sig = Lamport::sign(sk, b"msg");
+        assert!(!Lamport::verify(&vk2, b"msg", &sig));
+    }
+
+    #[test]
+    fn lamport_serialization() {
+        let mut r = rng();
+        let (sk, vk) = Lamport::generate(&mut r);
+        let sig = Lamport::sign(sk, b"m");
+        let vkb = Lamport::verify_key_bytes(&vk);
+        let sigb = Lamport::signature_bytes(&sig);
+        let vk2 = Lamport::verify_key_from_bytes(&vkb).unwrap();
+        let sig2 = Lamport::signature_from_bytes(&sigb).unwrap();
+        assert!(Lamport::verify(&vk2, b"m", &sig2));
+        assert!(Lamport::verify_key_from_bytes(&vkb[1..]).is_none());
+    }
+
+    #[test]
+    fn wots_roundtrip_all_params() {
+        fn run<const LOG_W: usize>() {
+            let mut r = rng();
+            let (sk, vk) = Winternitz::<LOG_W>::generate(&mut r);
+            let sig = Winternitz::<LOG_W>::sign(sk, b"the message");
+            assert!(Winternitz::<LOG_W>::verify(&vk, b"the message", &sig));
+            assert!(!Winternitz::<LOG_W>::verify(&vk, b"the messagf", &sig));
+        }
+        run::<2>();
+        run::<4>();
+        run::<8>();
+    }
+
+    #[test]
+    fn wots_signature_sizes() {
+        // w=16: 64 message digits + 3 checksum digits = 67 chains
+        assert_eq!(WinternitzParam::W16.chains(), 67);
+        // w=256: 32 + 2 = 34 chains
+        assert_eq!(WinternitzParam::W256.chains(), 34);
+        // w=4: 128 + 4 checksum digits
+        assert_eq!(WinternitzParam::W4.len1(), 128);
+    }
+
+    #[test]
+    fn wots_serialization_roundtrip() {
+        let mut r = rng();
+        let (sk, vk) = Wots16::generate(&mut r);
+        let sig = Wots16::sign(sk, b"x");
+        let vk2 = Wots16::verify_key_from_bytes(&Wots16::verify_key_bytes(&vk)).unwrap();
+        let sig2 = Wots16::signature_from_bytes(&Wots16::signature_bytes(&sig)).unwrap();
+        assert!(Wots16::verify(&vk2, b"x", &sig2));
+    }
+
+    #[test]
+    fn wots_tampered_signature_rejected() {
+        let mut r = rng();
+        let (sk, vk) = Wots16::generate(&mut r);
+        let mut sig = Wots16::sign(sk, b"x");
+        sig.sig[0][0] ^= 1;
+        assert!(!Wots16::verify(&vk, b"x", &sig));
+    }
+
+    #[test]
+    fn digits_checksum_invariant() {
+        // For every message, sum(digits) + checksum-value is the constant
+        // len1*(w-1): flipping any message digit down forces a checksum
+        // digit up — the core WOTS security property.
+        let p = WinternitzParam::W16;
+        for msg in [&b"a"[..], b"b", b"hello", b""] {
+            let digits = wots_digits(p, msg);
+            let msg_sum: usize = digits[..p.len1()].iter().sum();
+            let mut cs_val = 0usize;
+            for &d in &digits[p.len1()..] {
+                cs_val = (cs_val << p.log_w()) | d;
+            }
+            assert_eq!(msg_sum + cs_val, p.len1() * (p.w() - 1));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the hash/MAC/KDF/OTS layer.
+
+use dlr_hash::ots::{Lamport, OneTimeSignature, Winternitz};
+use dlr_hash::{hkdf, hmac, sha256, sha512};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+        split in 0usize..500,
+    ) {
+        let split = split.min(data.len());
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha512_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+        split in 0usize..500,
+    ) {
+        let split = split.min(data.len());
+        let mut h = sha512::Sha512::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha512::digest(&data));
+    }
+
+    #[test]
+    fn digests_separate_inputs(
+        a in proptest::collection::vec(any::<u8>(), 0..100),
+        b in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(sha256::digest(&a), sha256::digest(&b));
+        prop_assert_ne!(sha512::digest(&a), sha512::digest(&b));
+    }
+
+    #[test]
+    fn hmac_key_and_message_sensitivity(
+        key in proptest::collection::vec(any::<u8>(), 0..80),
+        msg in proptest::collection::vec(any::<u8>(), 0..120),
+        flip in any::<u8>(),
+    ) {
+        let tag = hmac::hmac_sha256(&key, &msg);
+        prop_assert!(hmac::ct_eq(&tag, &hmac::hmac_sha256(&key, &msg)));
+        let mut msg2 = msg.clone();
+        if !msg2.is_empty() {
+            let i = flip as usize % msg2.len();
+            msg2[i] ^= 1;
+            prop_assert!(!hmac::ct_eq(&tag, &hmac::hmac_sha256(&key, &msg2)));
+        }
+    }
+
+    #[test]
+    fn hkdf_prefix_property(
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        len1 in 1usize..200,
+        len2 in 1usize..200,
+    ) {
+        let short = len1.min(len2);
+        let long = len1.max(len2);
+        let a = hkdf::hkdf(b"salt", &ikm, b"info", short);
+        let b = hkdf::hkdf(b"salt", &ikm, b"info", long);
+        prop_assert_eq!(&b[..short], &a[..]);
+        // info separates outputs
+        let c = hkdf::hkdf(b"salt", &ikm, b"other", short);
+        prop_assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wots_sign_verify_any_message(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let (sk, vk) = Winternitz::<4>::generate(&mut r);
+        let sig = Winternitz::<4>::sign(sk, &msg);
+        prop_assert!(Winternitz::<4>::verify(&vk, &msg, &sig));
+        // any other message must fail
+        let mut other = msg.clone();
+        other.push(0x55);
+        prop_assert!(!Winternitz::<4>::verify(&vk, &other, &sig));
+    }
+
+    #[test]
+    fn lamport_forgery_resistance_sample(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 1..100),
+        tamper in any::<u8>(),
+    ) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let (sk, vk) = Lamport::generate(&mut r);
+        let sig = Lamport::sign(sk, &msg);
+        let mut forged = msg.clone();
+        let i = tamper as usize % forged.len();
+        forged[i] = forged[i].wrapping_add(1);
+        prop_assert!(!Lamport::verify(&vk, &forged, &sig));
+    }
+
+    #[test]
+    fn ots_serialization_total(bytes in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        // parsers must never panic on garbage
+        let _ = Lamport::verify_key_from_bytes(&bytes);
+        let _ = Lamport::signature_from_bytes(&bytes);
+        let _ = Winternitz::<4>::verify_key_from_bytes(&bytes);
+        let _ = Winternitz::<8>::signature_from_bytes(&bytes);
+    }
+}

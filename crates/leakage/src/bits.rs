@@ -1,0 +1,130 @@
+//! A compact bit string with length in bits (leakage-function outputs are
+//! measured in *bits*, and the length-shrinking budgets are bit-exact).
+
+/// A bit string (MSB-first within each byte).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bits {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl Bits {
+    /// Empty bit string.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// From a boolean slice.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut out = Self::new();
+        for &b in bools {
+            out.push(b);
+        }
+        out
+    }
+
+    /// From raw bytes (length = 8 × bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Self {
+            len: bytes.len() * 8,
+            bytes: bytes.to_vec(),
+        }
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        let byte_idx = self.len / 8;
+        if byte_idx == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_idx] |= 1 << (7 - self.len % 8);
+        }
+        self.len += 1;
+    }
+
+    /// Append all bits of another string.
+    pub fn extend(&mut self, other: &Bits) {
+        for i in 0..other.len {
+            self.push(other.get(i).expect("in range"));
+        }
+    }
+
+    /// Bit at position `i`.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if i >= self.len {
+            return None;
+        }
+        Some((self.bytes[i / 8] >> (7 - i % 8)) & 1 == 1)
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i).expect("in range"))
+    }
+
+    /// The underlying bytes (final partial byte zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut out = Self::new();
+        for b in iter {
+            out.push(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let bits = Bits::from_bools(&pattern);
+        assert_eq!(bits.len(), 9);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(bits.get(i), Some(b));
+        }
+        assert_eq!(bits.get(9), None);
+    }
+
+    #[test]
+    fn from_bytes_and_iter() {
+        let bits = Bits::from_bytes(&[0b1010_0000]);
+        assert_eq!(bits.len(), 8);
+        let v: Vec<bool> = bits.iter().collect();
+        assert_eq!(&v[..4], &[true, false, true, false]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Bits::from_bools(&[true]);
+        let b = Bits::from_bools(&[false, true]);
+        a.extend(&b);
+        assert_eq!(a, Bits::from_bools(&[true, false, true]));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let bits: Bits = (0..5).map(|i| i % 2 == 0).collect();
+        assert_eq!(bits.len(), 5);
+        assert_eq!(bits.get(0), Some(true));
+        assert_eq!(bits.get(1), Some(false));
+    }
+}

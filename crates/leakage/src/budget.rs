@@ -1,0 +1,149 @@
+//! Leakage-budget accounting, exactly as Definition 3.2 specifies.
+//!
+//! For device `P_i` with bound `b_i`, the bits leaked **while a given share
+//! is in memory** must not exceed `b_i`:
+//!
+//! ```text
+//! L_i^t + |ℓ_i^t| + |ℓ_i^{t,Ref}| ≤ b_i     with     L_i^{t+1} = |ℓ_i^{t,Ref}|
+//! ```
+//!
+//! i.e. refresh-phase leakage is charged against *both* the outgoing and
+//! the incoming share (both sit in memory during refresh).
+
+/// Budget tracker for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakageBudget {
+    bound: u64,
+    carried: u64,
+    total_leaked: u64,
+    periods: u64,
+}
+
+/// Budget violation: the requested leakage would exceed `b_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The bound `b_i`.
+    pub bound: u64,
+    /// What the period would have charged (`L^t + |ℓ^t| + |ℓ^{t,Ref}|`).
+    pub attempted: u64,
+}
+
+impl core::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "leakage budget exceeded: {} bits attempted against bound {}",
+            self.attempted, self.bound
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+impl LeakageBudget {
+    /// New tracker with per-share bound `b_i` (bits). The key-generation
+    /// leakage `|ℓ^Gen|` is carried into period 0 (Def. 3.2 sets
+    /// `L^0 = |ℓ^Gen|`).
+    pub fn new(bound: u64, keygen_leak: u64) -> Self {
+        Self {
+            bound,
+            carried: keygen_leak,
+            total_leaked: keygen_leak,
+            periods: 0,
+        }
+    }
+
+    /// The per-share bound.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Bits already charged against the current share.
+    pub fn carried(&self) -> u64 {
+        self.carried
+    }
+
+    /// Total bits leaked over the lifetime (unbounded in the continual
+    /// model — this is the number experiment F4 watches grow).
+    pub fn total_leaked(&self) -> u64 {
+        self.total_leaked
+    }
+
+    /// Completed periods.
+    pub fn periods(&self) -> u64 {
+        self.periods
+    }
+
+    /// Charge one period's leakage (`normal` = `|ℓ^t|`, `refresh` =
+    /// `|ℓ^{t,Ref}|`). On success the refresh amount carries into the next
+    /// period.
+    pub fn charge_period(&mut self, normal: u64, refresh: u64) -> Result<(), BudgetExceeded> {
+        let attempted = self.carried + normal + refresh;
+        if attempted > self.bound {
+            return Err(BudgetExceeded {
+                bound: self.bound,
+                attempted,
+            });
+        }
+        self.total_leaked += normal + refresh;
+        self.carried = refresh;
+        self.periods += 1;
+        Ok(())
+    }
+
+    /// Largest `normal` leakage admissible this period given a planned
+    /// `refresh` amount.
+    pub fn headroom(&self, refresh: u64) -> u64 {
+        self.bound.saturating_sub(self.carried + refresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_period_bound_enforced() {
+        let mut b = LeakageBudget::new(100, 0);
+        assert!(b.charge_period(60, 40).is_ok());
+        // carried = 40 now; 60 + 40 + carried = 140 > 100
+        assert_eq!(
+            b.charge_period(60, 40),
+            Err(BudgetExceeded {
+                bound: 100,
+                attempted: 140
+            })
+        );
+        // but 30 + 30 + 40 = 100 is fine
+        assert!(b.charge_period(30, 30).is_ok());
+    }
+
+    #[test]
+    fn total_grows_without_bound() {
+        // steady state: carried 3 + normal 2 + refresh 3 = 8 ≤ 10 forever,
+        // yet the lifetime total is unbounded — the continual property.
+        let mut b = LeakageBudget::new(10, 0);
+        for _ in 0..1000 {
+            b.charge_period(2, 3).unwrap();
+        }
+        assert_eq!(b.total_leaked(), 5_000);
+        assert_eq!(b.periods(), 1000);
+    }
+
+    #[test]
+    fn keygen_leak_charges_period_zero() {
+        let mut b = LeakageBudget::new(10, 8);
+        assert!(b.charge_period(3, 0).is_err());
+        assert!(b.charge_period(2, 0).is_ok());
+        // carried resets to 0 after a refresh with no leakage
+        assert!(b.charge_period(10, 0).is_ok());
+    }
+
+    #[test]
+    fn headroom_reports_remaining() {
+        let mut b = LeakageBudget::new(100, 0);
+        b.charge_period(0, 30).unwrap();
+        assert_eq!(b.headroom(20), 50);
+        assert_eq!(b.headroom(200), 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! The CCA2-CML game (§3.3): the CPA-CML game plus a decryption oracle.
+//!
+//! The adversary leaks from the master-share devices for as many periods
+//! as it likes (with refreshes in between), may query a decryption oracle
+//! throughout — except on the challenge ciphertext — and leakage stops at
+//! the challenge (as the paper specifies). Oracle queries are answered by
+//! the *real* distributed CCA2 decryption: identity-key generation plus
+//! identity decryption protocols between the two devices.
+
+use crate::budget::{BudgetExceeded, LeakageBudget};
+use crate::game::{PeriodLeakage, PeriodLeakageOutput, PeriodPublic};
+use crate::leakfn::LeakInput;
+use dlr_core::cca2::{self, Cca2Ciphertext};
+use dlr_core::dibe::{self, DibeParty1, DibeParty2};
+use dlr_core::ibe::IbeParams;
+use dlr_core::params::SchemeParams;
+use dlr_core::CoreError;
+use dlr_curve::Pairing;
+#[cfg(test)]
+use dlr_curve::Group;
+use dlr_hash::OneTimeSignature;
+use rand::RngCore;
+
+/// When an oracle query batch is issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OraclePhase {
+    /// Before the challenge ciphertext is produced.
+    PreChallenge,
+    /// After the challenge (the classic CCA2 power).
+    PostChallenge,
+}
+
+/// An adversary in the CCA2-CML game.
+pub trait Cca2Adversary<E: Pairing, S: OneTimeSignature> {
+    /// Receive the public parameters.
+    fn on_params(&mut self, _params: &IbeParams<E>) {}
+
+    /// Choose leakage for period `t` (`None` ends the leakage phase).
+    fn choose_leakage(&mut self, t: u64) -> Option<PeriodLeakage>;
+
+    /// Receive the leakage of period `t`.
+    fn on_leakage(&mut self, _t: u64, _out: PeriodLeakageOutput) {}
+
+    /// Ciphertexts to submit to the decryption oracle in `phase`.
+    fn oracle_queries(
+        &mut self,
+        _phase: OraclePhase,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Cca2Ciphertext<E, S>> {
+        Vec::new()
+    }
+
+    /// Receive oracle answers (`Err` for rejected ciphertexts).
+    fn on_oracle_answers(&mut self, _phase: OraclePhase, _answers: Vec<Result<E::Gt, String>>) {}
+
+    /// Submit the challenge messages.
+    fn challenge_messages(&mut self, rng: &mut dyn RngCore) -> (E::Gt, E::Gt);
+
+    /// Receive the challenge ciphertext (before post-challenge oracle
+    /// access — the classic CCA2 ordering).
+    fn on_challenge(&mut self, _challenge: &Cca2Ciphertext<E, S>) {}
+
+    /// Guess the challenge bit.
+    fn guess(&mut self, challenge: &Cca2Ciphertext<E, S>) -> bool;
+}
+
+/// Game configuration.
+pub struct Cca2GameConfig {
+    /// Scheme parameters.
+    pub params: SchemeParams,
+    /// Identity-hash bits.
+    pub n_id: usize,
+    /// Leakage bound for `P1`.
+    pub b1: u64,
+    /// Leakage bound for `P2`.
+    pub b2: u64,
+    /// Period cap.
+    pub max_periods: u64,
+}
+
+/// Outcome of a CCA2-CML game.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cca2Outcome {
+    /// Adversary guessed the bit.
+    AdversaryWins,
+    /// Adversary guessed wrong.
+    AdversaryLoses,
+    /// Budget violation.
+    Aborted(BudgetExceeded),
+}
+
+fn serve_oracle<E: Pairing, S: OneTimeSignature, R: RngCore>(
+    p1: &mut DibeParty1<E>,
+    p2: &mut DibeParty2<E>,
+    queries: Vec<Cca2Ciphertext<E, S>>,
+    forbidden: Option<&[u8]>,
+    rng: &mut R,
+) -> Vec<Result<E::Gt, String>> {
+    queries
+        .into_iter()
+        .map(|ct| {
+            if let Some(challenge_bytes) = forbidden {
+                if ct.to_bytes() == challenge_bytes {
+                    return Err("oracle refuses the challenge ciphertext".to_string());
+                }
+            }
+            cca2::decrypt_distributed(p1, p2, &ct, rng).map_err(|e: CoreError| e.to_string())
+        })
+        .collect()
+}
+
+/// Run one CCA2-CML game.
+pub fn run_cca2_cml<E: Pairing, S: OneTimeSignature, R: RngCore>(
+    cfg: &Cca2GameConfig,
+    adversary: &mut dyn Cca2Adversary<E, S>,
+    rng: &mut R,
+) -> Cca2Outcome {
+    let (params, ms1, ms2) = dibe::dibe_keygen::<E, _>(cfg.params, cfg.n_id, rng);
+    let mut p1 = DibeParty1::new(params.clone(), ms1);
+    let mut p2 = DibeParty2::new(params.clone(), ms2);
+    adversary.on_params(&params);
+
+    let mut budget1 = LeakageBudget::new(cfg.b1, 0);
+    let mut budget2 = LeakageBudget::new(cfg.b2, 0);
+
+    // Leakage phase (with a live pre-challenge oracle).
+    let mut t = 0u64;
+    while t < cfg.max_periods {
+        let Some(mut leak) = adversary.choose_leakage(t) else {
+            break;
+        };
+
+        // pre-challenge oracle access interleaves with leakage periods
+        let queries = adversary.oracle_queries(OraclePhase::PreChallenge, rng);
+        let answers = serve_oracle(&mut p1, &mut p2, queries, None, rng);
+        adversary.on_oracle_answers(OraclePhase::PreChallenge, answers);
+
+        let view1 = p1.master.device().secret.view();
+        let view2 = p2.master.device().secret.view();
+
+        // master refresh (the DLR refresh protocol), snapshotting the
+        // staged state
+        let m1 = p1.master.ref_start(rng);
+        let mut transcript = m1.to_bytes();
+        let m2 = p2.master.ref_respond(&m1, rng).expect("honest protocol");
+        transcript.extend_from_slice(&m2.to_bytes());
+        p1.master.ref_finish(&m2).expect("honest protocol");
+        let view1_ref = p1.master.device().secret.view();
+        let view2_ref = p2.master.device().secret.view();
+        p1.master.ref_complete().expect("staged");
+        p2.master.ref_complete().expect("staged");
+
+        let public = PeriodPublic {
+            transcript,
+            dec_input: Vec::new(),
+            dec_output: Vec::new(),
+        };
+        let pub_flat = public.flatten();
+
+        if let Err(e) = budget1.charge_period(
+            leak.h1.output_bits() as u64,
+            leak.h1_ref.output_bits() as u64,
+        ) {
+            return Cca2Outcome::Aborted(e);
+        }
+        if let Err(e) = budget2.charge_period(
+            leak.h2.output_bits() as u64,
+            leak.h2_ref.output_bits() as u64,
+        ) {
+            return Cca2Outcome::Aborted(e);
+        }
+
+        let out = PeriodLeakageOutput {
+            l1: leak.h1.eval(&LeakInput {
+                secret: &view1,
+                public: &pub_flat,
+            }),
+            l1_ref: leak.h1_ref.eval(&LeakInput {
+                secret: &view1_ref,
+                public: &pub_flat,
+            }),
+            l2: leak.h2.eval(&LeakInput {
+                secret: &view2,
+                public: &pub_flat,
+            }),
+            l2_ref: leak.h2_ref.eval(&LeakInput {
+                secret: &view2_ref,
+                public: &pub_flat,
+            }),
+            public,
+        };
+        adversary.on_leakage(t, out);
+        t += 1;
+    }
+
+    // Challenge phase — leakage is over (per the paper), oracle remains.
+    let (m0, m1) = adversary.challenge_messages(rng);
+    let b = rng.next_u32() & 1 == 1;
+    let challenge = cca2::encrypt::<E, S, _>(&params, if b { &m1 } else { &m0 }, rng);
+    let challenge_bytes = challenge.to_bytes();
+    adversary.on_challenge(&challenge);
+
+    let queries = adversary.oracle_queries(OraclePhase::PostChallenge, rng);
+    let answers = serve_oracle(&mut p1, &mut p2, queries, Some(&challenge_bytes), rng);
+    adversary.on_oracle_answers(OraclePhase::PostChallenge, answers);
+
+    if adversary.guess(&challenge) == b {
+        Cca2Outcome::AdversaryWins
+    } else {
+        Cca2Outcome::AdversaryLoses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leakfn::{prefix_bits, LeakageFn};
+    use dlr_curve::Toy;
+    use dlr_hash::ots::Winternitz;
+    use rand::SeedableRng;
+
+    type E = Toy;
+    type S = Winternitz<4>;
+
+    fn cfg() -> Cca2GameConfig {
+        let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+        Cca2GameConfig {
+            params,
+            n_id: 12,
+            b1: 64,
+            b2: 1 << 20,
+            max_periods: 8,
+        }
+    }
+
+    /// Leaks, queries the oracle honestly, tries to maul the challenge.
+    struct MaulingAdversary {
+        periods: u64,
+        params: Option<IbeParams<E>>,
+        challenge_seen: Option<Cca2Ciphertext<E, S>>,
+        oracle_rejected_maul: bool,
+        coin: bool,
+    }
+
+    impl Cca2Adversary<E, S> for MaulingAdversary {
+        fn on_params(&mut self, params: &IbeParams<E>) {
+            self.params = Some(params.clone());
+        }
+        fn choose_leakage(&mut self, t: u64) -> Option<PeriodLeakage> {
+            (t < self.periods).then(|| PeriodLeakage {
+                h1: prefix_bits(16),
+                h1_ref: LeakageFn::null(),
+                h2: prefix_bits(64),
+                h2_ref: LeakageFn::null(),
+            })
+        }
+        fn oracle_queries(
+            &mut self,
+            phase: OraclePhase,
+            rng: &mut dyn RngCore,
+        ) -> Vec<Cca2Ciphertext<E, S>> {
+            let params = self.params.as_ref().unwrap();
+            match phase {
+                OraclePhase::PreChallenge => {
+                    // an honest query: must decrypt correctly
+                    let m = <E as Pairing>::Gt::random(rng);
+                    vec![cca2::encrypt::<E, S, _>(params, &m, rng)]
+                }
+                OraclePhase::PostChallenge => {
+                    // try the challenge itself, and a mauled copy
+                    let ch = self.challenge_seen.clone();
+                    match ch {
+                        Some(ch) => {
+                            let mut mauled = ch.clone();
+                            mauled.inner.big_b =
+                                mauled.inner.big_b.op(&<E as Pairing>::Gt::generator());
+                            vec![ch, mauled]
+                        }
+                        None => vec![],
+                    }
+                }
+            }
+        }
+        fn on_oracle_answers(
+            &mut self,
+            phase: OraclePhase,
+            answers: Vec<Result<<E as Pairing>::Gt, String>>,
+        ) {
+            match phase {
+                OraclePhase::PreChallenge => {
+                    assert!(answers.iter().all(Result::is_ok), "honest queries must work");
+                }
+                OraclePhase::PostChallenge => {
+                    // both the replayed challenge and the maul must fail
+                    self.oracle_rejected_maul = answers.iter().all(Result::is_err);
+                }
+            }
+        }
+        fn challenge_messages(&mut self, rng: &mut dyn RngCore) -> (
+            <E as Pairing>::Gt,
+            <E as Pairing>::Gt,
+        ) {
+            self.coin = rng.next_u32() & 1 == 1;
+            (Group::random(rng), Group::random(rng))
+        }
+        fn on_challenge(&mut self, challenge: &Cca2Ciphertext<E, S>) {
+            self.challenge_seen = Some(challenge.clone());
+        }
+        fn guess(&mut self, _challenge: &Cca2Ciphertext<E, S>) -> bool {
+            self.coin
+        }
+    }
+
+    #[test]
+    fn oracle_works_and_rejects_challenge_derivatives() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(401);
+        let mut adv = MaulingAdversary {
+            periods: 2,
+            params: None,
+            challenge_seen: None,
+            oracle_rejected_maul: false,
+            coin: false,
+        };
+        let out = run_cca2_cml::<E, S, _>(&cfg(), &mut adv, &mut rng);
+        assert!(matches!(
+            out,
+            Cca2Outcome::AdversaryWins | Cca2Outcome::AdversaryLoses
+        ));
+        assert!(
+            adv.oracle_rejected_maul,
+            "oracle must reject the challenge and its maulings"
+        );
+    }
+
+    #[test]
+    fn budget_enforced_in_cca2_game() {
+        struct Greedy;
+        impl Cca2Adversary<E, S> for Greedy {
+            fn choose_leakage(&mut self, _t: u64) -> Option<PeriodLeakage> {
+                Some(PeriodLeakage {
+                    h1: prefix_bits(1_000_000),
+                    h1_ref: LeakageFn::null(),
+                    h2: LeakageFn::null(),
+                    h2_ref: LeakageFn::null(),
+                })
+            }
+            fn challenge_messages(&mut self, rng: &mut dyn RngCore) -> (
+                <E as Pairing>::Gt,
+                <E as Pairing>::Gt,
+            ) {
+                (Group::random(rng), Group::random(rng))
+            }
+            fn guess(&mut self, _c: &Cca2Ciphertext<E, S>) -> bool {
+                false
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(402);
+        let out = run_cca2_cml::<E, S, _>(&cfg(), &mut Greedy, &mut rng);
+        assert!(matches!(out, Cca2Outcome::Aborted(_)));
+    }
+}

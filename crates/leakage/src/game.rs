@@ -1,0 +1,423 @@
+//! The CPA-CML security game of Definition 3.2, playable against the real
+//! implementation.
+//!
+//! The challenger generates keys, and then for as many time periods as the
+//! adversary chooses: samples a ciphertext from the distribution `C`, runs
+//! the **actual** decryption and refresh protocols between the party state
+//! machines, snapshots each device's secret memory at the model-defined
+//! moments, evaluates the adversary's leakage functions on those snapshots
+//! (plus `pub^t` = transcript ‖ protocol input/output), and enforces the
+//! `(b_0, b_1, b_2)` budgets. Then the standard IND-CPA challenge phase
+//! runs.
+//!
+//! This game is an *experiment harness*: it measures the success of
+//! concrete attack strategies against the implementation (experiments
+//! F3/F4), complementing the paper's reduction proof.
+
+use crate::bits::Bits;
+use crate::budget::{BudgetExceeded, LeakageBudget};
+use crate::leakfn::{LeakInput, LeakageFn};
+use dlr_core::dlr::{self, Ciphertext, Party2, PublicKey};
+use dlr_core::params::SchemeParams;
+use dlr_core::party::{AnyParty1, P1Layout};
+use dlr_curve::{Group, Pairing};
+use rand::RngCore;
+
+/// The public information of one period, `pub^t = (comm^t, c, m)`.
+#[derive(Debug, Clone, Default)]
+pub struct PeriodPublic {
+    /// Serialized protocol transcript (all four messages).
+    pub transcript: Vec<u8>,
+    /// The decryption-protocol input ciphertext.
+    pub dec_input: Vec<u8>,
+    /// The decryption-protocol output message.
+    pub dec_output: Vec<u8>,
+}
+
+impl PeriodPublic {
+    /// Flatten for use as leakage-function input.
+    pub fn flatten(&self) -> Vec<u8> {
+        let mut out = self.transcript.clone();
+        out.extend_from_slice(&self.dec_input);
+        out.extend_from_slice(&self.dec_output);
+        out
+    }
+}
+
+/// The four leakage functions of one period
+/// `(h_1^t, h_1^{t,Ref}, h_2^t, h_2^{t,Ref})`.
+#[derive(Debug)]
+pub struct PeriodLeakage {
+    /// Applied to `P1`'s secret memory outside refresh.
+    pub h1: LeakageFn,
+    /// Applied to `P1`'s secret memory during refresh.
+    pub h1_ref: LeakageFn,
+    /// Applied to `P2`'s secret memory outside refresh.
+    pub h2: LeakageFn,
+    /// Applied to `P2`'s secret memory during refresh.
+    pub h2_ref: LeakageFn,
+}
+
+impl PeriodLeakage {
+    /// No leakage this period.
+    pub fn none() -> Self {
+        Self {
+            h1: LeakageFn::null(),
+            h1_ref: LeakageFn::null(),
+            h2: LeakageFn::null(),
+            h2_ref: LeakageFn::null(),
+        }
+    }
+}
+
+/// What the adversary receives back for one period.
+#[derive(Debug, Clone)]
+pub struct PeriodLeakageOutput {
+    /// `ℓ_1^t`.
+    pub l1: Bits,
+    /// `ℓ_1^{t,Ref}`.
+    pub l1_ref: Bits,
+    /// `ℓ_2^t`.
+    pub l2: Bits,
+    /// `ℓ_2^{t,Ref}`.
+    pub l2_ref: Bits,
+    /// The public information of the period.
+    pub public: PeriodPublic,
+}
+
+/// An adversary in the CPA-CML game.
+pub trait Adversary<E: Pairing> {
+    /// Phase 1: receive the public key.
+    fn on_public_key(&mut self, _pk: &PublicKey<E>) {}
+
+    /// Phase 3 driver: choose this period's leakage functions, or `None`
+    /// to proceed to the challenge phase.
+    fn choose_leakage(&mut self, t: u64) -> Option<PeriodLeakage>;
+
+    /// Phase 3: receive the leakage results of period `t`.
+    fn on_leakage(&mut self, _t: u64, _out: PeriodLeakageOutput) {}
+
+    /// Phase 4: submit the two challenge messages.
+    fn challenge_messages(&mut self, rng: &mut dyn RngCore) -> (E::Gt, E::Gt);
+
+    /// Phase 4: guess which message the challenge encrypts.
+    fn guess(&mut self, challenge: &Ciphertext<E>) -> bool;
+}
+
+/// Game configuration.
+pub struct GameConfig {
+    /// Scheme parameters.
+    pub params: SchemeParams,
+    /// `P1` memory layout under attack.
+    pub layout: P1Layout,
+    /// Leakage bound for `P1` (bits per share lifetime).
+    pub b1: u64,
+    /// Leakage bound for `P2`.
+    pub b2: u64,
+    /// Cap on periods (safety net for non-terminating adversaries).
+    pub max_periods: u64,
+}
+
+impl GameConfig {
+    /// Config with bounds set to the Theorem 4.1 values for these
+    /// parameters (λ bits from `P1`, full share size from `P2`).
+    pub fn theorem_bounds<E: Pairing>(params: SchemeParams, layout: P1Layout) -> Self {
+        let scalar_bits = 8 * <E::Scalar as dlr_math::FieldElement>::byte_len() as u64;
+        Self {
+            params,
+            layout,
+            b1: params.lambda as u64,
+            b2: params.ell as u64 * scalar_bits,
+            max_periods: 64,
+        }
+    }
+}
+
+/// Outcome of one game run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GameOutcome {
+    /// The adversary guessed the challenge bit.
+    AdversaryWins,
+    /// The adversary guessed wrong.
+    AdversaryLoses,
+    /// The adversary exceeded a leakage budget — the challenger aborted.
+    Aborted(BudgetExceeded),
+}
+
+/// The ciphertext distribution `C(n, pk, t)` of the game.
+pub type CiphertextDist<'a, E> =
+    &'a mut dyn FnMut(&PublicKey<E>, u64, &mut dyn RngCore) -> Ciphertext<E>;
+
+/// Run one CPA-CML game. The ciphertext distribution `C(n, pk, t)` is the
+/// closure `dist` (defaults: see [`random_message_dist`]).
+pub fn run_cpa_cml<E: Pairing, R: RngCore>(
+    cfg: &GameConfig,
+    adversary: &mut dyn Adversary<E>,
+    dist: CiphertextDist<'_, E>,
+    rng: &mut R,
+) -> GameOutcome {
+    // 1. Key generation
+    let (pk, s1, s2) = dlr::keygen::<E, _>(cfg.params, rng);
+    let mut p1 = AnyParty1::new(cfg.layout, pk.clone(), s1, rng);
+    let mut p2 = Party2::new(pk.clone(), s2);
+    adversary.on_public_key(&pk);
+
+    let mut budget1 = LeakageBudget::new(cfg.b1, 0);
+    let mut budget2 = LeakageBudget::new(cfg.b2, 0);
+
+    // 3. Leakage periods
+    let mut t = 0u64;
+    while t < cfg.max_periods {
+        let Some(mut leak) = adversary.choose_leakage(t) else {
+            break;
+        };
+
+        // Run the decryption protocol on a C-sampled ciphertext.
+        let ct = dist(&pk, t, rng);
+        let mut transcript = Vec::new();
+        let m1 = p1.dec_start(&ct, rng);
+        transcript.extend_from_slice(&m1.to_bytes());
+        let m2 = p2.dec_respond(&m1).expect("honest protocol");
+        transcript.extend_from_slice(&m2.to_bytes());
+        let m = p1.dec_finish(&m2).expect("honest protocol");
+
+        // Snapshot the "normal" views (share + this period's randomness).
+        let view1 = p1.device().secret.view();
+        let view2 = p2.device().secret.view();
+
+        // Run the refresh protocol up to the staged point.
+        let r1 = p1.ref_start(rng);
+        transcript.extend_from_slice(&r1.to_bytes());
+        let r2 = p2.ref_respond(&r1, rng).expect("honest protocol");
+        transcript.extend_from_slice(&r2.to_bytes());
+        p1.ref_finish(&r2, rng).expect("honest protocol");
+
+        // Snapshot the refresh views (old + new share both resident).
+        let view1_ref = p1.device().secret.view();
+        let view2_ref = p2.device().secret.view();
+
+        // Complete the period (erasure).
+        p1.ref_complete().expect("staged");
+        p2.ref_complete().expect("staged");
+
+        let public = PeriodPublic {
+            transcript,
+            dec_input: ct.to_bytes(),
+            dec_output: m.to_bytes(),
+        };
+        let pub_flat = public.flatten();
+
+        // Budgets are charged on the *declared* output lengths.
+        if let Err(e) = budget1.charge_period(
+            leak.h1.output_bits() as u64,
+            leak.h1_ref.output_bits() as u64,
+        ) {
+            return GameOutcome::Aborted(e);
+        }
+        if let Err(e) = budget2.charge_period(
+            leak.h2.output_bits() as u64,
+            leak.h2_ref.output_bits() as u64,
+        ) {
+            return GameOutcome::Aborted(e);
+        }
+
+        let out = PeriodLeakageOutput {
+            l1: leak.h1.eval(&LeakInput {
+                secret: &view1,
+                public: &pub_flat,
+            }),
+            l1_ref: leak.h1_ref.eval(&LeakInput {
+                secret: &view1_ref,
+                public: &pub_flat,
+            }),
+            l2: leak.h2.eval(&LeakInput {
+                secret: &view2,
+                public: &pub_flat,
+            }),
+            l2_ref: leak.h2_ref.eval(&LeakInput {
+                secret: &view2_ref,
+                public: &pub_flat,
+            }),
+            public,
+        };
+        adversary.on_leakage(t, out);
+        t += 1;
+    }
+
+    // 4. Challenge phase
+    let (m0, m1) = adversary.challenge_messages(rng);
+    let b = (rng.next_u32() & 1) == 1;
+    let challenge = dlr::encrypt(&pk, if b { &m1 } else { &m0 }, rng);
+    if adversary.guess(&challenge) == b {
+        GameOutcome::AdversaryWins
+    } else {
+        GameOutcome::AdversaryLoses
+    }
+}
+
+/// The default ciphertext distribution: encryptions of uniformly random
+/// messages ("decryptions running in the background", §3.3).
+pub fn random_message_dist<E: Pairing>(
+) -> impl FnMut(&PublicKey<E>, u64, &mut dyn RngCore) -> Ciphertext<E> {
+    |pk, _t, rng| {
+        let m = E::Gt::random(rng);
+        dlr::encrypt(pk, &m, rng)
+    }
+}
+
+/// Estimate an adversary's win rate over `trials` independent games.
+pub fn estimate_win_rate<E: Pairing, R: RngCore>(
+    cfg: &GameConfig,
+    mut make_adversary: impl FnMut() -> Box<dyn Adversary<E>>,
+    trials: usize,
+    rng: &mut R,
+) -> WinStats {
+    let mut wins = 0usize;
+    let mut aborts = 0usize;
+    for _ in 0..trials {
+        let mut adv = make_adversary();
+        let mut dist = random_message_dist::<E>();
+        match run_cpa_cml(cfg, adv.as_mut(), &mut dist, rng) {
+            GameOutcome::AdversaryWins => wins += 1,
+            GameOutcome::AdversaryLoses => {}
+            GameOutcome::Aborted(_) => aborts += 1,
+        }
+    }
+    WinStats {
+        trials,
+        wins,
+        aborts,
+    }
+}
+
+/// Aggregated game statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WinStats {
+    /// Number of games played.
+    pub trials: usize,
+    /// Games the adversary won.
+    pub wins: usize,
+    /// Games aborted for budget violations.
+    pub aborts: usize,
+}
+
+impl WinStats {
+    /// Win rate among non-aborted games.
+    pub fn win_rate(&self) -> f64 {
+        let n = self.trials - self.aborts;
+        if n == 0 {
+            return 0.0;
+        }
+        self.wins as f64 / n as f64
+    }
+
+    /// Advantage over random guessing: `2·(rate − 1/2)`.
+    pub fn advantage(&self) -> f64 {
+        2.0 * (self.win_rate() - 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leakfn::prefix_bits;
+    use dlr_curve::Toy;
+    use rand::SeedableRng;
+
+    type E = Toy;
+
+    struct NullAdversary;
+    impl Adversary<E> for NullAdversary {
+        fn choose_leakage(&mut self, t: u64) -> Option<PeriodLeakage> {
+            (t < 2).then(PeriodLeakage::none)
+        }
+        fn challenge_messages(&mut self, rng: &mut dyn RngCore) -> (
+            <E as Pairing>::Gt,
+            <E as Pairing>::Gt,
+        ) {
+            (Group::random(rng), Group::random(rng))
+        }
+        fn guess(&mut self, _c: &Ciphertext<E>) -> bool {
+            false
+        }
+    }
+
+    fn cfg() -> GameConfig {
+        let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+        GameConfig::theorem_bounds::<E>(params, P1Layout::Streaming)
+    }
+
+    #[test]
+    fn null_adversary_wins_half_ish() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(201);
+        let stats = estimate_win_rate::<E, _>(&cfg(), || Box::new(NullAdversary), 40, &mut rng);
+        assert_eq!(stats.aborts, 0);
+        // fixed guess against a random bit: expect near 50%
+        assert!(stats.win_rate() > 0.25 && stats.win_rate() < 0.75, "{stats:?}");
+    }
+
+    struct GreedyLeaker;
+    impl Adversary<E> for GreedyLeaker {
+        fn choose_leakage(&mut self, _t: u64) -> Option<PeriodLeakage> {
+            Some(PeriodLeakage {
+                h1: prefix_bits(1_000_000),
+                h1_ref: LeakageFn::null(),
+                h2: LeakageFn::null(),
+                h2_ref: LeakageFn::null(),
+            })
+        }
+        fn challenge_messages(&mut self, rng: &mut dyn RngCore) -> (
+            <E as Pairing>::Gt,
+            <E as Pairing>::Gt,
+        ) {
+            (Group::random(rng), Group::random(rng))
+        }
+        fn guess(&mut self, _c: &Ciphertext<E>) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn over_budget_adversary_aborts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(202);
+        let mut adv = GreedyLeaker;
+        let mut dist = random_message_dist::<E>();
+        let out = run_cpa_cml(&cfg(), &mut adv, &mut dist, &mut rng);
+        assert!(matches!(out, GameOutcome::Aborted(_)));
+    }
+
+    #[test]
+    fn leakage_outputs_delivered() {
+        struct Collector {
+            got: Vec<usize>,
+        }
+        impl Adversary<E> for Collector {
+            fn choose_leakage(&mut self, t: u64) -> Option<PeriodLeakage> {
+                (t < 3).then(|| PeriodLeakage {
+                    h1: prefix_bits(8),
+                    h1_ref: prefix_bits(4),
+                    h2: prefix_bits(16),
+                    h2_ref: LeakageFn::null(),
+                })
+            }
+            fn on_leakage(&mut self, _t: u64, out: PeriodLeakageOutput) {
+                self.got.push(out.l1.len() + out.l1_ref.len() + out.l2.len());
+                assert!(!out.public.transcript.is_empty());
+            }
+            fn challenge_messages(&mut self, rng: &mut dyn RngCore) -> (
+                <E as Pairing>::Gt,
+                <E as Pairing>::Gt,
+            ) {
+                (Group::random(rng), Group::random(rng))
+            }
+            fn guess(&mut self, _c: &Ciphertext<E>) -> bool {
+                true
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(203);
+        let mut adv = Collector { got: vec![] };
+        let mut dist = random_message_dist::<E>();
+        let _ = run_cpa_cml(&cfg(), &mut adv, &mut dist, &mut rng);
+        assert_eq!(adv.got, vec![28, 28, 28]);
+    }
+}

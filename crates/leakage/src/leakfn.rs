@@ -1,0 +1,227 @@
+//! Leakage functions and their length-shrinking contract.
+//!
+//! Per §3.2, the adversary submits polynomial-time computable functions
+//! whose input is the device's secret memory (share, secret randomness,
+//! intermediate computation) *plus* the current public information
+//! `pub^t`; the only restriction is that the **output length is bounded**.
+//! [`LeakageFn`] carries the declared output bound; the challenger
+//! truncates any excess (equivalently, rejects — we truncate so adversary
+//! bugs do not panic the game) and charges the declared bound against the
+//! budget.
+
+use crate::bits::Bits;
+use dlr_protocol::SecretView;
+
+/// Input handed to a leakage function.
+#[derive(Debug, Clone)]
+pub struct LeakInput<'a> {
+    /// Snapshot of the device's secret memory.
+    pub secret: &'a SecretView,
+    /// Public information `pub^t`: transcript, protocol inputs/outputs,
+    /// public memory.
+    pub public: &'a [u8],
+}
+
+/// A length-shrinking leakage function.
+pub struct LeakageFn {
+    name: String,
+    output_bits: usize,
+    #[allow(clippy::type_complexity)]
+    eval: Box<dyn FnMut(&LeakInput<'_>) -> Bits + Send>,
+}
+
+impl core::fmt::Debug for LeakageFn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "LeakageFn({} -> {} bits)", self.name, self.output_bits)
+    }
+}
+
+impl LeakageFn {
+    /// Construct a leakage function with a declared output bound.
+    pub fn new(
+        name: impl Into<String>,
+        output_bits: usize,
+        eval: impl FnMut(&LeakInput<'_>) -> Bits + Send + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            output_bits,
+            eval: Box::new(eval),
+        }
+    }
+
+    /// The zero-output function (adversary declines to leak this slot).
+    pub fn null() -> Self {
+        Self::new("null", 0, |_| Bits::new())
+    }
+
+    /// Declared output bound in bits.
+    pub fn output_bits(&self) -> usize {
+        self.output_bits
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluate, truncating to the declared bound.
+    pub fn eval(&mut self, input: &LeakInput<'_>) -> Bits {
+        let raw = (self.eval)(input);
+        if raw.len() <= self.output_bits {
+            raw
+        } else {
+            raw.iter().take(self.output_bits).collect()
+        }
+    }
+}
+
+/// Leak the first `bits` bits of the flattened secret memory.
+pub fn prefix_bits(bits: usize) -> LeakageFn {
+    LeakageFn::new(format!("prefix[{bits}]"), bits, move |input| {
+        (0..bits)
+            .map_while(|i| input.secret.bit(i))
+            .collect()
+    })
+}
+
+/// Leak `bits` bits starting at bit offset `start` (wrapping probes used by
+/// the block-dump adversary).
+pub fn window_bits(start: usize, bits: usize) -> LeakageFn {
+    LeakageFn::new(
+        format!("window[{start}..+{bits}]"),
+        bits,
+        move |input| {
+            let total = input.secret.total_bits();
+            if total == 0 {
+                return Bits::new();
+            }
+            (0..bits)
+                .map(|i| input.secret.bit((start + i) % total).expect("wrapped"))
+                .collect()
+        },
+    )
+}
+
+/// Leak the byte-wise Hamming weight of the secret memory, `weight_bits`
+/// bits per byte-group (a classic power-analysis-style signal).
+pub fn hamming_weights(groups: usize) -> LeakageFn {
+    // each group weight is at most 8·group_size; we emit 8 bits per group
+    LeakageFn::new(format!("hamming[{groups}]"), groups * 8, move |input| {
+        let flat = input.secret.flatten();
+        if flat.is_empty() || groups == 0 {
+            return Bits::new();
+        }
+        let group_size = flat.len().div_ceil(groups);
+        let mut out = Bits::new();
+        for chunk in flat.chunks(group_size).take(groups) {
+            let w: u32 = chunk.iter().map(|b| b.count_ones()).sum();
+            for i in (0..8).rev() {
+                out.push((w >> i) & 1 == 1);
+            }
+        }
+        out
+    })
+}
+
+/// Leak a SHA-256-based `bits`-bit digest of (secret ‖ public) — a
+/// "worst-case looking" correlated leakage used in stress tests.
+pub fn digest_bits(bits: usize) -> LeakageFn {
+    LeakageFn::new(format!("digest[{bits}]"), bits, move |input| {
+        let mut h = dlr_hash::sha256::Sha256::new();
+        h.update(&input.secret.flatten());
+        h.update(input.public);
+        let d = h.finalize();
+        Bits::from_bytes(&d).iter().take(bits).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_protocol::SecretMemory;
+
+    fn view() -> dlr_protocol::SecretView {
+        let mut m = SecretMemory::new();
+        m.store("k", vec![0b1100_0000, 0xff]);
+        m.view()
+    }
+
+    #[test]
+    fn prefix_reads_msb_first() {
+        let v = view();
+        let mut f = prefix_bits(3);
+        let out = f.eval(&LeakInput {
+            secret: &v,
+            public: &[],
+        });
+        assert_eq!(out, Bits::from_bools(&[true, true, false]));
+        assert_eq!(f.output_bits(), 3);
+    }
+
+    #[test]
+    fn window_wraps() {
+        let v = view();
+        let mut f = window_bits(15, 2);
+        let out = f.eval(&LeakInput {
+            secret: &v,
+            public: &[],
+        });
+        // bit 15 = last bit of 0xff = 1; bit 16 wraps to bit 0 = 1
+        assert_eq!(out, Bits::from_bools(&[true, true]));
+    }
+
+    #[test]
+    fn truncation_enforced() {
+        let v = view();
+        let mut f = LeakageFn::new("verbose", 2, |input| {
+            Bits::from_bytes(&input.secret.flatten())
+        });
+        let out = f.eval(&LeakInput {
+            secret: &v,
+            public: &[],
+        });
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn hamming_counts() {
+        let v = view();
+        let mut f = hamming_weights(1);
+        let out = f.eval(&LeakInput {
+            secret: &v,
+            public: &[],
+        });
+        // weight of [0b11000000, 0xff] = 2 + 8 = 10
+        assert_eq!(out.as_bytes()[0], 10);
+    }
+
+    #[test]
+    fn null_leaks_nothing() {
+        let v = view();
+        let mut f = LeakageFn::null();
+        assert_eq!(
+            f.eval(&LeakInput {
+                secret: &v,
+                public: &[]
+            })
+            .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn digest_depends_on_public() {
+        let v = view();
+        let mut f1 = digest_bits(32);
+        let out1 = f1.eval(&LeakInput {
+            secret: &v,
+            public: b"a",
+        });
+        let out2 = f1.eval(&LeakInput {
+            secret: &v,
+            public: b"b",
+        });
+        assert_ne!(out1, out2);
+    }
+}

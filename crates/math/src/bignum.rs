@@ -1,0 +1,248 @@
+//! Variable-width unsigned big integers (`Vec<u64>`, little-endian limbs).
+//!
+//! The fixed-width [`limbs`](crate::limbs) module covers field arithmetic;
+//! this module covers the *derivation of constants* — pairing exponents
+//! like `(q⁴ − q² + 1)/r`, cofactors, Frobenius exponents `(q − 1)/6` —
+//! computed at runtime from the curve moduli rather than hardcoded (a
+//! transcription error in a 1500-bit hex constant is invisible; a formula
+//! is checkable).
+//!
+//! Not performance-sensitive: every function here runs a handful of times
+//! per process.
+
+/// Remove leading zero limbs (canonical form; zero is the empty vec).
+pub fn normalize(mut a: Vec<u64>) -> Vec<u64> {
+    while a.last() == Some(&0) {
+        a.pop();
+    }
+    a
+}
+
+/// Compare two canonical-or-not big integers.
+pub fn cmp(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    let la = a.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+    let lb = b.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+    if la != lb {
+        return la.cmp(&lb);
+    }
+    for i in (0..la).rev() {
+        if a[i] != b[i] {
+            return a[i].cmp(&b[i]);
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// `a + b`.
+pub fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n + 1);
+    let mut carry = 0u128;
+    for i in 0..n {
+        let s = carry
+            + *a.get(i).unwrap_or(&0) as u128
+            + *b.get(i).unwrap_or(&0) as u128;
+        out.push(s as u64);
+        carry = s >> 64;
+    }
+    if carry > 0 {
+        out.push(carry as u64);
+    }
+    normalize(out)
+}
+
+/// `a - b`.
+///
+/// # Panics
+///
+/// Panics if `b > a`.
+#[allow(clippy::needless_range_loop)]
+pub fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    assert!(cmp(a, b) != core::cmp::Ordering::Less, "bignum underflow");
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i128;
+    for i in 0..a.len() {
+        let d = a[i] as i128 - *b.get(i).unwrap_or(&0) as i128 - borrow;
+        if d < 0 {
+            out.push((d + (1i128 << 64)) as u64);
+            borrow = 1;
+        } else {
+            out.push(d as u64);
+            borrow = 0;
+        }
+    }
+    assert_eq!(borrow, 0);
+    normalize(out)
+}
+
+/// `a · b` (schoolbook).
+pub fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    normalize(out)
+}
+
+/// `(a / d, a mod d)` for a small divisor.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn div_small(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+    assert!(d != 0, "division by zero");
+    let mut out = vec![0u64; a.len()];
+    let mut rem = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 64) | a[i] as u128;
+        out[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    (normalize(out), rem as u64)
+}
+
+/// `(a / b, a mod b)` via binary long division.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn div_rem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let b = normalize(b.to_vec());
+    assert!(!b.is_empty(), "division by zero");
+    let a = normalize(a.to_vec());
+    if cmp(&a, &b) == core::cmp::Ordering::Less {
+        return (Vec::new(), a);
+    }
+    let bits = a.len() * 64;
+    let mut q = vec![0u64; a.len()];
+    let mut rem: Vec<u64> = Vec::new();
+    for i in (0..bits).rev() {
+        // rem = rem << 1 | bit_i(a)
+        rem = shl1(&rem);
+        if (a[i / 64] >> (i % 64)) & 1 == 1 {
+            if rem.is_empty() {
+                rem.push(1);
+            } else {
+                rem[0] |= 1;
+            }
+        }
+        if cmp(&rem, &b) != core::cmp::Ordering::Less {
+            rem = sub(&rem, &b);
+            q[i / 64] |= 1 << (i % 64);
+        }
+    }
+    (normalize(q), rem)
+}
+
+fn shl1(a: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u64;
+    for &w in a {
+        out.push((w << 1) | carry);
+        carry = w >> 63;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a^k` for small `k`.
+pub fn pow(a: &[u64], k: u32) -> Vec<u64> {
+    let mut out = vec![1u64];
+    for _ in 0..k {
+        out = mul(&out, a);
+    }
+    out
+}
+
+/// Parse little-endian limbs from a fixed array.
+pub fn from_limbs(limbs: &[u64]) -> Vec<u64> {
+    normalize(limbs.to_vec())
+}
+
+/// Construct from a `u128`.
+pub fn from_u128(v: u128) -> Vec<u64> {
+    normalize(vec![v as u64, (v >> 64) as u64])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = vec![u64::MAX, 7, 1];
+        let b = vec![5, u64::MAX];
+        let s = add(&a, &b);
+        assert_eq!(sub(&s, &b), a);
+        assert_eq!(sub(&s, &a), normalize(b));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for (x, y) in [(3u128, 5u128), (u64::MAX as u128, u64::MAX as u128), (1 << 100, 7)] {
+            let p = mul(&from_u128(x), &from_u128(y));
+            // compare against 256-bit schoolbook by splitting
+            let expect = x.checked_mul(y);
+            if let Some(e) = expect {
+                assert_eq!(p, from_u128(e));
+            }
+        }
+    }
+
+    #[test]
+    fn div_small_exact_and_remainder() {
+        let a = mul(&from_u128(333_333_333_333_333_333_334), &[3]);
+        let (q, r) = div_small(&a, 3);
+        assert_eq!(r, 0);
+        assert_eq!(mul(&q, &[3]), a);
+        let (q, r) = div_small(&a, 7);
+        assert_eq!(add(&mul(&q, &[7]), &[r]), a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let a = vec![0xdead_beef, 0xcafe_f00d, 0x1234];
+        let b = vec![0xffff_0001, 0x3];
+        let (q, r) = div_rem(&a, &b);
+        assert_eq!(cmp(&r, &b), Ordering::Less);
+        assert_eq!(add(&mul(&q, &b), &r), normalize(a));
+    }
+
+    #[test]
+    fn div_rem_small_cases() {
+        assert_eq!(div_rem(&[7], &[7]), (vec![1], vec![]));
+        assert_eq!(div_rem(&[6], &[7]), (vec![], vec![6]));
+        assert_eq!(div_rem(&[], &[7]), (vec![], vec![]));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(pow(&[3], 4), vec![81]);
+        assert_eq!(pow(&[0x1_0000_0000], 2), vec![0, 1]);
+        assert_eq!(pow(&[5], 0), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        sub(&[1], &[2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Secure erasure of secret state.
+//!
+//! The refresh protocol of the paper (Def. 3.1) requires that "the old
+//! secret key share has been **erased** from the secret memory" when a
+//! refresh completes — leakage functions chosen in period `t+1` must not be
+//! able to see period-`t` shares. [`Erase`] provides best-effort zeroisation
+//! that the optimiser is not allowed to elide (volatile writes followed by a
+//! compiler fence), mirroring what the `zeroize` crate does, built in-repo.
+
+use core::sync::atomic::{compiler_fence, Ordering};
+
+/// Types whose in-memory representation can be overwritten with zeros.
+pub trait Erase {
+    /// Overwrite the secret content with zeros.
+    ///
+    /// After `erase` returns the value must compare equal to a
+    /// default/zero value of its type and the previous bytes must not be
+    /// recoverable from this allocation.
+    fn erase(&mut self);
+}
+
+/// Volatile-zero a limb array (helper for field-type macro impls).
+pub fn erase_limbs(limbs: &mut [u64]) {
+    for l in limbs.iter_mut() {
+        // SAFETY: `l` is a valid, aligned, exclusive reference.
+        unsafe { core::ptr::write_volatile(l, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Volatile-zero a byte slice.
+pub fn erase_bytes(bytes: &mut [u8]) {
+    for b in bytes.iter_mut() {
+        // SAFETY: `b` is a valid, aligned, exclusive reference.
+        unsafe { core::ptr::write_volatile(b, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+impl Erase for u64 {
+    fn erase(&mut self) {
+        // SAFETY: exclusive reference.
+        unsafe { core::ptr::write_volatile(self, 0) };
+        compiler_fence(Ordering::SeqCst);
+    }
+}
+
+impl Erase for u8 {
+    fn erase(&mut self) {
+        // SAFETY: exclusive reference.
+        unsafe { core::ptr::write_volatile(self, 0) };
+        compiler_fence(Ordering::SeqCst);
+    }
+}
+
+impl<T: Erase> Erase for Vec<T> {
+    fn erase(&mut self) {
+        for item in self.iter_mut() {
+            item.erase();
+        }
+        // Note: the capacity is retained; elements are zeroed in place.
+    }
+}
+
+impl<T: Erase, const N: usize> Erase for [T; N] {
+    fn erase(&mut self) {
+        for item in self.iter_mut() {
+            item.erase();
+        }
+    }
+}
+
+impl<T: Erase> Erase for Option<T> {
+    fn erase(&mut self) {
+        if let Some(v) = self.as_mut() {
+            v.erase();
+        }
+        *self = None;
+    }
+}
+
+impl<A: Erase, B: Erase> Erase for (A, B) {
+    fn erase(&mut self) {
+        self.0.erase();
+        self.1.erase();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erase_bytes_zeroes() {
+        let mut v = vec![1u8, 2, 3];
+        v.erase();
+        assert_eq!(v, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn erase_limb_array() {
+        let mut v = [u64::MAX; 4];
+        v.erase();
+        assert_eq!(v, [0; 4]);
+    }
+
+    #[test]
+    fn erase_option_clears() {
+        let mut v = Some(7u64);
+        v.erase();
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn erase_tuple() {
+        let mut v = (1u64, vec![9u8; 2]);
+        v.erase();
+        assert_eq!(v.0, 0);
+        assert_eq!(v.1, vec![0, 0]);
+    }
+}

@@ -1,0 +1,544 @@
+//! Field abstractions and the [`define_prime_field!`] macro.
+//!
+//! # Side-channel posture
+//!
+//! Low-level modular add/sub/select are branchless, but exponentiation and
+//! inversion are **variable-time** (`pow_vartime`). This mirrors the paper's
+//! threat model: the adversary obtains *memory* leakage (shrinking functions
+//! of the secret state, Def. 3.2), not a timing oracle. Production use
+//! against timing adversaries would swap in a constant-time ladder; the
+//! leakage framework in `dlr-leakage` is orthogonal to that choice.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Operations shared by prime fields and their extensions.
+pub trait FieldElement:
+    Sized
+    + Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + Default
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// True iff this is the additive identity.
+    fn is_zero(&self) -> bool;
+    /// `self²` — may be specialised by implementations.
+    fn square(&self) -> Self {
+        *self * *self
+    }
+    /// `2·self`.
+    fn double(&self) -> Self {
+        *self + *self
+    }
+    /// Multiplicative inverse; `None` for zero.
+    fn inverse(&self) -> Option<Self>;
+    /// Exponentiation by a little-endian limb slice (variable time).
+    fn pow_vartime(&self, exp: &[u64]) -> Self {
+        let mut nbits = 0u32;
+        for (i, w) in exp.iter().enumerate() {
+            if *w != 0 {
+                nbits = i as u32 * 64 + (64 - w.leading_zeros());
+            }
+        }
+        let mut acc = Self::one();
+        let mut i = nbits;
+        while i > 0 {
+            i -= 1;
+            acc = acc.square();
+            if (exp[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+                acc *= *self;
+            }
+        }
+        acc
+    }
+    /// Uniformly random element.
+    fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self;
+    /// Canonical big-endian serialization.
+    fn to_bytes_be(&self) -> Vec<u8>;
+    /// Parse the canonical serialization; `None` on malformed input.
+    fn from_bytes_be(bytes: &[u8]) -> Option<Self>;
+    /// Serialized length in bytes.
+    fn byte_len() -> usize;
+}
+
+/// A prime field `F_p` with `p` odd, exposing modulus metadata.
+pub trait PrimeField: FieldElement + PartialOrd + Ord {
+    /// Number of 64-bit limbs in an element.
+    const LIMBS: usize;
+    /// Bit length of the modulus.
+    fn modulus_bits() -> u32;
+    /// Modulus as canonical big-endian bytes.
+    fn modulus_be_bytes() -> Vec<u8>;
+    /// Construct from a small integer.
+    fn from_u64(v: u64) -> Self;
+    /// Canonical little-endian limb representation (out of Montgomery form).
+    fn to_canonical_limbs(&self) -> Vec<u64>;
+    /// Interpret arbitrary-length big-endian bytes as an integer and reduce
+    /// modulo `p` (used to hash into the field).
+    fn from_bytes_be_reduced(bytes: &[u8]) -> Self;
+    /// Square root for `p ≡ 3 (mod 4)`; `None` if not a quadratic residue.
+    fn sqrt(&self) -> Option<Self>;
+    /// Legendre symbol: `1` (QR), `-1` (non-residue), `0` (zero).
+    fn legendre(&self) -> i32;
+    /// True iff `p ≡ 3 (mod 4)` (so `-1` is a quadratic non-residue and the
+    /// `F_{p²} = F_p[i]/(i²+1)` tower applies).
+    fn modulus_is_3_mod_4() -> bool;
+}
+
+/// Define a prime-field type with compile-time Montgomery constants.
+///
+/// ```
+/// dlr_math::define_prime_field!(
+///     /// A 61-bit Mersenne-prime field (docs attach to the type).
+///     pub struct F61, 1, "0x1fffffffffffffff"
+/// );
+/// use dlr_math::field::FieldElement;
+/// let a = F61::one() + F61::one();
+/// assert_eq!(a * a.inverse().unwrap(), F61::one());
+/// ```
+#[macro_export]
+macro_rules! define_prime_field {
+    ($(#[$attr:meta])* pub struct $name:ident, $limbs:literal, $hex:expr) => {
+        $(#[$attr])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name([u64; $limbs]);
+
+        impl $name {
+            /// The field modulus, little-endian limbs.
+            pub const MODULUS: [u64; $limbs] = $crate::limbs::parse_hex($hex);
+            const N0INV: u64 = $crate::limbs::mont_n0inv(Self::MODULUS[0]);
+            const R: [u64; $limbs] = $crate::limbs::compute_r(&Self::MODULUS);
+            const R2: [u64; $limbs] = $crate::limbs::compute_r2(&Self::MODULUS);
+
+            /// Construct from little-endian limbs of a canonical
+            /// (non-Montgomery) reduced integer.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the value is not reduced modulo the modulus.
+            #[allow(dead_code)]
+            pub fn from_canonical(limbs: [u64; $limbs]) -> Self {
+                assert!(
+                    $crate::limbs::cmp(&limbs, &Self::MODULUS) < 0,
+                    "value not reduced"
+                );
+                Self($crate::limbs::mont_mul(
+                    &limbs,
+                    &Self::R2,
+                    &Self::MODULUS,
+                    Self::N0INV,
+                ))
+            }
+
+            /// Raw Montgomery limbs (for serialization-free interop in this
+            /// workspace; not part of the stable wire format).
+            #[allow(dead_code)]
+            pub fn mont_limbs(&self) -> &[u64; $limbs] {
+                &self.0
+            }
+
+            fn canonical(&self) -> [u64; $limbs] {
+                let mut one = [0u64; $limbs];
+                one[0] = 1;
+                $crate::limbs::mont_mul(&self.0, &one, &Self::MODULUS, Self::N0INV)
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                let c = self.canonical();
+                write!(f, concat!(stringify!($name), "(0x"))?;
+                let mut seen = false;
+                for i in (0..$limbs).rev() {
+                    if seen {
+                        write!(f, "{:016x}", c[i])?;
+                    } else if c[i] != 0 || i == 0 {
+                        write!(f, "{:x}", c[i])?;
+                        seen = true;
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::Debug::fmt(self, f)
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+                let a = self.canonical();
+                let b = other.canonical();
+                match $crate::limbs::cmp(&a, &b) {
+                    -1 => core::cmp::Ordering::Less,
+                    0 => core::cmp::Ordering::Equal,
+                    _ => core::cmp::Ordering::Greater,
+                }
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self($crate::limbs::add_mod(&self.0, &rhs.0, &Self::MODULUS))
+            }
+        }
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self($crate::limbs::sub_mod(&self.0, &rhs.0, &Self::MODULUS))
+            }
+        }
+        impl core::ops::Mul for $name {
+            type Output = Self;
+            fn mul(self, rhs: Self) -> Self {
+                Self($crate::limbs::mont_mul(
+                    &self.0,
+                    &rhs.0,
+                    &Self::MODULUS,
+                    Self::N0INV,
+                ))
+            }
+        }
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self($crate::limbs::neg_mod(&self.0, &Self::MODULUS))
+            }
+        }
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+        impl core::ops::MulAssign for $name {
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl $crate::field::FieldElement for $name {
+            fn zero() -> Self {
+                Self([0u64; $limbs])
+            }
+            fn one() -> Self {
+                Self(Self::R)
+            }
+            fn is_zero(&self) -> bool {
+                $crate::limbs::is_zero(&self.0)
+            }
+            fn square(&self) -> Self {
+                Self($crate::limbs::mont_sqr(&self.0, &Self::MODULUS, Self::N0INV))
+            }
+            fn inverse(&self) -> Option<Self> {
+                // Binary extended GCD on the canonical value, then back to
+                // Montgomery form (much cheaper than Fermat exponentiation).
+                let canon = self.canonical();
+                let inv = $crate::limbs::inv_mod(&canon, &Self::MODULUS)?;
+                Some(Self($crate::limbs::mont_mul(
+                    &inv,
+                    &Self::R2,
+                    &Self::MODULUS,
+                    Self::N0INV,
+                )))
+            }
+            fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+                loop {
+                    let mut limbs = [0u64; $limbs];
+                    for l in limbs.iter_mut() {
+                        *l = rng.next_u64();
+                    }
+                    // Mask the top limb down to the modulus bit length to
+                    // keep the rejection rate below 1/2.
+                    let top_bits = $crate::limbs::bits(&Self::MODULUS) as usize - ($limbs - 1) * 64;
+                    if top_bits < 64 {
+                        limbs[$limbs - 1] &= (1u64 << top_bits) - 1;
+                    }
+                    if $crate::limbs::cmp(&limbs, &Self::MODULUS) < 0 {
+                        // `limbs` is a canonical value; convert to Montgomery.
+                        return Self($crate::limbs::mont_mul(
+                            &limbs,
+                            &Self::R2,
+                            &Self::MODULUS,
+                            Self::N0INV,
+                        ));
+                    }
+                }
+            }
+            fn to_bytes_be(&self) -> Vec<u8> {
+                $crate::limbs::to_bytes_be(&self.canonical())
+            }
+            fn from_bytes_be(bytes: &[u8]) -> Option<Self> {
+                if bytes.len() != $limbs * 8 {
+                    return None;
+                }
+                let limbs = $crate::limbs::from_bytes_be::<$limbs>(bytes)?;
+                if $crate::limbs::cmp(&limbs, &Self::MODULUS) >= 0 {
+                    return None;
+                }
+                Some(Self($crate::limbs::mont_mul(
+                    &limbs,
+                    &Self::R2,
+                    &Self::MODULUS,
+                    Self::N0INV,
+                )))
+            }
+            fn byte_len() -> usize {
+                $limbs * 8
+            }
+        }
+
+        impl $crate::field::PrimeField for $name {
+            const LIMBS: usize = $limbs;
+
+            fn modulus_bits() -> u32 {
+                $crate::limbs::bits(&Self::MODULUS)
+            }
+            fn modulus_be_bytes() -> Vec<u8> {
+                $crate::limbs::to_bytes_be(&Self::MODULUS)
+            }
+            fn from_u64(v: u64) -> Self {
+                let mut limbs = [0u64; $limbs];
+                limbs[0] = v;
+                if $limbs == 1 {
+                    limbs[0] %= Self::MODULUS[0];
+                }
+                Self($crate::limbs::mont_mul(
+                    &limbs,
+                    &Self::R2,
+                    &Self::MODULUS,
+                    Self::N0INV,
+                ))
+            }
+            fn to_canonical_limbs(&self) -> Vec<u64> {
+                self.canonical().to_vec()
+            }
+            fn from_bytes_be_reduced(bytes: &[u8]) -> Self {
+                use $crate::field::FieldElement;
+                // Horner over bytes: acc = acc·256 + b
+                let mut acc = Self::zero();
+                let two_fifty_six = Self::from_u64(256);
+                for &b in bytes {
+                    acc = acc * two_fifty_six + Self::from_u64(b as u64);
+                }
+                acc
+            }
+            fn sqrt(&self) -> Option<Self> {
+                use $crate::field::FieldElement;
+                assert!(
+                    Self::modulus_is_3_mod_4(),
+                    "sqrt implemented for p ≡ 3 (mod 4) only"
+                );
+                if self.is_zero() {
+                    return Some(*self);
+                }
+                // exponent (p+1)/4 = (p >> 2) + 1 for p ≡ 3 (mod 4)
+                let e = $crate::limbs::add_u64(
+                    &$crate::limbs::shr1(&$crate::limbs::shr1(&Self::MODULUS)),
+                    1,
+                );
+                let cand = self.pow_vartime(&e);
+                if cand.square() == *self {
+                    Some(cand)
+                } else {
+                    None
+                }
+            }
+            fn legendre(&self) -> i32 {
+                use $crate::field::FieldElement;
+                if self.is_zero() {
+                    return 0;
+                }
+                // (p-1)/2
+                let e = $crate::limbs::shr1(&$crate::limbs::sub_u64(&Self::MODULUS, 1));
+                let v = self.pow_vartime(&e);
+                if v == Self::one() {
+                    1
+                } else {
+                    -1
+                }
+            }
+            fn modulus_is_3_mod_4() -> bool {
+                Self::MODULUS[0] & 3 == 3
+            }
+        }
+
+        impl $crate::erase::Erase for $name {
+            fn erase(&mut self) {
+                $crate::erase::erase_limbs(&mut self.0);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    crate::define_prime_field!(
+        /// 61-bit Mersenne test field.
+        pub struct F61, 1, "0x1fffffffffffffff"
+    );
+    crate::define_prime_field!(
+        /// Full-width single-limb field: p = 2^64 - 59.
+        pub struct F64, 1, "0xffffffffffffffc5"
+    );
+    crate::define_prime_field!(
+        /// Small field (p = 1000003 ≡ 3 mod 4) for exhaustive checks.
+        pub struct FSmall, 1, "0xf4243"
+    );
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn axioms_f61() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = F61::random(&mut r);
+            let b = F61::random(&mut r);
+            let c = F61::random(&mut r);
+            assert_eq!(a + b, b + a);
+            assert_eq!((a + b) + c, a + (b + c));
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a + F61::zero(), a);
+            assert_eq!(a * F61::one(), a);
+            assert_eq!(a + (-a), F61::zero());
+            assert_eq!(a.square(), a * a);
+            assert_eq!(a.double(), a + a);
+        }
+    }
+
+    #[test]
+    fn inverse_f64_full_width() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let a = F64::random(&mut r);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.inverse().unwrap();
+            assert_eq!(a * inv, F64::one());
+            // cross-check binary-GCD inverse against Fermat
+            let fermat = a.pow_vartime(&crate::limbs::sub_u64(&F64::MODULUS, 2));
+            assert_eq!(inv, fermat);
+        }
+        assert!(F64::zero().inverse().is_none());
+        assert_eq!(F64::one().inverse(), Some(F64::one()));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = F61::from_u64(3);
+        let mut acc = F61::one();
+        for e in 0u64..20 {
+            assert_eq!(a.pow_vartime(&[e]), acc);
+            acc *= a;
+        }
+    }
+
+    #[test]
+    fn fermat_little() {
+        let mut r = rng();
+        let a = F61::random(&mut r);
+        let pm1 = crate::limbs::sub_u64(&F61::MODULUS, 1);
+        assert_eq!(a.pow_vartime(&pm1), F61::one());
+    }
+
+    #[test]
+    fn sqrt_small_field() {
+        assert!(FSmall::modulus_is_3_mod_4());
+        let mut r = rng();
+        let mut found_qr = 0;
+        let mut found_nqr = 0;
+        for _ in 0..60 {
+            let a = FSmall::random(&mut r);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == a || root == -a);
+            assert_eq!(sq.legendre(), if sq.is_zero() { 0 } else { 1 });
+            match a.legendre() {
+                1 => {
+                    found_qr += 1;
+                    assert!(a.sqrt().is_some());
+                }
+                -1 => {
+                    found_nqr += 1;
+                    assert!(a.sqrt().is_none());
+                }
+                _ => {}
+            }
+        }
+        assert!(found_qr > 5 && found_nqr > 5, "legendre should split ~evenly");
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_validation() {
+        let mut r = rng();
+        let a = F64::random(&mut r);
+        let b = a.to_bytes_be();
+        assert_eq!(b.len(), F64::byte_len());
+        assert_eq!(F64::from_bytes_be(&b), Some(a));
+        // modulus itself must be rejected
+        assert_eq!(F64::from_bytes_be(&F64::modulus_be_bytes()), None);
+        // wrong length rejected
+        assert_eq!(F64::from_bytes_be(&b[1..]), None);
+    }
+
+    #[test]
+    fn from_bytes_be_reduced_wraps() {
+        // 2^64 mod (2^64 - 59) = 59
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert_eq!(F64::from_bytes_be_reduced(&bytes), F64::from_u64(59));
+        assert_eq!(F64::from_bytes_be_reduced(&[]), F64::zero());
+    }
+
+    #[test]
+    fn ordering_is_canonical() {
+        assert!(F61::from_u64(2) < F61::from_u64(3));
+        assert!(F61::from_u64(0) < -F61::from_u64(1));
+    }
+
+    #[test]
+    fn debug_format_shows_canonical_hex() {
+        let s = format!("{:?}", F61::from_u64(0xab));
+        assert_eq!(s, "F61(0xab)");
+        assert_eq!(format!("{:?}", F61::zero()), "F61(0x0)");
+    }
+}

@@ -1,0 +1,292 @@
+//! Quadratic extension `F_{p²} = F_p[i]/(i² + 1)`.
+//!
+//! Valid whenever `p ≡ 3 (mod 4)` (then `-1` is a quadratic non-residue, so
+//! `i² + 1` is irreducible). All the supersingular-curve fields in
+//! `dlr-curve` satisfy this; the constructor asserts it.
+//!
+//! This is the field where the Tate pairing of the Type-1 curve takes its
+//! values (embedding degree 2): `GT ⊂ F_{p²}*` is the order-`r` subgroup.
+
+use crate::field::{FieldElement, PrimeField};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An element `c0 + c1·i` of `F_{p²}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Fp2<F: PrimeField> {
+    /// Real part.
+    pub c0: F,
+    /// Imaginary part (coefficient of `i`).
+    pub c1: F,
+}
+
+impl<F: PrimeField> Fp2<F> {
+    /// Construct from components.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the base modulus is not `3 (mod 4)`.
+    pub fn new(c0: F, c1: F) -> Self {
+        debug_assert!(F::modulus_is_3_mod_4(), "Fp2 tower requires p ≡ 3 (mod 4)");
+        Self { c0, c1 }
+    }
+
+    /// Embed a base-field element.
+    pub fn from_base(c0: F) -> Self {
+        Self::new(c0, F::zero())
+    }
+
+    /// The element `i` (a square root of `-1`).
+    pub fn i() -> Self {
+        Self::new(F::zero(), F::one())
+    }
+
+    /// Complex conjugate `c0 - c1·i`. This is also the Frobenius
+    /// endomorphism `x ↦ x^p` (since `i^p = -i` for `p ≡ 3 (mod 4)`), and
+    /// the inverse of a norm-1 ("unitary") element.
+    pub fn conjugate(&self) -> Self {
+        Self {
+            c0: self.c0,
+            c1: -self.c1,
+        }
+    }
+
+    /// Field norm `N(x) = x · x^p = c0² + c1² ∈ F_p`.
+    pub fn norm(&self) -> F {
+        self.c0.square() + self.c1.square()
+    }
+
+    /// True iff `N(x) = 1`, i.e. `x` lies in the kernel of the norm map —
+    /// the cyclotomic subgroup of order `p + 1` containing `GT`.
+    pub fn is_unitary(&self) -> bool {
+        self.norm() == F::one()
+    }
+
+    /// Fast inverse for unitary elements (conjugation). Callers must ensure
+    /// `self` is unitary; debug builds assert it.
+    pub fn unitary_inverse(&self) -> Self {
+        debug_assert!(self.is_unitary());
+        self.conjugate()
+    }
+}
+
+impl<F: PrimeField> Add for Fp2<F> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            c0: self.c0 + rhs.c0,
+            c1: self.c1 + rhs.c1,
+        }
+    }
+}
+
+impl<F: PrimeField> Sub for Fp2<F> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            c0: self.c0 - rhs.c0,
+            c1: self.c1 - rhs.c1,
+        }
+    }
+}
+
+impl<F: PrimeField> Neg for Fp2<F> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self {
+            c0: -self.c0,
+            c1: -self.c1,
+        }
+    }
+}
+
+impl<F: PrimeField> Mul for Fp2<F> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba: (a0 + a1 i)(b0 + b1 i) with i² = -1
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let s = (self.c0 + self.c1) * (rhs.c0 + rhs.c1);
+        Self {
+            c0: v0 - v1,
+            c1: s - v0 - v1,
+        }
+    }
+}
+
+impl<F: PrimeField> AddAssign for Fp2<F> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl<F: PrimeField> SubAssign for Fp2<F> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl<F: PrimeField> MulAssign for Fp2<F> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<F: PrimeField> FieldElement for Fp2<F> {
+    fn zero() -> Self {
+        Self {
+            c0: F::zero(),
+            c1: F::zero(),
+        }
+    }
+    fn one() -> Self {
+        Self {
+            c0: F::one(),
+            c1: F::zero(),
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+    fn square(&self) -> Self {
+        // (a + bi)² = (a+b)(a-b) + 2ab·i
+        let c0 = (self.c0 + self.c1) * (self.c0 - self.c1);
+        let c1 = (self.c0 * self.c1).double();
+        Self { c0, c1 }
+    }
+    fn inverse(&self) -> Option<Self> {
+        let n = self.norm();
+        let ninv = n.inverse()?;
+        Some(Self {
+            c0: self.c0 * ninv,
+            c1: -(self.c1 * ninv),
+        })
+    }
+    fn random<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            c0: F::random(rng),
+            c1: F::random(rng),
+        }
+    }
+    fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = self.c0.to_bytes_be();
+        out.extend_from_slice(&self.c1.to_bytes_be());
+        out
+    }
+    fn from_bytes_be(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 2 * F::byte_len() {
+            return None;
+        }
+        let (b0, b1) = bytes.split_at(F::byte_len());
+        Some(Self {
+            c0: F::from_bytes_be(b0)?,
+            c1: F::from_bytes_be(b1)?,
+        })
+    }
+    fn byte_len() -> usize {
+        2 * F::byte_len()
+    }
+}
+
+impl<F: PrimeField> crate::erase::Erase for Fp2<F>
+where
+    F: crate::erase::Erase,
+{
+    fn erase(&mut self) {
+        self.c0.erase();
+        self.c1.erase();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    crate::define_prime_field!(
+        /// Test field with p = 1000003 ≡ 3 (mod 4).
+        pub struct FSmall, 1, "0xf4243"
+    );
+
+    type F2 = Fp2<FSmall>;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(F2::i() * F2::i(), -F2::one());
+    }
+
+    #[test]
+    fn field_axioms() {
+        let mut r = rng();
+        for _ in 0..40 {
+            let a = F2::random(&mut r);
+            let b = F2::random(&mut r);
+            let c = F2::random(&mut r);
+            assert_eq!(a + b, b + a);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a * (b * c), (a * b) * c);
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), F2::one());
+            }
+        }
+        assert!(F2::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn conjugate_is_frobenius() {
+        let mut r = rng();
+        let a = F2::random(&mut r);
+        let p = FSmall::MODULUS;
+        assert_eq!(a.pow_vartime(&p), a.conjugate());
+        // conj is an automorphism
+        let b = F2::random(&mut r);
+        assert_eq!((a * b).conjugate(), a.conjugate() * b.conjugate());
+    }
+
+    #[test]
+    fn norm_multiplicative() {
+        let mut r = rng();
+        let a = F2::random(&mut r);
+        let b = F2::random(&mut r);
+        assert_eq!((a * b).norm(), a.norm() * b.norm());
+    }
+
+    #[test]
+    fn unitary_subgroup() {
+        let mut r = rng();
+        let a = F2::random(&mut r);
+        if a.is_zero() {
+            return;
+        }
+        // x^{p-1} = conj(x)/x is always unitary
+        let u = a.conjugate() * a.inverse().unwrap();
+        assert!(u.is_unitary());
+        assert_eq!(u.unitary_inverse() * u, F2::one());
+    }
+
+    #[test]
+    fn multiplicative_order_divides_p2_minus_1() {
+        let mut r = rng();
+        let a = F2::random(&mut r);
+        if a.is_zero() {
+            return;
+        }
+        // p² - 1 for p = 1000003: compute via u128, fits in 64 bits? p² ≈ 10^12 — fits u64.
+        let p = FSmall::MODULUS[0];
+        let e = p * p - 1;
+        assert_eq!(a.pow_vartime(&[e]), F2::one());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut r = rng();
+        let a = F2::random(&mut r);
+        let b = a.to_bytes_be();
+        assert_eq!(b.len(), F2::byte_len());
+        assert_eq!(F2::from_bytes_be(&b), Some(a));
+        assert_eq!(F2::from_bytes_be(&b[1..]), None);
+    }
+}

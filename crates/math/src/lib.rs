@@ -1,0 +1,41 @@
+//! # dlr-math — fixed-width big integers and Montgomery prime fields
+//!
+//! Foundation crate of the DLR workspace (a from-scratch reproduction of
+//! *Akavia–Goldwasser–Hazay, "Distributed Public Key Schemes Secure against
+//! Continual Leakage", PODC 2012*). Everything here is built without
+//! external arithmetic dependencies:
+//!
+//! * [`limbs`] — `const fn` little-endian limb arithmetic incl. CIOS
+//!   Montgomery multiplication;
+//! * [`field`] — the [`FieldElement`](field::FieldElement) /
+//!   [`PrimeField`](field::PrimeField) traits and the
+//!   [`define_prime_field!`] macro that bakes Montgomery constants at
+//!   compile time;
+//! * [`fp2`] — the quadratic extension `F_{p²}` hosting the pairing target
+//!   group;
+//! * [`mont`] — runtime Montgomery contexts and Miller–Rabin, used to
+//!   validate the hardcoded curve parameters;
+//! * [`erase`] — volatile secure-zeroisation used by the refresh protocol's
+//!   erasure requirement.
+//!
+//! ## Example
+//!
+//! ```
+//! dlr_math::define_prime_field!(pub struct F61, 1, "0x1fffffffffffffff");
+//! use dlr_math::field::{FieldElement, PrimeField};
+//!
+//! let a = F61::from_u64(12345);
+//! let inv = a.inverse().expect("nonzero");
+//! assert_eq!(a * inv, F61::one());
+//! ```
+
+pub mod bignum;
+pub mod erase;
+pub mod field;
+pub mod fp2;
+pub mod limbs;
+pub mod mont;
+
+pub use erase::Erase;
+pub use field::{FieldElement, PrimeField};
+pub use fp2::Fp2;

@@ -1,0 +1,584 @@
+//! Fixed-width little-endian limb arithmetic on `[u64; L]` arrays.
+//!
+//! Every routine here is `const fn` where the const evaluator allows it so
+//! that per-field Montgomery constants can be derived at compile time by the
+//! [`define_prime_field!`](crate::define_prime_field) macro. The same
+//! routines back the runtime [`MontCtx`](crate::mont::MontCtx) used by
+//! tooling (primality testing, parameter validation).
+//!
+//! Conventions:
+//! * limb order is little-endian (`a[0]` is least significant);
+//! * all modular routines assume operands are already reduced (`< modulus`)
+//!   unless stated otherwise;
+//! * reduction steps use branchless conditional subtraction so the memory
+//!   access pattern does not depend on secret values. Exponentiation is
+//!   provided in variable-time form only (see [`crate::field`] for the
+//!   side-channel discussion).
+
+/// Add with carry: returns `(sum, carry)` for `a + b + carry`.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtract with borrow: returns `(diff, borrow)` for `a - b - borrow`,
+/// where `borrow` is `0` or `1` on input and output.
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Multiply-accumulate: returns `(lo, hi)` of `acc + a * b + carry`.
+#[inline(always)]
+pub const fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = acc as u128 + (a as u128) * (b as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// `a + b`, returning the sum and the outgoing carry bit.
+pub const fn add_carry<const L: usize>(a: &[u64; L], b: &[u64; L]) -> ([u64; L], u64) {
+    let mut out = [0u64; L];
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < L {
+        let (s, c) = adc(a[i], b[i], carry);
+        out[i] = s;
+        carry = c;
+        i += 1;
+    }
+    (out, carry)
+}
+
+/// `a - b`, returning the difference and the outgoing borrow bit.
+pub const fn sub_borrow<const L: usize>(a: &[u64; L], b: &[u64; L]) -> ([u64; L], u64) {
+    let mut out = [0u64; L];
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < L {
+        let (d, bo) = sbb(a[i], b[i], borrow);
+        out[i] = d;
+        borrow = bo;
+        i += 1;
+    }
+    (out, borrow)
+}
+
+/// Three-way comparison. Returns `-1`, `0`, or `1`.
+pub const fn cmp<const L: usize>(a: &[u64; L], b: &[u64; L]) -> i32 {
+    let mut i = L;
+    while i > 0 {
+        i -= 1;
+        if a[i] < b[i] {
+            return -1;
+        }
+        if a[i] > b[i] {
+            return 1;
+        }
+    }
+    0
+}
+
+/// True iff every limb is zero.
+pub const fn is_zero<const L: usize>(a: &[u64; L]) -> bool {
+    let mut acc = 0u64;
+    let mut i = 0;
+    while i < L {
+        acc |= a[i];
+        i += 1;
+    }
+    acc == 0
+}
+
+/// Branchless select: returns `b` if `choice == 1`, `a` if `choice == 0`.
+#[inline(always)]
+pub const fn select<const L: usize>(a: &[u64; L], b: &[u64; L], choice: u64) -> [u64; L] {
+    let mask = choice.wrapping_neg(); // 0 or all-ones
+    let mut out = [0u64; L];
+    let mut i = 0;
+    while i < L {
+        out[i] = (a[i] & !mask) | (b[i] & mask);
+        i += 1;
+    }
+    out
+}
+
+/// Modular addition for reduced operands: `(a + b) mod m`.
+///
+/// Correct even when the modulus occupies the full `64·L` bits (the carry
+/// bit out of the raw addition is folded into the conditional subtraction).
+pub const fn add_mod<const L: usize>(a: &[u64; L], b: &[u64; L], m: &[u64; L]) -> [u64; L] {
+    let (sum, carry) = add_carry(a, b);
+    let (diff, borrow) = sub_borrow(&sum, m);
+    // If the raw addition overflowed, the subtraction of m is definitely
+    // needed (sum >= 2^{64L} > m). Otherwise it is needed iff sum >= m,
+    // i.e. iff the trial subtraction did not borrow.
+    let need = carry | (1 - borrow);
+    select(&sum, &diff, need & 1)
+}
+
+/// Modular subtraction for reduced operands: `(a - b) mod m`.
+pub const fn sub_mod<const L: usize>(a: &[u64; L], b: &[u64; L], m: &[u64; L]) -> [u64; L] {
+    let (diff, borrow) = sub_borrow(a, b);
+    let (fixed, _) = add_carry(&diff, m);
+    select(&diff, &fixed, borrow)
+}
+
+/// Modular negation for a reduced operand: `(-a) mod m`.
+pub const fn neg_mod<const L: usize>(a: &[u64; L], m: &[u64; L]) -> [u64; L] {
+    let (diff, _) = sub_borrow(m, a);
+    let zero = [0u64; L];
+    let az = if is_zero(a) { 1u64 } else { 0u64 };
+    select(&diff, &zero, az)
+}
+
+/// Modular doubling for a reduced operand.
+pub const fn double_mod<const L: usize>(a: &[u64; L], m: &[u64; L]) -> [u64; L] {
+    add_mod(a, a, m)
+}
+
+/// `-m[0]^{-1} mod 2^64` — the Montgomery reduction constant.
+///
+/// # Panics
+///
+/// Panics (at compile time when used in const context) if `m0` is even.
+pub const fn mont_n0inv(m0: u64) -> u64 {
+    assert!(m0 & 1 == 1, "montgomery modulus must be odd");
+    // Newton iteration: each step doubles the number of correct low bits.
+    let mut inv = m0; // correct to 3 bits for odd m0 (actually to 2^3)
+    let mut i = 0;
+    while i < 6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv.wrapping_neg()
+}
+
+/// Montgomery multiplication (CIOS): returns `a · b · R^{-1} mod m` where
+/// `R = 2^{64·L}`. Operands must be reduced; the result is reduced.
+pub const fn mont_mul<const L: usize>(
+    a: &[u64; L],
+    b: &[u64; L],
+    m: &[u64; L],
+    n0inv: u64,
+) -> [u64; L] {
+    // t holds L+2 limbs of running state: t[0..L], t_hi, t_top.
+    let mut t = [0u64; L];
+    let mut t_hi = 0u64;
+    let mut t_top = 0u64;
+
+    let mut i = 0;
+    while i < L {
+        // t += a[i] * b
+        let mut carry = 0u64;
+        let mut j = 0;
+        while j < L {
+            let (lo, hi) = mac(t[j], a[i], b[j], carry);
+            t[j] = lo;
+            carry = hi;
+            j += 1;
+        }
+        let (lo, c2) = adc(t_hi, carry, 0);
+        t_hi = lo;
+        t_top += c2;
+
+        // reduce: u = t[0] * n0inv; t += u * m; t >>= 64
+        let u = t[0].wrapping_mul(n0inv);
+        let (_, mut carry) = mac(t[0], u, m[0], 0);
+        let mut j = 1;
+        while j < L {
+            let (lo, hi) = mac(t[j], u, m[j], carry);
+            t[j - 1] = lo;
+            carry = hi;
+            j += 1;
+        }
+        let (lo, c2) = adc(t_hi, carry, 0);
+        t[L - 1] = lo;
+        t_hi = t_top + c2;
+        t_top = 0;
+        i += 1;
+    }
+
+    // Final reduction: the invariant guarantees t < 2m, with t_hi the
+    // 2^{64L} bit.
+    let (diff, borrow) = sub_borrow(&t, m);
+    let need = t_hi | (1 - borrow);
+    select(&t, &diff, need & 1)
+}
+
+/// Montgomery squaring (currently delegates to [`mont_mul`]).
+pub const fn mont_sqr<const L: usize>(a: &[u64; L], m: &[u64; L], n0inv: u64) -> [u64; L] {
+    mont_mul(a, a, m, n0inv)
+}
+
+/// `2^{64·L} mod m`, i.e. the Montgomery representation of 1.
+pub const fn compute_r<const L: usize>(m: &[u64; L]) -> [u64; L] {
+    // Start from m-complement trick: 2^{64L} mod m == (2^{64L} - m) mod m
+    // because m < 2^{64L} <= 2m (top limb of m need not be set, so instead
+    // compute by repeated doubling of 1, 64·L times).
+    let mut acc = [0u64; L];
+    acc[0] = 1;
+    // Reduce the initial 1 (always < m for m > 1).
+    let mut i = 0;
+    while i < 64 * L {
+        acc = double_mod(&acc, m);
+        i += 1;
+    }
+    acc
+}
+
+/// `2^{128·L} mod m`, the constant used to convert into Montgomery form.
+pub const fn compute_r2<const L: usize>(m: &[u64; L]) -> [u64; L] {
+    let r = compute_r(m);
+    let mut acc = r;
+    let mut i = 0;
+    while i < 64 * L {
+        acc = double_mod(&acc, m);
+        i += 1;
+    }
+    acc
+}
+
+/// Parse a hex string (optionally prefixed by `0x`) into limbs.
+///
+/// # Panics
+///
+/// Panics if the value does not fit in `L` limbs or a non-hex character is
+/// encountered. Intended for compile-time parsing of hardcoded parameters.
+pub const fn parse_hex<const L: usize>(s: &str) -> [u64; L] {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    if bytes.len() >= 2 && bytes[0] == b'0' && (bytes[1] == b'x' || bytes[1] == b'X') {
+        start = 2;
+    }
+    let mut out = [0u64; L];
+    let mut i = start;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let digit = match c {
+            b'0'..=b'9' => (c - b'0') as u64,
+            b'a'..=b'f' => (c - b'a' + 10) as u64,
+            b'A'..=b'F' => (c - b'A' + 10) as u64,
+            b'_' => {
+                i += 1;
+                continue;
+            }
+            _ => panic!("invalid hex digit in field constant"),
+        };
+        // out = out * 16 + digit
+        assert!(out[L - 1] >> 60 == 0, "hex constant does not fit in L limbs");
+        let mut j = L;
+        while j > 1 {
+            j -= 1;
+            out[j] = (out[j] << 4) | (out[j - 1] >> 60);
+        }
+        out[0] = (out[0] << 4) | digit;
+        i += 1;
+    }
+    out
+}
+
+/// Number of significant bits (position of the highest set bit).
+pub const fn bits<const L: usize>(a: &[u64; L]) -> u32 {
+    let mut i = L;
+    while i > 0 {
+        i -= 1;
+        if a[i] != 0 {
+            return i as u32 * 64 + (64 - a[i].leading_zeros());
+        }
+    }
+    0
+}
+
+/// Test bit `k` (little-endian numbering).
+#[inline]
+pub const fn bit<const L: usize>(a: &[u64; L], k: u32) -> bool {
+    let limb = (k / 64) as usize;
+    if limb >= L {
+        return false;
+    }
+    (a[limb] >> (k % 64)) & 1 == 1
+}
+
+/// Logical right shift by one bit.
+pub const fn shr1<const L: usize>(a: &[u64; L]) -> [u64; L] {
+    let mut out = [0u64; L];
+    let mut i = 0;
+    while i < L {
+        out[i] = a[i] >> 1;
+        if i + 1 < L {
+            out[i] |= a[i + 1] << 63;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Wrapping subtraction of a small `u64` constant (used to build `p - 2` and
+/// similar exponents from a modulus).
+pub const fn sub_u64<const L: usize>(a: &[u64; L], b: u64) -> [u64; L] {
+    let mut out = *a;
+    let (d, mut borrow) = sbb(out[0], b, 0);
+    out[0] = d;
+    let mut i = 1;
+    while i < L && borrow != 0 {
+        let (d, bo) = sbb(out[i], 0, borrow);
+        out[i] = d;
+        borrow = bo;
+        i += 1;
+    }
+    assert!(borrow == 0, "sub_u64 underflow");
+    out
+}
+
+/// Wrapping addition of a small `u64` constant.
+pub const fn add_u64<const L: usize>(a: &[u64; L], b: u64) -> [u64; L] {
+    let mut out = *a;
+    let (s, mut carry) = adc(out[0], b, 0);
+    out[0] = s;
+    let mut i = 1;
+    while i < L && carry != 0 {
+        let (s, c) = adc(out[i], 0, carry);
+        out[i] = s;
+        carry = c;
+        i += 1;
+    }
+    assert!(carry == 0, "add_u64 overflow");
+    out
+}
+
+/// Logical right shift by one of an `L+1`-bit value `(carry, a)`.
+const fn shr1_with_carry<const L: usize>(a: &[u64; L], carry: u64) -> [u64; L] {
+    let mut out = shr1(a);
+    out[L - 1] |= carry << 63;
+    out
+}
+
+/// Modular inverse via the binary extended-GCD algorithm.
+///
+/// `a` is a **canonical** (non-Montgomery) value reduced mod the odd modulus
+/// `m`. Returns `None` when `a` is zero (for prime `m`, every nonzero value
+/// is invertible). Variable-time.
+pub fn inv_mod<const L: usize>(a: &[u64; L], m: &[u64; L]) -> Option<[u64; L]> {
+    if is_zero(a) {
+        return None;
+    }
+    debug_assert!(m[0] & 1 == 1, "modulus must be odd");
+    let mut u = *a;
+    let mut v = *m;
+    let mut x1 = [0u64; L];
+    x1[0] = 1;
+    let mut x2 = [0u64; L];
+
+    let one = x1;
+    while cmp(&u, &one) != 0 && cmp(&v, &one) != 0 {
+        while u[0] & 1 == 0 {
+            u = shr1(&u);
+            if x1[0] & 1 == 0 {
+                x1 = shr1(&x1);
+            } else {
+                let (s, c) = add_carry(&x1, m);
+                x1 = shr1_with_carry(&s, c);
+            }
+        }
+        while v[0] & 1 == 0 {
+            v = shr1(&v);
+            if x2[0] & 1 == 0 {
+                x2 = shr1(&x2);
+            } else {
+                let (s, c) = add_carry(&x2, m);
+                x2 = shr1_with_carry(&s, c);
+            }
+        }
+        if cmp(&u, &v) >= 0 {
+            (u, _) = sub_borrow(&u, &v);
+            x1 = sub_mod(&x1, &x2, m);
+        } else {
+            (v, _) = sub_borrow(&v, &u);
+            x2 = sub_mod(&x2, &x1, m);
+        }
+    }
+    Some(if cmp(&u, &one) == 0 { x1 } else { x2 })
+}
+
+/// Convert limbs to canonical big-endian bytes (`8·L` bytes).
+pub fn to_bytes_be<const L: usize>(a: &[u64; L]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(L * 8);
+    for i in (0..L).rev() {
+        out.extend_from_slice(&a[i].to_be_bytes());
+    }
+    out
+}
+
+/// Parse big-endian bytes into limbs. Input longer than `8·L` bytes is
+/// rejected (returns `None`); shorter input is zero-padded on the left.
+#[allow(clippy::needless_range_loop)]
+pub fn from_bytes_be<const L: usize>(bytes: &[u8]) -> Option<[u64; L]> {
+    if bytes.len() > L * 8 {
+        return None;
+    }
+    let mut padded = vec![0u8; L * 8 - bytes.len()];
+    padded.extend_from_slice(bytes);
+    let mut out = [0u64; L];
+    for i in 0..L {
+        let start = (L - 1 - i) * 8;
+        let mut limb = [0u8; 8];
+        limb.copy_from_slice(&padded[start..start + 8]);
+        out[i] = u64::from_be_bytes(limb);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: [u64; 2] = [0xffff_ffff_ffff_fff1, 0x7fff_ffff_ffff_ffff]; // odd, not prime; fine for limb tests
+
+    #[test]
+    fn adc_sbb_roundtrip() {
+        let (s, c) = adc(u64::MAX, 1, 0);
+        assert_eq!((s, c), (0, 1));
+        let (d, b) = sbb(0, 1, 0);
+        assert_eq!((d, b), (u64::MAX, 1));
+        let (d, b) = sbb(5, 3, 1);
+        assert_eq!((d, b), (1, 0));
+    }
+
+    #[test]
+    fn mac_full_range() {
+        // acc + a*b + carry with everything maxed must not overflow u128 math
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        // u64::MAX + u64::MAX^2 + u64::MAX = 2^128 - 1 exactly
+        assert_eq!(lo, u64::MAX);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn add_sub_mod_inverse_each_other() {
+        let a = [7u64, 9u64];
+        let b = [11u64, 3u64];
+        let s = add_mod(&a, &b, &M);
+        let back = sub_mod(&s, &b, &M);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn add_mod_handles_full_width_modulus() {
+        // modulus with top bit set
+        let m: [u64; 1] = [0xffff_ffff_ffff_ffc5]; // prime 2^64 - 59
+        let a = [m[0] - 1];
+        let s = add_mod(&a, &a, &m);
+        // (m-1)+(m-1) = 2m-2 ≡ m-2
+        assert_eq!(s, [m[0] - 2]);
+    }
+
+    #[test]
+    fn neg_mod_zero_is_zero() {
+        let z = [0u64, 0u64];
+        assert_eq!(neg_mod(&z, &M), z);
+        let a = [5u64, 0u64];
+        let n = neg_mod(&a, &M);
+        assert_eq!(add_mod(&a, &n, &M), z);
+    }
+
+    #[test]
+    fn n0inv_is_correct() {
+        for m0 in [1u64, 3, 0xffff_ffff_ffff_ffc5, 0x9c7b_55f3_3f4a_5557] {
+            let inv = mont_n0inv(m0);
+            assert_eq!(m0.wrapping_mul(inv.wrapping_neg()), 1);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_u128_reference() {
+        // Single-limb field: p = 2^61 - 1 (Mersenne prime)
+        let p: [u64; 1] = [(1u64 << 61) - 1];
+        let n0 = mont_n0inv(p[0]);
+        let r2 = compute_r2(&p);
+        let to_mont = |x: u64| mont_mul(&[x], &r2, &p, n0);
+        let from_mont = |x: [u64; 1]| mont_mul(&x, &[1], &p, n0)[0];
+        for (a, b) in [(3u64, 5u64), (1 << 60, 12345), (p[0] - 1, p[0] - 1)] {
+            let am = to_mont(a);
+            let bm = to_mont(b);
+            let cm = mont_mul(&am, &bm, &p, n0);
+            let c = from_mont(cm);
+            let expect = ((a as u128 * b as u128) % p[0] as u128) as u64;
+            assert_eq!(c, expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_full_width_modulus() {
+        // p = 2^64 - 59 (top bit set), exercises the extra-carry path.
+        let p: [u64; 1] = [0xffff_ffff_ffff_ffc5];
+        let n0 = mont_n0inv(p[0]);
+        let r2 = compute_r2(&p);
+        let a = p[0] - 1;
+        let am = mont_mul(&[a], &r2, &p, n0);
+        let sq = mont_mul(&am, &am, &p, n0);
+        let out = mont_mul(&sq, &[1], &p, n0)[0];
+        // (p-1)^2 ≡ 1 mod p
+        assert_eq!(out, 1);
+    }
+
+    #[test]
+    fn parse_hex_roundtrip() {
+        let v: [u64; 2] = parse_hex("0x5ed5e420ff583487");
+        assert_eq!(v, [0x5ed5_e420_ff58_3487, 0]);
+        let v: [u64; 2] = parse_hex("42ae6467338a04eeeb");
+        assert_eq!(v, [0xae64_6733_8a04_eeeb, 0x42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn parse_hex_overflow_panics() {
+        let _: [u64; 1] = parse_hex("10000000000000000");
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        let v: [u64; 2] = [0, 1];
+        assert_eq!(bits(&v), 65);
+        assert!(bit(&v, 64));
+        assert!(!bit(&v, 63));
+        assert!(!bit(&v, 200));
+        assert_eq!(bits(&[0u64, 0]), 0);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v: [u64; 2] = [0x0123_4567_89ab_cdef, 0xfeed];
+        let b = to_bytes_be(&v);
+        assert_eq!(b.len(), 16);
+        assert_eq!(from_bytes_be::<2>(&b), Some(v));
+        // short input zero-pads
+        assert_eq!(from_bytes_be::<2>(&[1]), Some([1, 0]));
+        // long input rejected
+        assert_eq!(from_bytes_be::<1>(&[0; 9]), None);
+    }
+
+    #[test]
+    fn shr1_and_sub_u64() {
+        let v: [u64; 2] = [1, 1];
+        assert_eq!(shr1(&v), [0x8000_0000_0000_0000, 0]);
+        assert_eq!(sub_u64(&[0, 1], 1), [u64::MAX, 0]);
+        assert_eq!(add_u64(&[u64::MAX, 0], 1), [0, 1]);
+    }
+
+    #[test]
+    fn compute_r_small() {
+        // p = 97: 2^64 mod 97
+        let p: [u64; 1] = [97];
+        let r = compute_r(&p);
+        let expect = ((1u128 << 64) % 97) as u64;
+        assert_eq!(r[0], expect);
+        let r2 = compute_r2(&p);
+        let expect2 = {
+            let r128 = (1u128 << 64) % 97;
+            ((r128 * r128) % 97) as u64
+        };
+        assert_eq!(r2[0], expect2);
+    }
+}

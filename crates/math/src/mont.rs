@@ -1,0 +1,230 @@
+//! Runtime Montgomery arithmetic context.
+//!
+//! The compile-time path (the [`define_prime_field!`](crate::define_prime_field)
+//! macro) bakes Montgomery constants into each field type. This module
+//! provides the same arithmetic for moduli only known at runtime — used by
+//! the Miller–Rabin primality test that validates the hardcoded curve
+//! parameters, and by parameter-generation tooling.
+
+use crate::limbs;
+
+/// Montgomery context for an odd modulus held in `L` little-endian limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontCtx<const L: usize> {
+    modulus: [u64; L],
+    n0inv: u64,
+    r: [u64; L],
+    r2: [u64; L],
+}
+
+impl<const L: usize> MontCtx<L> {
+    /// Create a context for the given odd modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even or zero.
+    pub fn new(modulus: [u64; L]) -> Self {
+        assert!(!limbs::is_zero(&modulus), "modulus must be nonzero");
+        let n0inv = limbs::mont_n0inv(modulus[0]);
+        let r = limbs::compute_r(&modulus);
+        let r2 = limbs::compute_r2(&modulus);
+        Self {
+            modulus,
+            n0inv,
+            r,
+            r2,
+        }
+    }
+
+    /// The modulus limbs.
+    pub fn modulus(&self) -> &[u64; L] {
+        &self.modulus
+    }
+
+    /// Montgomery form of 1.
+    pub fn one(&self) -> [u64; L] {
+        self.r
+    }
+
+    /// Convert a reduced integer into Montgomery form.
+    pub fn to_mont(&self, a: &[u64; L]) -> [u64; L] {
+        limbs::mont_mul(a, &self.r2, &self.modulus, self.n0inv)
+    }
+
+    /// Convert out of Montgomery form into a canonical reduced integer.
+    pub fn from_mont(&self, a: &[u64; L]) -> [u64; L] {
+        let mut one = [0u64; L];
+        one[0] = 1;
+        limbs::mont_mul(a, &one, &self.modulus, self.n0inv)
+    }
+
+    /// Montgomery product.
+    pub fn mul(&self, a: &[u64; L], b: &[u64; L]) -> [u64; L] {
+        limbs::mont_mul(a, b, &self.modulus, self.n0inv)
+    }
+
+    /// Modular exponentiation of a Montgomery-form base by a plain integer
+    /// exponent (variable time in the exponent).
+    pub fn pow(&self, base: &[u64; L], exp: &[u64; L]) -> [u64; L] {
+        let nbits = limbs::bits(exp);
+        let mut acc = self.one();
+        let mut i = nbits;
+        while i > 0 {
+            i -= 1;
+            acc = self.mul(&acc, &acc);
+            if limbs::bit(exp, i) {
+                acc = self.mul(&acc, base);
+            }
+        }
+        acc
+    }
+}
+
+/// Deterministic Miller–Rabin witnesses sufficient for all `n < 3.3 × 10^24`
+/// and a strong randomized-quality battery for larger inputs.
+const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Miller–Rabin primality test over `L`-limb integers.
+///
+/// Deterministic for 64-bit inputs; for larger inputs the fixed witness
+/// battery gives error probability far below `2^{-80}` for the structured
+/// parameters this repo validates (it is a *validation* tool, not an
+/// adversarial-input primality oracle).
+pub fn is_probable_prime<const L: usize>(n: &[u64; L]) -> bool {
+    // Small / even cases.
+    if limbs::is_zero(n) {
+        return false;
+    }
+    if n[0] & 1 == 0 {
+        // The only even prime is 2.
+        let mut two = [0u64; L];
+        two[0] = 2;
+        return limbs::cmp(n, &two) == 0;
+    }
+    let mut one = [0u64; L];
+    one[0] = 1;
+    if limbs::cmp(n, &one) == 0 {
+        return false;
+    }
+
+    // Trial division by the witness primes themselves.
+    for &w in &WITNESSES {
+        let mut wl = [0u64; L];
+        wl[0] = w;
+        if limbs::cmp(n, &wl) == 0 {
+            return true;
+        }
+        if mod_small(n, w) == 0 {
+            return false;
+        }
+    }
+
+    // Write n-1 = d · 2^s with d odd.
+    let n_minus_1 = limbs::sub_u64(n, 1);
+    let mut d = n_minus_1;
+    let mut s = 0u32;
+    while d[0] & 1 == 0 {
+        d = limbs::shr1(&d);
+        s += 1;
+    }
+
+    let ctx = MontCtx::new(*n);
+    let one_m = ctx.one();
+    let neg_one = limbs::sub_mod(&[0u64; L], &one_m, n);
+
+    'witness: for &w in &WITNESSES {
+        let mut wl = [0u64; L];
+        wl[0] = w;
+        let a = ctx.to_mont(&wl);
+        let mut x = ctx.pow(&a, &d);
+        if limbs::cmp(&x, &one_m) == 0 || limbs::cmp(&x, &neg_one) == 0 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = ctx.mul(&x, &x);
+            if limbs::cmp(&x, &neg_one) == 0 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Remainder of an `L`-limb integer modulo a small `u64` divisor.
+fn mod_small<const L: usize>(n: &[u64; L], m: u64) -> u64 {
+    let mut rem = 0u128;
+    for i in (0..L).rev() {
+        rem = ((rem << 64) | n[i] as u128) % m as u128;
+    }
+    rem as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mont_ctx_roundtrip() {
+        let ctx = MontCtx::new([97u64]);
+        for v in 0..97u64 {
+            let m = ctx.to_mont(&[v]);
+            assert_eq!(ctx.from_mont(&m), [v]);
+        }
+    }
+
+    #[test]
+    fn pow_small_field() {
+        let ctx = MontCtx::new([97u64]);
+        let b = ctx.to_mont(&[3]);
+        // 3^96 ≡ 1 (Fermat)
+        let x = ctx.pow(&b, &[96]);
+        assert_eq!(ctx.from_mont(&x), [1]);
+        // 3^5 = 243 = 2*97 + 49
+        let x = ctx.pow(&b, &[5]);
+        assert_eq!(ctx.from_mont(&x), [49]);
+    }
+
+    #[test]
+    fn primality_small() {
+        let primes = [2u64, 3, 5, 7, 61, 97, (1 << 61) - 1, 0xffff_ffff_ffff_ffc5];
+        for p in primes {
+            assert!(is_probable_prime(&[p]), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 9, 91, 561, 6601, (1 << 61) + 1];
+        for c in composites {
+            assert!(!is_probable_prime(&[c]), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn primality_carmichael_strong() {
+        // 3215031751 is the smallest strong pseudoprime to bases 2,3,5,7.
+        assert!(!is_probable_prime(&[3_215_031_751u64]));
+    }
+
+    #[test]
+    fn primality_two_limbs() {
+        // TOY curve parameters from the generator run.
+        let r: [u64; 2] = crate::limbs::parse_hex("0x5ed5e420ff583487");
+        let p: [u64; 2] = crate::limbs::parse_hex("0x42ae6467338a04eeeb");
+        assert!(is_probable_prime(&r));
+        assert!(is_probable_prime(&p));
+        // p = 0xb4 * r - 1
+        let mut acc = [0u64; 2];
+        for _ in 0..0xb4 {
+            acc = limbs::add_carry(&acc, &r).0;
+        }
+        acc = limbs::sub_u64(&acc, 1);
+        assert_eq!(acc, p);
+    }
+
+    #[test]
+    fn mod_small_matches_u128() {
+        let n: [u64; 2] = [0xdead_beef_cafe_f00d, 0x1234_5678];
+        let big = (0x1234_5678u128 << 64) | 0xdead_beef_cafe_f00d;
+        for m in [3u64, 7, 97, 1_000_003] {
+            assert_eq!(mod_small(&n, m) as u128, big % m as u128);
+        }
+    }
+}

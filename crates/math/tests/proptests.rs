@@ -1,0 +1,186 @@
+//! Property-based tests for the arithmetic layer: field axioms, limb
+//! identities, and serialization invariants under random inputs.
+
+use dlr_math::{define_prime_field, limbs, FieldElement, PrimeField};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+define_prime_field!(
+    /// Single-limb field with the top bit set: p = 2^64 - 59.
+    pub struct F64, 1, "0xffffffffffffffc5"
+);
+define_prime_field!(
+    /// Two-limb field (the TOY base field).
+    pub struct FToy, 2, "0x42ae6467338a04eeeb"
+);
+define_prime_field!(
+    /// Four-limb field (the shared 256-bit scalar field).
+    pub struct F256, 4, "0x9c7b55f33f4a555666c8d7baaa676515d2f48907cb57039e9d59f778aec33793"
+);
+
+fn felt<F: FieldElement>(seed: u64) -> F {
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    F::random(&mut r)
+}
+
+macro_rules! field_properties {
+    ($modname:ident, $F:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(64))]
+
+                #[test]
+                fn ring_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+                    let (a, b, c) = (felt::<$F>(a), felt::<$F>(b), felt::<$F>(c));
+                    prop_assert_eq!(a + b, b + a);
+                    prop_assert_eq!((a + b) + c, a + (b + c));
+                    prop_assert_eq!(a * b, b * a);
+                    prop_assert_eq!((a * b) * c, a * (b * c));
+                    prop_assert_eq!(a * (b + c), a * b + a * c);
+                    prop_assert_eq!(a - a, <$F>::zero());
+                    prop_assert_eq!(a.square(), a * a);
+                    prop_assert_eq!(a.double(), a + a);
+                }
+
+                #[test]
+                fn inverse_and_division(a in any::<u64>()) {
+                    let a = felt::<$F>(a);
+                    if a.is_zero() {
+                        prop_assert!(a.inverse().is_none());
+                    } else {
+                        let inv = a.inverse().unwrap();
+                        prop_assert_eq!(a * inv, <$F>::one());
+                        prop_assert_eq!(inv.inverse().unwrap(), a);
+                    }
+                }
+
+                #[test]
+                fn pow_laws(a in any::<u64>(), x in 0u64..1000, y in 0u64..1000) {
+                    let a = felt::<$F>(a);
+                    prop_assert_eq!(
+                        a.pow_vartime(&[x]) * a.pow_vartime(&[y]),
+                        a.pow_vartime(&[x + y])
+                    );
+                    prop_assert_eq!(
+                        a.pow_vartime(&[x]).pow_vartime(&[y]),
+                        a.pow_vartime(&[x * y])
+                    );
+                }
+
+                #[test]
+                fn bytes_roundtrip(a in any::<u64>()) {
+                    let a = felt::<$F>(a);
+                    let bytes = a.to_bytes_be();
+                    prop_assert_eq!(bytes.len(), <$F>::byte_len());
+                    prop_assert_eq!(<$F>::from_bytes_be(&bytes), Some(a));
+                }
+
+                #[test]
+                fn sqrt_of_square(a in any::<u64>()) {
+                    if <$F>::modulus_is_3_mod_4() {
+                        let a = felt::<$F>(a);
+                        let sq = a.square();
+                        let root = sq.sqrt().expect("square has root");
+                        prop_assert!(root == a || root == -a);
+                    }
+                }
+
+                #[test]
+                fn reduced_parser_consistent(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+                    // from_bytes_be_reduced is a homomorphism from base-256
+                    // strings: appending a zero byte multiplies by 256
+                    let x = <$F>::from_bytes_be_reduced(&bytes);
+                    let mut shifted = bytes.clone();
+                    shifted.push(0);
+                    prop_assert_eq!(
+                        <$F>::from_bytes_be_reduced(&shifted),
+                        x * <$F>::from_u64(256)
+                    );
+                }
+            }
+        }
+    };
+}
+
+field_properties!(f64_props, F64);
+field_properties!(ftoy_props, FToy);
+field_properties!(f256_props, F256);
+
+mod fp2_props {
+    use super::*;
+    use dlr_math::Fp2;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn field_axioms(a in any::<u64>(), b in any::<u64>()) {
+            let mut r = rand::rngs::StdRng::seed_from_u64(a);
+            let x = Fp2::<FToy>::random(&mut r);
+            let mut r = rand::rngs::StdRng::seed_from_u64(b);
+            let y = Fp2::<FToy>::random(&mut r);
+            prop_assert_eq!(x * y, y * x);
+            prop_assert_eq!(x.square(), x * x);
+            if !x.is_zero() {
+                prop_assert_eq!(x * x.inverse().unwrap(), Fp2::one());
+            }
+            prop_assert_eq!((x * y).conjugate(), x.conjugate() * y.conjugate());
+            prop_assert_eq!((x * y).norm(), x.norm() * y.norm());
+        }
+    }
+}
+
+mod limb_props {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn add_sub_inverse(a in any::<[u64; 3]>(), b in any::<[u64; 3]>()) {
+            let (sum, carry) = limbs::add_carry(&a, &b);
+            let (back, borrow) = limbs::sub_borrow(&sum, &b);
+            prop_assert_eq!(back, a);
+            prop_assert_eq!(carry, borrow);
+        }
+
+        #[test]
+        fn cmp_antisymmetric(a in any::<[u64; 2]>(), b in any::<[u64; 2]>()) {
+            prop_assert_eq!(limbs::cmp(&a, &b), -limbs::cmp(&b, &a));
+            prop_assert_eq!(limbs::cmp(&a, &a), 0);
+        }
+
+        #[test]
+        fn bytes_roundtrip(a in any::<[u64; 4]>()) {
+            let be = limbs::to_bytes_be(&a);
+            prop_assert_eq!(limbs::from_bytes_be::<4>(&be), Some(a));
+        }
+
+        #[test]
+        fn shr1_halves(a in any::<[u64; 2]>()) {
+            let half = limbs::shr1(&a);
+            let (doubled, carry) = limbs::add_carry(&half, &half);
+            // doubling the half recovers a with the low bit cleared
+            let mut expect = a;
+            expect[0] &= !1;
+            prop_assert_eq!(doubled, expect);
+            prop_assert_eq!(carry, 0);
+        }
+
+        #[test]
+        fn inv_mod_is_inverse(a in any::<u64>()) {
+            // modulus = 2^64 - 59 (prime)
+            let m = [0xffff_ffff_ffff_ffc5u64];
+            let a = [a % m[0]];
+            match limbs::inv_mod(&a, &m) {
+                None => prop_assert_eq!(a[0], 0),
+                Some(inv) => {
+                    let prod = ((a[0] as u128) * (inv[0] as u128)) % (m[0] as u128);
+                    prop_assert_eq!(prod, 1u128);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # dlr-protocol — two-party protocol runtime with an explicit memory model
+//!
+//! The "distributed" substrate of the DLR workspace:
+//!
+//! * [`wire`] — hand-rolled, byte-exact message codec (the transcript is
+//!   adversary-visible, so its format is explicit);
+//! * [`transport`] — in-memory and TCP duplex channels, plus transcript
+//!   recording (`comm^t` of the security game);
+//! * [`memory`] — the §3.2 device model: public memory (fully visible) vs
+//!   secret memory (visible only through shrinking leakage functions), with
+//!   volatile erasure semantics;
+//! * [`runtime`] — drives both protocol roles over real transports.
+//!
+//! ## Trust model
+//!
+//! Per the paper (§3.1), the two devices **trust each other** to follow the
+//! protocols honestly; the adversary's power is continual memory leakage
+//! plus full view of the public channel — not malicious parties. Decoders
+//! therefore validate well-formedness (so a corrupted channel cannot cause
+//! memory-unsafety or panics) but protocol logic does not defend against a
+//! Byzantine peer.
+
+pub mod memory;
+pub mod runtime;
+pub mod transport;
+pub mod wire;
+
+pub use memory::{Device, PublicMemory, SecretMemory, SecretView};
+pub use transport::{duplex, Transport, TransportError};
+pub use wire::{CodecError, Decoder, Encoder};

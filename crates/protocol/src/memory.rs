@@ -1,0 +1,294 @@
+//! The device memory model of §3.2.
+//!
+//! Each computing device's memory is split into:
+//!
+//! * **public memory** — the public key, public randomness, inputs/outputs
+//!   of computations: visible to the adversary *in its entirety*;
+//! * **secret memory** — the secret key share, secret randomness, and
+//!   intermediate computation values: visible only through length-shrinking
+//!   leakage functions.
+//!
+//! Scheme parties in `dlr-core` *mirror* their typed secret state into a
+//! [`SecretMemory`] as canonical bytes, cell by cell, so that leakage
+//! functions (chosen by the adversary in `dlr-leakage`) operate on the
+//! actual in-memory representation — not on a convenient abstraction.
+//! Erasing a cell zeroises it volatibly ([`dlr_math::Erase`] semantics),
+//! implementing the requirement of Def. 3.1 that refreshed shares are
+//! erased.
+
+use dlr_math::erase::erase_bytes;
+use std::collections::BTreeMap;
+
+/// A read-only snapshot of a device's secret memory, handed to leakage
+/// functions. Cells appear in deterministic (name-sorted) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecretView {
+    cells: Vec<(String, Vec<u8>)>,
+}
+
+impl SecretView {
+    /// The named cells, in deterministic order.
+    pub fn cells(&self) -> &[(String, Vec<u8>)] {
+        &self.cells
+    }
+
+    /// Look up one cell by name.
+    pub fn cell(&self, name: &str) -> Option<&[u8]> {
+        self.cells
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// All cells concatenated (the "bit string of the secret memory").
+    pub fn flatten(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (_, v) in &self.cells {
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Size of the secret memory in bits.
+    pub fn total_bits(&self) -> usize {
+        self.cells.iter().map(|(_, v)| v.len() * 8).sum()
+    }
+
+    /// Extract bit `i` of the flattened secret memory (MSB-first per byte).
+    pub fn bit(&self, i: usize) -> Option<bool> {
+        let mut idx = i;
+        for (_, v) in &self.cells {
+            let bits = v.len() * 8;
+            if idx < bits {
+                return Some((v[idx / 8] >> (7 - idx % 8)) & 1 == 1);
+            }
+            idx -= bits;
+        }
+        None
+    }
+}
+
+/// Secret memory: named byte cells with erasure semantics.
+#[derive(Debug, Default)]
+pub struct SecretMemory {
+    cells: BTreeMap<String, Vec<u8>>,
+}
+
+impl SecretMemory {
+    /// Empty secret memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store (or replace) a cell. A replaced cell is erased first.
+    pub fn store(&mut self, name: &str, bytes: Vec<u8>) {
+        if let Some(old) = self.cells.get_mut(name) {
+            erase_bytes(old);
+        }
+        self.cells.insert(name.to_string(), bytes);
+    }
+
+    /// Erase and remove a cell. Removing a missing cell is a no-op.
+    pub fn erase(&mut self, name: &str) {
+        if let Some(mut old) = self.cells.remove(name) {
+            erase_bytes(&mut old);
+        }
+    }
+
+    /// Erase and remove every cell whose name starts with `prefix`.
+    pub fn erase_prefix(&mut self, prefix: &str) {
+        let names: Vec<String> = self
+            .cells
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        for n in names {
+            self.erase(&n);
+        }
+    }
+
+    /// Erase everything.
+    pub fn erase_all(&mut self) {
+        let names: Vec<String> = self.cells.keys().cloned().collect();
+        for n in names {
+            self.erase(&n);
+        }
+    }
+
+    /// Snapshot for leakage-function evaluation.
+    pub fn view(&self) -> SecretView {
+        SecretView {
+            cells: self
+                .cells
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Size in bits.
+    pub fn total_bits(&self) -> usize {
+        self.cells.values().map(|v| v.len() * 8).sum()
+    }
+
+    /// Cell names currently present.
+    pub fn cell_names(&self) -> Vec<&str> {
+        self.cells.keys().map(String::as_str).collect()
+    }
+
+    /// True if a cell exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.cells.contains_key(name)
+    }
+}
+
+impl Drop for SecretMemory {
+    fn drop(&mut self) {
+        for v in self.cells.values_mut() {
+            erase_bytes(v);
+        }
+    }
+}
+
+/// Public memory: named byte cells, fully adversary-visible. No erasure
+/// semantics needed.
+#[derive(Debug, Default, Clone)]
+pub struct PublicMemory {
+    cells: BTreeMap<String, Vec<u8>>,
+}
+
+impl PublicMemory {
+    /// Empty public memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store (or replace) a cell.
+    pub fn store(&mut self, name: &str, bytes: Vec<u8>) {
+        self.cells.insert(name.to_string(), bytes);
+    }
+
+    /// Read a cell.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.cells.get(name).map(Vec::as_slice)
+    }
+
+    /// Remove a cell.
+    pub fn remove(&mut self, name: &str) {
+        self.cells.remove(name);
+    }
+
+    /// All content flattened (adversary view).
+    pub fn flatten(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, v) in &self.cells {
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Size in bits.
+    pub fn total_bits(&self) -> usize {
+        self.cells.values().map(|v| v.len() * 8).sum()
+    }
+}
+
+/// A computing device: public + secret memory under one name.
+#[derive(Debug)]
+pub struct Device {
+    name: String,
+    /// Secret memory (leakage-function input).
+    pub secret: SecretMemory,
+    /// Public memory (fully adversary-visible).
+    pub public: PublicMemory,
+}
+
+impl Device {
+    /// Fresh device with empty memories.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            secret: SecretMemory::new(),
+            public: PublicMemory::new(),
+        }
+    }
+
+    /// The device name (`"P1"`, `"P2"`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_view_flatten() {
+        let mut m = SecretMemory::new();
+        m.store("b-share", vec![2, 2]);
+        m.store("a-rand", vec![1]);
+        let v = m.view();
+        // name-sorted order
+        assert_eq!(v.cells()[0].0, "a-rand");
+        assert_eq!(v.flatten(), vec![1, 2, 2]);
+        assert_eq!(v.total_bits(), 24);
+        assert_eq!(v.cell("b-share"), Some(&[2u8, 2][..]));
+        assert_eq!(v.cell("nope"), None);
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let mut m = SecretMemory::new();
+        m.store("x", vec![0b1000_0000, 0b0000_0001]);
+        let v = m.view();
+        assert_eq!(v.bit(0), Some(true));
+        assert_eq!(v.bit(1), Some(false));
+        assert_eq!(v.bit(15), Some(true));
+        assert_eq!(v.bit(16), None);
+    }
+
+    #[test]
+    fn erase_removes_and_zeroes() {
+        let mut m = SecretMemory::new();
+        m.store("k", vec![9; 8]);
+        assert!(m.contains("k"));
+        m.erase("k");
+        assert!(!m.contains("k"));
+        assert_eq!(m.total_bits(), 0);
+        m.erase("k"); // idempotent
+    }
+
+    #[test]
+    fn erase_prefix_scopes() {
+        let mut m = SecretMemory::new();
+        m.store("sk.0", vec![1]);
+        m.store("sk.1", vec![2]);
+        m.store("rand", vec![3]);
+        m.erase_prefix("sk.");
+        assert_eq!(m.cell_names(), vec!["rand"]);
+    }
+
+    #[test]
+    fn replacing_cell_erases_old() {
+        let mut m = SecretMemory::new();
+        m.store("k", vec![1, 2, 3]);
+        m.store("k", vec![4]);
+        assert_eq!(m.view().cell("k"), Some(&[4u8][..]));
+    }
+
+    #[test]
+    fn device_holds_both_memories() {
+        let mut d = Device::new("P1");
+        d.secret.store("share", vec![1]);
+        d.public.store("pk", vec![2]);
+        assert_eq!(d.name(), "P1");
+        assert_eq!(d.secret.total_bits(), 8);
+        assert!(d.public.flatten().ends_with(&[2]));
+        assert_eq!(d.public.get("pk"), Some(&[2u8][..]));
+        d.public.remove("pk");
+        assert_eq!(d.public.get("pk"), None);
+    }
+}

@@ -1,0 +1,259 @@
+//! Transports for the two-party protocols.
+//!
+//! The paper's devices communicate over a **public channel**; anything sent
+//! here is, by definition, visible to the adversary. The
+//! [`RecordingTransport`] wrapper captures the transcript (`comm^t`) so the
+//! security game can hand it to leakage functions as part of `pub^t`.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Transport failure.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer hung up.
+    Disconnected,
+    /// Underlying I/O failure (TCP transport).
+    Io(std::io::Error),
+    /// Frame exceeded the sanity limit.
+    FrameTooLarge(usize),
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Maximum frame size (64 MiB).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// A bidirectional, message-oriented channel endpoint.
+pub trait Transport: Send {
+    /// Send one message.
+    fn send(&mut self, msg: Bytes) -> Result<(), TransportError>;
+    /// Receive one message (blocking).
+    fn recv(&mut self) -> Result<Bytes, TransportError>;
+}
+
+/// In-memory duplex endpoint backed by crossbeam channels.
+#[derive(Debug)]
+pub struct InMemoryTransport {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+/// Create a connected pair of in-memory endpoints.
+pub fn duplex() -> (InMemoryTransport, InMemoryTransport) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    (
+        InMemoryTransport { tx: a_tx, rx: a_rx },
+        InMemoryTransport { tx: b_tx, rx: b_rx },
+    )
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&mut self, msg: Bytes) -> Result<(), TransportError> {
+        self.tx.send(msg).map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+}
+
+/// TCP endpoint with `u32`-length-prefixed frames.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wrap an established stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Self { stream }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, msg: Bytes) -> Result<(), TransportError> {
+        if msg.len() > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(msg.len()));
+        }
+        self.stream.write_all(&(msg.len() as u32).to_be_bytes())?;
+        self.stream.write_all(&msg)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        let mut len_bytes = [0u8; 4];
+        self.stream.read_exact(&mut len_bytes)?;
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(len));
+        }
+        let mut buf = vec![0u8; len];
+        self.stream.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+}
+
+/// Direction of a recorded transcript entry, from the wrapped endpoint's
+/// point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Message sent by this endpoint.
+    Sent,
+    /// Message received by this endpoint.
+    Received,
+}
+
+/// A shared, append-only record of everything that crossed the channel.
+pub type Transcript = Arc<Mutex<Vec<(Direction, Bytes)>>>;
+
+/// Create an empty shared transcript.
+pub fn new_transcript() -> Transcript {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Total bytes currently recorded in a transcript.
+pub fn transcript_bytes(t: &Transcript) -> usize {
+    t.lock().iter().map(|(_, b)| b.len()).sum()
+}
+
+/// Flatten a transcript into a single byte string (leakage-function input).
+pub fn transcript_flatten(t: &Transcript) -> Vec<u8> {
+    let guard = t.lock();
+    let mut out = Vec::new();
+    for (dir, bytes) in guard.iter() {
+        out.push(match dir {
+            Direction::Sent => 0x01,
+            Direction::Received => 0x02,
+        });
+        out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Transport wrapper that appends every message to a [`Transcript`].
+pub struct RecordingTransport<T: Transport> {
+    inner: T,
+    transcript: Transcript,
+}
+
+impl<T: Transport> RecordingTransport<T> {
+    /// Wrap `inner`, recording into `transcript`.
+    pub fn new(inner: T, transcript: Transcript) -> Self {
+        Self { inner, transcript }
+    }
+
+    /// The shared transcript handle.
+    pub fn transcript(&self) -> Transcript {
+        Arc::clone(&self.transcript)
+    }
+}
+
+impl<T: Transport> Transport for RecordingTransport<T> {
+    fn send(&mut self, msg: Bytes) -> Result<(), TransportError> {
+        self.transcript
+            .lock()
+            .push((Direction::Sent, msg.clone()));
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        let msg = self.inner.recv()?;
+        self.transcript
+            .lock()
+            .push((Direction::Received, msg.clone()));
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn in_memory_duplex_roundtrip() {
+        let (mut a, mut b) = duplex();
+        a.send(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"ping"));
+        b.send(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(a.recv().unwrap(), Bytes::from_static(b"pong"));
+    }
+
+    #[test]
+    fn disconnected_peer_errors() {
+        let (mut a, b) = duplex();
+        drop(b);
+        assert!(matches!(
+            a.send(Bytes::from_static(b"x")),
+            Err(TransportError::Disconnected)
+        ));
+        assert!(matches!(a.recv(), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut t = TcpTransport::new(TcpStream::connect(addr).unwrap());
+            t.send(Bytes::from_static(b"hello over tcp")).unwrap();
+            t.recv().unwrap()
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::new(stream);
+        let got = server.recv().unwrap();
+        assert_eq!(got, Bytes::from_static(b"hello over tcp"));
+        server.send(Bytes::from_static(b"ack")).unwrap();
+        assert_eq!(client.join().unwrap(), Bytes::from_static(b"ack"));
+    }
+
+    #[test]
+    fn recording_captures_both_directions() {
+        let (a, mut b) = duplex();
+        let transcript = new_transcript();
+        let mut rec = RecordingTransport::new(a, Arc::clone(&transcript));
+        rec.send(Bytes::from_static(b"one")).unwrap();
+        b.send(Bytes::from_static(b"two")).unwrap();
+        let _ = rec.recv().unwrap();
+        let log = transcript.lock();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, Direction::Sent);
+        assert_eq!(log[1].0, Direction::Received);
+        drop(log);
+        assert_eq!(transcript_bytes(&transcript), 6);
+        let flat = transcript_flatten(&transcript);
+        assert!(flat.windows(3).any(|w| w == b"one"));
+        assert!(flat.windows(3).any(|w| w == b"two"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Hand-rolled wire codec.
+//!
+//! The leakage model needs byte-exact reasoning about what crosses the
+//! public channel (the transcript is part of `pub^t`, the leakage-function
+//! input), so the wire format is explicit rather than delegated to a serde
+//! backend:
+//!
+//! * integers are big-endian;
+//! * variable-length byte strings are `u32`-length-prefixed;
+//! * sequences are a `u32` count followed by the elements.
+
+use core::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the announced length.
+    Truncated,
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow,
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes,
+    /// A field failed semantic validation (bad tag, off-curve point, …).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::LengthOverflow => write!(f, "length prefix exceeds limit"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after message"),
+            CodecError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Maximum length accepted for a single length-prefixed field (16 MiB) —
+/// protects decoders from hostile length prefixes.
+pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+/// Append-only message encoder.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        debug_assert!(v.len() <= MAX_FIELD_LEN);
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a sequence of length-prefixed byte strings.
+    pub fn put_bytes_seq<'a>(&mut self, items: impl ExactSizeIterator<Item = &'a [u8]>) -> &mut Self {
+        self.put_u32(items.len() as u32);
+        for item in items {
+            self.put_bytes(item);
+        }
+        self
+    }
+
+    /// Finish, returning the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Streaming message decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.data.len() {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        self.take(len)
+    }
+
+    /// Read a sequence of length-prefixed byte strings.
+    pub fn get_bytes_seq(&mut self) -> Result<Vec<&'a [u8]>, CodecError> {
+        let count = self.get_u32()? as usize;
+        if count > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        let mut out = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            out.push(self.get_bytes()?);
+        }
+        Ok(out)
+    }
+
+    /// Assert the input is fully consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut e = Encoder::new();
+        e.put_u8(7)
+            .put_u32(0xdead_beef)
+            .put_u64(0x0123_4567_89ab_cdef)
+            .put_bytes(b"hello")
+            .put_bytes_seq([&b"a"[..], b"bb", b""].into_iter());
+        let buf = e.finish();
+
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(d.get_bytes().unwrap(), b"hello");
+        let seq = d.get_bytes_seq().unwrap();
+        assert_eq!(seq, vec![&b"a"[..], b"bb", b""]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"hello");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf[..buf.len() - 1]);
+        assert_eq!(d.get_bytes(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_bytes(), Err(CodecError::LengthOverflow));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.put_u8(1);
+        let mut buf = e.finish();
+        buf.push(9);
+        let mut d = Decoder::new(&buf);
+        d.get_u8().unwrap();
+        assert_eq!(d.finish(), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn empty_decoder() {
+        let mut d = Decoder::new(&[]);
+        assert_eq!(d.get_u8(), Err(CodecError::Truncated));
+        assert_eq!(d.remaining(), 0);
+        d.finish().unwrap();
+    }
+}

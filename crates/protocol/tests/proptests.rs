@@ -1,0 +1,96 @@
+//! Property-based tests for the wire codec, transports and the device
+//! memory model.
+
+use bytes::Bytes;
+use dlr_protocol::transport::{self, Transport};
+use dlr_protocol::{Decoder, Encoder, SecretMemory};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrip_mixed(
+        a in any::<u8>(),
+        b in any::<u32>(),
+        c in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..200),
+        seq in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..50), 0..8),
+    ) {
+        let mut e = Encoder::new();
+        e.put_u8(a).put_u32(b).put_u64(c).put_bytes(&blob);
+        e.put_bytes_seq(seq.iter().map(Vec::as_slice));
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        prop_assert_eq!(d.get_u8().unwrap(), a);
+        prop_assert_eq!(d.get_u32().unwrap(), b);
+        prop_assert_eq!(d.get_u64().unwrap(), c);
+        prop_assert_eq!(d.get_bytes().unwrap(), &blob[..]);
+        let got: Vec<Vec<u8>> = d.get_bytes_seq().unwrap().iter().map(|s| s.to_vec()).collect();
+        prop_assert_eq!(got, seq);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // no sequence of reads may panic
+        let mut d = Decoder::new(&bytes);
+        let _ = d.get_u32();
+        let _ = d.get_bytes();
+        let _ = d.get_bytes_seq();
+        let _ = d.get_u64();
+        let _ = d.finish();
+    }
+
+    #[test]
+    fn truncated_input_always_errors(
+        blob in proptest::collection::vec(any::<u8>(), 1..100),
+        cut in 0usize..100,
+    ) {
+        let mut e = Encoder::new();
+        e.put_bytes(&blob);
+        let buf = e.finish();
+        let cut = cut.min(buf.len() - 1);
+        let mut d = Decoder::new(&buf[..cut]);
+        prop_assert!(d.get_bytes().is_err());
+    }
+
+    #[test]
+    fn duplex_preserves_order(msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..12)) {
+        let (mut a, mut b) = transport::duplex();
+        for m in &msgs {
+            a.send(Bytes::from(m.clone())).unwrap();
+        }
+        for m in &msgs {
+            prop_assert_eq!(b.recv().unwrap(), Bytes::from(m.clone()));
+        }
+    }
+
+    #[test]
+    fn secret_memory_bits_consistent(cells in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40)), 0..8)) {
+        let mut mem = SecretMemory::new();
+        for (name, content) in &cells {
+            mem.store(&format!("cell-{name}"), content.clone());
+        }
+        let view = mem.view();
+        prop_assert_eq!(view.total_bits(), view.flatten().len() * 8);
+        // bit() agrees with flatten()
+        let flat = view.flatten();
+        for i in 0..view.total_bits() {
+            let expect = (flat[i / 8] >> (7 - i % 8)) & 1 == 1;
+            prop_assert_eq!(view.bit(i), Some(expect));
+        }
+        prop_assert_eq!(view.bit(view.total_bits()), None);
+    }
+
+    #[test]
+    fn erase_always_clears(cells in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..20), 1..6)) {
+        let mut mem = SecretMemory::new();
+        for (i, c) in cells.iter().enumerate() {
+            mem.store(&format!("c{i}"), c.clone());
+        }
+        mem.erase_all();
+        prop_assert_eq!(mem.total_bits(), 0);
+        prop_assert!(mem.view().cells().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: generate distributed keys, encrypt, run the two-party
+//! decryption protocol, refresh the shares, decrypt again.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dlr::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let mut rng = rand::thread_rng();
+
+    // Parameters: security n = 16 (ε = 2^-16) and leakage parameter
+    // λ = 128 bits per period from P1, over the TOY curve. Swap `Toy` for
+    // `Ss512` for benchmark-grade groups — the API is identical.
+    let params = SchemeParams::derive::<<Toy as Pairing>::Scalar>(16, 128);
+    println!("derived parameters: κ = {}, ℓ = {}", params.kappa, params.ell);
+
+    // Gen(1^n): the public key and the two secret key shares. The master
+    // secret g2^α exists only inside keygen — from here on it lives only
+    // as the Πss sharing split across the devices.
+    let (pk, sk1, sk2) = dlr_scheme::keygen::<Toy, _>(params, &mut rng);
+    let mut p1 = dlr_scheme::Party1::new(pk.clone(), sk1);
+    let mut p2 = dlr_scheme::Party2::new(pk.clone(), sk2);
+
+    // Encrypt a group element (two group elements of ciphertext).
+    let message = <Toy as Pairing>::Gt::random(&mut rng);
+    let ct = dlr_scheme::encrypt(&pk, &message, &mut rng);
+    println!(
+        "ciphertext: {} bytes ({} group elements)",
+        ct.to_bytes().len(),
+        2
+    );
+
+    // Decrypt via the 2-party protocol.
+    let out = dlr_scheme::decrypt_local(&mut p1, &mut p2, &ct, &mut rng)?;
+    assert_eq!(out, message);
+    println!("decryption protocol: ok");
+
+    // Refresh: new shares, same public key — old ciphertexts still work.
+    for period in 1..=3 {
+        dlr_scheme::refresh_local(&mut p1, &mut p2, &mut rng)?;
+        let out = dlr_scheme::decrypt_local(&mut p1, &mut p2, &ct, &mut rng)?;
+        assert_eq!(out, message);
+        println!("period {period}: shares refreshed, old ciphertext still decrypts");
+    }
+
+    // Arbitrary byte payloads via the hybrid (KEM/DEM) layer.
+    let sealed = dlr::core::kem::seal(&pk, b"hello, leaky world", &mut rng);
+    let opened = dlr::core::kem::open_local(&mut p1, &mut p2, &sealed, &mut rng)?;
+    assert_eq!(opened, b"hello, leaky world");
+    println!("hybrid encryption: ok");
+
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: full DLR sessions over real transports, both
+//! P1 layouts, multiple parameter sets.
+
+use dlr::core::driver;
+use dlr::core::dlr as scheme;
+use dlr::prelude::*;
+use dlr::protocol::runtime::run_pair;
+use dlr::protocol::transport::transcript_bytes;
+use rand::SeedableRng;
+
+type E = Toy;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn toy_params() -> SchemeParams {
+    SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64)
+}
+
+#[test]
+fn multi_period_session_over_channel() {
+    let mut r = rng(1);
+    let (pk, s1, s2) = scheme::keygen::<E, _>(toy_params(), &mut r);
+    let mut p1 = scheme::Party1::new(pk.clone(), s1);
+    let mut p2 = scheme::Party2::new(pk.clone(), s2);
+
+    let messages: Vec<_> = (0..4).map(|_| <E as Pairing>::Gt::random(&mut r)).collect();
+    let cts: Vec<_> = messages
+        .iter()
+        .map(|m| scheme::encrypt(&pk, m, &mut r))
+        .collect();
+
+    let msgs = messages.clone();
+    let out = run_pair(
+        move |t| {
+            let mut r = rng(2);
+            let mut got = Vec::new();
+            for ct in &cts {
+                got.push(driver::p1_decrypt(&mut p1, ct, t, &mut r).unwrap());
+                driver::p1_refresh(&mut p1, t, &mut r).unwrap();
+            }
+            driver::p1_shutdown(t).unwrap();
+            got
+        },
+        move |t| {
+            let mut r = rng(3);
+            driver::p2_serve_loop(&mut p2, t, &mut r).unwrap()
+        },
+    );
+    assert_eq!(out.p1, msgs);
+    assert_eq!(out.p2, 8); // 4 decrypts + 4 refreshes
+    assert!(transcript_bytes(&out.transcript) > 4000);
+}
+
+#[test]
+fn streaming_and_plain_layouts_interoperate_with_one_p2() {
+    let mut r = rng(4);
+    let (pk, s1, s2) = scheme::keygen::<E, _>(toy_params(), &mut r);
+    // one P2 serves a plain P1, then (after its refresh) the same P2 can
+    // never serve a *different* P1 — but both layouts must produce
+    // identical wire messages against identical shares.
+    let mut plain = scheme::Party1::new(pk.clone(), s1.clone());
+    let mut streaming = dlr::core::streaming::StreamingParty1::new(pk.clone(), s1, &mut r);
+    let mut p2a = scheme::Party2::new(pk.clone(), s2.clone());
+    let mut p2b = scheme::Party2::new(pk.clone(), s2);
+
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = scheme::encrypt(&pk, &m, &mut r);
+
+    let d1 = plain.dec_start(&ct, &mut r);
+    let d2 = p2a.dec_respond(&d1).unwrap();
+    assert_eq!(plain.dec_finish(&d2).unwrap(), m);
+
+    let d1 = streaming.dec_start(&ct, &mut r);
+    let d2 = p2b.dec_respond(&d1).unwrap();
+    assert_eq!(streaming.dec_finish(&d2).unwrap(), m);
+}
+
+#[test]
+fn higher_security_parameters_work() {
+    // a heavier-but-honest parameter choice on the toy curve
+    let mut r = rng(5);
+    let params = SchemeParams::derive::<<E as Pairing>::Scalar>(24, 512);
+    assert!(params.ell > 30);
+    let (pk, s1, s2) = scheme::keygen::<E, _>(params, &mut r);
+    let mut p1 = scheme::Party1::new(pk.clone(), s1);
+    let mut p2 = scheme::Party2::new(pk.clone(), s2);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = scheme::encrypt(&pk, &m, &mut r);
+    assert_eq!(scheme::decrypt_local(&mut p1, &mut p2, &ct, &mut r).unwrap(), m);
+    scheme::refresh_local(&mut p1, &mut p2, &mut r).unwrap();
+    assert_eq!(scheme::decrypt_local(&mut p1, &mut p2, &ct, &mut r).unwrap(), m);
+}
+
+#[test]
+#[ignore = "slow: benchmark-grade curve; run with --ignored"]
+fn ss512_full_period() {
+    let mut r = rng(6);
+    let params = SchemeParams::derive::<<Ss512 as Pairing>::Scalar>(64, 512);
+    let (pk, s1, s2) = scheme::keygen::<Ss512, _>(params, &mut r);
+    let mut p1 = scheme::Party1::new(pk.clone(), s1);
+    let mut p2 = scheme::Party2::new(pk.clone(), s2);
+    let m = <Ss512 as Pairing>::Gt::random(&mut r);
+    let ct = scheme::encrypt(&pk, &m, &mut r);
+    assert_eq!(scheme::decrypt_local(&mut p1, &mut p2, &ct, &mut r).unwrap(), m);
+    scheme::refresh_local(&mut p1, &mut p2, &mut r).unwrap();
+    assert_eq!(scheme::decrypt_local(&mut p1, &mut p2, &ct, &mut r).unwrap(), m);
+}
+
+#[test]
+fn wrong_share_pairs_fail_gracefully() {
+    let mut r = rng(7);
+    let (pk, s1, _s2) = scheme::keygen::<E, _>(toy_params(), &mut r);
+    let (_pk2, _s1b, s2b) = scheme::keygen::<E, _>(toy_params(), &mut r);
+    // mismatched shares from two different keygens: protocol completes but
+    // decrypts to garbage (honest-but-wrong, not a panic)
+    let mut p1 = scheme::Party1::new(pk.clone(), s1);
+    let mut p2 = scheme::Party2::new(pk.clone(), s2b);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = scheme::encrypt(&pk, &m, &mut r);
+    let out = scheme::decrypt_local(&mut p1, &mut p2, &ct, &mut r).unwrap();
+    assert_ne!(out, m);
+}

@@ -1,0 +1,118 @@
+//! The security experiments as assertions: adversary win rates against the
+//! real implementation stay at a coin flip within the Theorem 4.1 budgets,
+//! budgets are enforced, and the single-device baseline collapses.
+
+use dlr::baselines::naive;
+use dlr::curve::Gt;
+use dlr::leakage::adversaries::{
+    AdaptiveDigest, BitProbe, FullShare2Exfiltrator, HammingProbe, RandomGuesser,
+};
+use dlr::leakage::game::{estimate_win_rate, GameConfig, GameOutcome};
+use dlr::prelude::*;
+use rand::SeedableRng;
+
+type E = Toy;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn cfg() -> GameConfig {
+    let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+    GameConfig::theorem_bounds::<E>(params, P1Layout::Streaming)
+}
+
+fn share2_bits() -> usize {
+    let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+    params.ell * <<E as Pairing>::Scalar as FieldElement>::byte_len() * 8
+}
+
+const TRIALS: usize = 40;
+const SLACK: f64 = 0.27; // binomial noise at 40 trials
+
+#[test]
+fn random_guesser_no_advantage() {
+    let mut r = rng(10);
+    let stats = estimate_win_rate::<E, _>(&cfg(), || Box::new(RandomGuesser::new(2)), TRIALS, &mut r);
+    assert_eq!(stats.aborts, 0);
+    assert!((stats.win_rate() - 0.5).abs() < SLACK, "{stats:?}");
+}
+
+#[test]
+fn bit_probe_no_advantage() {
+    let mut r = rng(11);
+    let s2 = share2_bits();
+    let stats = estimate_win_rate::<E, _>(
+        &cfg(),
+        move || Box::new(BitProbe::new(16, s2 / 2, 4)),
+        TRIALS,
+        &mut r,
+    );
+    assert_eq!(stats.aborts, 0);
+    assert!((stats.win_rate() - 0.5).abs() < SLACK, "{stats:?}");
+}
+
+#[test]
+fn full_share2_rate_one_is_admissible_and_useless() {
+    let mut r = rng(12);
+    let s2 = share2_bits();
+    let stats = estimate_win_rate::<E, _>(
+        &cfg(),
+        move || Box::new(FullShare2Exfiltrator::new(s2, 16, 3)),
+        TRIALS,
+        &mut r,
+    );
+    assert_eq!(stats.aborts, 0, "ρ₂ = 1 must be within budget");
+    assert!((stats.win_rate() - 0.5).abs() < SLACK, "{stats:?}");
+}
+
+#[test]
+fn hamming_sidechannel_no_advantage() {
+    let mut r = rng(13);
+    let stats =
+        estimate_win_rate::<E, _>(&cfg(), || Box::new(HammingProbe::new(4, 3)), TRIALS, &mut r);
+    assert_eq!(stats.aborts, 0);
+    assert!((stats.win_rate() - 0.5).abs() < SLACK, "{stats:?}");
+}
+
+#[test]
+fn adaptive_digest_no_advantage() {
+    let mut r = rng(14);
+    let stats =
+        estimate_win_rate::<E, _>(&cfg(), || Box::new(AdaptiveDigest::new(8, 3)), TRIALS, &mut r);
+    assert_eq!(stats.aborts, 0);
+    assert!((stats.win_rate() - 0.5).abs() < SLACK, "{stats:?}");
+}
+
+#[test]
+fn budget_violations_abort() {
+    let mut r = rng(15);
+    let c = cfg();
+    // P1 budget is λ = 64 bits per share lifetime; ask for more
+    let mut adv = BitProbe::new(c.b1 as usize + 1, 0, 1);
+    let mut dist = dlr::leakage::game::random_message_dist::<E>();
+    let out = dlr::leakage::game::run_cpa_cml(&c, &mut adv, &mut dist, &mut r);
+    assert!(matches!(out, GameOutcome::Aborted(_)), "{out:?}");
+}
+
+#[test]
+fn naive_single_device_collapses() {
+    let mut r = rng(16);
+    let key_bits = <<E as Pairing>::Scalar as FieldElement>::byte_len() * 8;
+    // full coverage over 4 periods → certain win
+    let rate = naive::estimate_naive_win_rate::<Gt<E>, _>(key_bits / 4, 4, 30, &mut r);
+    assert!(rate > 0.95, "naive scheme should fall, rate = {rate}");
+    // insufficient coverage → coin flip
+    let rate = naive::estimate_naive_win_rate::<Gt<E>, _>(key_bits / 4, 2, 40, &mut r);
+    assert!((rate - 0.5).abs() < SLACK, "rate = {rate}");
+}
+
+#[test]
+fn plain_layout_also_resists() {
+    let mut r = rng(17);
+    let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+    let c = GameConfig::theorem_bounds::<E>(params, P1Layout::Plain);
+    let stats = estimate_win_rate::<E, _>(&c, || Box::new(BitProbe::new(16, 64, 3)), TRIALS, &mut r);
+    assert_eq!(stats.aborts, 0);
+    assert!((stats.win_rate() - 0.5).abs() < SLACK, "{stats:?}");
+}

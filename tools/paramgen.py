@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Parameter generator for the supersingular (Type-1) curve families.
+
+Searches for primes (r, p) with:
+
+  * r prime (the pairing group order, the paper's `p`),
+  * p = c*r - 1 prime with 4 | c, so p = 3 (mod 4) and E : y^2 = x^3 + x
+    over F_p is supersingular with #E(F_p) = p + 1 = c*r.
+
+The output constants are hardcoded in `crates/curve/src/params.rs`; the
+Rust test-suite re-verifies primality (Miller-Rabin in `dlr-math`) and the
+c*r - 1 = p relation from scratch on every run, so this script only needs
+to be re-run to generate *new* parameter sets.
+
+Usage:  python3 tools/paramgen.py
+"""
+
+import json
+import random
+
+SEED = 20120716  # PODC'12 begins 2012-07-16
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for n < 3.3e24; strong battery beyond."""
+    if n < 2:
+        return False
+    for sp in [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]:
+        if n % sp == 0:
+            return n == sp
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def gen_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        n = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(n):
+            return n
+
+
+def find_cofactor(r: int, pbits: int) -> tuple[int, int]:
+    """Smallest 4-divisible c >= 2^(pbits-1)/r with p = c*r - 1 prime."""
+    c = (1 << (pbits - 1)) // r
+    c -= c % 4
+    while True:
+        c += 4
+        p = c * r - 1
+        if p % 4 == 3 and is_prime(p):
+            return c, p
+
+
+def main() -> None:
+    rng = random.Random(SEED)
+    out: dict = {}
+
+    # one shared 256-bit subgroup order for SS512/SS768/SS1024
+    r = gen_prime(256, rng)
+    out["r"] = hex(r)
+    for name, pbits in [("SS512", 512), ("SS768", 768), ("SS1024", 1024)]:
+        c, p = find_cofactor(r, pbits)
+        assert p.bit_length() == pbits
+        out[name] = {"p": hex(p), "c": hex(c), "pbits": pbits}
+
+    # TOY: its own small order for fast tests
+    r0 = gen_prime(63, rng)
+    c = 4
+    while True:
+        p0 = c * r0 - 1
+        if p0 % 4 == 3 and is_prime(p0):
+            break
+        c += 4
+    out["TOY"] = {"r": hex(r0), "p": hex(p0), "c": hex(c), "pbits": p0.bit_length()}
+
+    # MINI: prime-order subgroups of Z_P^* with tiny order, for the exact
+    # entropy experiments (F5)
+    out["MINI"] = {}
+    for rm in [17, 251, 1009]:
+        k = (1 << 42) // rm
+        while True:
+            k += 1
+            P = k * rm + 1
+            if is_prime(P):
+                break
+        e = (P - 1) // rm
+        x = 2
+        while pow(x, e, P) == 1:
+            x += 1
+        h = pow(x, e, P)
+        assert pow(h, rm, P) == 1
+        out["MINI"][str(rm)] = {"P": P, "k": k, "h": h}
+
+    print(json.dumps(out, indent=1))
+
+
+if __name__ == "__main__":
+    main()
