@@ -1,6 +1,6 @@
-//! Bit-by-bit encryption — the cost profile of the BKKV [11] family.
+//! Bit-by-bit encryption — the cost profile of the BKKV \[11\] family.
 //!
-//! [11] encrypts single bits with `ω(n)` group elements and `ω(n)`
+//! \[11\] encrypts single bits with `ω(n)` group elements and `ω(n)`
 //! exponentiations per bit. This baseline reproduces that *cost shape*
 //! (experiment T2 measures it with the same instrumentation as DLR):
 //! each plaintext bit is a Naor–Segev encryption of `g^b` under an

@@ -6,10 +6,10 @@
 //!
 //! * [`elgamal`] — plain ElGamal (efficiency floor, zero leakage
 //!   resilience);
-//! * [`naor_segev`] — bounded-leakage PKE ([32]): leakage-resilient but
+//! * [`naor_segev`] — bounded-leakage PKE (\[32\]): leakage-resilient but
 //!   *not refreshable* — the "hole in the bucket";
 //! * [`bitbybit`] — bit-by-bit encryption with `ω(n)` elements per bit,
-//!   the BKKV [11] cost profile;
+//!   the BKKV \[11\] cost profile;
 //! * [`naive`] — the single-device negative control: a bit-probe adversary
 //!   recovers the whole key and wins the IND game with probability 1
 //!   (experiment F3's contrast to DLR's flat 1/2).

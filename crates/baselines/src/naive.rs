@@ -4,7 +4,7 @@
 //! The whole secret key (an ElGamal exponent) sits in one device's secret
 //! memory. There is no refresh: with the public key fixed, the unique
 //! secret key cannot be re-randomized ("the hole in the bucket" problem
-//! that [11] names and this paper's *distribution* solves differently).
+//! that \[11\] names and this paper's *distribution* solves differently).
 //! A bit-probe adversary that leaks a bounded number of bits per period
 //! therefore accumulates the entire key after `⌈|sk|/b⌉` periods and wins
 //! the IND game with probability 1.

@@ -1,4 +1,4 @@
-//! Naor–Segev-style bounded-leakage PKE ([32], the scheme the paper's
+//! Naor–Segev-style bounded-leakage PKE (\[32\], the scheme the paper's
 //! secret sharing is "inspired by").
 //!
 //! `pk = (g_1, …, g_ℓ, h = ∏ g_i^{x_i})`, `sk = (x_1, …, x_ℓ)`;

@@ -4,12 +4,35 @@
 //! ```text
 //! cargo run --release -p dlr-bench --bin harness -- all
 //! cargo run --release -p dlr-bench --bin harness -- t1 f3
+//! cargo run --release -p dlr-bench --bin harness -- t2 f1 f2 --json BENCH_PR1.json
 //! ```
+//!
+//! `--json <path>` additionally runs the instrumented metrics session
+//! (`dlr_bench::metrics_session`) and writes its report as JSON.
 
-use dlr_bench::experiments as exp;
+use dlr_bench::{experiments as exp, metrics_session};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+
+    // Strip `--json <path>` before section matching.
+    let mut json_path: Option<String> = None;
+    let mut args: Vec<String> = Vec::with_capacity(raw.len());
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
+
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |k: &str| all || args.iter().any(|a| a == k);
 
@@ -33,6 +56,23 @@ fn main() {
     if want("f1") {
         println!("{}\n", exp::f1_device_work_split());
         ran += 1;
+    }
+    if want("f2") || json_path.is_some() {
+        let report = metrics_session(if full { 50 } else { 10 });
+        if want("f2") {
+            println!("F2 — instrumented session: per-phase spans, group ops, wire traffic");
+            println!("(timing-grade latency figures: cargo bench -p dlr-bench)\n");
+            println!("{}\n", report.render());
+            ran += 1;
+        }
+        if let Some(path) = &json_path {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+            ran += 1;
+        }
     }
     if want("f3") {
         println!("{}\n", exp::f3_attack_resilience(trials));
@@ -60,7 +100,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "usage: harness [--full] [all | t1 t2 t3 f1 f3 f4 f5 f6 f7 f8]\n(F2 latency figures: cargo bench -p dlr-bench)"
+            "usage: harness [--full] [--json <path>] [all | t1 t2 t3 f1 f2 f3 f4 f5 f6 f7 f8]\n(F2 timing-grade latency figures: cargo bench -p dlr-bench)"
         );
         std::process::exit(2);
     }

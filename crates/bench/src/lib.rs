@@ -5,6 +5,8 @@
 //! timing-grade numbers live in the criterion benches (`benches/`).
 
 pub mod experiments;
+pub mod metrics_session;
 pub mod table;
 
 pub use experiments::*;
+pub use metrics_session::metrics_session;

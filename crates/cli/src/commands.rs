@@ -5,7 +5,8 @@ use dlr_core::dlr::{self, Party1, Party2, PublicKey, Share1, Share2};
 use dlr_core::driver;
 use dlr_core::kem::{self, HybridCiphertext};
 use dlr_core::params::SchemeParams;
-use dlr_curve::{Pairing, Ss1024, Ss512, Ss768, Toy};
+use dlr_curve::{Group, Pairing, Ss1024, Ss512, Ss768, Toy};
+use dlr_protocol::runtime::run_pair;
 use dlr_protocol::transport::TcpTransport;
 use std::error::Error;
 use std::fs;
@@ -25,7 +26,12 @@ subcommands:
   refresh         --pk FILE --sk1 FILE --sk2 FILE [--curve C]
   serve-p2        --pk FILE --sk2 FILE --listen ADDR [--curve C]
   decrypt-remote  --pk FILE --sk1 FILE --connect ADDR --in FILE --out FILE [--curve C]
+  metrics         [--curve C] [--trials N] [--n N] [--lambda L]
   help
+
+`metrics` runs an instrumented in-process session (keygen, encrypt, N
+decrypt/refresh trials, plus one transport-backed decrypt+refresh) and
+prints the per-phase span tree, group-operation counts and wire traffic.
 ";
 
 /// Dispatch a parsed command line.
@@ -53,6 +59,7 @@ fn run<E: Pairing>(args: &Args) -> Result<(), AnyError> {
         "refresh" => refresh::<E>(args),
         "serve-p2" => serve_p2::<E>(args),
         "decrypt-remote" => decrypt_remote::<E>(args),
+        "metrics" => metrics::<E>(args),
         other => Err(Box::new(ArgError(format!(
             "unknown subcommand `{other}` (try `dlr help`)"
         )))),
@@ -184,5 +191,56 @@ fn decrypt_remote<E: Pairing>(args: &Args) -> Result<(), AnyError> {
     driver::p1_shutdown(&mut transport)?;
     fs::write(args.require("out")?, &payload)?;
     println!("decrypted {} bytes via remote P2", payload.len());
+    Ok(())
+}
+
+fn metrics<E: Pairing>(args: &Args) -> Result<(), AnyError>
+where
+    Party1<E>: Send,
+    Party2<E>: Send,
+    E::Gt: Send,
+{
+    let trials = args.get_u32_or("trials", 5)?;
+    let n = args.get_u32_or("n", 16)?;
+    let lambda = args.get_u32_or("lambda", 64)?;
+
+    dlr_metrics::reset();
+    let params = SchemeParams::derive::<E::Scalar>(n, lambda);
+    let mut rng = rand::thread_rng();
+    let (pk, s1, s2) = dlr::keygen::<E, _>(params, &mut rng);
+    let m = E::Gt::random(&mut rng);
+    let ct = dlr::encrypt(&pk, &m, &mut rng);
+
+    let mut p1 = Party1::new(pk.clone(), s1.clone());
+    let mut p2 = Party2::new(pk.clone(), s2.clone());
+    for _ in 0..trials {
+        dlr::decrypt_local(&mut p1, &mut p2, &ct, &mut rng)?;
+        dlr::refresh_local(&mut p1, &mut p2, &mut rng)?;
+    }
+
+    // One transport-backed session for wire-level statistics.
+    let (mut d1, mut d2) = (Party1::new(pk.clone(), s1), Party2::new(pk, s2));
+    let out = run_pair(
+        move |t| {
+            let mut rng = rand::thread_rng();
+            let got = driver::p1_decrypt(&mut d1, &ct, t, &mut rng).expect("p1 decrypt");
+            driver::p1_refresh(&mut d1, t, &mut rng).expect("p1 refresh");
+            driver::p1_shutdown(t).expect("p1 shutdown");
+            got
+        },
+        move |t| {
+            let mut rng = rand::thread_rng();
+            driver::p2_serve_loop(&mut d2, t, &mut rng).expect("p2 serve loop")
+        },
+    );
+    if out.p1 != m {
+        return Err(Box::new(ArgError("instrumented session decrypted wrong value".into())));
+    }
+
+    let mut report = dlr_metrics::Report::capture()
+        .with_meta("curve", args.get_or("curve", "toy"))
+        .with_meta("trials", &trials.to_string());
+    report.push_wire("driver.session", out.wire);
+    println!("{}", report.render());
     Ok(())
 }

@@ -111,6 +111,13 @@ pub fn keygen<E: Pairing, R: RngCore + ?Sized>(
     params: SchemeParams,
     rng: &mut R,
 ) -> (PublicKey<E>, Share1<E>, Share2<E>) {
+    dlr_metrics::span("gen", || keygen_inner::<E, R>(params, rng))
+}
+
+fn keygen_inner<E: Pairing, R: RngCore + ?Sized>(
+    params: SchemeParams,
+    rng: &mut R,
+) -> (PublicKey<E>, Share1<E>, Share2<E>) {
     let g = E::G1::generator();
     let alpha = E::Scalar::random(rng);
     let g1 = g.pow(&alpha);
@@ -140,8 +147,10 @@ pub fn encrypt<E: Pairing, R: RngCore + ?Sized>(
     m: &E::Gt,
     rng: &mut R,
 ) -> Ciphertext<E> {
-    let t = E::Scalar::random(rng);
-    encrypt_with_randomness(pk, m, &t)
+    dlr_metrics::span("enc", || {
+        let t = E::Scalar::random(rng);
+        encrypt_with_randomness(pk, m, &t)
+    })
 }
 
 /// `Enc_pk(m; t)`: encryption with explicit randomness (needed by the
@@ -350,6 +359,14 @@ impl<E: Pairing> Party1<E> {
         ct: &Ciphertext<E>,
         rng: &mut R,
     ) -> DecMsg1<E> {
+        dlr_metrics::span("dec.p1.start", || self.dec_start_inner(ct, rng))
+    }
+
+    fn dec_start_inner<R: RngCore + ?Sized>(
+        &mut self,
+        ct: &Ciphertext<E>,
+        rng: &mut R,
+    ) -> DecMsg1<E> {
         let key = self.period_skcomm(rng);
         let d: Vec<HpskeCiphertext<E::Gt>> = match self.mode {
             CommMode::Reuse => {
@@ -403,19 +420,25 @@ impl<E: Pairing> Party1<E> {
     /// Decryption protocol, step 3: decrypt `P2`'s response to the
     /// plaintext.
     pub fn dec_finish(&mut self, msg: &DecMsg2<E>) -> Result<E::Gt, CoreError> {
-        let key = self
-            .skcomm
-            .as_ref()
-            .ok_or(CoreError::Protocol("dec_finish before dec_start"))?;
-        let m = hpske::decrypt(key, &msg.c_prime)
-            .ok_or(CoreError::Protocol("response kappa mismatch"))?;
-        self.device.public.store("dec.output", m.to_bytes());
-        Ok(m)
+        dlr_metrics::span("dec.p1.finish", || {
+            let key = self
+                .skcomm
+                .as_ref()
+                .ok_or(CoreError::Protocol("dec_finish before dec_start"))?;
+            let m = hpske::decrypt(key, &msg.c_prime)
+                .ok_or(CoreError::Protocol("response kappa mismatch"))?;
+            self.device.public.store("dec.output", m.to_bytes());
+            Ok(m)
+        })
     }
 
     /// Refresh protocol, step 1: pick next-period coins `a'_i` and produce
     /// [`RefMsg1`].
     pub fn ref_start<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> RefMsg1<E> {
+        dlr_metrics::span("refresh.p1.start", || self.ref_start_inner(rng))
+    }
+
+    fn ref_start_inner<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> RefMsg1<E> {
         let key = self.period_skcomm(rng);
         let a_prime: Vec<E::G2> = (0..self.pk.params.ell).map(|_| E::G2::random(rng)).collect();
 
@@ -453,28 +476,30 @@ impl<E: Pairing> Party1<E> {
     /// security game snapshots the device *between* these calls — that is
     /// the moment the secret memory holds both shares).
     pub fn ref_finish(&mut self, msg: &RefMsg2<E>) -> Result<(), CoreError> {
-        let key = self
-            .skcomm
-            .as_ref()
-            .ok_or(CoreError::Protocol("ref_finish before ref_start"))?;
-        let a_prime = self
-            .pending_a_prime
-            .take()
-            .ok_or(CoreError::Protocol("ref_finish before ref_start"))?;
-        let phi_prime = hpske::decrypt(key, &msg.f)
-            .ok_or(CoreError::Protocol("response kappa mismatch"))?;
-        let next = Share1::<E> {
-            a: a_prime,
-            phi: phi_prime,
-        };
-        self.device
-            .secret
-            .store("share.next.a", groups_to_cell(&next.a));
-        self.device
-            .secret
-            .store("share.next.phi", next.phi.to_bytes());
-        self.next_share = Some(next);
-        Ok(())
+        dlr_metrics::span("refresh.p1.finish", || {
+            let key = self
+                .skcomm
+                .as_ref()
+                .ok_or(CoreError::Protocol("ref_finish before ref_start"))?;
+            let a_prime = self
+                .pending_a_prime
+                .take()
+                .ok_or(CoreError::Protocol("ref_finish before ref_start"))?;
+            let phi_prime = hpske::decrypt(key, &msg.f)
+                .ok_or(CoreError::Protocol("response kappa mismatch"))?;
+            let next = Share1::<E> {
+                a: a_prime,
+                phi: phi_prime,
+            };
+            self.device
+                .secret
+                .store("share.next.a", groups_to_cell(&next.a));
+            self.device
+                .secret
+                .store("share.next.phi", next.phi.to_bytes());
+            self.next_share = Some(next);
+            Ok(())
+        })
     }
 
     /// Finish the period: promote the new share, erase the old one and all
@@ -559,18 +584,28 @@ impl<E: Pairing> Party2<E> {
 
     /// Decryption protocol, step 2: `c' = d_B · ∏ d_i^{s_i} / d_Φ`.
     pub fn dec_respond(&mut self, msg: &DecMsg1<E>) -> Result<DecMsg2<E>, CoreError> {
-        if msg.d.len() != self.share.s.len() {
-            return Err(CoreError::Protocol("dec message length mismatch"));
-        }
-        let prod = HpskeCiphertext::product_of_powers(&msg.d, &self.share.s);
-        let c_prime = msg.d_b.mul(&prod).div(&msg.d_phi);
-        Ok(DecMsg2 { c_prime })
+        dlr_metrics::span("dec.p2.respond", || {
+            if msg.d.len() != self.share.s.len() {
+                return Err(CoreError::Protocol("dec message length mismatch"));
+            }
+            let prod = HpskeCiphertext::product_of_powers(&msg.d, &self.share.s);
+            let c_prime = msg.d_b.mul(&prod).div(&msg.d_phi);
+            Ok(DecMsg2 { c_prime })
+        })
     }
 
     /// Refresh protocol, step 2: choose `s'`, reply with
     /// `f = ∏ f'^{s'_i}_i / f^{s_i}_i · f_Φ`, and stage the new share.
     /// Call [`Self::ref_complete`] to erase the old share.
     pub fn ref_respond<R: RngCore + ?Sized>(
+        &mut self,
+        msg: &RefMsg1<E>,
+        rng: &mut R,
+    ) -> Result<RefMsg2<E>, CoreError> {
+        dlr_metrics::span("refresh.p2.respond", || self.ref_respond_inner(msg, rng))
+    }
+
+    fn ref_respond_inner<R: RngCore + ?Sized>(
         &mut self,
         msg: &RefMsg1<E>,
         rng: &mut R,
@@ -624,9 +659,11 @@ pub fn decrypt_local<E: Pairing, R: RngCore + ?Sized>(
     ct: &Ciphertext<E>,
     rng: &mut R,
 ) -> Result<E::Gt, CoreError> {
-    let m1 = p1.dec_start(ct, rng);
-    let m2 = p2.dec_respond(&m1)?;
-    p1.dec_finish(&m2)
+    dlr_metrics::span("dec", || {
+        let m1 = p1.dec_start(ct, rng);
+        let m2 = p2.dec_respond(&m1)?;
+        p1.dec_finish(&m2)
+    })
 }
 
 /// Run the full refresh protocol (including completion/erasure) between
@@ -636,11 +673,13 @@ pub fn refresh_local<E: Pairing, R: RngCore + ?Sized>(
     p2: &mut Party2<E>,
     rng: &mut R,
 ) -> Result<(), CoreError> {
-    let m1 = p1.ref_start(rng);
-    let m2 = p2.ref_respond(&m1, rng)?;
-    p1.ref_finish(&m2)?;
-    p1.ref_complete()?;
-    p2.ref_complete()
+    dlr_metrics::span("refresh", || {
+        let m1 = p1.ref_start(rng);
+        let m2 = p2.ref_respond(&m1, rng)?;
+        p1.ref_finish(&m2)?;
+        p1.ref_complete()?;
+        p2.ref_complete()
+    })
 }
 
 

@@ -49,11 +49,13 @@ pub fn p1_decrypt<E: Pairing, R: RngCore + ?Sized>(
     transport: &mut dyn Transport,
     rng: &mut R,
 ) -> Result<E::Gt, CoreError> {
-    let m1 = p1.dec_start(ct, rng);
-    transport.send(frame(RequestTag::Decrypt, &m1.to_bytes()))?;
-    let reply = transport.recv()?;
-    let m2 = DecMsg2::<E>::from_bytes(&reply, &p1.public_key().params)?;
-    p1.dec_finish(&m2)
+    dlr_metrics::span("dec", || {
+        let m1 = p1.dec_start(ct, rng);
+        transport.send(frame(RequestTag::Decrypt, &m1.to_bytes()))?;
+        let reply = transport.recv()?;
+        let m2 = DecMsg2::<E>::from_bytes(&reply, &p1.public_key().params)?;
+        p1.dec_finish(&m2)
+    })
 }
 
 /// `P1` side: run the refresh protocol (with completion) over `transport`.
@@ -62,12 +64,14 @@ pub fn p1_refresh<E: Pairing, R: RngCore + ?Sized>(
     transport: &mut dyn Transport,
     rng: &mut R,
 ) -> Result<(), CoreError> {
-    let m1 = p1.ref_start(rng);
-    transport.send(frame(RequestTag::Refresh, &m1.to_bytes()))?;
-    let reply = transport.recv()?;
-    let m2 = RefMsg2::<E>::from_bytes(&reply, &p1.public_key().params)?;
-    p1.ref_finish(&m2)?;
-    p1.ref_complete()
+    dlr_metrics::span("refresh", || {
+        let m1 = p1.ref_start(rng);
+        transport.send(frame(RequestTag::Refresh, &m1.to_bytes()))?;
+        let reply = transport.recv()?;
+        let m2 = RefMsg2::<E>::from_bytes(&reply, &p1.public_key().params)?;
+        p1.ref_finish(&m2)?;
+        p1.ref_complete()
+    })
 }
 
 /// `P1` side: tell `P2`'s serve loop to exit.

@@ -78,17 +78,21 @@ pub fn encrypt<G: Group, R: RngCore + ?Sized>(
     m: &G,
     rng: &mut R,
 ) -> HpskeCiphertext<G> {
-    let coins: Vec<G> = (0..key.sigma.len()).map(|_| G::random(rng)).collect();
-    encrypt_with_coins(key, m, coins)
+    dlr_metrics::span("hpske.enc", || {
+        let coins: Vec<G> = (0..key.sigma.len()).map(|_| G::random(rng)).collect();
+        encrypt_with_coins(key, m, coins)
+    })
 }
 
 /// `Dec'`: recover the plaintext. Returns `None` on a length mismatch.
 pub fn decrypt<G: Group>(key: &HpskeKey<G::Scalar>, ct: &HpskeCiphertext<G>) -> Option<G> {
-    if ct.b.len() != key.sigma.len() {
-        return None;
-    }
-    let mask = G::product_of_powers(&ct.b, &key.sigma);
-    Some(ct.c0.div(&mask))
+    dlr_metrics::span("hpske.dec", || {
+        if ct.b.len() != key.sigma.len() {
+            return None;
+        }
+        let mask = G::product_of_powers(&ct.b, &key.sigma);
+        Some(ct.c0.div(&mask))
+    })
 }
 
 impl<G: Group> HpskeCiphertext<G> {

@@ -36,9 +36,9 @@ pub struct PssCiphertext<G> {
 
 /// `Gen_ss`: sample an `ℓ`-element key.
 pub fn generate<G: Group, R: RngCore + ?Sized>(ell: usize, rng: &mut R) -> PssKey<G::Scalar> {
-    PssKey {
+    dlr_metrics::span("pss.gen", || PssKey {
         s: (0..ell).map(|_| G::Scalar::random(rng)).collect(),
-    }
+    })
 }
 
 /// `Enc_ss` with caller-chosen coins (the refresh protocol needs to pick
@@ -58,17 +58,21 @@ pub fn encrypt<G: Group, R: RngCore + ?Sized>(
     m: &G,
     rng: &mut R,
 ) -> PssCiphertext<G> {
-    let coins: Vec<G> = (0..key.s.len()).map(|_| G::random(rng)).collect();
-    encrypt_with_coins(key, m, coins)
+    dlr_metrics::span("pss.enc", || {
+        let coins: Vec<G> = (0..key.s.len()).map(|_| G::random(rng)).collect();
+        encrypt_with_coins(key, m, coins)
+    })
 }
 
 /// `Dec_ss`: recover the plaintext. Returns `None` on a length mismatch.
 pub fn decrypt<G: Group>(key: &PssKey<G::Scalar>, ct: &PssCiphertext<G>) -> Option<G> {
-    if ct.a.len() != key.s.len() {
-        return None;
-    }
-    let mask = G::product_of_powers(&ct.a, &key.s);
-    Some(ct.c0.div(&mask))
+    dlr_metrics::span("pss.dec", || {
+        if ct.a.len() != key.s.len() {
+            return None;
+        }
+        let mask = G::product_of_powers(&ct.a, &key.s);
+        Some(ct.c0.div(&mask))
+    })
 }
 
 #[cfg(test)]

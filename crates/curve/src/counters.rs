@@ -38,6 +38,25 @@ impl OpsReport {
     }
 }
 
+impl core::ops::Add for OpsReport {
+    type Output = OpsReport;
+    fn add(self, rhs: Self) -> Self {
+        OpsReport {
+            g_op: self.g_op + rhs.g_op,
+            g_pow: self.g_pow + rhs.g_pow,
+            gt_op: self.gt_op + rhs.gt_op,
+            gt_pow: self.gt_pow + rhs.gt_pow,
+            pairings: self.pairings + rhs.pairings,
+        }
+    }
+}
+
+impl core::ops::AddAssign for OpsReport {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
 impl core::ops::Sub for OpsReport {
     type Output = OpsReport;
     fn sub(self, rhs: Self) -> Self {

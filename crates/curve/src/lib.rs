@@ -8,12 +8,12 @@
 //!
 //! * [`traits`] — the [`Group`] / [`Pairing`] abstractions (multiplicative
 //!   notation, matching the paper);
-//! * [`params`] — parameter sets [`Toy`](params::Toy),
-//!   [`Ss512`](params::Ss512), [`Ss768`](params::Ss768),
-//!   [`Ss1024`](params::Ss1024), each of which *is* a [`Pairing`];
-//! * [`curve`] — the source group [`G`](curve::G) (Jacobian arithmetic,
+//! * [`params`] — parameter sets [`Toy`],
+//!   [`Ss512`], [`Ss768`],
+//!   [`Ss1024`], each of which *is* a [`Pairing`];
+//! * [`curve`] — the source group [`G`] (Jacobian arithmetic,
 //!   hash-to-curve, unknown-dlog sampling);
-//! * [`gt`] — the target group [`Gt`](gt::Gt) `⊂ F_{p²}*`;
+//! * [`gt`] — the target group [`Gt`] `⊂ F_{p²}*`;
 //! * [`pairing`] — affine Miller loop + final exponentiation;
 //! * [`multiexp`] — Straus interleaved multi-exponentiation;
 //! * [`modgroup`] — tiny-order groups for exhaustive entropy experiments;

@@ -2,7 +2,7 @@
 //! HPSKE's Definition 5.1(2) (experiment F5).
 //!
 //! For real parameters the entropy claim rests on the leftover hash lemma;
-//! on the tiny [`ModGroup`](dlr_curve::modgroup::ModGroup) instances the
+//! on the tiny [`ModGroup`] instances the
 //! key/plaintext/coin spaces are small enough to **enumerate completely**,
 //! so the average min-entropy
 //!

@@ -1,4 +1,4 @@
-//! Field abstractions and the [`define_prime_field!`] macro.
+//! Field abstractions and the [`define_prime_field!`](crate::define_prime_field) macro.
 //!
 //! # Side-channel posture
 //!

@@ -7,8 +7,8 @@
 //!
 //! * [`limbs`] — `const fn` little-endian limb arithmetic incl. CIOS
 //!   Montgomery multiplication;
-//! * [`field`] — the [`FieldElement`](field::FieldElement) /
-//!   [`PrimeField`](field::PrimeField) traits and the
+//! * [`field`] — the [`FieldElement`] /
+//!   [`PrimeField`] traits and the
 //!   [`define_prime_field!`] macro that bakes Montgomery constants at
 //!   compile time;
 //! * [`fp2`] — the quadratic extension `F_{p²}` hosting the pairing target

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # dlr-metrics — phase-scoped instrumentation for the DLR stack
+//!
+//! The paper's efficiency claims (§1.1, footnote 3) are about *where* the
+//! work happens: how many exponentiations and pairings each device performs
+//! per protocol phase, and how much crosses the public channel. This crate
+//! turns those questions into data:
+//!
+//! * [`span()`] — wrap a protocol phase in a named span. Each span records
+//!   wall-clock time and the [`OpsReport`](dlr_curve::counters::OpsReport)
+//!   delta (group operations performed inside it), aggregated per thread
+//!   and merged into a process-wide registry when the outermost span on a
+//!   thread exits.
+//! * [`Report`] — a snapshot of the registry plus wire-level statistics
+//!   ([`WireStats`](dlr_protocol::WireStats) rows from recorded transport
+//!   endpoints), serializable to JSON and CSV and renderable as a span
+//!   tree.
+//!
+//! ## Span taxonomy
+//!
+//! Span names are dotted paths; the segments form the tree shown by
+//! `dlr metrics` and the `path` field of the JSON export. The names used
+//! by `dlr-core` are:
+//!
+//! | span | meaning |
+//! |------|---------|
+//! | `gen` | key generation (`DKG`) |
+//! | `enc` | public-key encryption |
+//! | `dec` | full two-party decryption (driver/local runner) |
+//! | `dec.p1.start` | P1 computes the first decryption message |
+//! | `dec.p2.respond` | P2's decryption share |
+//! | `dec.p1.finish` | P1 combines shares into the plaintext |
+//! | `refresh` | full two-party share refresh |
+//! | `refresh.p1.start` | P1 opens the refresh round |
+//! | `refresh.p2.respond` | P2's refresh response |
+//! | `refresh.p1.finish` | P1 installs the refreshed share |
+//! | `hpske.enc` / `hpske.dec` | Π_comm homomorphic PKE operations |
+//! | `pss.gen` / `pss.enc` / `pss.dec` | Π_ss proactive secret sharing |
+//!
+//! Timing and operation counts are **inclusive** (a parent span contains
+//! its children); `self_ns` subtracts the directly-nested child time.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlr_metrics::{span, Report};
+//!
+//! dlr_metrics::reset();
+//! let value = span("outer", || {
+//!     span("outer.inner", || 40) + 2
+//! });
+//! assert_eq!(value, 42);
+//! let report = Report::capture();
+//! assert_eq!(report.spans["outer"].count, 1);
+//! let json = report.to_json();
+//! assert_eq!(Report::from_json(&json).unwrap(), report);
+//! ```
+
+pub mod json;
+pub mod report;
+pub mod span;
+
+pub use report::{Report, SpanStats, WireRow};
+pub use span::{reset, snapshot_spans, span};

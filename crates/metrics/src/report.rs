@@ -1,0 +1,493 @@
+//! Structured export of a metrics session.
+//!
+//! A [`Report`] bundles the aggregated span table with wire statistics
+//! rows and free-form metadata, and serializes to JSON (schema below) and
+//! CSV. The JSON round-trips through [`Report::from_json`] exactly —
+//! every number in the schema is a `u64`.
+//!
+//! ## JSON schema
+//!
+//! ```text
+//! {
+//!   "meta":  { "<key>": "<value>", ... },
+//!   "spans": [ { "path": str, "count": u64, "total_ns": u64,
+//!                "self_ns": u64, "child_ns": u64,
+//!                "ops": { "g_op": u64, "g_pow": u64, "gt_op": u64,
+//!                         "gt_pow": u64, "pairings": u64 } }, ... ],
+//!   "wire":  [ { "label": str, "frames_sent": u64, "frames_received": u64,
+//!                "bytes_sent": u64, "bytes_received": u64,
+//!                "round_latency_ns": [u64, ...] }, ... ]
+//! }
+//! ```
+//!
+//! `spans` is sorted by path; `self_ns` is redundant (`total_ns -
+//! child_ns`) but included so downstream tooling does not have to know the
+//! subtraction rule.
+
+use std::collections::BTreeMap;
+
+use dlr_curve::counters::OpsReport;
+use dlr_protocol::WireStats;
+
+use crate::json::{self, JsonError, Value};
+
+/// Aggregated measurements for one span name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall-clock nanoseconds, inclusive of nested spans.
+    pub total_ns: u64,
+    /// Nanoseconds spent in directly-nested child spans.
+    pub child_ns: u64,
+    /// Group operations performed inside the span (inclusive).
+    pub ops: OpsReport,
+}
+
+impl SpanStats {
+    /// Wall-clock nanoseconds excluding directly-nested child spans.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    /// Fold another aggregate for the same span name into this one.
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.child_ns += other.child_ns;
+        self.ops += other.ops;
+    }
+}
+
+/// One recorded transport endpoint's wire statistics, labelled by the
+/// protocol run it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRow {
+    /// Which run produced this row (e.g. `"driver.decrypt"`).
+    pub label: String,
+    /// The statistics observed at the endpoint.
+    pub stats: WireStats,
+}
+
+/// A complete metrics session: span table, wire rows and metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Free-form context (curve name, trial counts, ...).
+    pub meta: BTreeMap<String, String>,
+    /// Aggregated spans, keyed by dotted path.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Wire statistics rows, in insertion order.
+    pub wire: Vec<WireRow>,
+}
+
+impl Report {
+    /// Snapshot the global span registry (see
+    /// [`snapshot_spans`](crate::snapshot_spans)) into a fresh report.
+    pub fn capture() -> Self {
+        Report {
+            meta: BTreeMap::new(),
+            spans: crate::span::snapshot_spans(),
+            wire: Vec::new(),
+        }
+    }
+
+    /// Builder-style metadata entry.
+    pub fn with_meta(mut self, key: &str, value: &str) -> Self {
+        self.meta.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Append a wire statistics row.
+    pub fn push_wire(&mut self, label: &str, stats: WireStats) {
+        self.wire.push(WireRow {
+            label: label.to_string(),
+            stats,
+        });
+    }
+
+    /// Serialize to pretty-printed JSON (schema in the module docs).
+    pub fn to_json(&self) -> String {
+        let meta = Value::Obj(
+            self.meta
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                .collect(),
+        );
+        let spans = Value::Arr(
+            self.spans
+                .iter()
+                .map(|(path, s)| {
+                    Value::Obj(vec![
+                        ("path".into(), Value::Str(path.clone())),
+                        ("count".into(), Value::Num(s.count)),
+                        ("total_ns".into(), Value::Num(s.total_ns)),
+                        ("self_ns".into(), Value::Num(s.self_ns())),
+                        ("child_ns".into(), Value::Num(s.child_ns)),
+                        ("ops".into(), ops_to_value(&s.ops)),
+                    ])
+                })
+                .collect(),
+        );
+        let wire = Value::Arr(
+            self.wire
+                .iter()
+                .map(|row| {
+                    Value::Obj(vec![
+                        ("label".into(), Value::Str(row.label.clone())),
+                        ("frames_sent".into(), Value::Num(row.stats.frames_sent)),
+                        (
+                            "frames_received".into(),
+                            Value::Num(row.stats.frames_received),
+                        ),
+                        ("bytes_sent".into(), Value::Num(row.stats.bytes_sent)),
+                        (
+                            "bytes_received".into(),
+                            Value::Num(row.stats.bytes_received),
+                        ),
+                        (
+                            "round_latency_ns".into(),
+                            Value::Arr(
+                                row.stats
+                                    .round_latency_ns
+                                    .iter()
+                                    .map(|&ns| Value::Num(ns))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("meta".into(), meta),
+            ("spans".into(), spans),
+            ("wire".into(), wire),
+        ])
+        .to_json_pretty()
+    }
+
+    /// Parse a report previously written by [`Report::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let doc = json::parse(text)?;
+        let missing = |what: &str| JsonError {
+            message: format!("missing or malformed field: {what}"),
+            offset: 0,
+        };
+
+        let mut meta = BTreeMap::new();
+        if let Some(Value::Obj(fields)) = doc.get("meta") {
+            for (k, v) in fields {
+                let s = v.as_str().ok_or_else(|| missing("meta value"))?;
+                meta.insert(k.clone(), s.to_string());
+            }
+        }
+
+        let mut spans = BTreeMap::new();
+        for entry in doc
+            .get("spans")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| missing("spans"))?
+        {
+            let path = entry
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| missing("spans[].path"))?;
+            let num = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| missing(key))
+            };
+            let ops_value = entry.get("ops").ok_or_else(|| missing("spans[].ops"))?;
+            spans.insert(
+                path.to_string(),
+                SpanStats {
+                    count: num("count")?,
+                    total_ns: num("total_ns")?,
+                    child_ns: num("child_ns")?,
+                    ops: ops_from_value(ops_value).ok_or_else(|| missing("spans[].ops"))?,
+                },
+            );
+        }
+
+        let mut wire = Vec::new();
+        for entry in doc
+            .get("wire")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| missing("wire"))?
+        {
+            let label = entry
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or_else(|| missing("wire[].label"))?;
+            let num = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| missing(key))
+            };
+            let latencies = entry
+                .get("round_latency_ns")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| missing("wire[].round_latency_ns"))?
+                .iter()
+                .map(|v| v.as_u64().ok_or_else(|| missing("latency entry")))
+                .collect::<Result<Vec<u64>, _>>()?;
+            wire.push(WireRow {
+                label: label.to_string(),
+                stats: WireStats {
+                    frames_sent: num("frames_sent")?,
+                    frames_received: num("frames_received")?,
+                    bytes_sent: num("bytes_sent")?,
+                    bytes_received: num("bytes_received")?,
+                    round_latency_ns: latencies,
+                },
+            });
+        }
+
+        Ok(Report { meta, spans, wire })
+    }
+
+    /// Serialize to CSV: one row per span and per wire entry, tagged by a
+    /// leading `kind` column so the file stays a single flat table.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "kind,name,count,total_ns,self_ns,g_op,g_pow,gt_op,gt_pow,pairings,\
+             frames_sent,frames_received,bytes_sent,bytes_received,rounds,latency_ns_total\n",
+        );
+        for (path, s) in &self.spans {
+            out.push_str(&format!(
+                "span,{},{},{},{},{},{},{},{},{},,,,,,\n",
+                csv_field(path),
+                s.count,
+                s.total_ns,
+                s.self_ns(),
+                s.ops.g_op,
+                s.ops.g_pow,
+                s.ops.gt_op,
+                s.ops.gt_pow,
+                s.ops.pairings,
+            ));
+        }
+        for row in &self.wire {
+            out.push_str(&format!(
+                "wire,{},,,,,,,,,{},{},{},{},{},{}\n",
+                csv_field(&row.label),
+                row.stats.frames_sent,
+                row.stats.frames_received,
+                row.stats.bytes_sent,
+                row.stats.bytes_received,
+                row.stats.rounds(),
+                row.stats.total_latency_ns(),
+            ));
+        }
+        out
+    }
+
+    /// Render the spans as an indented tree (grouped by dotted path
+    /// segments) followed by the wire rows — the `dlr metrics` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.meta.is_empty() {
+            for (k, v) in &self.meta {
+                out.push_str(&format!("# {k}: {v}\n"));
+            }
+            out.push('\n');
+        }
+        out.push_str("spans:\n");
+        if self.spans.is_empty() {
+            out.push_str("  (none recorded)\n");
+        }
+        for (path, s) in &self.spans {
+            // BTreeMap order sorts parents before their dotted children
+            // ("dec" < "dec.p1.start"); indent each span under its longest
+            // recorded ancestor.
+            let (depth, label) = match longest_ancestor(&self.spans, path) {
+                Some(ancestor) => (
+                    ancestor.matches('.').count() + 1,
+                    path[ancestor.len() + 1..].to_string(),
+                ),
+                None => (0, path.clone()),
+            };
+            out.push_str(&format!(
+                "  {:indent$}{:<width$} count={:<4} total={:<10} self={:<10} [{}]\n",
+                "",
+                label,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.self_ns()),
+                s.ops,
+                indent = depth * 2,
+                width = 24usize.saturating_sub(depth * 2),
+            ));
+        }
+        if !self.wire.is_empty() {
+            out.push_str("\nwire:\n");
+            for row in &self.wire {
+                out.push_str(&format!(
+                    "  {:<24} frames {}/{} (sent/recv)  bytes {}/{}  rounds={} latency={}\n",
+                    row.label,
+                    row.stats.frames_sent,
+                    row.stats.frames_received,
+                    row.stats.bytes_sent,
+                    row.stats.bytes_received,
+                    row.stats.rounds(),
+                    fmt_ns(row.stats.total_latency_ns()),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The longest strict dotted prefix of `path` recorded as a span, if any.
+fn longest_ancestor<'a>(
+    spans: &'a BTreeMap<String, SpanStats>,
+    path: &str,
+) -> Option<&'a str> {
+    let mut prefix = path;
+    while let Some((head, _)) = prefix.rsplit_once('.') {
+        if let Some((key, _)) = spans.get_key_value(head) {
+            return Some(key.as_str());
+        }
+        prefix = head;
+    }
+    None
+}
+
+fn ops_to_value(ops: &OpsReport) -> Value {
+    Value::Obj(vec![
+        ("g_op".into(), Value::Num(ops.g_op)),
+        ("g_pow".into(), Value::Num(ops.g_pow)),
+        ("gt_op".into(), Value::Num(ops.gt_op)),
+        ("gt_pow".into(), Value::Num(ops.gt_pow)),
+        ("pairings".into(), Value::Num(ops.pairings)),
+    ])
+}
+
+fn ops_from_value(v: &Value) -> Option<OpsReport> {
+    Some(OpsReport {
+        g_op: v.get("g_op")?.as_u64()?,
+        g_pow: v.get("g_pow")?.as_u64()?,
+        gt_op: v.get("gt_op")?.as_u64()?,
+        gt_pow: v.get("gt_pow")?.as_u64()?,
+        pairings: v.get("pairings")?.as_u64()?,
+    })
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Human-readable nanosecond quantity (`412 ns`, `3.21 µs`, `8.10 ms`...).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut report = Report::default().with_meta("curve", "TOY");
+        report.spans.insert(
+            "dec".into(),
+            SpanStats {
+                count: 3,
+                total_ns: 5_000,
+                child_ns: 4_000,
+                ops: OpsReport {
+                    g_op: 1,
+                    g_pow: 2,
+                    gt_op: 3,
+                    gt_pow: 4,
+                    pairings: 5,
+                },
+            },
+        );
+        report.spans.insert(
+            "dec.p1.start".into(),
+            SpanStats {
+                count: 3,
+                total_ns: 4_000,
+                child_ns: 0,
+                ops: OpsReport::default(),
+            },
+        );
+        report.push_wire(
+            "driver.decrypt",
+            WireStats {
+                frames_sent: 2,
+                frames_received: 2,
+                bytes_sent: 210,
+                bytes_received: 180,
+                round_latency_ns: vec![900, 1_100],
+            },
+        );
+        report
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let report = sample();
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn empty_report_roundtrips() {
+        let report = Report::default();
+        assert_eq!(Report::from_json(&report.to_json()).unwrap(), report);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(Report::from_json("{}").is_err());
+        assert!(Report::from_json("{\"spans\": [{}], \"wire\": []}").is_err());
+        assert!(Report::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 spans + 1 wire
+        assert!(lines[0].starts_with("kind,name,count"));
+        assert!(lines[1].starts_with("span,dec,3,5000,1000"));
+        assert!(lines[3].starts_with("wire,driver.decrypt,"));
+        assert!(lines[3].ends_with(",2,2,210,180,2,2000"));
+    }
+
+    #[test]
+    fn render_indents_children() {
+        let text = sample().render();
+        assert!(text.contains("# curve: TOY"));
+        assert!(text.contains("\n  dec "));
+        // child rendered with indentation and shortened label
+        assert!(text.contains("    p1.start"));
+        assert!(text.contains("rounds=2"));
+    }
+
+    #[test]
+    fn self_ns_saturates() {
+        let s = SpanStats {
+            count: 1,
+            total_ns: 10,
+            child_ns: 25, // clock skew across threads could cause this
+            ops: OpsReport::default(),
+        };
+        assert_eq!(s.self_ns(), 0);
+    }
+}

@@ -26,5 +26,6 @@ pub mod transport;
 pub mod wire;
 
 pub use memory::{Device, PublicMemory, SecretMemory, SecretView};
-pub use transport::{duplex, Transport, TransportError};
+pub use runtime::{run_pair, RunOutput};
+pub use transport::{duplex, Transport, TransportError, WireStats};
 pub use wire::{CodecError, Decoder, Encoder};

@@ -7,7 +7,7 @@
 //! codec end to end and recording the public transcript.
 
 use crate::transport::{
-    duplex, new_transcript, RecordingTransport, Transcript, Transport, TransportError,
+    duplex, new_transcript, RecordingTransport, Transcript, Transport, TransportError, WireStats,
 };
 use bytes::Bytes;
 
@@ -22,6 +22,9 @@ pub struct RunOutput<A, B> {
     /// perspective; the channel is public, so this *is* the full
     /// communication `comm^t`).
     pub transcript: Transcript,
+    /// Wire-level statistics (frames, bytes, per-round latency) observed
+    /// at `P1`'s endpoint.
+    pub wire: WireStats,
 }
 
 /// Run two party closures concurrently over an in-memory duplex channel,
@@ -41,6 +44,7 @@ where
     let (t1, mut t2) = duplex();
     let transcript = new_transcript();
     let mut rec1 = RecordingTransport::new(t1, transcript.clone());
+    let stats = rec1.stats_handle();
 
     let (out1, out2) = std::thread::scope(|scope| {
         let h2 = scope.spawn(move || p2(&mut t2));
@@ -49,10 +53,12 @@ where
         (out1, out2)
     });
 
+    let wire = stats.lock().clone();
     RunOutput {
         p1: out1,
         p2: out2,
         transcript,
+        wire,
     }
 }
 

@@ -161,21 +161,93 @@ pub fn transcript_flatten(t: &Transcript) -> Vec<u8> {
     out
 }
 
-/// Transport wrapper that appends every message to a [`Transcript`].
+/// Wire-level statistics observed at one endpoint of a protocol run.
+///
+/// Collected by [`RecordingTransport`] alongside the transcript and
+/// surfaced through `RunOutput::wire` so benchmarks can report
+/// communication cost without re-parsing the transcript.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Messages sent by this endpoint.
+    pub frames_sent: u64,
+    /// Messages received by this endpoint.
+    pub frames_received: u64,
+    /// Payload bytes sent (framing overhead excluded).
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Wall-clock latency of each send→receive round, in nanoseconds: the
+    /// time from this endpoint's first send of a round until the reply
+    /// that ends it arrives.
+    pub round_latency_ns: Vec<u64>,
+}
+
+impl WireStats {
+    /// Number of completed send→receive rounds.
+    pub fn rounds(&self) -> u64 {
+        self.round_latency_ns.len() as u64
+    }
+
+    /// Total payload bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Sum of all per-round latencies, in nanoseconds.
+    pub fn total_latency_ns(&self) -> u64 {
+        self.round_latency_ns.iter().sum()
+    }
+
+    /// Fold another endpoint-run's statistics into this one.
+    pub fn merge(&mut self, other: &WireStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.round_latency_ns
+            .extend_from_slice(&other.round_latency_ns);
+    }
+}
+
+/// Shared handle to live wire statistics (one writer, any readers).
+pub type WireStatsHandle = Arc<Mutex<WireStats>>;
+
+/// Transport wrapper that appends every message to a [`Transcript`] and
+/// accumulates [`WireStats`].
 pub struct RecordingTransport<T: Transport> {
     inner: T,
     transcript: Transcript,
+    stats: WireStatsHandle,
+    /// Start of the current send→receive round (set on the first send
+    /// after a receive, consumed by the next receive).
+    round_start: Option<std::time::Instant>,
 }
 
 impl<T: Transport> RecordingTransport<T> {
     /// Wrap `inner`, recording into `transcript`.
     pub fn new(inner: T, transcript: Transcript) -> Self {
-        Self { inner, transcript }
+        Self {
+            inner,
+            transcript,
+            stats: Arc::new(Mutex::new(WireStats::default())),
+            round_start: None,
+        }
     }
 
     /// The shared transcript handle.
     pub fn transcript(&self) -> Transcript {
         Arc::clone(&self.transcript)
+    }
+
+    /// Shared handle to the statistics collected so far (updates live as
+    /// the wrapped transport is used).
+    pub fn stats_handle(&self) -> WireStatsHandle {
+        Arc::clone(&self.stats)
+    }
+
+    /// Snapshot of the statistics collected so far.
+    pub fn wire_stats(&self) -> WireStats {
+        self.stats.lock().clone()
     }
 }
 
@@ -184,6 +256,14 @@ impl<T: Transport> Transport for RecordingTransport<T> {
         self.transcript
             .lock()
             .push((Direction::Sent, msg.clone()));
+        {
+            let mut s = self.stats.lock();
+            s.frames_sent += 1;
+            s.bytes_sent += msg.len() as u64;
+        }
+        if self.round_start.is_none() {
+            self.round_start = Some(std::time::Instant::now());
+        }
         self.inner.send(msg)
     }
 
@@ -192,6 +272,13 @@ impl<T: Transport> Transport for RecordingTransport<T> {
         self.transcript
             .lock()
             .push((Direction::Received, msg.clone()));
+        let mut s = self.stats.lock();
+        s.frames_received += 1;
+        s.bytes_received += msg.len() as u64;
+        if let Some(t0) = self.round_start.take() {
+            s.round_latency_ns
+                .push(t0.elapsed().as_nanos() as u64);
+        }
         Ok(msg)
     }
 }

@@ -14,6 +14,8 @@
 //! * [`core::dibe`] / [`core::cca2`] — the DIBE and CCA2 extensions;
 //! * [`core::storage`] — secure storage on leaky devices (§4.4);
 //! * [`leakage::game`] — the Definition 3.2 security game, runnable;
+//! * [`metrics`] — phase-level spans, group-operation counts and wire
+//!   statistics for the protocols (see `crates/metrics/README.md`);
 //! * the `examples/` directory for end-to-end scenarios.
 //!
 //! ```
@@ -37,6 +39,7 @@ pub use dlr_curve as curve;
 pub use dlr_hash as hash;
 pub use dlr_leakage as leakage;
 pub use dlr_math as math;
+pub use dlr_metrics as metrics;
 pub use dlr_protocol as protocol;
 
 /// Convenient glob-import surface for examples and quick starts.

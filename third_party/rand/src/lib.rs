@@ -1,0 +1,318 @@
+//! Offline vendored shim for the subset of the `rand 0.8` API used by the
+//! DLR workspace.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the handful of third-party crates the workspace depends on are
+//! vendored as minimal, API-compatible shims under `third_party/` (see the
+//! workspace `Cargo.toml`). This crate provides:
+//!
+//! * the [`RngCore`] / [`SeedableRng`] / [`Rng`] traits,
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator (NOT the
+//!   upstream ChaCha-based `StdRng`; seeded streams differ from real
+//!   `rand`, which only shifts sampled constants in this repo's
+//!   experiments, never correctness),
+//! * [`thread_rng`] — seeded from the clock, a counter and ASLR noise.
+//!
+//! **This shim is not cryptographically secure.** It is sufficient for the
+//! research experiments in this repository (which need uniformity and
+//! reproducibility, not unpredictability against an attacker); a
+//! production deployment must swap the real `rand` crate back in. The
+//! `erase`/leakage semantics of the workspace do not depend on this crate.
+
+/// Error type for fallible generator operations (never produced by the
+/// shim generators, which are infallible).
+#[derive(Debug)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, as in `rand 0.8`.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Instantiate from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Instantiate from a `u64` seed (expanded with SplitMix64, as in
+    /// upstream `rand`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Instantiate from environmental entropy (clock + counter).
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_u64())
+    }
+}
+
+/// Convenience sampling methods on top of [`RngCore`] (tiny subset of the
+/// upstream `Rng` extension trait).
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `range`.
+    fn sample<R: RngCore>(rng: &mut R, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: core::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                // Multiply-shift rejection-free mapping is fine for the
+                // shim's research use; bias is < 2^-32 for spans < 2^32.
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn entropy_u64() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let count = COUNTER.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+    // ASLR noise: the address of a stack local differs across processes.
+    let stack_probe = 0u8;
+    let addr = core::ptr::addr_of!(stack_probe) as u64;
+    let mut s = nanos ^ count.rotate_left(32) ^ addr;
+    splitmix64(&mut s)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Error, RngCore, SeedableRng};
+
+    /// Deterministic generator (xoshiro256++ in this shim; upstream uses a
+    /// ChaCha-based generator, so sampled streams differ from real `rand`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(word);
+            }
+            // All-zero state would be a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [0x9e3779b97f4a7c15, 1, 2, 3];
+            }
+            let mut rng = Self { s };
+            // Warm up so low-entropy seeds decorrelate.
+            for _ in 0..8 {
+                rng.step();
+            }
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.step().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    /// Per-call generator seeded from environmental entropy.
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng {
+        inner: StdRng,
+    }
+
+    impl ThreadRng {
+        pub(crate) fn new() -> Self {
+            Self {
+                inner: StdRng::seed_from_u64(super::entropy_u64()),
+            }
+        }
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest)
+        }
+    }
+}
+
+/// Return a generator seeded from environmental entropy (the shim
+/// equivalent of `rand::thread_rng`; each call returns an independent
+/// generator rather than a thread-local handle).
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = Rng::gen_range(&mut r, 10u64..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn thread_rngs_are_independent() {
+        let mut a = thread_rng();
+        let mut b = thread_rng();
+        // Not a strict guarantee, but with 64-bit outputs a collision
+        // means the entropy source is broken.
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bits_look_uniform() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += r.next_u64().count_ones();
+        }
+        // 64000 bits, expect ~32000 ones; allow a generous band.
+        assert!((30000..34000).contains(&ones), "ones = {ones}");
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Documentation gate: rustdoc must build warning-free and every doctest
+# must pass. Run from the repository root (CI runs this on every push).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> doctests"
+cargo test --workspace --doc
+
+echo "docs OK"
