@@ -243,6 +243,9 @@ impl dlr_curve::Pairing for Bls12_381 {
     type G1 = G1;
     type G2 = G2;
     type Gt = Gt;
+    // No cached-line form on this backend yet: preparation is the point
+    // itself and the default multi_pair/pairing_product folds apply.
+    type Prepared = G1;
     const NAME: &'static str = "BLS12-381";
 
     fn pair(p: &G1, q: &G2) -> Gt {
@@ -251,6 +254,14 @@ impl dlr_curve::Pairing for Bls12_381 {
 
     fn pair_generators() -> Gt {
         Gt::generator()
+    }
+
+    fn prepare(p: &G1) -> G1 {
+        *p
+    }
+
+    fn pair_prepared(prep: &G1, q: &G2) -> Gt {
+        pairing(prep, q)
     }
 }
 

@@ -368,6 +368,9 @@ impl<E: Pairing> Party1<E> {
         rng: &mut R,
     ) -> DecMsg1<E> {
         let key = self.period_skcomm(rng);
+        // Every pairing below has A as its first slot: walk A's Miller
+        // chain once and replay it (ℓ·(κ+1) + 1 evaluations in Reuse mode).
+        let prep_a = E::prepare(&ct.big_a);
         let d: Vec<HpskeCiphertext<E::Gt>> = match self.mode {
             CommMode::Reuse => {
                 // f_i = Enc'(a_i) over G with fresh direct-sampled coins;
@@ -385,19 +388,17 @@ impl<E: Pairing> Party1<E> {
                 self.device.secret.store("rand.dec.fcoins", coin_cell);
                 let d = f
                     .iter()
-                    .map(|fi| hpske::pair_ciphertext::<E>(&ct.big_a, fi))
+                    .map(|fi| hpske::pair_ciphertext_prepared::<E>(&prep_a, fi))
                     .collect();
                 self.cached_f = Some(f);
                 d
             }
-            CommMode::Fresh => self
-                .share
-                .a
+            CommMode::Fresh => E::multi_pair_prepared(&prep_a, &self.share.a)
                 .iter()
-                .map(|ai| hpske::encrypt(&key, &E::pair(&ct.big_a, ai), rng))
+                .map(|ei| hpske::encrypt(&key, ei, rng))
                 .collect(),
         };
-        let d_phi = hpske::encrypt(&key, &E::pair(&ct.big_a, &self.share.phi), rng);
+        let d_phi = hpske::encrypt(&key, &E::pair_prepared(&prep_a, &self.share.phi), rng);
         let d_b = hpske::encrypt(&key, &ct.big_b, rng);
 
         // Mirror the GT coins (secret randomness of this period).

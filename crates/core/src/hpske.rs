@@ -175,10 +175,25 @@ pub fn pair_ciphertext<E: Pairing>(
     a: &E::G1,
     ct: &HpskeCiphertext<E::G2>,
 ) -> HpskeCiphertext<E::Gt> {
-    HpskeCiphertext {
-        b: ct.b.iter().map(|bj| E::pair(a, bj)).collect(),
-        c0: E::pair(a, &ct.c0),
-    }
+    pair_ciphertext_prepared::<E>(&E::prepare(a), ct)
+}
+
+/// [`pair_ciphertext`] with `A` already [`prepare`](Pairing::prepare)d —
+/// the decryption protocols pair one `A` against many ciphertexts, so the
+/// Miller chain of `A` is walked once per `dec_start`, not once per
+/// coordinate. All `κ+1` coordinates go through one
+/// [`multi_pair_prepared`](Pairing::multi_pair_prepared) call (shared final
+/// exponentiation, optional worker-thread fan-out).
+pub fn pair_ciphertext_prepared<E: Pairing>(
+    prep: &E::Prepared,
+    ct: &HpskeCiphertext<E::G2>,
+) -> HpskeCiphertext<E::Gt> {
+    let mut slots: Vec<E::G2> = Vec::with_capacity(ct.b.len() + 1);
+    slots.extend(ct.b.iter().copied());
+    slots.push(ct.c0);
+    let mut paired = E::multi_pair_prepared(prep, &slots);
+    let c0 = paired.pop().expect("κ+1 slots in, κ+1 out");
+    HpskeCiphertext { b: paired, c0 }
 }
 
 #[cfg(test)]

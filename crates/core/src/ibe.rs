@@ -217,15 +217,23 @@ pub fn encrypt<E: Pairing, R: RngCore + ?Sized>(
 }
 
 /// `Dec`: `m = B · ∏_j e(C_j, g^{r_j}) / e(A, M)`.
+///
+/// The whole correction factor is one [`Pairing::pairing_product`] — the
+/// divisor folds in as `e(A, M)^{-1} = e(A, M^{-1})`, so the `n_id + 1`
+/// constituent Miller loops share a single squaring chain and final
+/// exponentiation.
 pub fn decrypt<E: Pairing>(key: &IdentityKey<E>, ct: &IbeCiphertext<E>) -> Result<E::Gt, CoreError> {
     if key.r_g.len() != ct.c.len() {
         return Err(CoreError::Protocol("identity key / ciphertext mismatch"));
     }
-    let mut acc = ct.big_b;
-    for (cj, rj) in ct.c.iter().zip(key.r_g.iter()) {
-        acc = acc.op(&E::pair(cj, rj));
-    }
-    Ok(acc.div(&E::pair(&ct.big_a, &key.m)))
+    let mut pairs: Vec<(E::G1, E::G2)> = ct
+        .c
+        .iter()
+        .zip(key.r_g.iter())
+        .map(|(cj, rj)| (*cj, *rj))
+        .collect();
+    pairs.push((ct.big_a, key.m.inverse()));
+    Ok(ct.big_b.op(&E::pairing_product(&pairs)))
 }
 
 

@@ -28,7 +28,7 @@
 use crate::codec::scalars_to_cell;
 use crate::dlr::{Ciphertext, DecMsg1, DecMsg2, PublicKey, RefMsg1, RefMsg2, Share1};
 use crate::error::CoreError;
-use crate::hpske::{self, pair_ciphertext, HpskeCiphertext, HpskeKey};
+use crate::hpske::{self, HpskeCiphertext, HpskeKey};
 use dlr_curve::{Group, Pairing};
 use dlr_protocol::Device;
 use rand::RngCore;
@@ -110,12 +110,14 @@ impl<E: Pairing> StreamingParty1<E> {
         ct: &Ciphertext<E>,
         rng: &mut R,
     ) -> DecMsg1<E> {
+        // One prepared Miller chain for A serves all ℓ+1 ciphertexts.
+        let prep_a = E::prepare(&ct.big_a);
         let d = self
             .enc_a
             .iter()
-            .map(|fi| pair_ciphertext::<E>(&ct.big_a, fi))
+            .map(|fi| hpske::pair_ciphertext_prepared::<E>(&prep_a, fi))
             .collect();
-        let d_phi = pair_ciphertext::<E>(&ct.big_a, &self.enc_phi);
+        let d_phi = hpske::pair_ciphertext_prepared::<E>(&prep_a, &self.enc_phi);
         let d_b = hpske::encrypt(&self.skcomm, &ct.big_b, rng);
         self.device.public.store("dec.input", ct.to_bytes());
         DecMsg1 { d, d_phi, d_b }

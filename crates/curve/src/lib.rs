@@ -14,7 +14,13 @@
 //! * [`curve`] — the source group [`G`] (Jacobian arithmetic,
 //!   hash-to-curve, unknown-dlog sampling);
 //! * [`gt`] — the target group [`Gt`] `⊂ F_{p²}*`;
-//! * [`pairing`] — affine Miller loop + final exponentiation;
+//! * [`pairing`] — affine Miller loop + final exponentiation, plus the
+//!   batched [`pairing::pairing_product`] (shared squaring chain, single
+//!   final exponentiation);
+//! * [`prepared`] — [`PreparedPoint`]: cache the Miller line coefficients
+//!   of a fixed first argument and replay them per second argument;
+//! * [`parallel`] — opt-in scoped-thread fan-out for batched pairings with
+//!   exact counter merging;
 //! * [`multiexp`] — Straus interleaved multi-exponentiation;
 //! * [`modgroup`] — tiny-order groups for exhaustive entropy experiments;
 //! * [`counters`] — thread-local operation counts backing the efficiency
@@ -41,11 +47,15 @@ pub mod gt;
 pub mod modgroup;
 pub mod multiexp;
 pub mod pairing;
+pub mod parallel;
 pub mod params;
+pub mod prepared;
 pub mod traits;
 mod util;
 
 pub use curve::G;
 pub use gt::Gt;
+pub use parallel::{parallel_threads, set_parallel_threads};
 pub use params::{Ss1024, Ss512, Ss768, SsParams, Toy};
+pub use prepared::PreparedPoint;
 pub use traits::{Group, GroupKind, Pairing};

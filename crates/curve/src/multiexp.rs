@@ -27,27 +27,52 @@ pub fn naive<G: Group>(bases: &[G], exps: &[G::Scalar]) -> G {
 
 /// Straus interleaved multi-exponentiation with 4-bit windows,
 /// uninstrumented (callers go through [`Group::product_of_powers`]).
+///
+/// Sparse-exponent aware: bases whose scalar is zero get no table (their
+/// factor is the identity), zero nibbles skip the table addition, and the
+/// shared doubling chain starts at the highest set bit across all
+/// exponents rather than the full modulus width — `∏ aᵢ^{sᵢ}` with small
+/// or mostly-zero `sᵢ` costs proportionally less.
 pub fn straus_raw<G: Group>(bases: &[G], exps: &[G::Scalar]) -> G {
     assert_eq!(bases.len(), exps.len(), "bases/exps length mismatch");
     if bases.is_empty() {
         return G::identity();
     }
-    // Per-base tables: table[i][d] = bases[i]^d, d ∈ [0, 2^WINDOW).
+    let exp_limbs: Vec<Vec<u64>> = exps.iter().map(|e| e.to_canonical_limbs()).collect();
+
+    // Highest set bit position across all exponents (None = all zero).
+    let mut max_bits: Option<usize> = None;
+    for limbs in &exp_limbs {
+        for (i, w) in limbs.iter().enumerate() {
+            if *w != 0 {
+                let top = i * 64 + (64 - w.leading_zeros() as usize);
+                max_bits = Some(max_bits.map_or(top, |m| m.max(top)));
+            }
+        }
+    }
+    let Some(max_bits) = max_bits else {
+        return G::identity();
+    };
+
+    // Per-base tables: table[i][d] = bases[i]^d, d ∈ [0, 2^WINDOW);
+    // zero-scalar bases contribute nothing and get no table.
     let table_size = 1usize << WINDOW;
-    let tables: Vec<Vec<G>> = bases
+    let tables: Vec<Option<Vec<G>>> = bases
         .iter()
-        .map(|b| {
+        .zip(&exp_limbs)
+        .map(|(b, limbs)| {
+            if limbs.iter().all(|w| *w == 0) {
+                return None;
+            }
             let mut t = Vec::with_capacity(table_size);
             t.push(G::identity());
             for d in 1..table_size {
                 t.push(t[d - 1].raw_op(b));
             }
-            t
+            Some(t)
         })
         .collect();
 
-    let exp_limbs: Vec<Vec<u64>> = exps.iter().map(|e| e.to_canonical_limbs()).collect();
-    let max_bits = G::Scalar::modulus_bits() as usize;
     let windows = max_bits.div_ceil(WINDOW);
 
     let mut acc = G::identity();
@@ -56,10 +81,11 @@ pub fn straus_raw<G: Group>(bases: &[G], exps: &[G::Scalar]) -> G {
             acc = acc.raw_double();
         }
         let bit_pos = w * WINDOW;
-        for (i, limbs) in exp_limbs.iter().enumerate() {
+        for (limbs, table) in exp_limbs.iter().zip(&tables) {
+            let Some(table) = table else { continue };
             let d = nibble(limbs, bit_pos);
             if d != 0 {
-                acc = acc.raw_op(&tables[i][d]);
+                acc = acc.raw_op(&table[d]);
             }
         }
     }
@@ -93,6 +119,64 @@ mod tests {
         assert_eq!(nibble(&limbs, 128), 0);
     }
 
-    // Cross-checks of straus vs naive live in `modgroup::tests` and
-    // `curve::tests`, where concrete groups exist.
+    // Cross-checks of straus vs naive on dense random exponents live in
+    // `modgroup::tests` and `curve::tests`; the sparse/degenerate shapes
+    // the zero-skipping paths introduce are covered here.
+
+    use crate::modgroup::{Mini1009, ModGroup};
+    use dlr_math::FieldElement;
+    use rand::SeedableRng;
+
+    type MG = ModGroup<Mini1009>;
+    type S = <MG as Group>::Scalar;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn straus_matches_naive_on_sparse_exponents() {
+        let mut r = rng();
+        let bases: Vec<MG> = (0..6).map(|_| MG::random(&mut r)).collect();
+        // Exponent vectors mixing zeros, tiny values and full-width values.
+        let shapes: Vec<Vec<S>> = vec![
+            vec![S::zero(); 6],
+            {
+                let mut e = vec![S::zero(); 6];
+                e[3] = S::one();
+                e
+            },
+            {
+                let mut e = vec![S::zero(); 6];
+                e[0] = S::from_u64(2);
+                e[5] = S::from_u64(15);
+                e
+            },
+            (0..6)
+                .map(|i| if i % 2 == 0 { S::zero() } else { S::random(&mut r) })
+                .collect(),
+            vec![S::from_u64(1), S::zero(), S::from_u64(16), S::zero(), S::from_u64(17), S::zero()],
+        ];
+        for exps in shapes {
+            assert_eq!(straus_raw(&bases, &exps), naive(&bases, &exps));
+        }
+    }
+
+    #[test]
+    fn straus_all_zero_is_identity() {
+        let mut r = rng();
+        let bases: Vec<MG> = (0..4).map(|_| MG::random(&mut r)).collect();
+        let exps = vec![S::zero(); 4];
+        assert!(straus_raw(&bases, &exps).is_identity());
+    }
+
+    #[test]
+    fn straus_single_small_exponent() {
+        let mut r = rng();
+        let b = MG::random(&mut r);
+        for e in 0..20u64 {
+            let exps = [S::from_u64(e)];
+            assert_eq!(straus_raw(&[b], &exps), naive(&[b], &exps));
+        }
+    }
 }

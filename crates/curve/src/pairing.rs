@@ -25,53 +25,96 @@ use crate::traits::{Group, Pairing};
 use dlr_math::{FieldElement, Fp2, PrimeField};
 
 /// Affine point (never infinity) used inside the Miller loop.
-#[derive(Clone, Copy)]
-struct Affine<F> {
-    x: F,
-    y: F,
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Affine<F> {
+    pub(crate) x: F,
+    pub(crate) y: F,
 }
 
-/// One Miller doubling step: returns the line value at `φ(Q)` and `2T`.
-fn double_step<F: PrimeField>(t: Affine<F>, xq: &F, yq: &F) -> (Fp2<F>, Option<Affine<F>>) {
-    if t.y.is_zero() {
-        // 2-torsion: tangent is vertical — contributes a subfield factor.
-        return (Fp2::one(), None);
+/// One emitted operation of a Miller chain.
+///
+/// The doubling/addition schedule for a fixed first argument `P` depends
+/// only on `P` and the bits of `r` — never on `Q` — so the chain can be
+/// walked once, its line coefficients cached, and replayed against many
+/// second arguments (see [`crate::prepared::PreparedPoint`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum MillerOp<F> {
+    /// Square the `F_{p²}` accumulator.
+    Square,
+    /// Multiply the accumulator by the line
+    /// `l(φ(Q)) = (λ·x_Q + θ) + y_Q·i` with `θ = λ·x_T − y_T`.
+    Line {
+        /// Slope of the tangent/chord at the current `T`.
+        lambda: F,
+        /// Precombined intercept `λ·x_T − y_T`.
+        theta: F,
+    },
+}
+
+impl<F: PrimeField> MillerOp<F> {
+    /// Apply this operation to the accumulator for the distorted point
+    /// `φ(Q) = (−x_Q, i·y_Q)`. Line evaluations cost one `F_p`
+    /// multiplication plus the `F_{p²}` accumulator multiply.
+    #[inline]
+    pub(crate) fn apply(&self, f: &mut Fp2<F>, xq: &F, yq: &F) {
+        match self {
+            MillerOp::Square => *f = f.square(),
+            MillerOp::Line { lambda, theta } => {
+                *f *= Fp2::new(*lambda * *xq + *theta, *yq);
+            }
+        }
     }
-    let three_x2_plus_1 = t.x.square().double() + t.x.square() + F::one();
+}
+
+/// Line coefficients for one doubling step, and `2T`.
+///
+/// `None` coefficients mean a vertical tangent (2-torsion `T`): the line
+/// evaluates into `F_p*`, which the final exponentiation kills
+/// (denominator elimination), so no accumulator work is emitted.
+fn double_coeffs<F: PrimeField>(t: Affine<F>) -> (Option<(F, F)>, Option<Affine<F>>) {
+    if t.y.is_zero() {
+        return (None, None);
+    }
+    let xx = t.x.square();
+    let three_x2_plus_1 = xx.double() + xx + F::one();
     let lambda = three_x2_plus_1 * t.y.double().inverse().expect("y != 0");
     let x3 = lambda.square() - t.x.double();
     let y3 = lambda * (t.x - x3) - t.y;
-    // line through (T, T) evaluated at φ(Q) = (−x_Q, i·y_Q):
-    //   l = i·y_Q − y_T − λ(−x_Q − x_T) = (λ(x_Q + x_T) − y_T) + y_Q·i
-    let c0 = lambda * (*xq + t.x) - t.y;
-    let line = Fp2::new(c0, *yq);
-    (line, Some(Affine { x: x3, y: y3 }))
+    // line through (T, T): λ·x_Q + (λ·x_T − y_T) is the F_p part at φ(Q)
+    let theta = lambda * t.x - t.y;
+    (Some((lambda, theta)), Some(Affine { x: x3, y: y3 }))
 }
 
-/// One Miller addition step: returns the line value at `φ(Q)` and `T + P`.
-fn add_step<F: PrimeField>(
+/// Line coefficients for one addition step, and `T + P`.
+fn add_coeffs<F: PrimeField>(
     t: Affine<F>,
     p: Affine<F>,
-    xq: &F,
-    yq: &F,
-) -> (Fp2<F>, Option<Affine<F>>) {
+) -> (Option<(F, F)>, Option<Affine<F>>) {
     if t.x == p.x {
         if t.y == p.y {
-            return double_step(t, xq, yq);
+            return double_coeffs(t);
         }
         // T = −P: the chord is vertical — subfield factor only.
-        return (Fp2::one(), None);
+        return (None, None);
     }
     let lambda = (p.y - t.y) * (p.x - t.x).inverse().expect("x1 != x2");
     let x3 = lambda.square() - t.x - p.x;
     let y3 = lambda * (t.x - x3) - t.y;
-    let c0 = lambda * (*xq + t.x) - t.y;
-    let line = Fp2::new(c0, *yq);
-    (line, Some(Affine { x: x3, y: y3 }))
+    let theta = lambda * t.x - t.y;
+    (Some((lambda, theta)), Some(Affine { x: x3, y: y3 }))
 }
 
-/// Miller loop `f_{r,P}(φ(Q))` over the bits of the subgroup order `r`.
-fn miller_loop<P: SsParams>(p: Affine<P::Fp>, q: Affine<P::Fp>) -> Fp2<P::Fp> {
+/// Walk the Miller doubling/addition chain of `p` over the bits of the
+/// subgroup order `r`, emitting every accumulator operation in order.
+///
+/// Both the direct [`miller_loop`] and
+/// [`PreparedPoint::prepare`](crate::prepared::PreparedPoint::prepare) are
+/// thin wrappers over this walker, so a prepared evaluation replays the
+/// *exact* operation sequence of a direct pairing by construction.
+pub(crate) fn miller_chain<P: SsParams>(
+    p: Affine<P::Fp>,
+    mut visit: impl FnMut(MillerOp<P::Fp>),
+) {
     let r_limbs = crate::util::field_modulus_limbs::<P::Fr>();
     let mut nbits = 0u32;
     for (i, w) in r_limbs.iter().enumerate() {
@@ -80,21 +123,24 @@ fn miller_loop<P: SsParams>(p: Affine<P::Fp>, q: Affine<P::Fp>) -> Fp2<P::Fp> {
         }
     }
 
-    let mut f = Fp2::<P::Fp>::one();
     let mut t: Option<Affine<P::Fp>> = Some(p);
     let mut i = nbits - 1;
     while i > 0 {
         i -= 1;
-        f = f.square();
+        visit(MillerOp::Square);
         if let Some(cur) = t {
-            let (line, next) = double_step(cur, &q.x, &q.y);
-            f *= line;
+            let (coeffs, next) = double_coeffs(cur);
+            if let Some((lambda, theta)) = coeffs {
+                visit(MillerOp::Line { lambda, theta });
+            }
             t = next;
         }
         if (r_limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
             if let Some(cur) = t {
-                let (line, next) = add_step(cur, p, &q.x, &q.y);
-                f *= line;
+                let (coeffs, next) = add_coeffs(cur, p);
+                if let Some((lambda, theta)) = coeffs {
+                    visit(MillerOp::Line { lambda, theta });
+                }
                 t = next;
             } else {
                 // T was the point at infinity: O + P = P, trivial function.
@@ -102,6 +148,12 @@ fn miller_loop<P: SsParams>(p: Affine<P::Fp>, q: Affine<P::Fp>) -> Fp2<P::Fp> {
             }
         }
     }
+}
+
+/// Miller loop `f_{r,P}(φ(Q))` over the bits of the subgroup order `r`.
+fn miller_loop<P: SsParams>(p: Affine<P::Fp>, q: Affine<P::Fp>) -> Fp2<P::Fp> {
+    let mut f = Fp2::<P::Fp>::one();
+    miller_chain::<P>(p, |op| op.apply(&mut f, &q.x, &q.y));
     f
 }
 
@@ -113,6 +165,112 @@ pub fn final_exponentiation<P: SsParams>(z: Fp2<P::Fp>) -> Gt<P> {
     // now raise to the cofactor c = (p+1)/r
     let v = u.pow_vartime(P::COFACTOR);
     Gt::from_unitary(v)
+}
+
+/// Batch final exponentiation: map a vector of Miller outputs into `μ_r`
+/// with **one** `F_{p²}` inversion via Montgomery's simultaneous-inversion
+/// trick ([`dlr_math::batch_inverse`]); the per-element cofactor powers are
+/// unavoidable (distinct bases).
+///
+/// Zero entries map to the identity — the same out-of-subgroup guard as
+/// [`tate_pairing`], and the sentinel [`crate::prepared::PreparedPoint`]
+/// uses for identity-slot evaluations.
+pub fn batch_final_exponentiation<P: SsParams>(zs: &[Fp2<P::Fp>]) -> Vec<Gt<P>> {
+    let nonzero: Vec<Fp2<P::Fp>> = zs.iter().filter(|z| !z.is_zero()).copied().collect();
+    let inverses = dlr_math::batch_inverse(&nonzero).expect("zeros filtered out");
+    let mut inv_iter = inverses.into_iter();
+    zs.iter()
+        .map(|z| {
+            if z.is_zero() {
+                Gt::identity()
+            } else {
+                let u = z.conjugate() * inv_iter.next().expect("one inverse per nonzero");
+                Gt::from_unitary(u.pow_vartime(P::COFACTOR))
+            }
+        })
+        .collect()
+}
+
+/// The pairing product `∏ ê(P_i, Q_i)` with a **shared squaring chain and
+/// a single final exponentiation**.
+///
+/// All constituent Miller loops follow the same `r`-bit schedule, so their
+/// accumulators can be fused: one `F_{p²}` squaring per bit serves every
+/// pair, and the final exponentiation (a homomorphism) is applied once to
+/// the fused product. Bumps the `pairings` counter once per constituent —
+/// the work performed is equivalent, just de-duplicated.
+///
+/// Pairs with an identity slot contribute the identity factor. If a fused
+/// Miller value vanishes (only possible for inputs outside the order-`r`
+/// subgroup), the product falls back to per-element evaluation so the
+/// result always equals `∏ tate_pairing(P_i, Q_i)` exactly.
+pub fn pairing_product<P: SsParams>(pairs: &[(G<P>, G<P>)]) -> Gt<P> {
+    for _ in pairs {
+        counters::count_pairing();
+    }
+    // Pairs with an identity slot contribute e(·, O) = e(O, ·) = 1.
+    let affine: Vec<(Affine<P::Fp>, Affine<P::Fp>)> = pairs
+        .iter()
+        .filter_map(|(p, q)| match (p.to_affine(), q.to_affine()) {
+            (Some((px, py)), Some((qx, qy))) => {
+                Some((Affine { x: px, y: py }, Affine { x: qx, y: qy }))
+            }
+            _ => None,
+        })
+        .collect();
+    if affine.is_empty() {
+        return Gt::identity();
+    }
+
+    let r_limbs = crate::util::field_modulus_limbs::<P::Fr>();
+    let mut nbits = 0u32;
+    for (i, w) in r_limbs.iter().enumerate() {
+        if *w != 0 {
+            nbits = i as u32 * 64 + (64 - w.leading_zeros());
+        }
+    }
+
+    let mut f = Fp2::<P::Fp>::one();
+    let mut ts: Vec<Option<Affine<P::Fp>>> = affine.iter().map(|(p, _)| Some(*p)).collect();
+    let mut i = nbits - 1;
+    while i > 0 {
+        i -= 1;
+        f = f.square(); // one squaring serves every constituent
+        for (k, (p, q)) in affine.iter().enumerate() {
+            if let Some(cur) = ts[k] {
+                let (coeffs, next) = double_coeffs(cur);
+                if let Some((lambda, theta)) = coeffs {
+                    (MillerOp::Line { lambda, theta }).apply(&mut f, &q.x, &q.y);
+                }
+                ts[k] = next;
+            }
+            if (r_limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+                if let Some(cur) = ts[k] {
+                    let (coeffs, next) = add_coeffs(cur, *p);
+                    if let Some((lambda, theta)) = coeffs {
+                        (MillerOp::Line { lambda, theta }).apply(&mut f, &q.x, &q.y);
+                    }
+                    ts[k] = next;
+                } else {
+                    ts[k] = Some(*p);
+                }
+            }
+        }
+    }
+
+    if f.is_zero() {
+        // Some constituent Miller value vanished (out-of-subgroup input):
+        // recover exact per-element semantics. Pairings were counted above.
+        return affine.iter().fold(Gt::identity(), |acc, (p, q)| {
+            let fi = miller_loop::<P>(*p, *q);
+            if fi.is_zero() {
+                acc
+            } else {
+                acc.raw_op(&final_exponentiation::<P>(fi))
+            }
+        });
+    }
+    final_exponentiation::<P>(f)
 }
 
 /// The modified Tate pairing `ê : G × G → GT`.
@@ -139,6 +297,7 @@ impl<P: SsParams> Pairing for P {
     type G1 = G<P>;
     type G2 = G<P>;
     type Gt = Gt<P>;
+    type Prepared = crate::prepared::PreparedPoint<P>;
     const NAME: &'static str = P::NAME;
 
     fn pair(p: &Self::G1, q: &Self::G2) -> Self::Gt {
@@ -148,6 +307,22 @@ impl<P: SsParams> Pairing for P {
     fn pair_generators() -> Self::Gt {
         // Gt::generator() caches e(g, g).
         Gt::<P>::generator()
+    }
+
+    fn prepare(p: &Self::G1) -> Self::Prepared {
+        crate::prepared::PreparedPoint::prepare(p)
+    }
+
+    fn pair_prepared(prep: &Self::Prepared, q: &Self::G2) -> Self::Gt {
+        prep.pair(q)
+    }
+
+    fn multi_pair_prepared(prep: &Self::Prepared, qs: &[Self::G2]) -> Vec<Self::Gt> {
+        prep.multi_pairing(qs)
+    }
+
+    fn pairing_product(pairs: &[(Self::G1, Self::G2)]) -> Self::Gt {
+        pairing_product::<P>(pairs)
     }
 }
 
@@ -239,5 +414,150 @@ mod tests {
         let rhs = Ss512::pair(&g, &g).pow(&a);
         assert_eq!(lhs, rhs);
         assert!(!lhs.is_identity());
+    }
+
+    /// Reference for the product tests: fold per-element pairings with the
+    /// uninstrumented op, as the default trait implementation does.
+    fn product_reference(pairs: &[(G<Toy>, G<Toy>)]) -> Gt<Toy> {
+        pairs
+            .iter()
+            .fold(Gt::identity(), |acc, (p, q)| acc.raw_op(&tate_pairing::<Toy>(p, q)))
+    }
+
+    #[test]
+    fn pairing_product_matches_per_element() {
+        let mut r = rng();
+        for n in [0usize, 1, 2, 3, 7] {
+            let pairs: Vec<(G<Toy>, G<Toy>)> = (0..n)
+                .map(|_| (G::<Toy>::random(&mut r), G::<Toy>::random(&mut r)))
+                .collect();
+            assert_eq!(pairing_product::<Toy>(&pairs), product_reference(&pairs), "n={n}");
+        }
+    }
+
+    #[test]
+    fn pairing_product_identity_slots() {
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let q = G::<Toy>::random(&mut r);
+        let id = G::<Toy>::identity();
+        let pairs = [(p, id), (id, q), (p, q), (id, id)];
+        assert_eq!(pairing_product::<Toy>(&pairs), product_reference(&pairs));
+        assert!(pairing_product::<Toy>(&[(p, id), (id, q)]).is_identity());
+    }
+
+    #[test]
+    fn pairing_product_out_of_subgroup_fallback() {
+        let mut r = rng();
+        let oos = crate::util::out_of_subgroup_point::<Toy>();
+        assert!(!oos.is_in_subgroup());
+        let p = G::<Toy>::random(&mut r);
+        let q = G::<Toy>::random(&mut r);
+        // Products mixing subgroup and non-subgroup slots in both
+        // positions must still equal the per-element fold exactly.
+        for pairs in [
+            vec![(oos, q)],
+            vec![(p, oos)],
+            vec![(oos, oos), (p, q)],
+            vec![(p, q), (oos, q), (q, p)],
+        ] {
+            assert_eq!(pairing_product::<Toy>(&pairs), product_reference(&pairs));
+        }
+    }
+
+    #[test]
+    fn pairing_product_counter_semantics() {
+        let mut r = rng();
+        let pairs: Vec<(G<Toy>, G<Toy>)> = (0..4)
+            .map(|_| (G::<Toy>::random(&mut r), G::<Toy>::random(&mut r)))
+            .collect();
+        let (_, ops) = crate::counters::measure(|| pairing_product::<Toy>(&pairs));
+        assert_eq!(ops.pairings, 4);
+        assert_eq!(ops.gt_op, 0);
+        assert_eq!(ops.gt_pow, 0);
+    }
+
+    #[test]
+    fn batch_final_exponentiation_matches_single() {
+        let mut r = rng();
+        let g = G::<Toy>::generator();
+        // Miller values of real pairings plus a zero sentinel.
+        let mut zs = Vec::new();
+        for _ in 0..5 {
+            let p = G::<Toy>::random(&mut r);
+            let q = G::<Toy>::random(&mut r);
+            let (pa, qa) = (p.to_affine().unwrap(), q.to_affine().unwrap());
+            zs.push(miller_loop::<Toy>(
+                Affine { x: pa.0, y: pa.1 },
+                Affine { x: qa.0, y: qa.1 },
+            ));
+        }
+        zs.push(Fp2::zero());
+        let batched = batch_final_exponentiation::<Toy>(&zs);
+        for (z, e) in zs.iter().zip(&batched) {
+            if z.is_zero() {
+                assert!(e.is_identity());
+            } else {
+                assert_eq!(*e, final_exponentiation::<Toy>(*z));
+            }
+        }
+        let _ = g;
+    }
+
+    #[test]
+    fn ss512_pairing_product_smoke() {
+        let mut r = rng();
+        let g = G::<Ss512>::generator();
+        let q = G::<Ss512>::random(&mut r);
+        let pairs = [(g, q), (q, g)];
+        let prod = crate::pairing::pairing_product::<Ss512>(&pairs);
+        let expect = tate_pairing::<Ss512>(&g, &q).raw_op(&tate_pairing::<Ss512>(&q, &g));
+        assert_eq!(prod, expect);
+    }
+
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn point(seed: u64) -> G<Toy> {
+            G::<Toy>::hash_to_group(b"pairing-diff", &seed.to_be_bytes())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Prepared evaluation is bit-identical to the direct pairing.
+            #[test]
+            fn prepared_equals_direct(sp in any::<u64>(), sq in any::<u64>()) {
+                let (p, q) = (point(sp), point(sq));
+                let prep = crate::prepared::PreparedPoint::<Toy>::prepare(&p);
+                prop_assert_eq!(prep.pair(&q), tate_pairing::<Toy>(&p, &q));
+            }
+
+            /// Batched product equals the per-element fold.
+            #[test]
+            fn product_equals_fold(
+                ps in proptest::collection::vec(any::<u64>(), 0..5),
+                qs in proptest::collection::vec(any::<u64>(), 0..5),
+            ) {
+                let pairs: Vec<(G<Toy>, G<Toy>)> = ps
+                    .iter()
+                    .zip(qs.iter())
+                    .map(|(a, b)| (point(*a), point(*b)))
+                    .collect();
+                prop_assert_eq!(pairing_product::<Toy>(&pairs), product_reference(&pairs));
+            }
+
+            /// multi_pairing equals mapping tate_pairing.
+            #[test]
+            fn multi_equals_map(sp in any::<u64>(), qs in proptest::collection::vec(any::<u64>(), 0..6)) {
+                let p = point(sp);
+                let qs: Vec<G<Toy>> = qs.iter().map(|s| point(*s)).collect();
+                let batched = crate::prepared::multi_pairing::<Toy>(&p, &qs);
+                for (q, e) in qs.iter().zip(&batched) {
+                    prop_assert_eq!(*e, tate_pairing::<Toy>(&p, q));
+                }
+            }
+        }
     }
 }

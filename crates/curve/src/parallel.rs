@@ -1,0 +1,120 @@
+//! Opt-in parallel fan-out for batched pairing evaluations.
+//!
+//! Disabled by default (thread count `0`): every batched operation runs
+//! inline on the calling thread and behaves exactly as before. Callers that
+//! want wall-clock speedups on wide fan-outs (e.g. the `κ+1` coordinate
+//! pairings per DLR decryption share) opt in with
+//! [`set_parallel_threads`].
+//!
+//! ## Exact operation accounting
+//!
+//! The op counters ([`crate::counters`]) and the `dlr-metrics` span stack
+//! are thread-local, so naively spawning workers would silently drop their
+//! operations from the calling span's report. The fan-out here instead
+//! runs every worker inside [`counters::measure`] and replays each worker's
+//! delta into the calling thread via [`counters::add_report`] after the
+//! join — the merged span deltas are **byte-identical** to a sequential
+//! run. Workers never open metrics spans of their own.
+
+use crate::counters;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker-thread budget for batched pairing fan-out.
+///
+/// `0` or `1` disables parallelism (the default). The budget is global and
+/// read at each batched call; it caps, not fixes, the worker count — a
+/// batch of `n` items uses at most `min(threads, n)` workers.
+pub fn set_parallel_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current worker-thread budget (`0` = parallelism off).
+pub fn parallel_threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Map `chunk_fn` over `items`, preserving order, splitting into at most
+/// [`parallel_threads`] contiguous chunks on scoped worker threads.
+///
+/// `chunk_fn` must be pure modulo the op counters: it is invoked once per
+/// chunk (once with all of `items` when parallelism is off), and each
+/// worker's counter delta is replayed onto the calling thread.
+pub(crate) fn fan_out_chunks<T, U, F>(items: &[T], chunk_fn: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> Vec<U> + Sync,
+{
+    let threads = parallel_threads().min(items.len());
+    if threads < 2 {
+        return chunk_fn(items);
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let per_worker: Vec<(Vec<U>, counters::OpsReport)> = crossbeam::thread::scope(|s| {
+        let chunk_fn = &chunk_fn;
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(move || counters::measure(|| chunk_fn(chunk))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pairing fan-out worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for (vals, ops) in per_worker {
+        counters::add_report(ops);
+        out.extend(vals);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Restore the global thread budget even if the test body panics.
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            set_parallel_threads(0);
+        }
+    }
+
+    #[test]
+    fn fan_out_preserves_order_and_merges_counters() {
+        let _guard = Guard;
+        let items: Vec<u64> = (0..23).collect();
+        let work = |chunk: &[u64]| -> Vec<u64> {
+            chunk
+                .iter()
+                .map(|x| {
+                    counters::count_pairing();
+                    x * 2
+                })
+                .collect()
+        };
+
+        set_parallel_threads(0);
+        let (seq, seq_ops) = counters::measure(|| fan_out_chunks(&items, work));
+
+        set_parallel_threads(4);
+        let (par, par_ops) = counters::measure(|| fan_out_chunks(&items, work));
+
+        assert_eq!(seq, par);
+        assert_eq!(seq_ops, par_ops);
+        assert_eq!(par_ops.pairings, items.len() as u64);
+    }
+
+    #[test]
+    fn fan_out_handles_more_threads_than_items() {
+        let _guard = Guard;
+        set_parallel_threads(16);
+        let out = fan_out_chunks(&[1u8, 2], |c| c.to_vec());
+        assert_eq!(out, vec![1, 2]);
+        let empty: Vec<u8> = fan_out_chunks(&[], |c: &[u8]| c.to_vec());
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Prepared pairings: amortise the Miller chain of a fixed first argument.
+//!
+//! On the decryption hot path of the DLR scheme (Πss / HPSKE `dec_start`),
+//! the ciphertext component `A = g^a` is paired against `κ+1` key
+//! coordinates *per ℓ-element ciphertext vector* — every one of those
+//! pairings re-walks the identical doubling/addition chain of `A`. A
+//! [`PreparedPoint`] walks the chain **once** (via
+//! [`miller_chain`](crate::pairing)) and caches the per-step line
+//! coefficients `(λ, θ)`; each subsequent evaluation against a second
+//! argument `Q` replays the cached ops, costing one `F_p` multiplication
+//! plus the `F_{p²}` accumulator update per line — all `F_p` inversions
+//! (one per tangent/chord slope) are gone.
+//!
+//! Because the cached sequence *is* the sequence the direct
+//! [`tate_pairing`](crate::pairing::tate_pairing) walks, a prepared
+//! evaluation is bit-for-bit equal to the direct pairing for **any** `Q`,
+//! including the identity and points outside the order-`r` subgroup.
+//!
+//! [`PreparedPoint::multi_pairing`] additionally batches the final
+//! exponentiations (one shared `F_{p²}` inversion via Montgomery's trick)
+//! and, when enabled through [`crate::parallel::set_parallel_threads`],
+//! fans the evaluations out over scoped worker threads with exact operation
+//! accounting (see [`crate::parallel`]).
+//!
+//! ## Counter semantics
+//!
+//! Preparation itself is *not* a pairing and bumps no counter; every
+//! evaluation against a `Q` bumps `pairings` by one, so op reports are
+//! identical whether a call site uses `tate_pairing`, [`PreparedPoint::pair`]
+//! or [`PreparedPoint::multi_pairing`].
+
+use crate::counters;
+use crate::curve::G;
+use crate::gt::Gt;
+use crate::pairing::{batch_final_exponentiation, final_exponentiation, miller_chain, Affine, MillerOp};
+use crate::params::SsParams;
+use crate::parallel;
+use crate::traits::Group;
+use dlr_math::{FieldElement, Fp2};
+
+/// A first pairing argument with its Miller chain walked and cached.
+///
+/// Cheap to clone (one `Vec` of `F_p` pairs) and `Send + Sync`, so a single
+/// preparation can be shared across the parallel fan-out workers.
+#[derive(Clone, Debug)]
+pub struct PreparedPoint<P: SsParams> {
+    /// The cached accumulator ops, in chain order.
+    ops: Vec<MillerOp<P::Fp>>,
+    /// `P` was the point at infinity: every pairing against it is trivial.
+    infinity: bool,
+}
+
+impl<P: SsParams> PreparedPoint<P> {
+    /// Walk the Miller chain of `p` once and cache its line coefficients.
+    ///
+    /// Costs one direct Miller loop's worth of `F_p` point arithmetic
+    /// (including the per-step slope inversions) but performs **no**
+    /// `F_{p²}` accumulator work and bumps no counter — the pairing count
+    /// is charged per evaluation, not per preparation.
+    pub fn prepare(p: &G<P>) -> Self {
+        match p.to_affine() {
+            Some((x, y)) => {
+                let mut ops = Vec::new();
+                miller_chain::<P>(Affine { x, y }, |op| ops.push(op));
+                PreparedPoint {
+                    ops,
+                    infinity: false,
+                }
+            }
+            None => PreparedPoint {
+                ops: Vec::new(),
+                infinity: true,
+            },
+        }
+    }
+
+    /// Replay the cached chain against `(x_q, y_q)`, returning the raw
+    /// Miller value (zero only for out-of-subgroup `q`).
+    fn miller_eval(&self, xq: &P::Fp, yq: &P::Fp) -> Fp2<P::Fp> {
+        let mut f = Fp2::<P::Fp>::one();
+        for op in &self.ops {
+            op.apply(&mut f, xq, yq);
+        }
+        f
+    }
+
+    /// Raw Miller value for `q`, with the zero sentinel for identity slots
+    /// (mapped to the identity by
+    /// [`batch_final_exponentiation`](crate::pairing::batch_final_exponentiation)).
+    fn miller_or_sentinel(&self, q: &G<P>) -> Fp2<P::Fp> {
+        counters::count_pairing();
+        match (self.infinity, q.to_affine()) {
+            (false, Some((xq, yq))) => self.miller_eval(&xq, &yq),
+            _ => Fp2::zero(),
+        }
+    }
+
+    /// `ê(P, q)` via the cached chain — equals
+    /// [`tate_pairing`](crate::pairing::tate_pairing)`(P, q)` exactly.
+    pub fn pair(&self, q: &G<P>) -> Gt<P> {
+        let f = self.miller_or_sentinel(q);
+        if f.is_zero() {
+            return Gt::identity();
+        }
+        final_exponentiation::<P>(f)
+    }
+
+    /// `[ê(P, q) for q in qs]` with one cached Miller chain, batched final
+    /// exponentiation, and (opt-in) parallel fan-out over the evaluations.
+    ///
+    /// Bumps `pairings` once per element of `qs`, on the calling thread's
+    /// counters even when workers do the arithmetic.
+    pub fn multi_pairing(&self, qs: &[G<P>]) -> Vec<Gt<P>> {
+        parallel::fan_out_chunks(qs, |chunk| self.multi_pairing_serial(chunk))
+    }
+
+    /// Sequential chunk evaluator behind [`Self::multi_pairing`].
+    fn multi_pairing_serial(&self, qs: &[G<P>]) -> Vec<Gt<P>> {
+        let millers: Vec<Fp2<P::Fp>> =
+            qs.iter().map(|q| self.miller_or_sentinel(q)).collect();
+        batch_final_exponentiation::<P>(&millers)
+    }
+}
+
+/// Convenience: prepare `p` once and evaluate against every `q`.
+pub fn multi_pairing<P: SsParams>(p: &G<P>, qs: &[G<P>]) -> Vec<Gt<P>> {
+    PreparedPoint::<P>::prepare(p).multi_pairing(qs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::tate_pairing;
+    use crate::params::{Ss512, Toy};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn prepared_matches_direct_toy() {
+        let mut r = rng();
+        for _ in 0..8 {
+            let p = G::<Toy>::random(&mut r);
+            let q = G::<Toy>::random(&mut r);
+            let prep = PreparedPoint::<Toy>::prepare(&p);
+            assert_eq!(prep.pair(&q), tate_pairing::<Toy>(&p, &q));
+        }
+    }
+
+    #[test]
+    fn prepared_identity_slots() {
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let id = G::<Toy>::identity();
+        assert!(PreparedPoint::<Toy>::prepare(&p).pair(&id).is_identity());
+        let prep_id = PreparedPoint::<Toy>::prepare(&id);
+        assert!(prep_id.pair(&p).is_identity());
+        assert!(prep_id
+            .multi_pairing(&[p, id])
+            .iter()
+            .all(Gt::is_identity));
+    }
+
+    #[test]
+    fn multi_pairing_matches_per_element() {
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let qs: Vec<G<Toy>> = (0..9).map(|_| G::<Toy>::random(&mut r)).collect();
+        let batched = multi_pairing::<Toy>(&p, &qs);
+        for (q, e) in qs.iter().zip(&batched) {
+            assert_eq!(*e, tate_pairing::<Toy>(&p, q));
+        }
+    }
+
+    #[test]
+    fn multi_pairing_counts_one_pairing_per_q() {
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let qs: Vec<G<Toy>> = (0..5).map(|_| G::<Toy>::random(&mut r)).collect();
+        let prep = PreparedPoint::<Toy>::prepare(&p);
+        let (_, ops) = counters::measure(|| prep.multi_pairing(&qs));
+        assert_eq!(ops.pairings, qs.len() as u64);
+        assert_eq!(ops.gt_op, 0);
+    }
+
+    #[test]
+    fn prepared_matches_direct_out_of_subgroup() {
+        let mut r = rng();
+        let oos = crate::util::out_of_subgroup_point::<Toy>();
+        let p = G::<Toy>::random(&mut r);
+        // Both slots: prepared equality must hold for ANY second argument,
+        // and preparing a non-subgroup point must match too.
+        let prep_p = PreparedPoint::<Toy>::prepare(&p);
+        assert_eq!(prep_p.pair(&oos), tate_pairing::<Toy>(&p, &oos));
+        let prep_oos = PreparedPoint::<Toy>::prepare(&oos);
+        assert_eq!(prep_oos.pair(&p), tate_pairing::<Toy>(&oos, &p));
+        let batched = prep_oos.multi_pairing(&[p, oos]);
+        assert_eq!(batched[0], tate_pairing::<Toy>(&oos, &p));
+        assert_eq!(batched[1], tate_pairing::<Toy>(&oos, &oos));
+    }
+
+    #[test]
+    fn multi_pairing_parallel_matches_sequential() {
+        // Byte-identical results AND op deltas under the thread fan-out.
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                crate::parallel::set_parallel_threads(0);
+            }
+        }
+        let _guard = Guard;
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let qs: Vec<G<Toy>> = (0..13).map(|_| G::<Toy>::random(&mut r)).collect();
+        let prep = PreparedPoint::<Toy>::prepare(&p);
+
+        crate::parallel::set_parallel_threads(0);
+        let (seq, seq_ops) = counters::measure(|| prep.multi_pairing(&qs));
+        crate::parallel::set_parallel_threads(4);
+        let (par, par_ops) = counters::measure(|| prep.multi_pairing(&qs));
+
+        assert_eq!(seq, par);
+        assert_eq!(seq_ops, par_ops);
+        assert_eq!(par_ops.pairings, qs.len() as u64);
+    }
+
+    #[test]
+    fn ss512_prepared_smoke() {
+        let mut r = rng();
+        let g = G::<Ss512>::generator();
+        let q = G::<Ss512>::random(&mut r);
+        let prep = PreparedPoint::<Ss512>::prepare(&g);
+        assert_eq!(prep.pair(&q), tate_pairing::<Ss512>(&g, &q));
+        let batched = prep.multi_pairing(&[q, g]);
+        assert_eq!(batched[0], tate_pairing::<Ss512>(&g, &q));
+        assert_eq!(batched[1], tate_pairing::<Ss512>(&g, &g));
+    }
+}

@@ -199,6 +199,11 @@ pub trait Pairing: Sized + Send + Sync + 'static {
     /// Parameter-set name (e.g. `"SS512"`).
     const NAME: &'static str;
 
+    /// A first pairing argument with reusable precomputation attached
+    /// (cached Miller line coefficients for the supersingular backend).
+    /// Backends without a prepared form use `G1` itself.
+    type Prepared: Clone + Send + Sync + 'static;
+
     /// The bilinear map. Bilinearity: `e(u^a, v^b) = e(u, v)^{ab}`;
     /// non-degeneracy: `e(g, h)` generates `GT` for generators `g, h`.
     fn pair(p: &Self::G1, q: &Self::G2) -> Self::Gt;
@@ -206,5 +211,39 @@ pub trait Pairing: Sized + Send + Sync + 'static {
     /// `e(g, h)` for the fixed generators (cached by implementations).
     fn pair_generators() -> Self::Gt {
         Self::pair(&Self::G1::generator(), &Self::G2::generator())
+    }
+
+    /// Precompute the reusable part of pairings with fixed first slot `p`.
+    /// Not itself a pairing: bumps no counter.
+    fn prepare(p: &Self::G1) -> Self::Prepared;
+
+    /// `e(p, q)` where `p` was [`prepare`](Self::prepare)d. Must equal
+    /// [`pair`](Self::pair) exactly (same value, one `pairings` count).
+    fn pair_prepared(prep: &Self::Prepared, q: &Self::G2) -> Self::Gt;
+
+    /// `[e(p, q) for q in qs]` sharing `p`'s precomputation. Counts one
+    /// pairing per element of `qs`; backends may batch the final
+    /// exponentiations and fan the evaluations out over worker threads
+    /// (with counter deltas merged back, see `dlr-curve`'s `parallel`
+    /// module) — the results and op counts never change.
+    fn multi_pair_prepared(prep: &Self::Prepared, qs: &[Self::G2]) -> Vec<Self::Gt> {
+        qs.iter().map(|q| Self::pair_prepared(prep, q)).collect()
+    }
+
+    /// `[e(p, q) for q in qs]` — prepare `p` once, then evaluate.
+    fn multi_pair(p: &Self::G1, qs: &[Self::G2]) -> Vec<Self::Gt> {
+        Self::multi_pair_prepared(&Self::prepare(p), qs)
+    }
+
+    /// `∏ e(pᵢ, qᵢ)`. Counts one pairing per constituent and **no** target
+    /// group multiplications — backends share the Miller squaring chain and
+    /// apply a single final exponentiation, so the combining multiplies are
+    /// an artefact of the algorithm, not protocol-level `GT` work. The
+    /// default implementation folds [`pair`](Self::pair) with the
+    /// uninstrumented group op to keep those semantics.
+    fn pairing_product(pairs: &[(Self::G1, Self::G2)]) -> Self::Gt {
+        pairs.iter().fold(Self::Gt::identity(), |acc, (p, q)| {
+            acc.raw_op(&Self::pair(p, q))
+        })
     }
 }

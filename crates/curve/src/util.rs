@@ -16,6 +16,32 @@ pub fn field_modulus_limbs<F: PrimeField>() -> Vec<u64> {
         .collect()
 }
 
+/// Deterministically find an on-curve point **outside** the order-`r`
+/// subgroup (test-only): scan small `x`, lift to the curve via the
+/// uncompressed wire format (which validates the curve equation but not
+/// subgroup membership), and keep the first non-identity point that fails
+/// [`Group::is_in_subgroup`].
+#[cfg(test)]
+pub(crate) fn out_of_subgroup_point<P: crate::params::SsParams>() -> crate::curve::G<P> {
+    use crate::traits::Group;
+    use dlr_math::FieldElement;
+    let mut x = P::Fp::one();
+    loop {
+        let rhs = x.square() * x + x;
+        if let Some(y) = rhs.sqrt() {
+            let mut bytes = vec![4u8];
+            bytes.extend_from_slice(&x.to_bytes_be());
+            bytes.extend_from_slice(&y.to_bytes_be());
+            if let Some(pt) = crate::curve::G::<P>::from_bytes(&bytes) {
+                if !pt.is_identity() && !pt.is_in_subgroup() {
+                    return pt;
+                }
+            }
+        }
+        x = x + P::Fp::one();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

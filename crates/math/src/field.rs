@@ -103,6 +103,39 @@ pub trait PrimeField: FieldElement + PartialOrd + Ord {
     fn modulus_is_3_mod_4() -> bool;
 }
 
+/// Montgomery's simultaneous-inversion trick: invert every element of
+/// `xs` at the cost of **one** field inversion plus `3(n−1)`
+/// multiplications.
+///
+/// Prefix products `m_k = x_0 · … · x_k` are accumulated forwards, the
+/// single inverse `m_{n−1}^{-1}` is computed, and the individual inverses
+/// are peeled off backwards: `x_k^{-1} = m_{k−1} · (x_k · … · x_{n−1})^{-1}`.
+///
+/// Returns `None` if any element is zero (matching [`FieldElement::inverse`]
+/// on a single zero element); callers that tolerate zeros should filter
+/// first.
+pub fn batch_inverse<F: FieldElement>(xs: &[F]) -> Option<Vec<F>> {
+    if xs.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut prefix = Vec::with_capacity(xs.len());
+    let mut acc = F::one();
+    for x in xs {
+        if x.is_zero() {
+            return None;
+        }
+        prefix.push(acc);
+        acc *= *x;
+    }
+    let mut inv = acc.inverse()?;
+    let mut out = vec![F::zero(); xs.len()];
+    for k in (0..xs.len()).rev() {
+        out[k] = prefix[k] * inv;
+        inv *= xs[k];
+    }
+    Some(out)
+}
+
 /// Define a prime-field type with compile-time Montgomery constants.
 ///
 /// ```
@@ -540,5 +573,37 @@ mod tests {
         let s = format!("{:?}", F61::from_u64(0xab));
         assert_eq!(s, "F61(0xab)");
         assert_eq!(format!("{:?}", F61::zero()), "F61(0x0)");
+    }
+
+    #[test]
+    fn batch_inverse_matches_individual() {
+        let mut r = rng();
+        for n in [0usize, 1, 2, 7, 33] {
+            let xs: Vec<F61> = (0..n).map(|_| F61::random(&mut r)).collect();
+            let got = batch_inverse(&xs).expect("random elements are nonzero w.h.p.");
+            assert_eq!(got.len(), n);
+            for (x, inv) in xs.iter().zip(&got) {
+                assert_eq!(*x * *inv, F61::one(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_inverse_rejects_zero() {
+        let mut r = rng();
+        let xs = [F61::random(&mut r), F61::zero(), F61::random(&mut r)];
+        assert_eq!(batch_inverse(&xs), None);
+    }
+
+    #[test]
+    fn batch_inverse_works_over_fp2() {
+        let mut r = rng();
+        let xs: Vec<crate::Fp2<FSmall>> = (0..9)
+            .map(|_| crate::Fp2::new(FSmall::random(&mut r), FSmall::random(&mut r)))
+            .collect();
+        let got = batch_inverse(&xs).unwrap();
+        for (x, inv) in xs.iter().zip(&got) {
+            assert_eq!(*x * *inv, crate::Fp2::one());
+        }
     }
 }

@@ -37,5 +37,5 @@ pub mod limbs;
 pub mod mont;
 
 pub use erase::Erase;
-pub use field::{FieldElement, PrimeField};
+pub use field::{batch_inverse, FieldElement, PrimeField};
 pub use fp2::Fp2;

@@ -235,6 +235,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_fanout_span_ops_match_sequential() {
+        use dlr_curve::{Group, PreparedPoint, Toy, G};
+
+        let _g = TEST_LOCK.lock();
+        reset();
+        // Same workload, spanned once sequentially and once with the
+        // worker fan-out enabled: worker deltas are replayed onto this
+        // thread (`counters::add_report`), so the two spans must report
+        // byte-identical operation counts.
+        let g = G::<Toy>::generator();
+        let qs: Vec<G<Toy>> = (1..=12).map(|i| g.pow_u64(i)).collect();
+        let prep = PreparedPoint::<Toy>::prepare(&g);
+
+        dlr_curve::set_parallel_threads(0);
+        let seq = span("fan.seq", || prep.multi_pairing(&qs));
+        dlr_curve::set_parallel_threads(3);
+        let par = span("fan.par", || prep.multi_pairing(&qs));
+        dlr_curve::set_parallel_threads(0);
+
+        assert_eq!(seq, par);
+        let spans = snapshot_spans();
+        assert_eq!(spans["fan.seq"].ops, spans["fan.par"].ops);
+        assert_eq!(spans["fan.par"].ops.pairings, qs.len() as u64);
+    }
+
+    #[test]
     fn panic_inside_span_keeps_stack_consistent() {
         let _g = TEST_LOCK.lock();
         reset();

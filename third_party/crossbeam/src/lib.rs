@@ -1,10 +1,43 @@
 //! Offline vendored shim for the subset of the `crossbeam 0.8` API used
-//! by the DLR workspace: MPMC [`channel`]s with disconnect semantics.
+//! by the DLR workspace: MPMC [`channel`]s with disconnect semantics and
+//! [`thread`] scoped threads.
 //!
 //! See the workspace `Cargo.toml` for why third-party crates are vendored.
-//! The implementation is a mutex+condvar queue — adequate for the
+//! The channel implementation is a mutex+condvar queue — adequate for the
 //! two-party protocol transports in this repository, which exchange a few
 //! kilobyte-sized frames per protocol run, not for high-contention use.
+
+pub mod thread {
+    //! Scoped threads (shim): delegates to [`std::thread::scope`], which
+    //! provides the same borrow-stack-data guarantee as upstream
+    //! `crossbeam::thread::scope`.
+    //!
+    //! Documented divergences from upstream `crossbeam 0.8`:
+    //!
+    //! * `scope` returns the closure's value directly instead of a
+    //!   `thread::Result` (std propagates child panics on join);
+    //! * spawn closures take no `&Scope` argument — re-spawning from a
+    //!   child uses the captured [`Scope`] reference, as in std.
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let data = vec![1u64, 2, 3, 4];
+            let mut partials = vec![0u64; 2];
+            super::scope(|s| {
+                let (lo, hi) = data.split_at(2);
+                let (p0, p1) = partials.split_at_mut(1);
+                s.spawn(|| p0[0] = lo.iter().sum());
+                s.spawn(|| p1[0] = hi.iter().sum());
+            });
+            assert_eq!(partials, vec![3, 7]);
+        }
+    }
+}
+
+pub use thread::scope;
 
 pub mod channel {
     //! Multi-producer multi-consumer unbounded FIFO channels.

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Diff two harness --json reports (e.g. BENCH_PR1.json vs BENCH_PR2.json):
+# per-span-path total_ns and self_ns deltas plus the op counts, failing
+# with exit 1 if any span present in both reports disagrees on operation
+# counts — op counts are the semantic fingerprint of a run, so a perf PR
+# must move nanoseconds while keeping them bit-identical.
+#
+# usage: tools/bench-compare.sh BASELINE.json CANDIDATE.json
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json" >&2
+    exit 2
+fi
+
+python3 - "$1" "$2" <<'PY'
+import json
+import sys
+
+base_path, cand_path = sys.argv[1], sys.argv[2]
+with open(base_path) as f:
+    base = json.load(f)
+with open(cand_path) as f:
+    cand = json.load(f)
+
+def spans_of(doc):
+    return {s["path"]: s for s in doc.get("spans", [])}
+
+base_spans, cand_spans = spans_of(base), spans_of(cand)
+OPS = ("g_op", "g_pow", "gt_op", "gt_pow", "pairings")
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if abs(ns) >= div:
+            return f"{ns / div:+.2f} {unit}"
+    return f"{ns:+d} ns"
+
+print(f"baseline : {base_path}")
+print(f"candidate: {cand_path}")
+print()
+header = f"{'span':<28} {'count':>5} {'total_ns delta':>16} {'%':>8} {'self_ns delta':>16}"
+print(header)
+print("-" * len(header))
+
+mismatches = []
+for path in sorted(set(base_spans) | set(cand_spans)):
+    b, c = base_spans.get(path), cand_spans.get(path)
+    if b is None or c is None:
+        which = "candidate only" if b is None else "baseline only"
+        print(f"{path:<28} {'-':>5} {which:>16}")
+        continue
+    dt = c["total_ns"] - b["total_ns"]
+    ds = c["self_ns"] - b["self_ns"]
+    pct = 100.0 * dt / b["total_ns"] if b["total_ns"] else 0.0
+    print(f"{path:<28} {c['count']:>5} {fmt_ns(dt):>16} {pct:>+7.1f}% {fmt_ns(ds):>16}")
+    if b["count"] != c["count"]:
+        mismatches.append(f"{path}: count {b['count']} -> {c['count']}")
+    for op in OPS:
+        if b["ops"][op] != c["ops"][op]:
+            mismatches.append(f"{path}: ops.{op} {b['ops'][op]} -> {c['ops'][op]}")
+
+print()
+if mismatches:
+    print("OP-COUNT MISMATCH (perf changes must not change semantics):")
+    for m in mismatches:
+        print(f"  {m}")
+    sys.exit(1)
+print("op counts identical across all shared spans")
+PY

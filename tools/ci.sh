@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# The local CI gate: everything a PR must pass, in one command.
+# Wraps the documentation gate (tools/check-docs.sh) and the workspace
+# test suite. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> docs gate"
+tools/check-docs.sh
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "ci OK"
