@@ -59,6 +59,11 @@ impl Args {
         self.options.get(key).map(String::as_str).unwrap_or(default)
     }
 
+    /// Optional option without a default.
+    pub fn options_get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
     /// Optional numeric option.
     pub fn get_u32_or(&self, key: &str, default: u32) -> Result<u32, ArgError> {
         match self.options.get(key) {

@@ -2,16 +2,21 @@
 
 use crate::args::{ArgError, Args};
 use dlr_core::dlr::{self, Party1, Party2, PublicKey, Share1, Share2};
-use dlr_core::driver;
+use dlr_core::driver::{self, GENERATION_ANY};
+use dlr_core::error::CoreError;
 use dlr_core::kem::{self, HybridCiphertext};
 use dlr_core::params::SchemeParams;
 use dlr_curve::{Group, Pairing, Ss1024, Ss512, Ss768, Toy};
 use dlr_protocol::runtime::run_pair;
 use dlr_protocol::transport::TcpTransport;
+use dlr_protocol::Transport;
+use dlr_server::{Keyring, LoadgenConfig, Server, ServerConfig};
 use std::error::Error;
 use std::fs;
-use std::net::{TcpListener, TcpStream};
-use std::path::Path;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 type AnyError = Box<dyn Error>;
 
@@ -24,10 +29,21 @@ subcommands:
   encrypt         --pk FILE --in FILE --out FILE [--curve C]
   decrypt         --pk FILE --sk1 FILE --sk2 FILE --in FILE --out FILE [--curve C]
   refresh         --pk FILE --sk1 FILE --sk2 FILE [--curve C]
-  serve-p2        --pk FILE --sk2 FILE --listen ADDR [--curve C]
-  decrypt-remote  --pk FILE --sk1 FILE --connect ADDR --in FILE --out FILE [--curve C]
+  serve-p2        --pk FILE --sk2 FILE --listen ADDR [--curve C] [--key-id ID]
+                  [--max-sessions N] [--epoch-secs S] [--stats-json FILE] [--stats-secs S]
+  decrypt-remote  --pk FILE --sk1 FILE --connect ADDR --in FILE --out FILE
+                  [--curve C] [--key-id ID] [--retries N]
+  loadgen         --pk FILE --sk1 FILE --connect ADDR [--curve C] [--key-id ID]
+                  [--clients N] [--requests N] [--out FILE]
   metrics         [--curve C] [--trials N] [--n N] [--lambda L]
   help
+
+`serve-p2` runs the concurrent dlr-server key-share service: bounded
+worker pool, per-session key selection via hello, epoch-driven refresh
+boundaries (--epoch-secs), durable share persistence back to --sk2 after
+every refresh, and periodic JSON stats dumps. `loadgen` drives a running
+server with concurrent closed-loop decrypt clients and prints (or writes
+with --out) a throughput/latency report in dlr-metrics JSON.
 
 `metrics` runs an instrumented in-process session (keygen, encrypt, N
 decrypt/refresh trials, plus one transport-backed decrypt+refresh) and
@@ -59,6 +75,7 @@ fn run<E: Pairing>(args: &Args) -> Result<(), AnyError> {
         "refresh" => refresh::<E>(args),
         "serve-p2" => serve_p2::<E>(args),
         "decrypt-remote" => decrypt_remote::<E>(args),
+        "loadgen" => loadgen::<E>(args),
         "metrics" => metrics::<E>(args),
         other => Err(Box::new(ArgError(format!(
             "unknown subcommand `{other}` (try `dlr help`)"
@@ -155,25 +172,35 @@ fn refresh<E: Pairing>(args: &Args) -> Result<(), AnyError> {
 
 fn serve_p2<E: Pairing>(args: &Args) -> Result<(), AnyError> {
     let pk = load_pk::<E>(args)?;
-    let sk2_path = args.require("sk2")?.to_string();
+    let sk2_path = PathBuf::from(args.require("sk2")?);
     let s2 = Share2::<E>::from_bytes(&fs::read(&sk2_path)?, &pk.params)?;
-    let listener = TcpListener::bind(args.require("listen")?)?;
-    println!("P2 serving on {}", listener.local_addr()?);
-    let mut p2 = Party2::new(pk, s2);
-    let mut rng = rand::thread_rng();
-    // One connection at a time: P2 is a smart card, not a web server.
-    for stream in listener.incoming() {
-        let mut transport = TcpTransport::new(stream?);
-        match driver::p2_serve_loop(&mut p2, &mut transport, &mut rng) {
-            Ok(served) => {
-                println!("session ended after {served} requests");
-                // persist the (possibly refreshed) share
-                fs::write(&sk2_path, p2.share().to_bytes())?;
-                return Ok(());
-            }
-            Err(e) => eprintln!("session error: {e}"),
-        }
-    }
+    let key_id = args.get_or("key-id", "default").as_bytes().to_vec();
+
+    // The share file doubles as the durable store: every refresh is
+    // persisted back to it atomically before the reply leaves.
+    let mut keyring = Keyring::new();
+    keyring.insert_persistent(&key_id, pk, s2, sk2_path);
+
+    let epoch_secs = args.get_u32_or("epoch-secs", 0)?;
+    let stats_secs = args.get_u32_or("stats-secs", 10)?;
+    let config = ServerConfig {
+        max_sessions: args.get_u32_or("max-sessions", 32)? as usize,
+        epoch_interval: (epoch_secs > 0).then(|| Duration::from_secs(epoch_secs.into())),
+        stats_interval: (stats_secs > 0).then(|| Duration::from_secs(stats_secs.into())),
+        stats_path: args.options_get("stats-json").map(PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(args.require("listen")?, Arc::new(keyring), config)?;
+    println!(
+        "dlr-server: P2 serving on {} (key id `{}`)",
+        server.handle().local_addr(),
+        args.get_or("key-id", "default"),
+    );
+    let stats = server.run()?;
+    println!(
+        "server exited: {} sessions, {} decrypts, {} refreshes, {} error replies",
+        stats.sessions_completed, stats.requests_decrypt, stats.refreshes, stats.error_replies
+    );
     Ok(())
 }
 
@@ -181,16 +208,67 @@ fn decrypt_remote<E: Pairing>(args: &Args) -> Result<(), AnyError> {
     let pk = load_pk::<E>(args)?;
     let s1 = Share1::<E>::from_bytes(&fs::read(args.require("sk1")?)?, &pk.params)?;
     let ct = HybridCiphertext::<E>::from_bytes(&fs::read(args.require("in")?)?)?;
-    let mut transport = TcpTransport::new(TcpStream::connect(args.require("connect")?)?);
+    let addr = args.require("connect")?.to_string();
+    let key_id = args.get_or("key-id", "default").as_bytes().to_vec();
     let mut rng = rand::thread_rng();
     let mut p1 = Party1::new(pk.clone(), s1);
 
-    // KEM decap over the wire, DEM locally.
-    let k = driver::p1_decrypt(&mut p1, &ct.kem, &mut transport, &mut rng)?;
+    // KEM decap over the wire with capped-exponential-backoff retry
+    // (reconnect + re-hello per attempt), DEM locally.
+    let policy = driver::RetryPolicy {
+        max_attempts: args.get_u32_or("retries", 4)?.max(1),
+        ..driver::RetryPolicy::default()
+    };
+    let mut connect = || -> Result<Box<dyn Transport>, CoreError> {
+        let stream = TcpStream::connect(&addr).map_err(dlr_protocol::TransportError::from)?;
+        let mut t = TcpTransport::new(stream);
+        let _ = t.set_nodelay(true);
+        driver::p1_hello(&mut t, &key_id, GENERATION_ANY)?;
+        Ok(Box::new(t))
+    };
+    let k = driver::p1_decrypt_with_retry(&mut p1, &ct.kem, &mut connect, &policy, &mut rng)?;
     let payload = kem::open_with_key::<E>(&k, &ct)?;
-    driver::p1_shutdown(&mut transport)?;
     fs::write(args.require("out")?, &payload)?;
     println!("decrypted {} bytes via remote P2", payload.len());
+    Ok(())
+}
+
+fn loadgen<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let pk = load_pk::<E>(args)?;
+    let s1 = Share1::<E>::from_bytes(&fs::read(args.require("sk1")?)?, &pk.params)?;
+    let addr = args
+        .require("connect")?
+        .parse()
+        .map_err(|e| ArgError(format!("--connect must be a socket address: {e}")))?;
+    let config = LoadgenConfig {
+        clients: args.get_u32_or("clients", 4)? as usize,
+        requests_per_client: args.get_u32_or("requests", 25)? as usize,
+        key_id: args.get_or("key-id", "default").as_bytes().to_vec(),
+        ..LoadgenConfig::default()
+    };
+    let mut rng = rand::thread_rng();
+    let outcome = dlr_server::run_loadgen::<E, _>(addr, &pk, &s1, &config, &mut rng);
+    let report = outcome.to_report().to_json();
+    match args.options_get("out") {
+        Some(path) => {
+            fs::write(path, &report)?;
+            println!(
+                "loadgen: {}/{} ok, {:.1} req/s, p50 {} µs, p99 {} µs -> {path}",
+                outcome.successes,
+                outcome.requests,
+                outcome.throughput_rps(),
+                outcome.latency_percentile_ns(50.0) / 1_000,
+                outcome.latency_percentile_ns(99.0) / 1_000,
+            );
+        }
+        None => println!("{report}"),
+    }
+    if outcome.failures > 0 || outcome.mismatches > 0 {
+        return Err(Box::new(ArgError(format!(
+            "loadgen saw {} failures and {} plaintext mismatches",
+            outcome.failures, outcome.mismatches
+        ))));
+    }
     Ok(())
 }
 

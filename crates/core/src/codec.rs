@@ -9,34 +9,24 @@ use dlr_protocol::{CodecError, Decoder, Encoder};
 pub fn put_group<G: Group>(enc: &mut Encoder, g: &G) {
     let bytes = g.to_bytes();
     debug_assert_eq!(bytes.len(), G::byte_len());
-    for b in bytes {
-        enc.put_u8(b);
-    }
+    enc.put_slice(&bytes);
 }
 
 /// Read a group element.
 pub fn get_group<G: Group>(dec: &mut Decoder<'_>) -> Result<G, CodecError> {
-    let mut buf = Vec::with_capacity(G::byte_len());
-    for _ in 0..G::byte_len() {
-        buf.push(dec.get_u8()?);
-    }
-    G::from_bytes(&buf).ok_or(CodecError::Invalid("group element"))
+    let buf = dec.get_slice(G::byte_len())?;
+    G::from_bytes(buf).ok_or(CodecError::Invalid("group element"))
 }
 
 /// Append a scalar (fixed-length canonical big-endian).
 pub fn put_scalar<F: PrimeField>(enc: &mut Encoder, s: &F) {
-    for b in s.to_bytes_be() {
-        enc.put_u8(b);
-    }
+    enc.put_slice(&s.to_bytes_be());
 }
 
 /// Read a scalar.
 pub fn get_scalar<F: PrimeField>(dec: &mut Decoder<'_>) -> Result<F, CodecError> {
-    let mut buf = Vec::with_capacity(F::byte_len());
-    for _ in 0..F::byte_len() {
-        buf.push(dec.get_u8()?);
-    }
-    F::from_bytes_be(&buf).ok_or(CodecError::Invalid("scalar"))
+    let buf = dec.get_slice(F::byte_len())?;
+    F::from_bytes_be(buf).ok_or(CodecError::Invalid("scalar"))
 }
 
 /// Append an HPSKE ciphertext (`u32` coin count, then fixed-size elements).

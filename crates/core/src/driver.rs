@@ -2,15 +2,46 @@
 //! protocols over a real [`Transport`] (in-memory or TCP), exercising the
 //! wire codec end to end.
 //!
-//! Framing: each protocol message is one transport frame, prefixed with a
-//! 1-byte request tag so `P2` can serve a mixed stream of requests.
+//! ## Framing
+//!
+//! Each protocol message is one transport frame. Requests carry a 1-byte
+//! [`RequestTag`] prefix so `P2` can serve a mixed stream of requests;
+//! replies carry a 1-byte status prefix ([`REPLY_OK`] / [`REPLY_ERR`]) so a
+//! misbehaving request is answered with a structured [`ErrorCode`] frame
+//! instead of a dropped connection.
+//!
+//! ## Sessions and keys
+//!
+//! A client *may* open its session with a versioned [`HelloMsg`]
+//! ([`RequestTag::Hello`]): it names the key id the session is about and
+//! the share **generation** (refresh count) the client believes is
+//! current. Multi-key servers (`dlr-server`) use the hello to select the
+//! key and to bind the session to a generation — a decrypt racing a
+//! concurrent refresh is answered with [`ErrorCode::StaleGeneration`]
+//! rather than silently combining mismatched shares into garbage.
+//! Single-key peers ([`p2_serve_one`] / [`p2_serve_loop`]) acknowledge any
+//! hello; sessions that skip the hello (the in-process test drivers)
+//! behave as before.
 
 use crate::dlr::{Ciphertext, DecMsg1, DecMsg2, Party1, Party2, RefMsg1, RefMsg2};
 use crate::error::CoreError;
 use bytes::Bytes;
 use dlr_curve::Pairing;
-use dlr_protocol::Transport;
+use dlr_protocol::{Decoder, Encoder, Transport, TransportError};
 use rand::RngCore;
+use std::time::Duration;
+
+/// Wire protocol version announced in [`HelloMsg`].
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hello generation wildcard: "bind me to whatever generation is current".
+pub const GENERATION_ANY: u64 = u64::MAX;
+
+/// Reply status byte: request succeeded, body follows.
+pub const REPLY_OK: u8 = 0;
+
+/// Reply status byte: structured error frame follows.
+pub const REPLY_ERR: u8 = 0xFF;
 
 /// Request tags on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,16 +53,96 @@ pub enum RequestTag {
     Refresh = 2,
     /// Session end: `P2`'s serve loop exits.
     Shutdown = 3,
+    /// Session preamble: key selection + generation binding.
+    Hello = 4,
 }
 
 impl RequestTag {
-    fn from_u8(v: u8) -> Option<Self> {
+    /// Parse a wire tag byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
         match v {
             1 => Some(RequestTag::Decrypt),
             2 => Some(RequestTag::Refresh),
             3 => Some(RequestTag::Shutdown),
+            4 => Some(RequestTag::Hello),
             _ => None,
         }
+    }
+}
+
+/// Machine-readable error codes carried by [`REPLY_ERR`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request body failed to decode or validate.
+    BadRequest = 1,
+    /// The request tag byte is not in [`RequestTag`].
+    UnknownTag = 2,
+    /// The hello named a key id the server does not hold.
+    UnknownKey = 3,
+    /// The session's bound generation no longer matches the key's —
+    /// a refresh completed since the hello. Re-hello (with the refreshed
+    /// share) and retry.
+    StaleGeneration = 4,
+    /// The server is at its concurrent-session limit; retry after backoff.
+    Busy = 5,
+    /// The server failed internally while serving the request.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// Parse a wire code byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::BadRequest),
+            2 => Some(ErrorCode::UnknownTag),
+            3 => Some(ErrorCode::UnknownKey),
+            4 => Some(ErrorCode::StaleGeneration),
+            5 => Some(ErrorCode::Busy),
+            6 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// Session preamble: which key this session is about and which share
+/// generation the client believes is current ([`GENERATION_ANY`] to bind
+/// to whatever the server holds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloMsg {
+    /// Wire protocol version ([`WIRE_VERSION`]).
+    pub version: u8,
+    /// Opaque key identifier (server-side keyring lookup).
+    pub key_id: Vec<u8>,
+    /// Client's view of the share generation (refresh count).
+    pub generation: u64,
+}
+
+impl HelloMsg {
+    /// Serialize the hello body (without the request tag).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(self.version)
+            .put_bytes(&self.key_id)
+            .put_u64(self.generation);
+        enc.finish()
+    }
+
+    /// Parse a hello body.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.get_u8()?;
+        if version != WIRE_VERSION {
+            return Err(CoreError::Protocol("unsupported wire version"));
+        }
+        let key_id = dec.get_bytes()?.to_vec();
+        let generation = dec.get_u64()?;
+        dec.finish()?;
+        Ok(Self {
+            version,
+            key_id,
+            generation,
+        })
     }
 }
 
@@ -40,6 +151,83 @@ fn frame(tag: RequestTag, body: &[u8]) -> Bytes {
     out.push(tag as u8);
     out.extend_from_slice(body);
     Bytes::from(out)
+}
+
+/// Build a success reply frame: status byte + body.
+pub fn ok_reply(body: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(REPLY_OK);
+    out.extend_from_slice(body);
+    Bytes::from(out)
+}
+
+/// Build a structured error reply frame.
+pub fn error_reply(code: ErrorCode, detail: &str) -> Bytes {
+    let mut enc = Encoder::new();
+    enc.put_u8(REPLY_ERR).put_u8(code as u8).put_bytes(detail.as_bytes());
+    Bytes::from(enc.finish())
+}
+
+/// The error reply a serving error maps to on the wire.
+pub fn error_reply_for(err: &CoreError) -> Bytes {
+    let (code, detail) = match err {
+        CoreError::Codec(e) => (ErrorCode::BadRequest, e.to_string()),
+        CoreError::Protocol("unknown request tag") => {
+            (ErrorCode::UnknownTag, "unknown request tag".to_string())
+        }
+        CoreError::Protocol(what) => (ErrorCode::BadRequest, (*what).to_string()),
+        CoreError::InvalidCiphertext(what) => (ErrorCode::BadRequest, (*what).to_string()),
+        _ => (ErrorCode::Internal, err.to_string()),
+    };
+    error_reply(code, &detail)
+}
+
+/// Parse a status-prefixed reply frame, returning the success body or the
+/// peer's structured error as [`CoreError::Remote`].
+pub fn parse_reply(reply: &[u8]) -> Result<&[u8], CoreError> {
+    match reply.first() {
+        None => Err(CoreError::Protocol("empty reply frame")),
+        Some(&REPLY_OK) => Ok(&reply[1..]),
+        Some(&REPLY_ERR) => {
+            let mut dec = Decoder::new(&reply[1..]);
+            let code = dec.get_u8()?;
+            let message = String::from_utf8_lossy(dec.get_bytes()?).into_owned();
+            dec.finish()?;
+            Err(CoreError::Remote { code, message })
+        }
+        Some(_) => Err(CoreError::Protocol("unknown reply status")),
+    }
+}
+
+/// Send a request frame and parse the status-prefixed reply.
+fn call(
+    transport: &mut dyn Transport,
+    tag: RequestTag,
+    body: &[u8],
+) -> Result<Vec<u8>, CoreError> {
+    transport.send(frame(tag, body))?;
+    let reply = transport.recv()?;
+    parse_reply(&reply).map(<[u8]>::to_vec)
+}
+
+/// `P1` side: open a session for `key_id`, binding it to `generation`
+/// ([`GENERATION_ANY`] to accept the server's). Returns the server's
+/// current generation for the key.
+pub fn p1_hello(
+    transport: &mut dyn Transport,
+    key_id: &[u8],
+    generation: u64,
+) -> Result<u64, CoreError> {
+    let hello = HelloMsg {
+        version: WIRE_VERSION,
+        key_id: key_id.to_vec(),
+        generation,
+    };
+    let body = call(transport, RequestTag::Hello, &hello.to_bytes())?;
+    let mut dec = Decoder::new(&body);
+    let server_generation = dec.get_u64()?;
+    dec.finish()?;
+    Ok(server_generation)
 }
 
 /// `P1` side: run the decryption protocol for `ct` over `transport`.
@@ -51,9 +239,8 @@ pub fn p1_decrypt<E: Pairing, R: RngCore + ?Sized>(
 ) -> Result<E::Gt, CoreError> {
     dlr_metrics::span("dec", || {
         let m1 = p1.dec_start(ct, rng);
-        transport.send(frame(RequestTag::Decrypt, &m1.to_bytes()))?;
-        let reply = transport.recv()?;
-        let m2 = DecMsg2::<E>::from_bytes(&reply, &p1.public_key().params)?;
+        let body = call(transport, RequestTag::Decrypt, &m1.to_bytes())?;
+        let m2 = DecMsg2::<E>::from_bytes(&body, &p1.public_key().params)?;
         p1.dec_finish(&m2)
     })
 }
@@ -66,9 +253,8 @@ pub fn p1_refresh<E: Pairing, R: RngCore + ?Sized>(
 ) -> Result<(), CoreError> {
     dlr_metrics::span("refresh", || {
         let m1 = p1.ref_start(rng);
-        transport.send(frame(RequestTag::Refresh, &m1.to_bytes()))?;
-        let reply = transport.recv()?;
-        let m2 = RefMsg2::<E>::from_bytes(&reply, &p1.public_key().params)?;
+        let body = call(transport, RequestTag::Refresh, &m1.to_bytes())?;
+        let m2 = RefMsg2::<E>::from_bytes(&body, &p1.public_key().params)?;
         p1.ref_finish(&m2)?;
         p1.ref_complete()
     })
@@ -80,36 +266,159 @@ pub fn p1_shutdown(transport: &mut dyn Transport) -> Result<(), CoreError> {
     Ok(())
 }
 
+/// Capped exponential backoff policy for [`p1_decrypt_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `0` is treated as `1`.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay preceding retry number `retry` (0-based): `base · 2^retry`
+    /// capped at `max_delay`.
+    pub fn backoff_delay(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        self.base_delay
+            .checked_mul(factor)
+            .map_or(self.max_delay, |d| d.min(self.max_delay))
+    }
+}
+
+/// Whether a failed attempt is worth retrying on a fresh connection:
+/// transport-level failures (stall, disconnect, I/O) and server
+/// backpressure ([`ErrorCode::Busy`]). Protocol violations and stale
+/// generations are not — the caller must re-sync its share first.
+pub fn is_retryable(err: &CoreError) -> bool {
+    match err {
+        CoreError::Transport(
+            TransportError::TimedOut | TransportError::Disconnected | TransportError::Io(_),
+        ) => true,
+        CoreError::Remote { code, .. } => *code == ErrorCode::Busy as u8,
+        _ => false,
+    }
+}
+
+/// `P1` side: run the decryption protocol with client-side retry.
+///
+/// `connect` opens a fresh session (connection + optional hello) per
+/// attempt. Attempts failing with a retryable error ([`is_retryable`])
+/// back off exponentially per `policy`; the first non-retryable error is
+/// returned immediately.
+pub fn p1_decrypt_with_retry<E: Pairing, R: RngCore + ?Sized>(
+    p1: &mut Party1<E>,
+    ct: &Ciphertext<E>,
+    connect: &mut dyn FnMut() -> Result<Box<dyn Transport>, CoreError>,
+    policy: &RetryPolicy,
+    rng: &mut R,
+) -> Result<E::Gt, CoreError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff_delay(attempt - 1));
+        }
+        let mut transport = match connect() {
+            Ok(t) => t,
+            Err(e) if is_retryable(&e) => {
+                last_err = Some(e);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match p1_decrypt(p1, ct, transport.as_mut(), rng) {
+            Ok(m) => return Ok(m),
+            Err(e) if is_retryable(&e) => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or(CoreError::Protocol("retry budget exhausted")))
+}
+
+/// `P2` side: handle one already-received request frame against a single
+/// [`Party2`].
+///
+/// This is the transport-free per-request core shared by [`p2_serve_one`],
+/// [`p2_serve_loop`] and the `dlr-server` session workers. Returns the tag
+/// plus the reply body to send (`None` for [`RequestTag::Shutdown`], which
+/// has no reply). Hello frames are acknowledged with `generation` —
+/// multi-key callers resolve the key and check the binding *before*
+/// delegating here.
+pub fn p2_handle_frame<E: Pairing, R: RngCore + ?Sized>(
+    p2: &mut Party2<E>,
+    generation: u64,
+    req: &[u8],
+    rng: &mut R,
+) -> Result<(RequestTag, Option<Vec<u8>>), CoreError> {
+    if req.is_empty() {
+        return Err(CoreError::Protocol("empty frame"));
+    }
+    let tag = RequestTag::from_u8(req[0]).ok_or(CoreError::Protocol("unknown request tag"))?;
+    let body = &req[1..];
+    let reply = match tag {
+        RequestTag::Decrypt => {
+            let m1 = DecMsg1::<E>::from_bytes(body, &p2.public_key().params)?;
+            let m2 = p2.dec_respond(&m1)?;
+            Some(m2.to_bytes())
+        }
+        RequestTag::Refresh => {
+            let m1 = RefMsg1::<E>::from_bytes(body, &p2.public_key().params)?;
+            let m2 = p2.ref_respond(&m1, rng)?;
+            p2.ref_complete()?;
+            Some(m2.to_bytes())
+        }
+        RequestTag::Hello => {
+            let _hello = HelloMsg::from_bytes(body)?;
+            let mut enc = Encoder::new();
+            enc.put_u64(generation);
+            Some(enc.finish())
+        }
+        RequestTag::Shutdown => None,
+    };
+    Ok((tag, reply))
+}
+
 /// `P2` side: serve exactly one request. Returns the tag served.
+///
+/// A handling failure is answered with a structured error reply (best
+/// effort) before the error is returned to the caller.
 pub fn p2_serve_one<E: Pairing, R: RngCore + ?Sized>(
     p2: &mut Party2<E>,
     transport: &mut dyn Transport,
     rng: &mut R,
 ) -> Result<RequestTag, CoreError> {
     let req = transport.recv()?;
-    if req.is_empty() {
-        return Err(CoreError::Protocol("empty frame"));
-    }
-    let tag = RequestTag::from_u8(req[0]).ok_or(CoreError::Protocol("unknown request tag"))?;
-    let body = &req[1..];
-    match tag {
-        RequestTag::Decrypt => {
-            let m1 = DecMsg1::<E>::from_bytes(body, &p2.public_key().params)?;
-            let m2 = p2.dec_respond(&m1)?;
-            transport.send(Bytes::from(m2.to_bytes()))?;
+    match p2_handle_frame(p2, 0, &req, rng) {
+        Ok((tag, Some(body))) => {
+            transport.send(ok_reply(&body))?;
+            Ok(tag)
         }
-        RequestTag::Refresh => {
-            let m1 = RefMsg1::<E>::from_bytes(body, &p2.public_key().params)?;
-            let m2 = p2.ref_respond(&m1, rng)?;
-            transport.send(Bytes::from(m2.to_bytes()))?;
-            p2.ref_complete()?;
+        Ok((tag, None)) => Ok(tag),
+        Err(e) => {
+            let _ = transport.send(error_reply_for(&e));
+            Err(e)
         }
-        RequestTag::Shutdown => {}
     }
-    Ok(tag)
 }
 
 /// `P2` side: serve requests until a shutdown tag arrives.
+///
+/// Malformed requests (codec/protocol errors) are answered with a
+/// structured error reply and the loop keeps serving — a garbage frame
+/// costs one reply, not the session. Transport failures end the loop.
 pub fn p2_serve_loop<E: Pairing, R: RngCore + ?Sized>(
     p2: &mut Party2<E>,
     transport: &mut dyn Transport,
@@ -117,9 +426,16 @@ pub fn p2_serve_loop<E: Pairing, R: RngCore + ?Sized>(
 ) -> Result<usize, CoreError> {
     let mut served = 0usize;
     loop {
-        match p2_serve_one(p2, transport, rng)? {
-            RequestTag::Shutdown => return Ok(served),
-            _ => served += 1,
+        let req = transport.recv()?;
+        match p2_handle_frame(p2, 0, &req, rng) {
+            Ok((RequestTag::Shutdown, _)) => return Ok(served),
+            Ok((_, Some(body))) => {
+                transport.send(ok_reply(&body))?;
+                served += 1;
+            }
+            Ok((_, None)) => served += 1,
+            Err(e @ CoreError::Transport(_)) => return Err(e),
+            Err(e) => transport.send(error_reply_for(&e))?,
         }
     }
 }
@@ -135,11 +451,16 @@ mod tests {
 
     type E = Toy;
 
+    fn keys(seed: u64) -> (dlr::PublicKey<E>, dlr::Share1<E>, dlr::Share2<E>) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+        dlr::keygen::<E, _>(params, &mut r)
+    }
+
     #[test]
     fn full_session_over_channel() {
         let mut r = rand::rngs::StdRng::seed_from_u64(9);
-        let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
-        let (pk, s1, s2) = dlr::keygen::<E, _>(params, &mut r);
+        let (pk, s1, s2) = keys(9);
         let m = <E as Pairing>::Gt::random(&mut r);
         let ct = dlr::encrypt(&pk, &m, &mut r);
 
@@ -150,6 +471,7 @@ mod tests {
         let out = run_pair(
             move |t| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+                assert_eq!(p1_hello(t, b"default", GENERATION_ANY).unwrap(), 0);
                 let m1 = p1_decrypt(&mut p1, &ct2, t, &mut rng).unwrap();
                 p1_refresh(&mut p1, t, &mut rng).unwrap();
                 let m2 = p1_decrypt(&mut p1, &ct2, t, &mut rng).unwrap();
@@ -163,20 +485,210 @@ mod tests {
         );
         assert_eq!(out.p1 .0, m);
         assert_eq!(out.p1 .1, m);
-        assert_eq!(out.p2, 3); // dec + ref + dec
+        assert_eq!(out.p2, 4); // hello + dec + ref + dec
         // the transcript is non-trivial and public
         assert!(dlr_protocol::transport::transcript_bytes(&out.transcript) > 1000);
     }
 
     #[test]
-    fn unknown_tag_rejected() {
+    fn unknown_tag_rejected_with_error_reply() {
         let mut r = rand::rngs::StdRng::seed_from_u64(12);
-        let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
-        let (pk, _s1, s2) = dlr::keygen::<E, _>(params, &mut r);
+        let (pk, _s1, s2) = keys(12);
         let mut p2 = Party2::new(pk, s2);
-        let (mut a, b) = dlr_protocol::duplex();
+        let (mut a, mut b) = dlr_protocol::duplex();
         a.send(Bytes::from_static(&[99, 1, 2])).unwrap();
-        let mut bt = b;
-        assert!(p2_serve_one(&mut p2, &mut bt, &mut r).is_err());
+        assert!(p2_serve_one(&mut p2, &mut b, &mut r).is_err());
+        // the peer got a structured error, not a dropped connection
+        let reply = a.recv().unwrap();
+        let err = parse_reply(&reply).unwrap_err();
+        match err {
+            CoreError::Remote { code, .. } => {
+                assert_eq!(code, ErrorCode::UnknownTag as u8);
+            }
+            other => panic!("expected Remote error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn serve_loop_survives_garbage_frames() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(13);
+        let (pk, s1, s2) = keys(13);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = dlr::encrypt(&pk, &m, &mut r);
+        let mut p1 = Party1::new(pk.clone(), s1);
+        let mut p2 = Party2::new(pk.clone(), s2);
+
+        let out = run_pair(
+            move |t| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+                // garbage tag
+                t.send(Bytes::from_static(&[99, 1, 2])).unwrap();
+                assert!(matches!(
+                    parse_reply(&t.recv().unwrap()),
+                    Err(CoreError::Remote { .. })
+                ));
+                // truncated decrypt body
+                t.send(Bytes::from_static(&[RequestTag::Decrypt as u8, 0, 0]))
+                    .unwrap();
+                assert!(matches!(
+                    parse_reply(&t.recv().unwrap()),
+                    Err(CoreError::Remote { .. })
+                ));
+                // the session still works afterwards
+                let got = p1_decrypt(&mut p1, &ct, t, &mut rng).unwrap();
+                p1_shutdown(t).unwrap();
+                got
+            },
+            move |t| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+                p2_serve_loop(&mut p2, t, &mut rng).unwrap()
+            },
+        );
+        assert_eq!(out.p1, m);
+        assert_eq!(out.p2, 1); // only the valid decrypt counts
+    }
+
+    #[test]
+    fn hello_roundtrip_and_version_check() {
+        let hello = HelloMsg {
+            version: WIRE_VERSION,
+            key_id: b"tenant-7".to_vec(),
+            generation: 42,
+        };
+        let parsed = HelloMsg::from_bytes(&hello.to_bytes()).unwrap();
+        assert_eq!(parsed, hello);
+
+        let mut bad = hello.to_bytes();
+        bad[0] = 99; // future version
+        assert!(HelloMsg::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn reply_frames_roundtrip() {
+        assert_eq!(parse_reply(&ok_reply(b"payload")).unwrap(), b"payload");
+        let err = parse_reply(&error_reply(ErrorCode::Busy, "full up")).unwrap_err();
+        match err {
+            CoreError::Remote { code, message } => {
+                assert_eq!(code, ErrorCode::Busy as u8);
+                assert_eq!(message, "full up");
+            }
+            other => panic!("expected Remote, got {other}"),
+        }
+        assert!(parse_reply(&[]).is_err());
+        assert!(parse_reply(&[7, 7]).is_err());
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(55),
+        };
+        assert_eq!(policy.backoff_delay(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff_delay(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff_delay(2), Duration::from_millis(40));
+        assert_eq!(policy.backoff_delay(3), Duration::from_millis(55));
+        assert_eq!(policy.backoff_delay(31), Duration::from_millis(55));
+        assert_eq!(policy.backoff_delay(32), Duration::from_millis(55));
+    }
+
+    #[test]
+    fn retry_gives_up_on_non_retryable() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(16);
+        let (pk, s1, _s2) = keys(16);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = dlr::encrypt(&pk, &m, &mut r);
+        let mut p1 = Party1::new(pk, s1);
+        let mut calls = 0u32;
+        let result = p1_decrypt_with_retry(
+            &mut p1,
+            &ct,
+            &mut || {
+                calls += 1;
+                Err(CoreError::Protocol("refused"))
+            },
+            &RetryPolicy::default(),
+            &mut r,
+        );
+        assert!(result.is_err());
+        assert_eq!(calls, 1, "non-retryable connect error must not retry");
+    }
+
+    #[test]
+    fn retry_exhausts_on_transport_failure() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(17);
+        let (pk, s1, _s2) = keys(17);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = dlr::encrypt(&pk, &m, &mut r);
+        let mut p1 = Party1::new(pk, s1);
+        let mut calls = 0u32;
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        };
+        let result = p1_decrypt_with_retry(
+            &mut p1,
+            &ct,
+            &mut || {
+                calls += 1;
+                // a transport that immediately hangs up
+                let (a, _b) = dlr_protocol::duplex();
+                Ok(Box::new(a) as Box<dyn Transport>)
+            },
+            &policy,
+            &mut r,
+        );
+        assert!(matches!(result, Err(CoreError::Transport(_))));
+        assert_eq!(calls, 3, "every attempt consumed");
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(18);
+        let (pk, s1, s2) = keys(18);
+        let m = <E as Pairing>::Gt::random(&mut r);
+        let ct = dlr::encrypt(&pk, &m, &mut r);
+        let mut p1 = Party1::new(pk.clone(), s1);
+
+        // Flaky "connector": fails twice, then hands out a live duplex
+        // endpoint backed by a serving thread.
+        let mut calls = 0u32;
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        };
+        let mut server: Option<std::thread::JoinHandle<()>> = None;
+        let got = p1_decrypt_with_retry(
+            &mut p1,
+            &ct,
+            &mut || {
+                calls += 1;
+                if calls <= 2 {
+                    let (a, _b) = dlr_protocol::duplex();
+                    return Ok(Box::new(a) as Box<dyn Transport>);
+                }
+                let (a, mut b) = dlr_protocol::duplex();
+                let pk = pk.clone();
+                let s2 = s2.clone();
+                server = Some(std::thread::spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+                    let mut p2 = Party2::new(pk, s2);
+                    let _ = p2_serve_loop(&mut p2, &mut b, &mut rng);
+                }));
+                Ok(Box::new(a) as Box<dyn Transport>)
+            },
+            &policy,
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(got, m);
+        assert_eq!(calls, 3);
+        if let Some(handle) = server {
+            // the client endpoint is dropped, so the serve loop exits
+            handle.join().unwrap();
+        }
     }
 }

@@ -13,6 +13,14 @@ pub enum CoreError {
     Protocol(&'static str),
     /// A ciphertext failed validation (CCA2 signature check, …).
     InvalidCiphertext(&'static str),
+    /// The peer replied with a structured error frame (see
+    /// [`crate::driver::ErrorCode`] for the code space).
+    Remote {
+        /// Machine-readable error code from the wire.
+        code: u8,
+        /// Human-readable detail supplied by the server.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for CoreError {
@@ -22,6 +30,9 @@ impl core::fmt::Display for CoreError {
             CoreError::Transport(e) => write!(f, "transport error: {e}"),
             CoreError::Protocol(what) => write!(f, "protocol violation: {what}"),
             CoreError::InvalidCiphertext(what) => write!(f, "invalid ciphertext: {what}"),
+            CoreError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
         }
     }
 }

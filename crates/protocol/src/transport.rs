@@ -17,6 +17,11 @@ use std::sync::Arc;
 pub enum TransportError {
     /// The peer hung up.
     Disconnected,
+    /// A read or write deadline expired before the peer produced data.
+    /// Distinct from [`TransportError::Disconnected`]: the connection is
+    /// still open, the peer is merely stalled — callers may retry or give
+    /// up without treating the stream as dead.
+    TimedOut,
     /// Underlying I/O failure (TCP transport).
     Io(std::io::Error),
     /// Frame exceeded the sanity limit.
@@ -27,6 +32,7 @@ impl core::fmt::Display for TransportError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::TimedOut => write!(f, "transport deadline expired"),
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
             TransportError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
         }
@@ -44,7 +50,19 @@ impl std::error::Error for TransportError {
 
 impl From<std::io::Error> for TransportError {
     fn from(e: std::io::Error) -> Self {
-        TransportError::Io(e)
+        match e.kind() {
+            // Both kinds occur for expired socket deadlines depending on
+            // platform: unix reports `WouldBlock`, windows `TimedOut`.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::TimedOut
+            }
+            // `read_exact` on a cleanly closed stream.
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => TransportError::Disconnected,
+            _ => TransportError::Io(e),
+        }
     }
 }
 
@@ -87,15 +105,69 @@ impl Transport for InMemoryTransport {
 }
 
 /// TCP endpoint with `u32`-length-prefixed frames.
+///
+/// Supports read deadlines ([`TcpTransport::set_read_timeout`]): a stalled
+/// peer surfaces as [`TransportError::TimedOut`] instead of wedging the
+/// caller forever. Partial frames are buffered internally, so a timed-out
+/// [`Transport::recv`] can safely be retried — the stream never desyncs.
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
+    /// Bytes of the in-progress frame (length prefix + body) accumulated
+    /// across timed-out `recv` calls.
+    partial: Vec<u8>,
 }
 
 impl TcpTransport {
     /// Wrap an established stream.
     pub fn new(stream: TcpStream) -> Self {
-        Self { stream }
+        Self {
+            stream,
+            partial: Vec::new(),
+        }
+    }
+
+    /// Set (or clear) the read deadline on the underlying socket. While a
+    /// deadline is set, [`Transport::recv`] returns
+    /// [`TransportError::TimedOut`] when no complete frame arrives in time;
+    /// the call may be retried without losing stream position.
+    pub fn set_read_timeout(
+        &self,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<(), TransportError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Enable/disable Nagle's algorithm. The protocols here are strict
+    /// request/response ping-pong, so coalescing delays (40ms+ on some
+    /// stacks) dominate round latency — servers and latency-sensitive
+    /// clients should disable it.
+    pub fn set_nodelay(&self, nodelay: bool) -> Result<(), TransportError> {
+        self.stream.set_nodelay(nodelay)?;
+        Ok(())
+    }
+
+    /// The peer's socket address.
+    pub fn peer_addr(&self) -> Result<std::net::SocketAddr, TransportError> {
+        Ok(self.stream.peer_addr()?)
+    }
+
+    /// Fill `self.partial` up to `target` bytes, preserving progress on
+    /// timeout.
+    fn fill_to(&mut self, target: usize) -> Result<(), TransportError> {
+        let mut scratch = [0u8; 8192];
+        while self.partial.len() < target {
+            let want = (target - self.partial.len()).min(scratch.len());
+            let n = match self.stream.read(&mut scratch[..want]) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
+            self.partial.extend_from_slice(&scratch[..n]);
+        }
+        Ok(())
     }
 }
 
@@ -111,15 +183,15 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self) -> Result<Bytes, TransportError> {
-        let mut len_bytes = [0u8; 4];
-        self.stream.read_exact(&mut len_bytes)?;
-        let len = u32::from_be_bytes(len_bytes) as usize;
+        self.fill_to(4)?;
+        let len = u32::from_be_bytes(self.partial[..4].try_into().expect("4 bytes")) as usize;
         if len > MAX_FRAME {
             return Err(TransportError::FrameTooLarge(len));
         }
-        let mut buf = vec![0u8; len];
-        self.stream.read_exact(&mut buf)?;
-        Ok(Bytes::from(buf))
+        self.fill_to(4 + len)?;
+        let body = self.partial.split_off(4);
+        self.partial.clear();
+        Ok(Bytes::from(body))
     }
 }
 
@@ -323,6 +395,63 @@ mod tests {
         assert_eq!(got, Bytes::from_static(b"hello over tcp"));
         server.send(Bytes::from_static(b"ack")).unwrap();
         assert_eq!(client.join().unwrap(), Bytes::from_static(b"ack"));
+    }
+
+    #[test]
+    fn tcp_read_timeout_surfaces_and_is_resumable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            // Send the length prefix and half the body, stall, then finish.
+            stream
+                .set_nodelay(true)
+                .unwrap();
+            let mut s = &stream;
+            use std::io::Write as _;
+            s.write_all(&6u32.to_be_bytes()).unwrap();
+            s.write_all(b"abc").unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            s.write_all(b"def").unwrap();
+            s.flush().unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::new(stream);
+        server
+            .set_read_timeout(Some(std::time::Duration::from_millis(30)))
+            .unwrap();
+        // The stalled peer times out at least once (TimedOut, not
+        // Disconnected), then the retried recv completes the same frame.
+        let mut timeouts = 0;
+        let got = loop {
+            match server.recv() {
+                Ok(frame) => break frame,
+                Err(TransportError::TimedOut) => timeouts += 1,
+                Err(e) => panic!("unexpected transport error: {e}"),
+            }
+            assert!(timeouts < 50, "frame never completed");
+        };
+        assert!(timeouts >= 1, "expected at least one timeout");
+        assert_eq!(got, Bytes::from_static(b"abcdef"));
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_clean_close_is_disconnected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let _ = TcpStream::connect(addr).unwrap();
+            // Drop immediately: server should see a clean disconnect.
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::new(stream);
+        assert!(matches!(
+            server.recv(),
+            Err(TransportError::Disconnected)
+        ));
+        client.join().unwrap();
     }
 
     #[test]

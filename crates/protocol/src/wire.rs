@@ -71,6 +71,14 @@ impl Encoder {
         self
     }
 
+    /// Append raw bytes with **no** length prefix — for fixed-length
+    /// fields whose size both sides already know (group elements,
+    /// scalars). One bulk copy instead of a per-byte loop.
+    pub fn put_slice(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
     /// Append a length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
         debug_assert!(v.len() <= MAX_FIELD_LEN);
@@ -143,6 +151,12 @@ impl<'a> Decoder<'a> {
         Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
     }
 
+    /// Read exactly `n` raw bytes (no length prefix) — the bulk
+    /// counterpart of [`Encoder::put_slice`] for fixed-length fields.
+    pub fn get_slice(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
     /// Read a length-prefixed byte string.
     pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.get_u32()? as usize;
@@ -202,6 +216,20 @@ mod tests {
         let seq = d.get_bytes_seq().unwrap();
         assert_eq!(seq, vec![&b"a"[..], b"bb", b""]);
         d.finish().unwrap();
+    }
+
+    #[test]
+    fn raw_slice_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_slice(b"fixed").put_u8(7);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_slice(5).unwrap(), b"fixed");
+        assert_eq!(d.get_u8().unwrap(), 7);
+        d.finish().unwrap();
+        // over-read is a clean truncation error
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_slice(buf.len() + 1), Err(CodecError::Truncated));
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # dlr-server — concurrent key-share service for the DLR `P2` role
+//!
+//! Turns the `P2` party of the DLR two-party scheme (PODC'12, §4) into a
+//! production-shaped network service:
+//!
+//! * [`keyring`] — key id → `(PublicKey, Party2)` registry with a per-key
+//!   **generation lock** and atomic (temp-file + rename) share
+//!   persistence;
+//! * [`server`] — non-blocking acceptor with a bounded scoped-thread
+//!   worker pool, versioned hello/key-selection, structured error
+//!   replies, an **epoch scheduler** marking leakage-period boundaries,
+//!   periodic stats dumps, and graceful drain-persist-exit shutdown;
+//! * [`loadgen`] — closed-loop multi-client load generator emitting
+//!   throughput/latency reports through the `dlr-metrics` JSON schema.
+//!
+//! ## Why generations exist
+//!
+//! Refresh (§4.4) rotates *both* shares jointly: decrypting with `P1`'s
+//! old share against `P2`'s new share silently yields garbage, not an
+//! error. The server therefore binds every session to the key's refresh
+//! **generation** (at accept or hello) and re-checks the binding under
+//! the key's lock on every request, answering a lost race with
+//! [`ErrorCode::StaleGeneration`](dlr_core::driver::ErrorCode) so the
+//! client knows to re-sync instead of mis-decrypting.
+
+pub mod keyring;
+pub mod loadgen;
+pub mod server;
+
+pub use keyring::{persist_atomically, KeyEntry, KeyState, Keyring};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenOutcome};
+pub use server::{
+    EpochHook, Server, ServerConfig, ServerHandle, ServerStats, StatsSnapshot,
+};

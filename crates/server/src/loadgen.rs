@@ -1,0 +1,280 @@
+//! Closed-loop load generator for a running [`Server`](crate::Server).
+//!
+//! Spawns `clients` concurrent `P1` workers; each opens its own TCP
+//! session (hello with [`GENERATION_ANY`]), then issues
+//! `requests_per_client` decrypt requests back-to-back, verifying every
+//! recovered plaintext against the encrypted message. Decryption is
+//! stateless with respect to the joint share, so each client may hold its
+//! own [`Party1`] clone — the server's generation lock serializes their
+//! requests against the single `P2` state.
+//!
+//! Transient failures (timeout, disconnect, server busy) cost one
+//! reconnect + re-hello and are counted, not fatal; the outcome reports
+//! throughput and latency percentiles and renders to the standard
+//! `dlr-metrics` report JSON (committed as `BENCH_PR4.json` by the bench
+//! harness).
+
+use dlr_core::dlr::{self, Ciphertext, Party1, PublicKey, Share1};
+use dlr_core::driver::{self, GENERATION_ANY};
+use dlr_curve::{Group, Pairing};
+use dlr_metrics::Report;
+use dlr_protocol::transport::{new_transcript, RecordingTransport, TcpTransport};
+use dlr_protocol::WireStats;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Decrypt requests issued per client.
+    pub requests_per_client: usize,
+    /// Key id announced in each session's hello.
+    pub key_id: Vec<u8>,
+    /// Per-read deadline on client sockets.
+    pub read_timeout: Option<Duration>,
+    /// Reconnect budget per client before it gives up.
+    pub max_reconnects: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests_per_client: 25,
+            key_id: b"default".to_vec(),
+            read_timeout: Some(Duration::from_secs(10)),
+            max_reconnects: 8,
+        }
+    }
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenOutcome {
+    /// Clients spawned.
+    pub clients: usize,
+    /// Total decrypt requests attempted.
+    pub requests: usize,
+    /// Requests that returned the correct plaintext.
+    pub successes: usize,
+    /// Requests that failed (after per-request reconnects).
+    pub failures: usize,
+    /// Responses that decoded but decrypted to the wrong plaintext.
+    pub mismatches: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Per-request wall-clock latencies, sorted ascending.
+    pub latencies_ns: Vec<u64>,
+    /// Wire statistics merged across all client transports.
+    pub wire: WireStats,
+}
+
+impl LoadgenOutcome {
+    /// Successful requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.successes as f64 / secs
+        }
+    }
+
+    /// Latency percentile (`q` in `[0, 100]`) over the sorted samples,
+    /// nearest-rank; `0` when no sample was recorded.
+    pub fn latency_percentile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let rank = (q / 100.0 * (self.latencies_ns.len() - 1) as f64).round() as usize;
+        self.latencies_ns[rank.min(self.latencies_ns.len() - 1)]
+    }
+
+    /// Mean latency over all samples; `0` when none recorded.
+    pub fn latency_mean_ns(&self) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let total: u128 = self.latencies_ns.iter().map(|&ns| ns as u128).sum();
+        (total / self.latencies_ns.len() as u128) as u64
+    }
+
+    /// Render to a `dlr-metrics` [`Report`]: throughput and latency
+    /// percentiles as metadata, merged client wire stats as a wire row,
+    /// and whatever spans (`dec`, …) the client threads recorded.
+    pub fn to_report(&self) -> Report {
+        let mut report = Report::capture()
+            .with_meta("component", "dlr-loadgen")
+            .with_meta("clients", &self.clients.to_string())
+            .with_meta("requests", &self.requests.to_string())
+            .with_meta("successes", &self.successes.to_string())
+            .with_meta("failures", &self.failures.to_string())
+            .with_meta("mismatches", &self.mismatches.to_string())
+            .with_meta("elapsed_ms", &self.elapsed.as_millis().to_string())
+            .with_meta(
+                "throughput_rps",
+                &format!("{:.2}", self.throughput_rps()),
+            )
+            .with_meta("latency_p50_ns", &self.latency_percentile_ns(50.0).to_string())
+            .with_meta("latency_p95_ns", &self.latency_percentile_ns(95.0).to_string())
+            .with_meta("latency_p99_ns", &self.latency_percentile_ns(99.0).to_string())
+            .with_meta("latency_mean_ns", &self.latency_mean_ns().to_string())
+            .with_meta(
+                "latency_max_ns",
+                &self.latencies_ns.last().copied().unwrap_or(0).to_string(),
+            );
+        report.push_wire("loadgen.clients", self.wire.clone());
+        report
+    }
+}
+
+struct ClientOutcome {
+    successes: usize,
+    failures: usize,
+    mismatches: usize,
+    latencies_ns: Vec<u64>,
+    wire: WireStats,
+}
+
+/// Run the closed-loop load generator against `addr`.
+///
+/// `share1` is the `P1` key share matching the server's `P2` share for
+/// `config.key_id`; the run assumes no refresh executes concurrently
+/// (each client clones the share). `message` is encrypted once and the
+/// same ciphertext is decrypted by every request, so every response is
+/// verifiable.
+pub fn run_loadgen<E: Pairing, R: rand::RngCore>(
+    addr: SocketAddr,
+    pk: &PublicKey<E>,
+    share1: &Share1<E>,
+    config: &LoadgenConfig,
+    rng: &mut R,
+) -> LoadgenOutcome {
+    let message = E::Gt::random(rng);
+    let ct = dlr::encrypt(pk, &message, rng);
+
+    let started = Instant::now();
+    let per_client: Vec<ClientOutcome> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|_| {
+                let pk = pk.clone();
+                let share1 = share1.clone();
+                let ct = ct.clone();
+                let message = message.clone();
+                let config = config.clone();
+                s.spawn(move || client_loop(addr, pk, share1, ct, message, &config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut outcome = LoadgenOutcome {
+        clients: config.clients,
+        requests: config.clients * config.requests_per_client,
+        successes: 0,
+        failures: 0,
+        mismatches: 0,
+        elapsed,
+        latencies_ns: Vec::new(),
+        wire: WireStats::default(),
+    };
+    for client in per_client {
+        outcome.successes += client.successes;
+        outcome.failures += client.failures;
+        outcome.mismatches += client.mismatches;
+        outcome.latencies_ns.extend(client.latencies_ns);
+        outcome.wire.merge(&client.wire);
+    }
+    outcome.latencies_ns.sort_unstable();
+    outcome
+}
+
+fn connect<E: Pairing>(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+) -> Option<RecordingTransport<TcpTransport>> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let tcp = TcpTransport::new(stream);
+    let _ = tcp.set_nodelay(true);
+    let _ = tcp.set_read_timeout(config.read_timeout);
+    let mut transport = RecordingTransport::new(tcp, new_transcript());
+    driver::p1_hello(&mut transport, &config.key_id, GENERATION_ANY).ok()?;
+    Some(transport)
+}
+
+fn client_loop<E: Pairing>(
+    addr: SocketAddr,
+    pk: PublicKey<E>,
+    share1: Share1<E>,
+    ct: Ciphertext<E>,
+    message: E::Gt,
+    config: &LoadgenConfig,
+) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        successes: 0,
+        failures: 0,
+        mismatches: 0,
+        latencies_ns: Vec::with_capacity(config.requests_per_client),
+        wire: WireStats::default(),
+    };
+    let mut p1 = Party1::new(pk, share1);
+    let mut rng = rand::thread_rng();
+    let mut reconnects = 0usize;
+    let mut transport = connect::<E>(addr, config);
+
+    for _ in 0..config.requests_per_client {
+        let mut done = false;
+        while !done {
+            let Some(t) = transport.as_mut() else {
+                // (Re)connect failed: burn one reconnect credit, fail the
+                // request if the budget is gone.
+                if reconnects >= config.max_reconnects {
+                    out.failures += 1;
+                    done = true;
+                    continue;
+                }
+                reconnects += 1;
+                transport = connect::<E>(addr, config);
+                if transport.is_none() {
+                    out.failures += 1;
+                    done = true;
+                }
+                continue;
+            };
+            let started = Instant::now();
+            match driver::p1_decrypt(&mut p1, &ct, t, &mut rng) {
+                Ok(recovered) => {
+                    out.latencies_ns.push(started.elapsed().as_nanos() as u64);
+                    if recovered == message {
+                        out.successes += 1;
+                    } else {
+                        out.mismatches += 1;
+                    }
+                    done = true;
+                }
+                Err(e) if driver::is_retryable(&e) && reconnects < config.max_reconnects => {
+                    reconnects += 1;
+                    if let Some(dead) = transport.take() {
+                        out.wire.merge(&dead.wire_stats());
+                    }
+                    transport = connect::<E>(addr, config);
+                }
+                Err(_) => {
+                    out.failures += 1;
+                    done = true;
+                }
+            }
+        }
+    }
+    if let Some(mut t) = transport.take() {
+        let _ = driver::p1_shutdown(&mut t);
+        out.wire.merge(&t.wire_stats());
+    }
+    out
+}

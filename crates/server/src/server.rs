@@ -1,0 +1,614 @@
+//! The concurrent `P2` service: acceptor, session workers, epoch
+//! scheduler, and aggregated statistics.
+//!
+//! ## Threading model
+//!
+//! [`Server::run`] blocks the calling thread on a non-blocking accept
+//! loop; every accepted connection gets a scoped session worker thread
+//! (vendored `crossbeam::thread::scope`, the same pattern as
+//! `dlr-curve/src/parallel.rs`), bounded by
+//! [`ServerConfig::max_sessions`]. Connections arriving above the bound
+//! are answered with a structured [`ErrorCode::Busy`] reply and closed —
+//! backpressure the client's retry policy
+//! ([`dlr_core::driver::p1_decrypt_with_retry`]) understands.
+//!
+//! A background **epoch scheduler** thread marks leakage-period
+//! boundaries (paper §4.4): every [`ServerConfig::epoch_interval`] (or on
+//! [`ServerHandle::force_epoch`]) it bumps the epoch counter and invokes
+//! the registered epoch hook. The hook is where deployment-specific
+//! refresh coordination lives — refresh is a *two-party* protocol, so the
+//! scheduler cannot rotate the share alone; the hook typically nudges the
+//! `P1` co-device, which then drives a wire refresh through a normal
+//! session (the integration tests do exactly this).
+//!
+//! ## Generation binding
+//!
+//! Sessions bind to a key **generation** at accept/hello time. Decrypt
+//! and refresh requests re-check the binding under the key's generation
+//! lock; a session whose key was refreshed since binding receives
+//! [`ErrorCode::StaleGeneration`] instead of a garbage response computed
+//! from mismatched shares. The session stays open — the client re-hellos
+//! (with its refreshed `P1` share) and continues.
+
+use crate::keyring::{persist_atomically, KeyEntry, Keyring};
+use bytes::Bytes;
+use dlr_core::driver::{
+    error_reply, error_reply_for, ok_reply, p2_handle_frame, ErrorCode, HelloMsg, RequestTag,
+    GENERATION_ANY,
+};
+use dlr_curve::Pairing;
+use dlr_metrics::Report;
+use dlr_protocol::transport::TcpTransport;
+use dlr_protocol::{Encoder, Transport, TransportError, WireStats};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent-session bound; further connections get a
+    /// [`ErrorCode::Busy`] reply and are closed.
+    pub max_sessions: usize,
+    /// Per-session idle limit: a session receiving nothing for this long
+    /// is closed (read deadline).
+    pub read_timeout: Duration,
+    /// Socket poll quantum: workers wake this often to check the
+    /// shutdown flag and accumulate idle time.
+    pub poll_interval: Duration,
+    /// Leakage-period length: the epoch scheduler fires every interval.
+    /// `None` disables timed epochs ([`ServerHandle::force_epoch`] still
+    /// works).
+    pub epoch_interval: Option<Duration>,
+    /// How often to dump aggregated stats JSON to [`Self::stats_path`].
+    pub stats_interval: Option<Duration>,
+    /// Where periodic + final stats dumps go (atomic temp+rename).
+    pub stats_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 32,
+            read_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+            epoch_interval: None,
+            stats_interval: None,
+            stats_path: None,
+        }
+    }
+}
+
+/// Bound on retained per-round latency samples in the aggregate wire
+/// stats — a long-lived server must not grow its sample buffer forever.
+const MAX_LATENCY_SAMPLES: usize = 8192;
+
+/// Monotonic service counters, updated lock-free by the workers.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    sessions_accepted: AtomicU64,
+    sessions_rejected_busy: AtomicU64,
+    sessions_completed: AtomicU64,
+    requests_hello: AtomicU64,
+    requests_decrypt: AtomicU64,
+    requests_refresh: AtomicU64,
+    error_replies: AtomicU64,
+    epochs: AtomicU64,
+    refreshes: AtomicU64,
+    persist_failures: AtomicU64,
+    wire: parking_lot::Mutex<WireStats>,
+}
+
+impl ServerStats {
+    fn merge_wire(&self, session: &WireStats) {
+        let mut agg = self.wire.lock();
+        agg.merge(session);
+        let len = agg.round_latency_ns.len();
+        if len > MAX_LATENCY_SAMPLES {
+            agg.round_latency_ns.drain(..len - MAX_LATENCY_SAMPLES);
+        }
+    }
+
+    /// Consistent point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sessions_accepted: self.sessions_accepted.load(Ordering::Relaxed),
+            sessions_rejected_busy: self.sessions_rejected_busy.load(Ordering::Relaxed),
+            sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
+            requests_hello: self.requests_hello.load(Ordering::Relaxed),
+            requests_decrypt: self.requests_decrypt.load(Ordering::Relaxed),
+            requests_refresh: self.requests_refresh.load(Ordering::Relaxed),
+            error_replies: self.error_replies.load(Ordering::Relaxed),
+            epochs: self.epochs.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            persist_failures: self.persist_failures.load(Ordering::Relaxed),
+            wire: self.wire.lock().clone(),
+        }
+    }
+}
+
+/// Plain-value copy of [`ServerStats`] plus the merged wire statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted into a session worker.
+    pub sessions_accepted: u64,
+    /// Connections refused with [`ErrorCode::Busy`].
+    pub sessions_rejected_busy: u64,
+    /// Sessions that ended (shutdown, disconnect, or idle deadline).
+    pub sessions_completed: u64,
+    /// Hello requests served.
+    pub requests_hello: u64,
+    /// Decrypt requests served successfully.
+    pub requests_decrypt: u64,
+    /// Refresh requests served successfully.
+    pub requests_refresh: u64,
+    /// Structured error frames sent.
+    pub error_replies: u64,
+    /// Epoch boundaries marked by the scheduler.
+    pub epochs: u64,
+    /// Share refreshes committed (generation bumps).
+    pub refreshes: u64,
+    /// Refresh commits whose share persistence failed.
+    pub persist_failures: u64,
+    /// Wire statistics merged across all completed sessions.
+    pub wire: WireStats,
+}
+
+impl StatsSnapshot {
+    /// Render as a `dlr-metrics` [`Report`]: counters as metadata, merged
+    /// wire statistics as a wire row, plus any spans recorded in this
+    /// process. Serializes to the standard report JSON/CSV schema.
+    pub fn to_report(&self) -> Report {
+        let mut report = Report::capture()
+            .with_meta("component", "dlr-server")
+            .with_meta("sessions_accepted", &self.sessions_accepted.to_string())
+            .with_meta(
+                "sessions_rejected_busy",
+                &self.sessions_rejected_busy.to_string(),
+            )
+            .with_meta("sessions_completed", &self.sessions_completed.to_string())
+            .with_meta("requests_hello", &self.requests_hello.to_string())
+            .with_meta("requests_decrypt", &self.requests_decrypt.to_string())
+            .with_meta("requests_refresh", &self.requests_refresh.to_string())
+            .with_meta("error_replies", &self.error_replies.to_string())
+            .with_meta("epochs", &self.epochs.to_string())
+            .with_meta("refreshes", &self.refreshes.to_string())
+            .with_meta("persist_failures", &self.persist_failures.to_string());
+        report.push_wire("server.sessions", self.wire.clone());
+        report
+    }
+}
+
+/// Invoked by the epoch scheduler at each period boundary with the new
+/// epoch number.
+pub type EpochHook = Box<dyn FnMut(u64) + Send>;
+
+struct Shared {
+    shutdown: AtomicBool,
+    epoch: AtomicU64,
+    active: AtomicUsize,
+    /// Manual epoch kicks ([`ServerHandle::force_epoch`]); the scheduler
+    /// compares against its own seen-count under [`Self::wake`].
+    kick: Mutex<u64>,
+    wake: Condvar,
+    stats: ServerStats,
+    local_addr: SocketAddr,
+}
+
+/// Cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful shutdown: stop accepting, let workers drain at
+    /// their next poll, persist shares, exit [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+    }
+
+    /// Trigger an epoch boundary now (asynchronous: the scheduler thread
+    /// runs the hook; observe completion via [`Self::epoch`]).
+    pub fn force_epoch(&self) {
+        {
+            let mut kicks = self.shared.kick.lock().unwrap();
+            *kicks += 1;
+        }
+        self.shared.wake.notify_all();
+    }
+
+    /// Epoch boundaries marked so far.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// The listener's bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+}
+
+/// Concurrent key-share service over a [`Keyring`].
+pub struct Server<E: Pairing> {
+    listener: TcpListener,
+    keyring: Arc<Keyring<E>>,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+    epoch_hook: Option<EpochHook>,
+}
+
+impl<E: Pairing> Server<E> {
+    /// Bind a listener and construct the server around it.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        keyring: Arc<Keyring<E>>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::new(TcpListener::bind(addr)?, keyring, config)
+    }
+
+    /// Construct the server around an existing listener.
+    pub fn new(
+        listener: TcpListener,
+        keyring: Arc<Keyring<E>>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            keyring,
+            config,
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                epoch: AtomicU64::new(0),
+                active: AtomicUsize::new(0),
+                kick: Mutex::new(0),
+                wake: Condvar::new(),
+                stats: ServerStats::default(),
+                local_addr,
+            }),
+            epoch_hook: None,
+        })
+    }
+
+    /// Remote control valid for the lifetime of the process.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Register the epoch-boundary hook (called from the scheduler
+    /// thread, outside any lock).
+    pub fn set_epoch_hook(&mut self, hook: impl FnMut(u64) + Send + 'static) {
+        self.epoch_hook = Some(Box::new(hook));
+    }
+
+    /// Serve until [`ServerHandle::shutdown`] (or a fatal accept error).
+    ///
+    /// Blocks the calling thread. On exit every session worker has been
+    /// joined, all shares persisted, and a final stats dump written (when
+    /// configured); returns the final statistics.
+    pub fn run(mut self) -> io::Result<StatsSnapshot> {
+        self.listener.set_nonblocking(true)?;
+        let shared = Arc::clone(&self.shared);
+        let keyring = Arc::clone(&self.keyring);
+        let config = self.config.clone();
+        let mut hook = self.epoch_hook.take();
+
+        let mut accept_err: Option<io::Error> = None;
+        crossbeam::thread::scope(|s| {
+            {
+                let shared = Arc::clone(&shared);
+                let interval = config.epoch_interval;
+                let hook = &mut hook;
+                s.spawn(move || epoch_scheduler(&shared, interval, hook));
+            }
+            if let (Some(interval), Some(path)) = (config.stats_interval, &config.stats_path) {
+                let shared = Arc::clone(&shared);
+                let path = path.clone();
+                s.spawn(move || stats_dumper(&shared, interval, &path));
+            }
+
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if shared.active.load(Ordering::Acquire) >= config.max_sessions {
+                            shared
+                                .stats
+                                .sessions_rejected_busy
+                                .fetch_add(1, Ordering::Relaxed);
+                            let mut t = TcpTransport::new(stream);
+                            let _ = t.send(error_reply(
+                                ErrorCode::Busy,
+                                "server at session limit; retry after backoff",
+                            ));
+                            continue;
+                        }
+                        shared.stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+                        shared.active.fetch_add(1, Ordering::AcqRel);
+                        let shared = Arc::clone(&shared);
+                        let keyring = Arc::clone(&keyring);
+                        let config = config.clone();
+                        s.spawn(move || {
+                            session_worker(stream, &shared, &keyring, &config);
+                            shared.active.fetch_sub(1, Ordering::AcqRel);
+                            shared.stats.sessions_completed.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        accept_err = Some(e);
+                        shared.shutdown.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            }
+            // Wake the scheduler/dumper so the scope can join them; the
+            // workers notice the flag at their next poll tick.
+            shared.shutdown.store(true, Ordering::Release);
+            shared.wake.notify_all();
+        });
+
+        if let Some(e) = accept_err {
+            return Err(e);
+        }
+        self.keyring.persist_all()?;
+        let snapshot = shared.stats.snapshot();
+        if let Some(path) = &config.stats_path {
+            persist_atomically(path, snapshot.to_report().to_json().as_bytes())?;
+        }
+        Ok(snapshot)
+    }
+}
+
+fn epoch_scheduler(shared: &Shared, interval: Option<Duration>, hook: &mut Option<EpochHook>) {
+    let mut seen_kicks = 0u64;
+    loop {
+        let fired;
+        {
+            let mut kicks = shared.kick.lock().unwrap();
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if *kicks > seen_kicks {
+                seen_kicks = *kicks;
+                fired = true;
+            } else {
+                let timed_out = match interval {
+                    Some(d) => {
+                        let (guard, result) = shared.wake.wait_timeout(kicks, d).unwrap();
+                        kicks = guard;
+                        result.timed_out()
+                    }
+                    None => {
+                        kicks = shared.wake.wait(kicks).unwrap();
+                        false
+                    }
+                };
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if *kicks > seen_kicks {
+                    seen_kicks = *kicks;
+                    fired = true;
+                } else {
+                    fired = timed_out;
+                }
+            }
+        }
+        if fired {
+            let epoch = shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            shared.stats.epochs.fetch_add(1, Ordering::Relaxed);
+            // The hook runs outside every lock: it may open sessions
+            // against this very server (wire refresh via P1).
+            if let Some(h) = hook.as_mut() {
+                h(epoch);
+            }
+        }
+    }
+}
+
+fn stats_dumper(shared: &Shared, interval: Duration, path: &std::path::Path) {
+    let step = Duration::from_millis(50).min(interval);
+    let mut since = Duration::ZERO;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(step);
+        since += step;
+        if since >= interval {
+            since = Duration::ZERO;
+            let _ = persist_atomically(path, shared.stats.snapshot().to_report().to_json().as_bytes());
+        }
+    }
+}
+
+/// Serve one connection until session shutdown, disconnect, idle
+/// deadline, or server shutdown.
+fn session_worker<E: Pairing>(
+    stream: TcpStream,
+    shared: &Shared,
+    keyring: &Keyring<E>,
+    config: &ServerConfig,
+) {
+    let mut transport = TcpTransport::new(stream);
+    let _ = transport.set_nodelay(true);
+    // Short poll deadline so the worker can observe the shutdown flag;
+    // idle time accumulates across polls up to the real read deadline.
+    // Partial frames survive a poll tick (the transport buffers them).
+    let _ = transport.set_read_timeout(Some(config.poll_interval));
+
+    let mut session = Session {
+        entry: keyring.default_entry(),
+        bound_generation: 0,
+    };
+    session.bound_generation = session.entry.as_ref().map_or(0, |e| e.generation());
+
+    let mut rng = rand::thread_rng();
+    let mut wire = WireStats::default();
+    let mut idle = Duration::ZERO;
+
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let req = match transport.recv() {
+            Ok(frame) => {
+                idle = Duration::ZERO;
+                frame
+            }
+            Err(TransportError::TimedOut) => {
+                idle += config.poll_interval;
+                if idle >= config.read_timeout {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break, // disconnect / hard I/O failure
+        };
+        let started = Instant::now();
+        wire.frames_received += 1;
+        wire.bytes_received += 4 + req.len() as u64;
+
+        match dispatch(&req, &mut session, keyring, &shared.stats, &mut rng) {
+            None => break, // session shutdown tag
+            Some(reply) => {
+                let reply_len = reply.len() as u64;
+                if transport.send(reply).is_err() {
+                    break;
+                }
+                wire.frames_sent += 1;
+                wire.bytes_sent += 4 + reply_len;
+                wire.round_latency_ns.push(started.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    shared.stats.merge_wire(&wire);
+}
+
+struct Session<E: Pairing> {
+    entry: Option<Arc<KeyEntry<E>>>,
+    bound_generation: u64,
+}
+
+/// Handle one request frame; `None` ends the session (shutdown tag).
+fn dispatch<E: Pairing, R: rand::RngCore>(
+    req: &[u8],
+    session: &mut Session<E>,
+    keyring: &Keyring<E>,
+    stats: &ServerStats,
+    rng: &mut R,
+) -> Option<Bytes> {
+    let err = |stats: &ServerStats, code, detail: &str| {
+        stats.error_replies.fetch_add(1, Ordering::Relaxed);
+        Some(error_reply(code, detail))
+    };
+
+    let Some(&tag_byte) = req.first() else {
+        return err(stats, ErrorCode::BadRequest, "empty frame");
+    };
+    match RequestTag::from_u8(tag_byte) {
+        None => err(stats, ErrorCode::UnknownTag, "unknown request tag"),
+        Some(RequestTag::Shutdown) => None,
+        Some(RequestTag::Hello) => {
+            let hello = match HelloMsg::from_bytes(&req[1..]) {
+                Ok(h) => h,
+                Err(e) => {
+                    stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                    return Some(error_reply_for(&e));
+                }
+            };
+            let Some(entry) = keyring.get(&hello.key_id) else {
+                return err(
+                    stats,
+                    ErrorCode::UnknownKey,
+                    &format!("no key \"{}\"", String::from_utf8_lossy(&hello.key_id)),
+                );
+            };
+            let generation = entry.generation();
+            if hello.generation != GENERATION_ANY && hello.generation != generation {
+                return err(
+                    stats,
+                    ErrorCode::StaleGeneration,
+                    &format!("server holds generation {generation}"),
+                );
+            }
+            session.entry = Some(entry);
+            session.bound_generation = generation;
+            stats.requests_hello.fetch_add(1, Ordering::Relaxed);
+            let mut enc = Encoder::new();
+            enc.put_u64(generation);
+            Some(ok_reply(&enc.finish()))
+        }
+        Some(tag @ (RequestTag::Decrypt | RequestTag::Refresh)) => {
+            let Some(entry) = session.entry.as_ref() else {
+                return err(stats, ErrorCode::UnknownKey, "no key bound to session");
+            };
+            let bound = session.bound_generation;
+            // The generation lock: binding check, protocol step, and (for
+            // refresh) persistence + generation bump are one critical
+            // section — a decrypt can never interleave with a
+            // half-committed refresh.
+            let (reply, rebind) = entry.with_state(|state| {
+                if state.generation != bound {
+                    stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                    let detail = format!(
+                        "session bound to generation {bound}, key at {}",
+                        state.generation
+                    );
+                    return (error_reply(ErrorCode::StaleGeneration, &detail), None);
+                }
+                match p2_handle_frame(&mut state.p2, state.generation, req, rng) {
+                    Ok((_, Some(body))) => {
+                        if tag == RequestTag::Refresh {
+                            let (generation, persisted) = KeyEntry::commit_refresh(state);
+                            if persisted.is_err() {
+                                stats.persist_failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                            stats.requests_refresh.fetch_add(1, Ordering::Relaxed);
+                            stats.refreshes.fetch_add(1, Ordering::Relaxed);
+                            (ok_reply(&body), Some(generation))
+                        } else {
+                            stats.requests_decrypt.fetch_add(1, Ordering::Relaxed);
+                            (ok_reply(&body), None)
+                        }
+                    }
+                    Ok((_, None)) => {
+                        // unreachable for Decrypt/Refresh, but keep the
+                        // wire sane if it ever happens
+                        stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                        (error_reply(ErrorCode::Internal, "no reply produced"), None)
+                    }
+                    Err(e) => {
+                        stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                        (error_reply_for(&e), None)
+                    }
+                }
+            });
+            if let Some(generation) = rebind {
+                session.bound_generation = generation;
+            }
+            Some(reply)
+        }
+    }
+}

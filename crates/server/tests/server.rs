@@ -1,0 +1,524 @@
+//! End-to-end tests for the dlr-server subsystem: concurrency, hostile
+//! clients, disconnects, backpressure, and epoch-driven refresh racing
+//! live decrypt traffic.
+
+use bytes::Bytes;
+use dlr_core::dlr::{self, Party1, PublicKey, Share1, Share2};
+use dlr_core::driver::{self, ErrorCode, GENERATION_ANY};
+use dlr_core::error::CoreError;
+use dlr_core::params::SchemeParams;
+use dlr_curve::{Group, Pairing, Toy};
+use dlr_protocol::transport::TcpTransport;
+use dlr_protocol::{Transport, TransportError};
+use dlr_server::{Keyring, LoadgenConfig, Server, ServerConfig, ServerHandle, StatsSnapshot};
+use rand::SeedableRng;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+type E = Toy;
+
+fn keygen(seed: u64) -> (PublicKey<E>, Share1<E>, Share2<E>) {
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+    dlr::keygen::<E, _>(params, &mut r)
+}
+
+struct RunningServer {
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<StatsSnapshot>,
+}
+
+impl RunningServer {
+    fn addr(&self) -> SocketAddr {
+        self.handle.local_addr()
+    }
+
+    fn stop(self) -> StatsSnapshot {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+fn start_server(server: Server<E>) -> RunningServer {
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run().expect("server run failed"));
+    RunningServer { handle, thread }
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        max_sessions: 8,
+        read_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(addr: SocketAddr) -> TcpTransport {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let t = TcpTransport::new(stream);
+    t.set_nodelay(true).unwrap();
+    t.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    t
+}
+
+fn wait_until(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn serves_four_concurrent_sessions() {
+    let (pk, s1, s2) = keygen(100);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk.clone(), s2);
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), quick_config()).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(101);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = dlr::encrypt(&pk, &m, &mut r);
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 5;
+    // Two barriers around the "all sessions open" point so the main
+    // thread can observe genuine concurrency.
+    let connected = Arc::new(Barrier::new(CLIENTS + 1));
+    let release = Arc::new(Barrier::new(CLIENTS + 1));
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let pk = pk.clone();
+            let s1 = s1.clone();
+            let ct = ct.clone();
+            let m = m.clone();
+            let connected = Arc::clone(&connected);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let mut t = connect(addr);
+                assert_eq!(driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap(), 0);
+                connected.wait();
+                release.wait();
+                let mut p1 = Party1::new(pk, s1);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(200 + i as u64);
+                for _ in 0..REQUESTS {
+                    let got = driver::p1_decrypt(&mut p1, &ct, &mut t, &mut rng).unwrap();
+                    assert_eq!(got, m);
+                }
+                driver::p1_shutdown(&mut t).unwrap();
+            })
+        })
+        .collect();
+
+    connected.wait();
+    assert_eq!(
+        running.handle.active_sessions(),
+        CLIENTS,
+        "all sessions must be open simultaneously"
+    );
+    release.wait();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let stats = running.stop();
+    assert_eq!(stats.sessions_accepted, CLIENTS as u64);
+    assert_eq!(stats.requests_hello, CLIENTS as u64);
+    assert_eq!(stats.requests_decrypt, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(stats.error_replies, 0);
+    assert_eq!(stats.sessions_completed, CLIENTS as u64);
+    assert!(stats.wire.frames_received >= (CLIENTS * (REQUESTS + 2)) as u64);
+}
+
+#[test]
+fn garbage_and_truncated_frames_get_structured_errors() {
+    let (pk, s1, s2) = keygen(110);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk.clone(), s2);
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), quick_config()).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    let mut t = connect(addr);
+    // unknown tag
+    t.send(Bytes::from_static(&[99, 1, 2])).unwrap();
+    match driver::parse_reply(&t.recv().unwrap()) {
+        Err(CoreError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownTag as u8),
+        other => panic!("expected UnknownTag, got {other:?}"),
+    }
+    // truncated decrypt body
+    t.send(Bytes::from_static(&[1, 0, 0])).unwrap();
+    match driver::parse_reply(&t.recv().unwrap()) {
+        Err(CoreError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest as u8),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // empty frame
+    t.send(Bytes::new()).unwrap();
+    match driver::parse_reply(&t.recv().unwrap()) {
+        Err(CoreError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest as u8),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // unknown key id in hello
+    match driver::p1_hello(&mut t, b"nonexistent", GENERATION_ANY) {
+        Err(CoreError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownKey as u8),
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+    // the same session still decrypts fine afterwards
+    let mut r = rand::rngs::StdRng::seed_from_u64(111);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = dlr::encrypt(&pk, &m, &mut r);
+    let mut p1 = Party1::new(pk.clone(), s1.clone());
+    assert_eq!(driver::p1_decrypt(&mut p1, &ct, &mut t, &mut r).unwrap(), m);
+    driver::p1_shutdown(&mut t).unwrap();
+
+    // An oversized frame header kills only that session...
+    use std::io::Write as _;
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    raw.write_all(&[0u8; 16]).unwrap();
+    drop(raw);
+
+    // ...and the server keeps serving new sessions.
+    wait_until("hostile sessions to close", Duration::from_secs(5), || {
+        running.handle.active_sessions() == 0
+    });
+    let mut t2 = connect(addr);
+    assert_eq!(driver::p1_hello(&mut t2, b"k", GENERATION_ANY).unwrap(), 0);
+    assert_eq!(driver::p1_decrypt(&mut p1, &ct, &mut t2, &mut r).unwrap(), m);
+    driver::p1_shutdown(&mut t2).unwrap();
+
+    let stats = running.stop();
+    assert!(stats.error_replies >= 4);
+    assert_eq!(stats.requests_decrypt, 2);
+}
+
+#[test]
+fn survives_disconnect_mid_protocol() {
+    let (pk, s1, s2) = keygen(120);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk.clone(), s2);
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), quick_config()).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(121);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = dlr::encrypt(&pk, &m, &mut r);
+    let mut p1 = Party1::new(pk.clone(), s1.clone());
+
+    // Client sends a valid decrypt request and vanishes without reading
+    // the reply.
+    {
+        let mut t = connect(addr);
+        driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+        let m1 = p1.dec_start(&ct, &mut r);
+        let mut frame = vec![1u8]; // RequestTag::Decrypt
+        frame.extend_from_slice(&m1.to_bytes());
+        t.send(Bytes::from(frame)).unwrap();
+        // drop mid-protocol
+    }
+    // Another client sends half a frame and vanishes.
+    {
+        use std::io::Write as _;
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&100u32.to_be_bytes()).unwrap();
+        raw.write_all(&[4u8; 10]).unwrap();
+    }
+
+    wait_until("broken sessions to close", Duration::from_secs(5), || {
+        running.handle.active_sessions() == 0
+    });
+
+    // The key state is unharmed: a fresh session decrypts correctly.
+    let mut t = connect(addr);
+    driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+    assert_eq!(driver::p1_decrypt(&mut p1, &ct, &mut t, &mut r).unwrap(), m);
+    driver::p1_shutdown(&mut t).unwrap();
+
+    let stats = running.stop();
+    assert_eq!(stats.sessions_accepted, 3);
+    assert_eq!(stats.sessions_completed, 3);
+}
+
+#[test]
+fn busy_backpressure_rejects_above_session_limit() {
+    let (pk, _s1, s2) = keygen(130);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk, s2);
+    let config = ServerConfig {
+        max_sessions: 1,
+        ..quick_config()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    // First session occupies the only slot (hello reply proves the
+    // worker is live and counted).
+    let mut a = connect(addr);
+    driver::p1_hello(&mut a, b"k", GENERATION_ANY).unwrap();
+
+    // Second connection is refused with a structured Busy reply.
+    let mut b = connect(addr);
+    match driver::p1_hello(&mut b, b"k", GENERATION_ANY) {
+        Err(CoreError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Busy as u8),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    drop(b);
+
+    // Busy is retryable per the client retry policy.
+    assert!(driver::is_retryable(&CoreError::Remote {
+        code: ErrorCode::Busy as u8,
+        message: String::new(),
+    }));
+
+    // Once the first session ends, the slot frees up.
+    driver::p1_shutdown(&mut a).unwrap();
+    wait_until("slot to free", Duration::from_secs(5), || {
+        running.handle.active_sessions() == 0
+    });
+    let mut c = connect(addr);
+    driver::p1_hello(&mut c, b"k", GENERATION_ANY).unwrap();
+    driver::p1_shutdown(&mut c).unwrap();
+
+    let stats = running.stop();
+    assert_eq!(stats.sessions_rejected_busy, 1);
+    assert_eq!(stats.sessions_accepted, 2);
+}
+
+#[test]
+fn hello_generation_binding_is_enforced() {
+    let (pk, _s1, s2) = keygen(140);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk, s2);
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), quick_config()).unwrap();
+    let running = start_server(server);
+
+    let mut t = connect(running.addr());
+    // Claiming a future generation is refused...
+    match driver::p1_hello(&mut t, b"k", 5) {
+        Err(CoreError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::StaleGeneration as u8)
+        }
+        other => panic!("expected StaleGeneration, got {other:?}"),
+    }
+    // ...the wildcard binds to whatever is current...
+    assert_eq!(driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap(), 0);
+    // ...and the exact current generation is accepted too.
+    assert_eq!(driver::p1_hello(&mut t, b"k", 0).unwrap(), 0);
+    driver::p1_shutdown(&mut t).unwrap();
+    running.stop();
+}
+
+/// The tentpole scenario: the epoch scheduler fires while decrypt traffic
+/// is live. The epoch hook drives a full wire refresh through the shared
+/// `P1`; racing decrypt sessions lose the generation race, observe
+/// `StaleGeneration`, re-hello, and every subsequent decryption is
+/// correct under the rotated share — which is also persisted to disk.
+#[test]
+fn epoch_refresh_races_live_decrypts() {
+    let dir = std::env::temp_dir().join(format!("dlr-server-epoch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let share_path = dir.join("sk2.dlr");
+
+    let (pk, s1, s2) = keygen(150);
+    let original_share_bytes = s2.to_bytes();
+    let mut ring = Keyring::new();
+    ring.insert_persistent(b"k", pk.clone(), s2, share_path.clone());
+    let mut server = Server::bind("127.0.0.1:0", Arc::new(ring), quick_config()).unwrap();
+    let addr = server.handle().local_addr();
+
+    // Refresh rotates BOTH shares jointly, so the decrypting clients and
+    // the epoch hook must share one P1 state.
+    let shared_p1 = Arc::new(Mutex::new(Party1::new(pk.clone(), s1)));
+
+    {
+        let shared_p1 = Arc::clone(&shared_p1);
+        server.set_epoch_hook(move |epoch| {
+            let mut t = connect(addr);
+            driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+            let mut p1 = shared_p1.lock().unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + epoch);
+            driver::p1_refresh(&mut p1, &mut t, &mut rng).unwrap();
+            let _ = driver::p1_shutdown(&mut t);
+        });
+    }
+    let running = start_server(server);
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(151);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = dlr::encrypt(&pk, &m, &mut r);
+
+    const CLIENTS: usize = 3;
+    const REQUESTS: usize = 20;
+    let stale_hits = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let ct = ct.clone();
+            let m = m.clone();
+            let shared_p1 = Arc::clone(&shared_p1);
+            let stale_hits = Arc::clone(&stale_hits);
+            std::thread::spawn(move || {
+                let mut t = connect(addr);
+                driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(300 + i as u64);
+                for _ in 0..REQUESTS {
+                    // Hold the shared P1 for the whole round so the hook's
+                    // refresh cannot rotate the share underneath a
+                    // half-done decryption.
+                    let mut p1 = shared_p1.lock().unwrap();
+                    loop {
+                        match driver::p1_decrypt(&mut p1, &ct, &mut t, &mut rng) {
+                            Ok(got) => {
+                                assert_eq!(got, m, "decryption after refresh must stay correct");
+                                break;
+                            }
+                            Err(CoreError::Remote { code, .. })
+                                if code == ErrorCode::StaleGeneration as u8 =>
+                            {
+                                // Lost the generation race: re-sync the
+                                // session binding and retry.
+                                stale_hits.fetch_add(1, Ordering::Relaxed);
+                                driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+                            }
+                            Err(e) => panic!("decrypt failed: {e}"),
+                        }
+                    }
+                    drop(p1);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                driver::p1_shutdown(&mut t).unwrap();
+            })
+        })
+        .collect();
+
+    // Fire two epoch boundaries while the traffic runs.
+    std::thread::sleep(Duration::from_millis(20));
+    running.handle.force_epoch();
+    wait_until("first epoch refresh", Duration::from_secs(10), || {
+        running.handle.stats().refreshes >= 1
+    });
+    running.handle.force_epoch();
+    wait_until("second epoch refresh", Duration::from_secs(10), || {
+        running.handle.stats().refreshes >= 2
+    });
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    let stats = running.stop();
+
+    assert_eq!(stats.epochs, 2);
+    assert_eq!(stats.refreshes, 2);
+    assert_eq!(stats.persist_failures, 0);
+    assert_eq!(
+        stats.requests_decrypt,
+        (CLIENTS * REQUESTS) as u64,
+        "every client decrypt eventually succeeded"
+    );
+    // Sessions bound to the pre-refresh generation observed the race as
+    // structured StaleGeneration errors, never as garbage plaintext.
+    assert_eq!(stats.error_replies as usize, stale_hits.load(Ordering::Relaxed));
+
+    // The refreshed share is on disk, parseable, and differs from the
+    // original (rotation actually happened).
+    let on_disk = std::fs::read(&share_path).unwrap();
+    assert_ne!(on_disk, original_share_bytes);
+    assert!(Share2::<E>::from_bytes(&on_disk, &pk.params).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn loadgen_smoke_produces_valid_report() {
+    let (pk, s1, s2) = keygen(160);
+    let mut ring = Keyring::new();
+    ring.insert(b"bench", pk.clone(), s2);
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), quick_config()).unwrap();
+    let running = start_server(server);
+
+    let config = LoadgenConfig {
+        clients: 4,
+        requests_per_client: 5,
+        key_id: b"bench".to_vec(),
+        ..LoadgenConfig::default()
+    };
+    let mut r = rand::rngs::StdRng::seed_from_u64(161);
+    let outcome = dlr_server::run_loadgen::<E, _>(running.addr(), &pk, &s1, &config, &mut r);
+
+    assert_eq!(outcome.successes, 20);
+    assert_eq!(outcome.failures, 0);
+    assert_eq!(outcome.mismatches, 0);
+    assert_eq!(outcome.latencies_ns.len(), 20);
+    assert!(outcome.throughput_rps() > 0.0);
+    assert!(outcome.latency_percentile_ns(50.0) <= outcome.latency_percentile_ns(99.0));
+
+    // The report round-trips through the dlr-metrics JSON schema.
+    let report = outcome.to_report();
+    let parsed = dlr_metrics::Report::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed.meta.get("successes").unwrap(), "20");
+    assert_eq!(parsed.wire.len(), 1);
+    // hello + 20 decrypts + 4 shutdowns crossed the wire
+    assert_eq!(parsed.wire[0].stats.frames_sent, 4 + 20 + 4);
+
+    let stats = running.stop();
+    assert_eq!(stats.requests_decrypt, 20);
+    assert_eq!(stats.error_replies, 0);
+}
+
+#[test]
+fn graceful_shutdown_persists_and_reports() {
+    let dir = std::env::temp_dir().join(format!("dlr-server-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let share_path = dir.join("sk2.dlr");
+    let stats_path = dir.join("stats.json");
+
+    let (pk, s1, s2) = keygen(170);
+    let expected_share = s2.to_bytes();
+    let mut ring = Keyring::new();
+    ring.insert_persistent(b"k", pk.clone(), s2, share_path.clone());
+    let config = ServerConfig {
+        stats_interval: Some(Duration::from_millis(40)),
+        stats_path: Some(stats_path.clone()),
+        ..quick_config()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap();
+    let running = start_server(server);
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(171);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = dlr::encrypt(&pk, &m, &mut r);
+    let mut p1 = Party1::new(pk.clone(), s1);
+    let mut t = connect(running.addr());
+    driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+    assert_eq!(driver::p1_decrypt(&mut p1, &ct, &mut t, &mut r).unwrap(), m);
+    driver::p1_shutdown(&mut t).unwrap();
+
+    let addr = running.addr();
+    let stats = running.stop();
+    assert_eq!(stats.requests_decrypt, 1);
+
+    // Graceful shutdown persisted the (unrefreshed) share and the final
+    // stats dump parses as a dlr-metrics report.
+    assert_eq!(std::fs::read(&share_path).unwrap(), expected_share);
+    let report =
+        dlr_metrics::Report::from_json(&std::fs::read_to_string(&stats_path).unwrap()).unwrap();
+    assert_eq!(report.meta.get("requests_decrypt").unwrap(), "1");
+    assert_eq!(report.meta.get("component").unwrap(), "dlr-server");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // After run() returns, the port is released.
+    assert!(matches!(
+        TcpTransport::new(match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => return, // refused immediately: also fine
+        })
+        .recv(),
+        Err(TransportError::Disconnected | TransportError::TimedOut | TransportError::Io(_))
+    ));
+}

@@ -16,6 +16,8 @@
 //! * [`leakage::game`] — the Definition 3.2 security game, runnable;
 //! * [`metrics`] — phase-level spans, group-operation counts and wire
 //!   statistics for the protocols (see `crates/metrics/README.md`);
+//! * [`server`] — the concurrent key-share service: keyring, epoch-driven
+//!   refresh, durable shares, and the closed-loop load generator;
 //! * the `examples/` directory for end-to-end scenarios.
 //!
 //! ```
@@ -41,6 +43,7 @@ pub use dlr_leakage as leakage;
 pub use dlr_math as math;
 pub use dlr_metrics as metrics;
 pub use dlr_protocol as protocol;
+pub use dlr_server as server;
 
 /// Convenient glob-import surface for examples and quick starts.
 pub mod prelude {

@@ -11,4 +11,11 @@ tools/check-docs.sh
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> server integration tests (live TCP)"
+cargo test -q -p dlr-server
+cargo test -q --test server_e2e
+
+echo "==> loadgen smoke run"
+cargo run --release -q -p dlr-bench --bin loadgen -- --clients 2 --requests 5
+
 echo "ci OK"
