@@ -52,7 +52,7 @@ pub fn metrics_session(trials: u32) -> Report {
         dlr::Party1::new(pk.clone(), s1.clone()),
         dlr::Party2::new(pk.clone(), s2.clone()),
     );
-    let ct2 = ct.clone();
+    let ct2 = ct;
     let out = run_pair(
         move |t| {
             let mut rng = StdRng::seed_from_u64(8);

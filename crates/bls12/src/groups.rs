@@ -100,6 +100,12 @@ macro_rules! impl_bls_group {
                 }
                 unreachable!("hash_to_group exhausted the counter space")
             }
+
+            /// Process-wide fixed-base tables for the generator.
+            fn generator_table() -> &'static dlr_curve::FixedBase<$name> {
+                static TABLE: OnceLock<dlr_curve::FixedBase<$name>> = OnceLock::new();
+                TABLE.get_or_init(|| dlr_curve::FixedBase::new(&Self::generator()))
+            }
         }
 
         impl Default for $name {
@@ -131,11 +137,18 @@ macro_rules! impl_bls_group {
             }
 
             fn generator() -> Self {
-                static GEN: OnceLock<Vec<u8>> = OnceLock::new();
-                let bytes = GEN.get_or_init(|| {
-                    Self::hash_to_group($domain, b"generator").to_bytes()
-                });
-                Self::from_bytes(bytes).expect("cached generator")
+                // Typed cache: the macro expands per concrete group, so a
+                // plain static is legal here (no byte round-trip per call).
+                static GEN: OnceLock<$name> = OnceLock::new();
+                *GEN.get_or_init(|| Self::hash_to_group($domain, b"generator"))
+            }
+
+            fn generator_pow(exp: &Self::Scalar) -> Self {
+                Self::generator_table().pow_fixed(exp)
+            }
+
+            fn warm_generator_tables() {
+                let _ = Self::generator_table();
             }
 
             fn raw_op(&self, rhs: &Self) -> Self {

@@ -162,6 +162,12 @@ impl Gt {
     pub fn as_fq12(&self) -> &Fq12 {
         &self.0
     }
+
+    /// Process-wide fixed-base tables for the generator.
+    fn generator_table() -> &'static dlr_curve::FixedBase<Gt> {
+        static TABLE: OnceLock<dlr_curve::FixedBase<Gt>> = OnceLock::new();
+        TABLE.get_or_init(|| dlr_curve::FixedBase::new(&Self::generator()))
+    }
 }
 
 impl Group for Gt {
@@ -174,13 +180,20 @@ impl Group for Gt {
     }
 
     fn generator() -> Self {
-        static GEN: OnceLock<Vec<u8>> = OnceLock::new();
-        let bytes = GEN.get_or_init(|| {
+        static GEN: OnceLock<Gt> = OnceLock::new();
+        *GEN.get_or_init(|| {
             let gt = pairing(&G1::generator(), &G2::generator());
             assert!(!gt.is_identity(), "degenerate pairing");
-            gt.to_bytes()
-        });
-        Self::from_bytes(bytes).expect("cached generator")
+            gt
+        })
+    }
+
+    fn generator_pow(exp: &Self::Scalar) -> Self {
+        Self::generator_table().pow_fixed(exp)
+    }
+
+    fn warm_generator_tables() {
+        let _ = Self::generator_table();
     }
 
     fn raw_op(&self, rhs: &Self) -> Self {

@@ -7,7 +7,7 @@ use dlr_bls12::fq6::Fq6;
 use dlr_bls12::pairing::{pairing, Gt};
 use dlr_bls12::params::Fr;
 use dlr_bls12::{Bls12_381, G1, G2};
-use dlr_curve::{Group, Pairing};
+use dlr_curve::Group;
 use dlr_math::{FieldElement, PrimeField};
 use proptest::prelude::*;
 use rand::SeedableRng;

@@ -25,7 +25,7 @@ use crate::error::CoreError;
 use crate::hpske::{self, HpskeCiphertext, HpskeKey};
 use crate::params::SchemeParams;
 use crate::pss;
-use dlr_curve::{Group, Pairing};
+use dlr_curve::{Group, LazyFixedBase, Pairing};
 use dlr_math::FieldElement;
 use dlr_protocol::{Decoder, Device, Encoder};
 use rand::RngCore;
@@ -50,6 +50,45 @@ pub struct PublicKey<E: Pairing> {
     pub params: SchemeParams,
     /// `z = e(g_1, g_2)` — the only key material needed to encrypt.
     pub z: E::Gt,
+    /// Lazily-built fixed-base tables for `z^t`, shared across clones.
+    /// Never serialized; ignored by `PartialEq`/`Eq`.
+    z_table: LazyFixedBase<E::Gt>,
+}
+
+impl<E: Pairing> PublicKey<E> {
+    /// Construct from the derived parameters and `z = e(g_1, g_2)`.
+    pub fn new(params: SchemeParams, z: E::Gt) -> Self {
+        Self {
+            params,
+            z,
+            z_table: LazyFixedBase::new(),
+        }
+    }
+
+    /// `z^t` through the lazily-built fixed-base tables: the same group
+    /// element and the same single `GT`-pow counter bump as
+    /// `self.z.pow(t)`, with the doubling chain amortized across every
+    /// encryption under this key.
+    pub fn pow_z(&self, t: &E::Scalar) -> E::Gt {
+        self.z_table.pow(&self.z, t)
+    }
+
+    /// Build all fixed-base tables this key's encrypt path uses — the
+    /// `z` tables and the process-wide generator tables — now rather than
+    /// on first use. Server keyrings call this outside their generation
+    /// locks so sessions never pay precompute.
+    pub fn warm(&self) {
+        self.z_table.warm(&self.z);
+        E::G1::warm_generator_tables();
+        E::Gt::warm_generator_tables();
+    }
+
+    /// Whether the `z` fixed-base tables have been built (by [`warm`](Self::warm)
+    /// or a first [`pow_z`](Self::pow_z)). Clones share the
+    /// tables, so a warm clone means a warm original.
+    pub fn tables_warm(&self) -> bool {
+        self.z_table.is_warm()
+    }
 }
 
 /// `P1`'s secret key share `sk_1 = (a_1, …, a_ℓ, Φ)`.
@@ -118,9 +157,8 @@ fn keygen_inner<E: Pairing, R: RngCore + ?Sized>(
     params: SchemeParams,
     rng: &mut R,
 ) -> (PublicKey<E>, Share1<E>, Share2<E>) {
-    let g = E::G1::generator();
     let alpha = E::Scalar::random(rng);
-    let g1 = g.pow(&alpha);
+    let g1 = E::G1::generator_pow(&alpha);
     let g2 = E::G2::random(rng);
     let z = E::pair(&g1, &g2);
 
@@ -132,7 +170,7 @@ fn keygen_inner<E: Pairing, R: RngCore + ?Sized>(
     let ct = pss::encrypt(&pss_key, &msk, rng);
 
     (
-        PublicKey { params, z },
+        PublicKey::new(params, z),
         Share1 {
             a: ct.a,
             phi: ct.c0,
@@ -161,8 +199,8 @@ pub fn encrypt_with_randomness<E: Pairing>(
     t: &E::Scalar,
 ) -> Ciphertext<E> {
     Ciphertext {
-        big_a: E::G1::generator().pow(t),
-        big_b: m.op(&pk.z.pow(t)),
+        big_a: E::G1::generator_pow(t),
+        big_b: m.op(&pk.pow_z(t)),
     }
 }
 
@@ -175,8 +213,8 @@ pub fn rerandomize<E: Pairing, R: RngCore + ?Sized>(
 ) -> Ciphertext<E> {
     let t = E::Scalar::random(rng);
     Ciphertext {
-        big_a: ct.big_a.op(&E::G1::generator().pow(&t)),
-        big_b: ct.big_b.op(&pk.z.pow(&t)),
+        big_a: ct.big_a.op(&E::G1::generator_pow(&t)),
+        big_b: ct.big_b.op(&pk.pow_z(&t)),
     }
 }
 
@@ -689,6 +727,7 @@ impl<E: Pairing> Clone for PublicKey<E> {
         Self {
             params: self.params,
             z: self.z,
+            z_table: self.z_table.clone(), // clones share the built tables
         }
     }
 }

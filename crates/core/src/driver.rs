@@ -275,6 +275,10 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Upper bound on any single delay.
     pub max_delay: Duration,
+    /// Seed decorrelating the jittered schedule across clients. Clients
+    /// that share a seed (and a failure) retry in lockstep and re-collide
+    /// on a [`ErrorCode::Busy`] server — give each client its own seed.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -283,18 +287,45 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_delay: Duration::from_millis(25),
             max_delay: Duration::from_secs(2),
+            jitter_seed: 0,
         }
     }
 }
 
+/// SplitMix64 — cheap, well-mixed, and dependency-free; used only to
+/// spread retry delays, never for anything cryptographic.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl RetryPolicy {
-    /// The delay preceding retry number `retry` (0-based): `base · 2^retry`
-    /// capped at `max_delay`.
+    /// The undithered delay preceding retry number `retry` (0-based):
+    /// `base · 2^retry` capped at `max_delay`.
     pub fn backoff_delay(&self, retry: u32) -> Duration {
         let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
         self.base_delay
             .checked_mul(factor)
             .map_or(self.max_delay, |d| d.min(self.max_delay))
+    }
+
+    /// The delay [`p1_decrypt_with_retry`] actually sleeps: the capped
+    /// exponential [`backoff_delay`](Self::backoff_delay) dithered into
+    /// `[d/2, d]` by a deterministic hash of `(jitter_seed, retry)`.
+    /// Equal-half jitter keeps the expected schedule exponential while
+    /// spreading concurrent clients (distinct seeds) apart so a burst of
+    /// [`ErrorCode::Busy`] replies does not re-collide on every retry.
+    pub fn backoff_delay_jittered(&self, retry: u32) -> Duration {
+        let d = self.backoff_delay(retry);
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        if nanos < 2 {
+            return d;
+        }
+        let half = nanos / 2;
+        let h = splitmix64(self.jitter_seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ u64::from(retry));
+        Duration::from_nanos(half + h % (nanos - half + 1))
     }
 }
 
@@ -329,7 +360,7 @@ pub fn p1_decrypt_with_retry<E: Pairing, R: RngCore + ?Sized>(
     let mut last_err = None;
     for attempt in 0..attempts {
         if attempt > 0 {
-            std::thread::sleep(policy.backoff_delay(attempt - 1));
+            std::thread::sleep(policy.backoff_delay_jittered(attempt - 1));
         }
         let mut transport = match connect() {
             Ok(t) => t,
@@ -584,6 +615,7 @@ mod tests {
             max_attempts: 6,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(55),
+            jitter_seed: 0,
         };
         assert_eq!(policy.backoff_delay(0), Duration::from_millis(10));
         assert_eq!(policy.backoff_delay(1), Duration::from_millis(20));
@@ -591,6 +623,53 @@ mod tests {
         assert_eq!(policy.backoff_delay(3), Duration::from_millis(55));
         assert_eq!(policy.backoff_delay(31), Duration::from_millis(55));
         assert_eq!(policy.backoff_delay(32), Duration::from_millis(55));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_half_to_full_envelope() {
+        for seed in [0u64, 1, 7, 0xdead_beef, u64::MAX] {
+            let policy = RetryPolicy {
+                max_attempts: 8,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(640),
+                jitter_seed: seed,
+            };
+            for retry in 0..8 {
+                let d = policy.backoff_delay(retry);
+                let j = policy.backoff_delay_jittered(retry);
+                assert!(j >= d / 2, "seed {seed} retry {retry}: {j:?} < {:?}", d / 2);
+                assert!(j <= d, "seed {seed} retry {retry}: {j:?} > {d:?}");
+                // deterministic: same (seed, retry) → same delay
+                assert_eq!(j, policy.backoff_delay_jittered(retry));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_decorrelates_distinct_seeds() {
+        let mk = |seed| RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: seed,
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            (0..6).map(|r| mk(seed).backoff_delay_jittered(r)).collect()
+        };
+        // Any pair of distinct seeds must disagree somewhere — lockstep
+        // retries are exactly what the jitter exists to break.
+        let seeds = [0u64, 1, 2, 3, 99];
+        for (i, &a) in seeds.iter().enumerate() {
+            for &b in &seeds[i + 1..] {
+                assert_ne!(schedule(a), schedule(b), "seeds {a} and {b} in lockstep");
+            }
+        }
+        // zero delays pass through untouched
+        let zero = RetryPolicy {
+            base_delay: Duration::ZERO,
+            ..mk(5)
+        };
+        assert_eq!(zero.backoff_delay_jittered(0), Duration::ZERO);
     }
 
     #[test]
@@ -627,6 +706,7 @@ mod tests {
             max_attempts: 3,
             base_delay: Duration::from_millis(1),
             max_delay: Duration::from_millis(2),
+            jitter_seed: 0,
         };
         let result = p1_decrypt_with_retry(
             &mut p1,
@@ -659,6 +739,7 @@ mod tests {
             max_attempts: 5,
             base_delay: Duration::from_millis(1),
             max_delay: Duration::from_millis(2),
+            jitter_seed: 0,
         };
         let mut server: Option<std::thread::JoinHandle<()>> = None;
         let got = p1_decrypt_with_retry(

@@ -164,6 +164,53 @@ impl<G: Group> HpskeCiphertext<G> {
     }
 }
 
+/// Fixed-base exponentiation tables for one HPSKE ciphertext — one
+/// [`FixedBase`](dlr_curve::FixedBase) per coordinate (`κ` coins plus the
+/// payload).
+///
+/// Worth building only when the *same* ciphertext is raised to many
+/// scalars, which happens for period-fixed elements: in
+/// [`CommMode::Reuse`](crate::dlr::CommMode) the encrypted share
+/// coordinates `f_i` stay fixed for a whole leakage period while `P2`
+/// exponentiates them once per decryption. The per-request protocol path
+/// keeps [`HpskeCiphertext::product_of_powers`] (Straus) because its bases
+/// are fresh every call — tables would cost more than they save there.
+///
+/// [`pow_fixed`](Self::pow_fixed) bumps exactly the counters
+/// [`HpskeCiphertext::pow`] does (`κ+1` group pows), so op-count reports
+/// are comparable across the two evaluation strategies.
+#[derive(Debug, Clone)]
+pub struct HpskeTables<G: Group> {
+    b: Vec<dlr_curve::FixedBase<G>>,
+    c0: dlr_curve::FixedBase<G>,
+}
+
+impl<G: Group> HpskeTables<G> {
+    /// Precompute tables for every coordinate of `ct`. Uninstrumented
+    /// (table construction is setup work, not protocol ops).
+    pub fn new(ct: &HpskeCiphertext<G>) -> Self {
+        Self {
+            b: ct.b.iter().map(dlr_curve::FixedBase::new).collect(),
+            c0: dlr_curve::FixedBase::new(&ct.c0),
+        }
+    }
+
+    /// Key length `κ` of the underlying ciphertext.
+    pub fn kappa(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Coordinate-wise power via the tables — same result and same
+    /// counter footprint as [`HpskeCiphertext::pow`] on the source
+    /// ciphertext.
+    pub fn pow_fixed(&self, s: &G::Scalar) -> HpskeCiphertext<G> {
+        HpskeCiphertext {
+            b: self.b.iter().map(|t| t.pow_fixed(s)).collect(),
+            c0: self.c0.pow_fixed(s),
+        }
+    }
+}
+
 /// The §5.2 reuse map: pair every coordinate of a `G`-ciphertext with a
 /// point `A`, yielding a valid `GT`-ciphertext **of `e(A, m)` under the
 /// same key**:
@@ -280,6 +327,47 @@ mod tests {
         let m = MG::random(&mut r);
         let ct = encrypt(&key, &m, &mut r);
         assert_eq!(decrypt(&short, &ct), None);
+    }
+
+    #[test]
+    fn tables_match_direct_pow() {
+        let mut r = rng();
+        let key = HpskeKey::generate(3, &mut r);
+        let m = G::<Toy>::random(&mut r);
+        let ct = encrypt(&key, &m, &mut r);
+        let tables = HpskeTables::new(&ct);
+        assert_eq!(tables.kappa(), 3);
+        for _ in 0..8 {
+            let s = <G<Toy> as Group>::Scalar::random(&mut r);
+            assert_eq!(tables.pow_fixed(&s), ct.pow(&s));
+        }
+        // edge scalars
+        assert_eq!(
+            tables.pow_fixed(&<G<Toy> as Group>::Scalar::zero()),
+            ct.pow(&<G<Toy> as Group>::Scalar::zero())
+        );
+        assert_eq!(
+            tables.pow_fixed(&<G<Toy> as Group>::Scalar::one()),
+            ct.pow(&<G<Toy> as Group>::Scalar::one())
+        );
+    }
+
+    #[test]
+    fn tables_count_like_pow() {
+        let mut r = rng();
+        let key = HpskeKey::generate(4, &mut r);
+        let m = Gt::<Toy>::random(&mut r);
+        let ct = encrypt(&key, &m, &mut r);
+        let s = <Gt<Toy> as Group>::Scalar::random(&mut r);
+        // Table construction must not touch the counters.
+        let (tables, build) = dlr_curve::counters::measure(|| HpskeTables::new(&ct));
+        assert_eq!(build.gt_pow, 0);
+        assert_eq!(build.gt_op, 0);
+        let (_, direct) = dlr_curve::counters::measure(|| ct.pow(&s));
+        let (_, fixed) = dlr_curve::counters::measure(|| tables.pow_fixed(&s));
+        assert_eq!(fixed.gt_pow, direct.gt_pow);
+        assert_eq!(fixed.gt_pow, 5); // κ+1 coordinates
+        assert_eq!(fixed.gt_op, direct.gt_op);
     }
 
     #[test]

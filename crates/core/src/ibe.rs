@@ -24,7 +24,7 @@
 use crate::codec::{get_group, put_group};
 use crate::error::CoreError;
 use crate::params::SchemeParams;
-use dlr_curve::{Group, Pairing};
+use dlr_curve::{Group, LazyFixedBase, Pairing};
 use dlr_math::FieldElement;
 use dlr_protocol::{Decoder, Encoder};
 use rand::RngCore;
@@ -49,6 +49,35 @@ pub struct IbeParams<E: Pairing> {
     pub u1: Vec<[E::G1; 2]>,
     /// The per-bit matrix in the key slot.
     pub u2: Vec<[E::G2; 2]>,
+    /// Lazily-built fixed-base tables for `z^t`, shared across clones.
+    /// Never serialized; ignored by `PartialEq`/`Eq`.
+    z_table: LazyFixedBase<E::Gt>,
+}
+
+impl<E: Pairing> IbeParams<E> {
+    /// Assemble public parameters (see [`setup`]).
+    pub fn new(
+        params: SchemeParams,
+        n_id: usize,
+        z: E::Gt,
+        u1: Vec<[E::G1; 2]>,
+        u2: Vec<[E::G2; 2]>,
+    ) -> Self {
+        Self {
+            params,
+            n_id,
+            z,
+            u1,
+            u2,
+            z_table: LazyFixedBase::new(),
+        }
+    }
+
+    /// `z^t` through the lazily-built fixed-base tables — same element and
+    /// counter bump as `self.z.pow(t)`, amortized across encryptions.
+    pub fn pow_z(&self, t: &E::Scalar) -> E::Gt {
+        self.z_table.pow(&self.z, t)
+    }
 }
 
 /// The master secret key `msk = g_2^α` (single-processor form; the
@@ -153,18 +182,12 @@ pub fn setup<E: Pairing, R: RngCore + ?Sized>(
     let g = E::G1::generator();
     let h = E::G2::generator();
     let alpha = E::Scalar::random(rng);
-    let g1 = g.pow(&alpha);
+    let g1 = E::G1::generator_pow(&alpha);
     let g2 = E::G2::random(rng);
     let z = E::pair(&g1, &g2);
     let (u1, u2) = sample_u_matrix::<E, _>(n_id, &g, &h, rng);
     (
-        IbeParams {
-            params: scheme,
-            n_id,
-            z,
-            u1,
-            u2,
-        },
+        IbeParams::new(scheme, n_id, z, u1, u2),
         MasterKey {
             msk: g2.pow(&alpha),
         },
@@ -180,8 +203,8 @@ pub fn extract<E: Pairing, R: RngCore + ?Sized>(
 ) -> IdentityKey<E> {
     let bits = hash_identity(id, params.n_id);
     let r: Vec<E::Scalar> = (0..params.n_id).map(|_| E::Scalar::random(rng)).collect();
-    let h = E::G2::generator();
-    let r_g: Vec<E::G2> = r.iter().map(|rj| h.pow(rj)).collect();
+    // h^{r_j} for the fixed generator h: one comb-table pow per bit.
+    let r_g: Vec<E::G2> = r.iter().map(E::G2::generator_pow).collect();
     // W = ∏ u2_{j,b_j}^{r_j}
     let bases: Vec<E::G2> = bits
         .iter()
@@ -204,15 +227,14 @@ pub fn encrypt<E: Pairing, R: RngCore + ?Sized>(
 ) -> IbeCiphertext<E> {
     let bits = hash_identity(id, params.n_id);
     let t = E::Scalar::random(rng);
-    let g = E::G1::generator();
     IbeCiphertext {
-        big_a: g.pow(&t),
+        big_a: E::G1::generator_pow(&t),
         c: bits
             .iter()
             .enumerate()
             .map(|(j, &b)| params.u1[j][b as usize].pow(&t))
             .collect(),
-        big_b: m.op(&params.z.pow(&t)),
+        big_b: m.op(&params.pow_z(&t)),
     }
 }
 
@@ -245,6 +267,7 @@ impl<E: Pairing> Clone for IbeParams<E> {
             z: self.z,
             u1: self.u1.clone(),
             u2: self.u2.clone(),
+            z_table: self.z_table.clone(), // clones share the built tables
         }
     }
 }

@@ -58,7 +58,7 @@ impl<E: Pairing> PublicKey<E> {
         let params = get_params(&mut dec)?;
         let z = get_group::<E::Gt>(&mut dec)?;
         dec.finish()?;
-        Ok(Self { params, z })
+        Ok(Self::new(params, z))
     }
 }
 

@@ -6,16 +6,13 @@
 //! and hashing are defined on the underlying affine point, so the same
 //! group element in different coordinates compares equal.
 
+use crate::fixedbase::FixedBase;
 use crate::params::SsParams;
 use crate::traits::{Group, GroupKind};
-use core::any::TypeId;
 use core::hash::{Hash, Hasher};
 use core::marker::PhantomData;
 use dlr_math::{FieldElement, PrimeField};
-use parking_lot::Mutex;
 use rand::RngCore;
-use std::collections::HashMap;
-use std::sync::OnceLock;
 
 /// An element of the source group `G` (Jacobian coordinates).
 #[derive(Clone, Copy, Debug)]
@@ -187,13 +184,6 @@ impl<P: SsParams> G<P> {
     }
 }
 
-type GeneratorCache = Mutex<HashMap<TypeId, (Vec<u8>, Vec<u8>)>>;
-
-fn generator_cache() -> &'static GeneratorCache {
-    static CACHE: OnceLock<GeneratorCache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
 fn derive_generator<P: SsParams>() -> G<P> {
     G::<P>::hash_to_group(P::GENERATOR_DOMAIN, b"generator")
 }
@@ -240,21 +230,22 @@ impl<P: SsParams> Group for G<P> {
     }
 
     fn generator() -> Self {
-        let key = TypeId::of::<P>();
-        {
-            let cache = generator_cache().lock();
-            if let Some((xb, yb)) = cache.get(&key) {
-                let x = P::Fp::from_bytes_be(xb).expect("cached generator x");
-                let y = P::Fp::from_bytes_be(yb).expect("cached generator y");
-                return Self::jacobian(x, y, P::Fp::one());
-            }
-        }
-        let g = derive_generator::<P>();
-        let (x, y) = g.to_affine().expect("generator is not infinity");
-        generator_cache()
-            .lock()
-            .insert(key, (x.to_bytes_be(), y.to_bytes_be()));
-        g
+        // Typed per-params cache: the former global Mutex<HashMap> of
+        // serialized coordinates re-parsed the point on every call.
+        *P::caches().g_generator.get_or_init(derive_generator::<P>)
+    }
+
+    fn generator_pow(exp: &Self::Scalar) -> Self {
+        P::caches()
+            .g_table
+            .get_or_init(|| FixedBase::new(&Self::generator()))
+            .pow_fixed(exp)
+    }
+
+    fn warm_generator_tables() {
+        let _ = P::caches()
+            .g_table
+            .get_or_init(|| FixedBase::new(&Self::generator()));
     }
 
     fn raw_op(&self, rhs: &Self) -> Self {

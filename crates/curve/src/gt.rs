@@ -5,16 +5,13 @@
 //! `GT` arithmetic is one reason encrypting into `GT` (as DLR does) is
 //! practical.
 
+use crate::fixedbase::FixedBase;
 use crate::params::SsParams;
 use crate::traits::{Group, GroupKind};
 use crate::util::field_modulus_limbs;
-use core::any::TypeId;
 use core::marker::PhantomData;
 use dlr_math::{FieldElement, Fp2};
-use parking_lot::Mutex;
 use rand::RngCore;
-use std::collections::HashMap;
-use std::sync::OnceLock;
 
 /// An element of `GT` (invariant: unitary, i.e. norm 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -44,11 +41,6 @@ impl<P: SsParams> Gt<P> {
     }
 }
 
-fn gt_generator_cache() -> &'static Mutex<HashMap<TypeId, Vec<u8>>> {
-    static CACHE: OnceLock<Mutex<HashMap<TypeId, Vec<u8>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
 impl<P: SsParams> Group for Gt<P> {
     type Scalar = P::Fr;
     const NAME: &'static str = "GT";
@@ -62,20 +54,29 @@ impl<P: SsParams> Group for Gt<P> {
     }
 
     fn generator() -> Self {
-        let key = TypeId::of::<P>();
-        {
-            let cache = gt_generator_cache().lock();
-            if let Some(bytes) = cache.get(&key) {
-                return Self::from_bytes(bytes).expect("cached Gt generator");
-            }
-        }
         // e(g, g) for the source-group generator g — generates GT by
-        // non-degeneracy of the modified Tate pairing.
-        let g = crate::curve::G::<P>::generator();
-        let gt = crate::pairing::tate_pairing::<P>(&g, &g);
-        assert!(!gt.is_identity(), "pairing degenerate on generator");
-        gt_generator_cache().lock().insert(key, gt.to_bytes());
-        gt
+        // non-degeneracy of the modified Tate pairing. Cached typed in the
+        // per-params cell (the former global cache stored bytes and
+        // re-deserialized per call).
+        *P::caches().gt_generator.get_or_init(|| {
+            let g = crate::curve::G::<P>::generator();
+            let gt = crate::pairing::tate_pairing::<P>(&g, &g);
+            assert!(!gt.is_identity(), "pairing degenerate on generator");
+            gt
+        })
+    }
+
+    fn generator_pow(exp: &Self::Scalar) -> Self {
+        P::caches()
+            .gt_table
+            .get_or_init(|| FixedBase::new(&Self::generator()))
+            .pow_fixed(exp)
+    }
+
+    fn warm_generator_tables() {
+        let _ = P::caches()
+            .gt_table
+            .get_or_init(|| FixedBase::new(&Self::generator()));
     }
 
     fn raw_op(&self, rhs: &Self) -> Self {

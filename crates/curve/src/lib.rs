@@ -13,6 +13,9 @@
 //!   [`Ss1024`], each of which *is* a [`Pairing`];
 //! * [`curve`] — the source group [`G`] (Jacobian arithmetic,
 //!   hash-to-curve, unknown-dlog sampling);
+//! * [`fixedbase`] — [`FixedBase`]: precomputed comb tables for the
+//!   fixed-base exponentiations of DLR encryption (`g^t`, `z^t`), plus the
+//!   shareable lazy cell [`LazyFixedBase`];
 //! * [`gt`] — the target group [`Gt`] `⊂ F_{p²}*`;
 //! * [`pairing`] — affine Miller loop + final exponentiation, plus the
 //!   batched [`pairing::pairing_product`] (shared squaring chain, single
@@ -43,6 +46,7 @@
 
 pub mod counters;
 pub mod curve;
+pub mod fixedbase;
 pub mod gt;
 pub mod modgroup;
 pub mod multiexp;
@@ -54,8 +58,9 @@ pub mod traits;
 mod util;
 
 pub use curve::G;
+pub use fixedbase::{FixedBase, LazyFixedBase};
 pub use gt::Gt;
 pub use parallel::{parallel_threads, set_parallel_threads};
-pub use params::{Ss1024, Ss512, Ss768, SsParams, Toy};
+pub use params::{ParamCaches, Ss1024, Ss512, Ss768, SsParams, Toy};
 pub use prepared::PreparedPoint;
 pub use traits::{Group, GroupKind, Pairing};

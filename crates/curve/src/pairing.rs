@@ -209,6 +209,7 @@ pub fn pairing_product<P: SsParams>(pairs: &[(G<P>, G<P>)]) -> Gt<P> {
         counters::count_pairing();
     }
     // Pairs with an identity slot contribute e(·, O) = e(O, ·) = 1.
+    #[allow(clippy::type_complexity)]
     let affine: Vec<(Affine<P::Fp>, Affine<P::Fp>)> = pairs
         .iter()
         .filter_map(|(p, q)| match (p.to_affine(), q.to_affine()) {

@@ -29,6 +29,7 @@
 use core::fmt::Debug;
 use core::hash::Hash;
 use dlr_math::define_prime_field;
+use std::sync::OnceLock;
 
 define_prime_field!(
     /// Base field of the TOY curve (71-bit prime, `p ≡ 3 (mod 4)`).
@@ -73,6 +74,48 @@ pub trait SsParams:
     const COFACTOR: &'static [u64];
     /// Domain-separation seed for deterministic generator derivation.
     const GENERATOR_DOMAIN: &'static [u8];
+
+    /// The process-wide typed cache cell for this parameter set: the
+    /// derived generators and their fixed-base exponentiation tables.
+    /// Generic code cannot declare a `static` whose type mentions a type
+    /// parameter, so each concrete set carries its own cell — every impl
+    /// is the same two lines (see [`Toy`]'s).
+    fn caches() -> &'static ParamCaches<Self>;
+}
+
+/// Typed per-parameter-set caches (see [`SsParams::caches`]).
+///
+/// Replaces the former process-global `Mutex<HashMap<TypeId, bytes>>`
+/// generator caches, which re-deserialized (and for the curve, re-solved a
+/// square root) on every `generator()` call — on the encrypt hot path.
+/// Here the element is stored typed and handed out by copy.
+pub struct ParamCaches<P: SsParams> {
+    /// The cached source-group generator.
+    pub g_generator: OnceLock<crate::curve::G<P>>,
+    /// The cached target-group generator `e(g, g)`.
+    pub gt_generator: OnceLock<crate::gt::Gt<P>>,
+    /// Fixed-base tables for the source generator.
+    pub g_table: OnceLock<crate::fixedbase::FixedBase<crate::curve::G<P>>>,
+    /// Fixed-base tables for the target generator.
+    pub gt_table: OnceLock<crate::fixedbase::FixedBase<crate::gt::Gt<P>>>,
+}
+
+impl<P: SsParams> ParamCaches<P> {
+    /// An empty cell, usable in `static` initializers.
+    pub const fn new() -> Self {
+        Self {
+            g_generator: OnceLock::new(),
+            gt_generator: OnceLock::new(),
+            g_table: OnceLock::new(),
+            gt_table: OnceLock::new(),
+        }
+    }
+}
+
+impl<P: SsParams> Default for ParamCaches<P> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// TOY parameter set: 71-bit base field for fast tests and simulations.
@@ -85,6 +128,11 @@ impl SsParams for Toy {
     const NAME: &'static str = "TOY";
     const COFACTOR: &'static [u64] = &[0xb4];
     const GENERATOR_DOMAIN: &'static [u8] = b"dlr-toy-generator";
+
+    fn caches() -> &'static ParamCaches<Self> {
+        static CACHES: ParamCaches<Toy> = ParamCaches::new();
+        &CACHES
+    }
 }
 
 const C512: [u64; 4] =
@@ -102,6 +150,11 @@ impl SsParams for Ss512 {
     const NAME: &'static str = "SS512";
     const COFACTOR: &'static [u64] = &C512;
     const GENERATOR_DOMAIN: &'static [u8] = b"dlr-ss512-generator";
+
+    fn caches() -> &'static ParamCaches<Self> {
+        static CACHES: ParamCaches<Ss512> = ParamCaches::new();
+        &CACHES
+    }
 }
 
 /// SS768 parameter set: 768-bit base field, 256-bit subgroup.
@@ -114,6 +167,11 @@ impl SsParams for Ss768 {
     const NAME: &'static str = "SS768";
     const COFACTOR: &'static [u64] = &C768;
     const GENERATOR_DOMAIN: &'static [u8] = b"dlr-ss768-generator";
+
+    fn caches() -> &'static ParamCaches<Self> {
+        static CACHES: ParamCaches<Ss768> = ParamCaches::new();
+        &CACHES
+    }
 }
 
 /// SS1024 parameter set: 1024-bit base field, 256-bit subgroup.
@@ -126,6 +184,11 @@ impl SsParams for Ss1024 {
     const NAME: &'static str = "SS1024";
     const COFACTOR: &'static [u64] = &C1024;
     const GENERATOR_DOMAIN: &'static [u8] = b"dlr-ss1024-generator";
+
+    fn caches() -> &'static ParamCaches<Self> {
+        static CACHES: ParamCaches<Ss1024> = ParamCaches::new();
+        &CACHES
+    }
 }
 
 #[cfg(test)]

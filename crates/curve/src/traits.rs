@@ -97,26 +97,78 @@ pub trait Group:
         self.pow_vartime_limbs(&limbs)
     }
 
-    /// Exponentiation by a little-endian limb slice (uninstrumented;
-    /// used internally for cofactor clearing and subgroup checks).
+    /// Exponentiation by a little-endian limb slice (uninstrumented; used
+    /// internally for cofactor clearing and subgroup checks, and as the
+    /// engine behind [`Self::pow`]).
+    ///
+    /// Sliding-window recoding over a table of odd powers
+    /// `self, self³, …, self^{2^w−1}`: the same number of doublings as the
+    /// binary chain but ~`nbits/(w+1)` general operations instead of
+    /// ~`nbits/2`, for `2^{w−1}` precomputed multiples. Correct for
+    /// **arbitrary** slices, including values at or above the group order
+    /// (the subgroup check exponentiates by `r` itself, cofactor clearing
+    /// by `(p+1)/r`).
     fn pow_vartime_limbs(&self, exp: &[u64]) -> Self {
-        let mut nbits = 0u32;
-        for (i, w) in exp.iter().enumerate() {
-            if *w != 0 {
-                nbits = i as u32 * 64 + (64 - w.leading_zeros());
-            }
+        let nbits = dlr_math::limbs::bits_slice(exp);
+        if nbits == 0 {
+            return Self::identity();
         }
+        // Width by exponent size: the odd-powers table costs 2^{w-1} ops,
+        // amortized only over long enough chains.
+        let w: u32 = match nbits {
+            0..=31 => 2,
+            32..=95 => 3,
+            96..=255 => 4,
+            _ => 5,
+        };
+        // table[i] = self^(2i+1)
+        let sq = self.raw_double();
+        let mut table = Vec::with_capacity(1usize << (w - 1));
+        table.push(*self);
+        for i in 1..(1usize << (w - 1)) {
+            let prev = table[i - 1];
+            table.push(prev.raw_op(&sq));
+        }
+        let bit = |k: u32| (exp[(k / 64) as usize] >> (k % 64)) & 1 == 1;
         let mut acc = Self::identity();
-        let mut i = nbits;
-        while i > 0 {
-            i -= 1;
-            acc = acc.raw_double();
-            if (exp[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
-                acc = acc.raw_op(self);
+        let mut i = nbits as i64 - 1;
+        while i >= 0 {
+            if !bit(i as u32) {
+                acc = acc.raw_double();
+                i -= 1;
+                continue;
             }
+            // Greedy window [j, i], ending at a set bit so the digit is odd.
+            let mut j = (i + 1 - w as i64).max(0);
+            while !bit(j as u32) {
+                j += 1;
+            }
+            let width = (i - j + 1) as usize;
+            let digit = dlr_math::limbs::window(exp, j as usize, width);
+            for _ in 0..width {
+                acc = acc.raw_double();
+            }
+            acc = acc.raw_op(&table[digit >> 1]);
+            i = j - 1;
         }
         acc
     }
+
+    /// `generator()^exp` — the fixed-base half of DLR encryption
+    /// (`g^t` of `Enc_pk(m) = (g^t, m·z^t)`). Backends override this with
+    /// cached precomputed comb tables ([`crate::fixedbase::FixedBase`]);
+    /// the returned element and the counter bump are identical to
+    /// `Self::generator().pow(exp)` by construction, so instrumentation
+    /// cannot tell the paths apart.
+    fn generator_pow(exp: &Self::Scalar) -> Self {
+        Self::generator().pow(exp)
+    }
+
+    /// Build any process-wide fixed-base tables behind
+    /// [`Self::generator_pow`] now instead of on first use — servers call
+    /// this off the hot path (outside generation locks) so steady-state
+    /// traffic never pays precompute. Default: nothing to build.
+    fn warm_generator_tables() {}
 
     /// Exponentiation with an **operation-schedule independent of the
     /// exponent bits**: a Montgomery ladder over the full scalar bit

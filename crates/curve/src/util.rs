@@ -38,7 +38,7 @@ pub(crate) fn out_of_subgroup_point<P: crate::params::SsParams>() -> crate::curv
                 }
             }
         }
-        x = x + P::Fp::one();
+        x += P::Fp::one();
     }
 }
 

@@ -301,6 +301,43 @@ pub const fn bit<const L: usize>(a: &[u64; L], k: u32) -> bool {
     (a[limb] >> (k % 64)) & 1 == 1
 }
 
+/// Number of significant bits of a little-endian limb **slice** (the
+/// dynamically-sized counterpart of [`bits`], for exponents that arrive as
+/// `&[u64]` — cofactors, scalar canonical limbs, subgroup orders).
+pub const fn bits_slice(a: &[u64]) -> u32 {
+    let mut i = a.len();
+    while i > 0 {
+        i -= 1;
+        if a[i] != 0 {
+            return i as u32 * 64 + (64 - a[i].leading_zeros());
+        }
+    }
+    0
+}
+
+/// Extract the `width`-bit window starting at bit `bit_pos` (little-endian
+/// numbering) from a limb slice, spanning limb boundaries and zero-padding
+/// past the top. `width` must be at most 32 so the window always fits a
+/// `usize` even with the cross-limb carry. This is the digit-decoding
+/// primitive shared by windowed exponentiation (fixed-base combs, sliding
+/// windows, Straus interleaving).
+#[inline]
+pub const fn window(a: &[u64], bit_pos: usize, width: usize) -> usize {
+    assert!(width >= 1 && width <= 32, "window width out of range");
+    let limb = bit_pos / 64;
+    if limb >= a.len() {
+        return 0;
+    }
+    let shift = bit_pos % 64;
+    let mask = (1u64 << width) - 1;
+    let mut w = (a[limb] >> shift) & mask;
+    // Bits spilling into the next limb (if the window straddles a boundary).
+    if shift + width > 64 && limb + 1 < a.len() {
+        w |= (a[limb + 1] << (64 - shift)) & mask;
+    }
+    w as usize
+}
+
 /// Logical right shift by one bit.
 pub const fn shr1<const L: usize>(a: &[u64; L]) -> [u64; L] {
     let mut out = [0u64; L];
@@ -545,6 +582,45 @@ mod tests {
         assert!(!bit(&v, 63));
         assert!(!bit(&v, 200));
         assert_eq!(bits(&[0u64, 0]), 0);
+    }
+
+    #[test]
+    fn bits_slice_matches_array_bits() {
+        assert_eq!(bits_slice(&[0, 1]), bits(&[0u64, 1]));
+        assert_eq!(bits_slice(&[]), 0);
+        assert_eq!(bits_slice(&[0, 0, 0]), 0);
+        assert_eq!(bits_slice(&[0x8000_0000_0000_0000]), 64);
+        assert_eq!(bits_slice(&[u64::MAX, u64::MAX, 1]), 129);
+    }
+
+    #[test]
+    fn window_extracts_digits() {
+        let v = [0xfedc_ba98_7654_3210u64, 0x0123_4567_89ab_cdefu64];
+        // Aligned nibbles read straight out of the hex digits.
+        assert_eq!(window(&v, 0, 4), 0x0);
+        assert_eq!(window(&v, 4, 4), 0x1);
+        assert_eq!(window(&v, 60, 4), 0xf);
+        assert_eq!(window(&v, 64, 4), 0xf);
+        assert_eq!(window(&v, 124, 4), 0x0);
+        // Cross-limb window: bits 62..67 = top two bits of limb0 (11) plus
+        // low three bits of limb1 (111) -> 0b11111.
+        assert_eq!(window(&v, 62, 5), 0b11111);
+        // Past the end: zero-padded.
+        assert_eq!(window(&v, 128, 4), 0);
+        assert_eq!(window(&v, 120, 8), 0x01);
+        // Reference check against per-bit extraction for many positions.
+        for pos in 0..130 {
+            for width in [1usize, 2, 3, 5, 7, 8] {
+                let mut expect = 0usize;
+                for k in (0..width).rev() {
+                    let b = pos + k;
+                    let limb = b / 64;
+                    let set = limb < v.len() && (v[limb] >> (b % 64)) & 1 == 1;
+                    expect = (expect << 1) | usize::from(set);
+                }
+                assert_eq!(window(&v, pos, width), expect, "pos={pos} width={width}");
+            }
+        }
     }
 
     #[test]

@@ -217,7 +217,7 @@ mod tests {
         reset();
         span("par", || {
             counters::count_gt_op();
-            span("par.child", || counters::count_gt_pow());
+            span("par.child", counters::count_gt_pow);
         });
         let spans = snapshot_spans();
         assert_eq!(spans["par"].ops.gt_op, 1);

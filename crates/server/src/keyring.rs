@@ -40,9 +40,13 @@ pub struct KeyState<E: Pairing> {
     persist_path: Option<PathBuf>,
 }
 
-/// One registered key: identity plus locked state.
+/// One registered key: identity plus locked state. The public key lives
+/// *outside* the generation lock — it never changes across refreshes, and
+/// keeping it here lets [`warm`](Self::warm) rebuild fixed-base tables
+/// without touching the lock that serializes sessions.
 pub struct KeyEntry<E: Pairing> {
     id: Vec<u8>,
+    pk: PublicKey<E>,
     state: Mutex<KeyState<E>>,
 }
 
@@ -50,6 +54,23 @@ impl<E: Pairing> KeyEntry<E> {
     /// The key's registry id.
     pub fn id(&self) -> &[u8] {
         &self.id
+    }
+
+    /// The key's public half (lock-free — immutable for the entry's life).
+    pub fn public_key(&self) -> &PublicKey<E> {
+        &self.pk
+    }
+
+    /// Build the key's fixed-base exponentiation tables (`z` tables plus
+    /// the process-wide generator tables) **without acquiring the
+    /// generation lock**. The keyring calls this at registration and the
+    /// server calls it again after each committed refresh, so steady-state
+    /// sessions never pay table precompute and a warm-up never stalls an
+    /// in-flight decrypt. Idempotent: a second call finds the tables
+    /// already built. Clones of the public key (including the one inside
+    /// `P2`'s state) share the same tables.
+    pub fn warm(&self) {
+        self.pk.warm();
     }
 
     /// Current generation (brief lock acquisition).
@@ -155,12 +176,15 @@ impl<E: Pairing> Keyring<E> {
     ) {
         let entry = Arc::new(KeyEntry {
             id: id.to_vec(),
+            pk: pk.clone(),
             state: Mutex::new(KeyState {
                 p2: Party2::new(pk.clone(), share),
                 generation: 0,
                 persist_path,
             }),
         });
+        // Pay table precompute at key load, not in the first session.
+        entry.warm();
         if let Some(&idx) = self.by_id.get(id) {
             self.entries[idx] = entry;
         } else {
@@ -238,6 +262,48 @@ mod tests {
         assert!(ring.get(b"gamma").is_none());
         assert_eq!(ring.default_entry().unwrap().id(), b"alpha");
         assert!(ring.public_key(b"alpha").is_some());
+    }
+
+    #[test]
+    fn insert_warms_fixed_base_tables() {
+        let (pk, _s1, s2) = keygen(6);
+        assert!(!pk.tables_warm(), "fresh keygen must not prebuild tables");
+        let mut ring = Keyring::<E>::new();
+        ring.insert(b"k", pk.clone(), s2);
+        // the entry's copy, the ring's lookup copy, and the caller's
+        // original all share one table cell
+        assert!(ring.get(b"k").unwrap().public_key().tables_warm());
+        assert!(ring.public_key(b"k").unwrap().tables_warm());
+        assert!(pk.tables_warm());
+    }
+
+    #[test]
+    fn warm_does_not_take_the_generation_lock() {
+        let (pk, _s1, s2) = keygen(7);
+        let mut ring = Keyring::<E>::new();
+        ring.insert(b"k", pk, s2);
+        let entry = ring.get(b"k").unwrap();
+
+        // Hold the generation lock in another thread for longer than any
+        // warm-up could reasonably take; `warm` must complete while the
+        // lock is held, or sessions would stall behind epoch precompute.
+        let hold = std::time::Duration::from_millis(400);
+        let entry2 = Arc::clone(&entry);
+        let locked = std::sync::mpsc::channel();
+        let holder = std::thread::spawn(move || {
+            entry2.with_state(|_state| {
+                locked.0.send(()).unwrap();
+                std::thread::sleep(hold);
+            });
+        });
+        locked.1.recv().unwrap();
+        let started = std::time::Instant::now();
+        entry.warm();
+        assert!(
+            started.elapsed() < hold,
+            "warm() blocked on the generation lock"
+        );
+        holder.join().unwrap();
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! harness).
 
 use dlr_core::dlr::{self, Ciphertext, Party1, PublicKey, Share1};
-use dlr_core::driver::{self, GENERATION_ANY};
+use dlr_core::driver::{self, RetryPolicy, GENERATION_ANY};
 use dlr_curve::{Group, Pairing};
+use dlr_math::FieldElement;
 use dlr_metrics::Report;
 use dlr_protocol::transport::{new_transcript, RecordingTransport, TcpTransport};
 use dlr_protocol::WireStats;
@@ -36,6 +37,13 @@ pub struct LoadgenConfig {
     pub read_timeout: Option<Duration>,
     /// Reconnect budget per client before it gives up.
     pub max_reconnects: usize,
+    /// Backoff between a client's reconnect attempts. Each client derives
+    /// its own `jitter_seed` from its index, so a burst of `Busy` replies
+    /// does not make every client retry in lockstep.
+    pub backoff: RetryPolicy,
+    /// Client-side `encrypt` operations timed after the decrypt phase to
+    /// report encryption throughput. `0` skips the measurement.
+    pub encrypt_ops: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -46,6 +54,12 @@ impl Default for LoadgenConfig {
             key_id: b"default".to_vec(),
             read_timeout: Some(Duration::from_secs(10)),
             max_reconnects: 8,
+            backoff: RetryPolicy {
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(200),
+                ..RetryPolicy::default()
+            },
+            encrypt_ops: 256,
         }
     }
 }
@@ -69,6 +83,10 @@ pub struct LoadgenOutcome {
     pub latencies_ns: Vec<u64>,
     /// Wire statistics merged across all client transports.
     pub wire: WireStats,
+    /// Client-side `encrypt` operations timed for the throughput figure.
+    pub encrypt_ops: usize,
+    /// Wall-clock time of the encrypt measurement loop.
+    pub encrypt_elapsed: Duration,
 }
 
 impl LoadgenOutcome {
@@ -90,6 +108,17 @@ impl LoadgenOutcome {
         }
         let rank = (q / 100.0 * (self.latencies_ns.len() - 1) as f64).round() as usize;
         self.latencies_ns[rank.min(self.latencies_ns.len() - 1)]
+    }
+
+    /// Client-side `encrypt` operations per second; `0` when the
+    /// measurement was skipped.
+    pub fn encrypt_ops_per_s(&self) -> f64 {
+        let secs = self.encrypt_elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.encrypt_ops as f64 / secs
+        }
     }
 
     /// Mean latency over all samples; `0` when none recorded.
@@ -124,6 +153,11 @@ impl LoadgenOutcome {
             .with_meta(
                 "latency_max_ns",
                 &self.latencies_ns.last().copied().unwrap_or(0).to_string(),
+            )
+            .with_meta("encrypt_ops", &self.encrypt_ops.to_string())
+            .with_meta(
+                "encrypt_ops_per_s",
+                &format!("{:.2}", self.encrypt_ops_per_s()),
             );
         report.push_wire("loadgen.clients", self.wire.clone());
         report
@@ -158,13 +192,11 @@ pub fn run_loadgen<E: Pairing, R: rand::RngCore>(
     let started = Instant::now();
     let per_client: Vec<ClientOutcome> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..config.clients)
-            .map(|_| {
+            .map(|idx| {
                 let pk = pk.clone();
                 let share1 = share1.clone();
-                let ct = ct.clone();
-                let message = message.clone();
                 let config = config.clone();
-                s.spawn(move || client_loop(addr, pk, share1, ct, message, &config))
+                s.spawn(move || client_loop(addr, idx, pk, share1, ct, message, &config))
             })
             .collect();
         handles
@@ -173,6 +205,25 @@ pub fn run_loadgen<E: Pairing, R: rand::RngCore>(
             .collect()
     });
     let elapsed = started.elapsed();
+
+    // Client-side encryption throughput: time `encrypt_ops` fresh-scalar
+    // encryptions against the (warm) public key. Uses the span-free
+    // `encrypt_with_randomness` under its own span so the pinned `enc`
+    // span keeps its single-call count in committed bench reports.
+    let encrypt_elapsed = if config.encrypt_ops > 0 {
+        let scalars: Vec<E::Scalar> = (0..config.encrypt_ops)
+            .map(|_| E::Scalar::random(rng))
+            .collect();
+        dlr_metrics::span("loadgen.encrypt", || {
+            let started = Instant::now();
+            for t in &scalars {
+                std::hint::black_box(dlr::encrypt_with_randomness(pk, &message, t));
+            }
+            started.elapsed()
+        })
+    } else {
+        Duration::ZERO
+    };
 
     let mut outcome = LoadgenOutcome {
         clients: config.clients,
@@ -183,6 +234,8 @@ pub fn run_loadgen<E: Pairing, R: rand::RngCore>(
         elapsed,
         latencies_ns: Vec::new(),
         wire: WireStats::default(),
+        encrypt_ops: config.encrypt_ops,
+        encrypt_elapsed,
     };
     for client in per_client {
         outcome.successes += client.successes;
@@ -195,7 +248,7 @@ pub fn run_loadgen<E: Pairing, R: rand::RngCore>(
     outcome
 }
 
-fn connect<E: Pairing>(
+fn connect(
     addr: SocketAddr,
     config: &LoadgenConfig,
 ) -> Option<RecordingTransport<TcpTransport>> {
@@ -210,6 +263,7 @@ fn connect<E: Pairing>(
 
 fn client_loop<E: Pairing>(
     addr: SocketAddr,
+    client_idx: usize,
     pk: PublicKey<E>,
     share1: Share1<E>,
     ct: Ciphertext<E>,
@@ -223,10 +277,19 @@ fn client_loop<E: Pairing>(
         latencies_ns: Vec::with_capacity(config.requests_per_client),
         wire: WireStats::default(),
     };
+    // Per-client jitter seed: clients that hit the same Busy burst spread
+    // their reconnects apart instead of re-colliding in lockstep.
+    let backoff = RetryPolicy {
+        jitter_seed: config
+            .backoff
+            .jitter_seed
+            .wrapping_add(1 + client_idx as u64),
+        ..config.backoff.clone()
+    };
     let mut p1 = Party1::new(pk, share1);
     let mut rng = rand::thread_rng();
     let mut reconnects = 0usize;
-    let mut transport = connect::<E>(addr, config);
+    let mut transport = connect(addr, config);
 
     for _ in 0..config.requests_per_client {
         let mut done = false;
@@ -239,8 +302,9 @@ fn client_loop<E: Pairing>(
                     done = true;
                     continue;
                 }
+                std::thread::sleep(backoff.backoff_delay_jittered(reconnects as u32));
                 reconnects += 1;
-                transport = connect::<E>(addr, config);
+                transport = connect(addr, config);
                 if transport.is_none() {
                     out.failures += 1;
                     done = true;
@@ -259,11 +323,12 @@ fn client_loop<E: Pairing>(
                     done = true;
                 }
                 Err(e) if driver::is_retryable(&e) && reconnects < config.max_reconnects => {
+                    std::thread::sleep(backoff.backoff_delay_jittered(reconnects as u32));
                     reconnects += 1;
                     if let Some(dead) = transport.take() {
                         out.wire.merge(&dead.wire_stats());
                     }
-                    transport = connect::<E>(addr, config);
+                    transport = connect(addr, config);
                 }
                 Err(_) => {
                     out.failures += 1;

@@ -606,6 +606,11 @@ fn dispatch<E: Pairing, R: rand::RngCore>(
                 }
             });
             if let Some(generation) = rebind {
+                // Refresh committed. Re-warm the key's fixed-base tables
+                // *after* the generation lock is released — idempotent when
+                // already warm, and never serialized against other
+                // sessions' decrypts.
+                entry.warm();
                 session.bound_generation = generation;
             }
             Some(reply)

@@ -96,8 +96,6 @@ fn serves_four_concurrent_sessions() {
         .map(|i| {
             let pk = pk.clone();
             let s1 = s1.clone();
-            let ct = ct.clone();
-            let m = m.clone();
             let connected = Arc::clone(&connected);
             let release = Arc::clone(&release);
             std::thread::spawn(move || {
@@ -360,8 +358,6 @@ fn epoch_refresh_races_live_decrypts() {
     let stale_hits = Arc::new(AtomicUsize::new(0));
     let workers: Vec<_> = (0..CLIENTS)
         .map(|i| {
-            let ct = ct.clone();
-            let m = m.clone();
             let shared_p1 = Arc::clone(&shared_p1);
             let stale_hits = Arc::clone(&stale_hits);
             std::thread::spawn(move || {

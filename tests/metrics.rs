@@ -15,6 +15,7 @@ type Fr = <E as Pairing>::Scalar;
 /// overlap (the harness runs test functions on concurrent threads).
 static REGISTRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+#[allow(clippy::type_complexity)]
 fn setup(
     seed: u64,
 ) -> (

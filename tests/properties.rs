@@ -123,3 +123,106 @@ proptest! {
         prop_assert_eq!(scheme::decrypt_local(&mut p1, &mut p2, &ct2, &mut r).unwrap(), m);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential tests for the exponentiation engines: the comb-table
+// `FixedBase::pow_fixed` and the sliding-window `pow`/`pow_vartime_limbs`
+// must agree bit-for-bit with the Montgomery ladder (`pow_ladder`) on every
+// backend, including the edge scalars the window recoders are most likely
+// to mishandle (zero, one, r−1, lone high bits, sparse multi-limb values).
+// ---------------------------------------------------------------------------
+
+use dlr::bls12;
+use dlr::curve::{FixedBase, G, Gt};
+
+/// Reference square-and-multiply over a raw limb slice (MSB first).
+fn naive_pow_limbs<Grp: Group>(base: &Grp, exp: &[u64]) -> Grp {
+    let mut acc = Grp::identity();
+    for i in (0..64 * exp.len() as u32).rev() {
+        acc = acc.raw_double();
+        if (exp[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+            acc = acc.raw_op(base);
+        }
+    }
+    acc
+}
+
+/// Scalars exercising recoder edge cases (values reduce mod r on small
+/// fields, which is itself a case worth hitting).
+fn edge_scalars<F: PrimeField>() -> Vec<F> {
+    let two64 = F::from_u64(1 << 32) * F::from_u64(1 << 32);
+    vec![
+        F::zero(),
+        F::one(),
+        F::zero() - F::one(),                            // r − 1
+        F::from_u64(2),
+        F::from_u64(1 << 62),                            // lone bit, limb 0
+        two64,                                           // lone bit 64
+        two64 * F::from_u64(2) + F::one(),               // sparse: bits 65, 0
+        two64 * two64 + F::from_u64(0xdead_beef),        // bit 128 + low limb
+    ]
+}
+
+fn assert_pow_engines_agree<Grp: Group>(
+    base: &Grp,
+    scalars: &[Grp::Scalar],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let table = FixedBase::new(base);
+    for s in scalars {
+        let ladder = base.pow_ladder(s);
+        prop_assert_eq!(base.pow(s), ladder);
+        prop_assert_eq!(table.pow_fixed(s), ladder);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pow_engines_agree_on_toy(seed in 0u64..1000) {
+        let mut r = rng_from(seed);
+        let mut scalars = edge_scalars::<<G<Toy> as Group>::Scalar>();
+        scalars.extend((0..4).map(|_| <G<Toy> as Group>::Scalar::random(&mut r)));
+        assert_pow_engines_agree(&G::<Toy>::random(&mut r), &scalars)?;
+        assert_pow_engines_agree(&Gt::<Toy>::random(&mut r), &scalars)?;
+    }
+
+    #[test]
+    fn vartime_limbs_matches_binary_chain(
+        seed in 0u64..1000,
+        limbs in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..5),
+    ) {
+        // Arbitrary limb slices — including values far above the group
+        // order, as used by cofactor clearing and subgroup checks.
+        let mut r = rng_from(seed);
+        let g = G::<Toy>::random(&mut r);
+        prop_assert_eq!(g.pow_vartime_limbs(&limbs), naive_pow_limbs(&g, &limbs));
+        let t = Gt::<Toy>::random(&mut r);
+        prop_assert_eq!(t.pow_vartime_limbs(&limbs), naive_pow_limbs(&t, &limbs));
+    }
+}
+
+proptest! {
+    // 512-bit and BLS12-381 group ops are orders of magnitude slower than
+    // Toy's; a few random cases on top of the fixed edge set suffice.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn pow_engines_agree_on_ss512(seed in 0u64..100) {
+        let mut r = rng_from(seed);
+        let mut scalars = edge_scalars::<<G<Ss512> as Group>::Scalar>();
+        scalars.push(<G<Ss512> as Group>::Scalar::random(&mut r));
+        assert_pow_engines_agree(&G::<Ss512>::random(&mut r), &scalars)?;
+    }
+
+    #[test]
+    fn pow_engines_agree_on_bls12(seed in 0u64..100) {
+        let mut r = rng_from(seed);
+        let mut scalars = edge_scalars::<bls12::Fr>();
+        scalars.push(bls12::Fr::random(&mut r));
+        assert_pow_engines_agree(&bls12::G1::random(&mut r), &scalars)?;
+        assert_pow_engines_agree(&bls12::G2::random(&mut r), &scalars)?;
+        assert_pow_engines_agree(&bls12::Gt::random(&mut r), &scalars)?;
+    }
+}

@@ -158,6 +158,117 @@ fn error_paths_are_structured_and_survivable() {
     assert_eq!(stats.requests_decrypt, 1);
 }
 
+/// Fixed-base tables are built at key load and rebuilt after each epoch
+/// refresh *outside* the generation lock: sessions in flight across two
+/// forced refreshes keep decrypting (re-hello on StaleGeneration), and no
+/// request ever stalls behind table precompute.
+#[test]
+fn epoch_refresh_does_not_stall_inflight_sessions() {
+    let mut r = rng(40);
+    let (pk, s1, s2) = scheme::keygen::<E, _>(toy_params(), &mut r);
+    let mut keyring = Keyring::new();
+    keyring.insert(b"k", pk.clone(), s2);
+    // Registration itself must have paid the precompute (tentpole: tables
+    // are built at key load, not in the first session).
+    let entry = keyring.get(b"k").unwrap();
+    assert!(entry.public_key().tables_warm(), "insert must warm tables");
+
+    let mut server = Server::bind("127.0.0.1:0", Arc::new(keyring), quick_config()).expect("bind");
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    // The epoch hook refreshes over the wire with the shared P1; clients
+    // below share the same P1 so a post-refresh retry uses the new share.
+    let shared_p1 = Arc::new(Mutex::new(scheme::Party1::new(pk.clone(), s1)));
+    {
+        let p1 = Arc::clone(&shared_p1);
+        server.set_epoch_hook(move |epoch| {
+            let mut t = connect(addr);
+            driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+            let mut r = rng(2000 + epoch);
+            driver::p1_refresh(&mut p1.lock().unwrap(), &mut t, &mut r).unwrap();
+            let _ = driver::p1_shutdown(&mut t);
+        });
+    }
+    let thread = std::thread::spawn(move || server.run());
+
+    const CLIENTS: usize = 4;
+    const REQS: usize = 10;
+    let gate = Arc::new(Barrier::new(CLIENTS + 1));
+    let max_latency = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for c in 0..CLIENTS {
+            let pk = pk.clone();
+            let p1 = Arc::clone(&shared_p1);
+            let gate = Arc::clone(&gate);
+            workers.push(scope.spawn(move || {
+                let mut r = rng(300 + c as u64);
+                let mut t = connect(addr);
+                driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+                gate.wait(); // overlap with the forced refreshes below
+                let mut slowest = Duration::ZERO;
+                for _ in 0..REQS {
+                    let m = <E as Pairing>::Gt::random(&mut r);
+                    let ct = scheme::encrypt(&pk, &m, &mut r);
+                    loop {
+                        let started = std::time::Instant::now();
+                        let res = {
+                            let mut p1 = p1.lock().unwrap();
+                            driver::p1_decrypt(&mut p1, &ct, &mut t, &mut r)
+                        };
+                        slowest = slowest.max(started.elapsed());
+                        match res {
+                            Ok(got) => {
+                                assert_eq!(got, m);
+                                break;
+                            }
+                            Err(e) => {
+                                // A refresh won the race: re-bind to the
+                                // current generation and retry.
+                                assert_eq!(
+                                    remote_code(&e),
+                                    Some(ErrorCode::StaleGeneration as u8),
+                                    "unexpected failure: {e}"
+                                );
+                                driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap();
+                            }
+                        }
+                    }
+                }
+                driver::p1_shutdown(&mut t).unwrap();
+                slowest
+            }));
+        }
+        gate.wait();
+        // Two refreshes land while the decrypt loops run.
+        for want in 1..=2u64 {
+            handle.force_epoch();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while handle.stats().refreshes < want {
+                assert!(std::time::Instant::now() < deadline, "refresh {want} never landed");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client"))
+            .max()
+            .unwrap()
+    });
+
+    handle.shutdown();
+    let stats = thread.join().expect("server thread").expect("server run");
+    assert_eq!(stats.refreshes, 2);
+    assert!(stats.requests_decrypt >= (CLIENTS * REQS) as u64);
+    assert!(entry.public_key().tables_warm());
+    // Generous ceiling: a request may wait behind the refresh's critical
+    // section, but never behind table precompute (which happens unlocked).
+    assert!(
+        max_latency < Duration::from_secs(2),
+        "in-flight decrypt stalled {max_latency:?}"
+    );
+}
+
 /// The built-in load generator drives the facade-visible server while an
 /// epoch refresh rotates the share mid-run; stale sessions recover.
 #[test]

@@ -6,6 +6,8 @@
 //! identical). See the workspace `Cargo.toml` for why third-party crates
 //! are vendored.
 
+
+#![allow(clippy::all)] // vendored shim: mirrors upstream API, not linted
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous byte buffer.

@@ -10,6 +10,8 @@
 //!
 //! See the workspace `Cargo.toml` for why third-party crates are vendored.
 
+
+#![allow(clippy::all)] // vendored shim: mirrors upstream API, not linted
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from deleting a benchmarked computation.

@@ -7,6 +7,8 @@
 //! two-party protocol transports in this repository, which exchange a few
 //! kilobyte-sized frames per protocol run, not for high-contention use.
 
+
+#![allow(clippy::all)] // vendored shim: mirrors upstream API, not linted
 pub mod thread {
     //! Scoped threads (shim): delegates to [`std::thread::scope`], which
     //! provides the same borrow-stack-data guarantee as upstream

@@ -1,3 +1,4 @@
+#![allow(clippy::all)] // vendored shim: mirrors upstream API, not linted
 //! Offline vendored shim for the subset of the `parking_lot 0.12` API
 //! used by the DLR workspace: [`Mutex`] and [`RwLock`] with non-poisoning
 //! guards and `const` constructors.

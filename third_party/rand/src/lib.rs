@@ -1,3 +1,4 @@
+#![allow(clippy::all)] // vendored shim: mirrors upstream API, not linted
 //! Offline vendored shim for the subset of the `rand 0.8` API used by the
 //! DLR workspace.
 //!

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> docs gate"
 tools/check-docs.sh
 
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
@@ -17,5 +20,8 @@ cargo test -q --test server_e2e
 
 echo "==> loadgen smoke run"
 cargo run --release -q -p dlr-bench --bin loadgen -- --clients 2 --requests 5
+
+echo "==> bench report op-count parity (PR4 -> PR5)"
+tools/bench-compare.sh BENCH_PR4.json BENCH_PR5.json
 
 echo "ci OK"
