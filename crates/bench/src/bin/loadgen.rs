@@ -11,19 +11,13 @@
 //! a share refresh racing the decrypt load — the numbers reflect the
 //! generation-lock contention a real deployment would see, not an
 //! idealized refresh-free steady state.
+//!
+//! The session itself lives in [`dlr_bench::artifact::loadgen_session`],
+//! shared with the `dlr artifact` harness so the committed
+//! `BENCH_PR4/5.json` and the regenerated `out/L1.json` come from the
+//! same code path.
 
-use dlr_core::dlr::{self, Party1};
-use dlr_core::driver::{self, GENERATION_ANY};
-use dlr_core::params::SchemeParams;
-use dlr_curve::{Pairing, Toy};
-use dlr_protocol::transport::TcpTransport;
-use dlr_server::{Keyring, LoadgenConfig, Server, ServerConfig};
-use rand::SeedableRng;
-use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
-
-type E = Toy;
+use dlr_bench::artifact::loadgen_session;
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -39,66 +33,8 @@ fn main() {
         .map_or(50, |v| v.parse().expect("--requests must be a number"));
     let json_path = arg_value(&args, "--json");
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xd15c0);
-    let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
-    let (pk, s1, s2) = dlr::keygen::<E, _>(params, &mut rng);
-
-    let mut keyring = Keyring::new();
-    keyring.insert(b"bench", pk.clone(), s2);
-    let config = ServerConfig {
-        max_sessions: clients + 2, // headroom for the epoch-hook session
-        poll_interval: Duration::from_millis(5),
-        ..ServerConfig::default()
-    };
-    let server =
-        Server::bind("127.0.0.1:0", Arc::new(keyring), config).expect("bind loopback");
-    let addr = server.handle().local_addr();
-
-    // No epoch hook: loadgen clients decrypt with private Party1 clones,
-    // so a mid-run refresh would orphan their share copies. The refresh
-    // cost is measured separately after the load phase; refresh racing
-    // live traffic is covered by the dlr-server integration tests.
-    let handle = server.handle();
-    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
-
-    let loadgen_config = LoadgenConfig {
-        clients,
-        requests_per_client: requests,
-        key_id: b"bench".to_vec(),
-        ..LoadgenConfig::default()
-    };
-    handle.force_epoch(); // mark one leakage-period boundary mid-setup
-    let outcome = dlr_server::run_loadgen::<E, _>(addr, &pk, &s1, &loadgen_config, &mut rng);
-
-    // One wire refresh after the load phase: rotates the server share and
-    // times the full two-message protocol over TCP.
-    let refresh_started = std::time::Instant::now();
-    let shared_p1 = Arc::new(Mutex::new(Party1::new(pk.clone(), s1)));
-    {
-        let mut t = TcpTransport::new(TcpStream::connect(addr).expect("connect"));
-        driver::p1_hello(&mut t, b"bench", GENERATION_ANY).expect("hello");
-        let mut p1 = shared_p1.lock().unwrap();
-        driver::p1_refresh(&mut p1, &mut t, &mut rng).expect("refresh");
-        let _ = driver::p1_shutdown(&mut t);
-    }
-    let refresh_ns = refresh_started.elapsed().as_nanos() as u64;
-
-    handle.shutdown();
-    let stats = server_thread.join().expect("server thread");
-    assert_eq!(stats.refreshes, 1, "the post-load refresh must have committed");
-    assert_eq!(
-        outcome.failures, 0,
-        "load generation must complete without failures"
-    );
-    assert_eq!(outcome.mismatches, 0, "every plaintext must verify");
-
-    let report = outcome
-        .to_report()
-        .with_meta("curve", "toy")
-        .with_meta("server_sessions", &stats.sessions_accepted.to_string())
-        .with_meta("server_error_replies", &stats.error_replies.to_string())
-        .with_meta("server_epochs", &stats.epochs.to_string())
-        .with_meta("wire_refresh_ns", &refresh_ns.to_string());
+    let session = loadgen_session(clients, requests);
+    let outcome = &session.outcome;
 
     println!(
         "loadgen: {clients} clients x {requests} reqs -> {:.1} req/s, p50 {} µs, p95 {} µs, p99 {} µs",
@@ -109,9 +45,9 @@ fn main() {
     );
     match json_path {
         Some(path) => {
-            std::fs::write(&path, report.to_json()).expect("write report");
+            std::fs::write(&path, session.report.to_json()).expect("write report");
             eprintln!("wrote {path}");
         }
-        None => println!("{}", report.render()),
+        None => println!("{}", session.report.render()),
     }
 }

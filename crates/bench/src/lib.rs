@@ -4,6 +4,7 @@
 //! returns it as preformatted text; the `harness` binary prints them. The
 //! timing-grade numbers live in the criterion benches (`benches/`).
 
+pub mod artifact;
 pub mod experiments;
 pub mod metrics_session;
 pub mod table;

@@ -36,6 +36,8 @@ subcommands:
   loadgen         --pk FILE --sk1 FILE --connect ADDR [--curve C] [--key-id ID]
                   [--clients N] [--requests N] [--out FILE]
   metrics         [--curve C] [--trials N] [--n N] [--lambda L]
+  artifact        [--profile kick-tires|full] [--out DIR] [--mode all|generate|check]
+                  [--docs FILE]
   help
 
 `serve-p2` runs the concurrent dlr-server key-share service: bounded
@@ -48,6 +50,14 @@ with --out) a throughput/latency report in dlr-metrics JSON.
 `metrics` runs an instrumented in-process session (keygen, encrypt, N
 decrypt/refresh trials, plus one transport-backed decrypt+refresh) and
 prints the per-phase span tree, group-operation counts and wire traffic.
+
+`artifact` regenerates the measured EXPERIMENTS.md tables (A6 span
+fingerprint, A7 fixed-base parity, L1 server load; the full profile adds
+the L1 concurrency ladder) into --out (default `out/`) as markdown + CSV
++ raw metrics JSON, then diffs them against the committed tables in
+--docs (default `EXPERIMENTS.md`): op-count cells must match exactly,
+columns headed `(md)` are machine-dependent and skipped. Exits nonzero
+on any drift. `tools/kick-tires.sh` and `tools/full.sh` wrap it.
 ";
 
 /// Dispatch a parsed command line.
@@ -77,6 +87,7 @@ fn run<E: Pairing>(args: &Args) -> Result<(), AnyError> {
         "decrypt-remote" => decrypt_remote::<E>(args),
         "loadgen" => loadgen::<E>(args),
         "metrics" => metrics::<E>(args),
+        "artifact" => artifact(args),
         other => Err(Box::new(ArgError(format!(
             "unknown subcommand `{other}` (try `dlr help`)"
         )))),
@@ -320,5 +331,73 @@ where
         .with_meta("trials", &trials.to_string());
     report.push_wire("driver.session", out.wire);
     println!("{}", report.render());
+    Ok(())
+}
+
+/// The artifact harness: regenerate the measured EXPERIMENTS.md tables
+/// into `--out` and/or drift-check them against the committed copies.
+/// Curve-independent — the tables fix their own parameter sets (TOY for
+/// the session and load tables, TOY+SS512 for the A7 parity table).
+fn artifact(args: &Args) -> Result<(), AnyError> {
+    use dlr_bench::artifact as art;
+
+    let profile = match args.get_or("profile", "kick-tires") {
+        "kick-tires" => art::kick_tires_profile(),
+        "full" => art::full_profile(),
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown profile `{other}` (kick-tires|full)"
+            ))))
+        }
+    };
+    let out_dir = PathBuf::from(args.get_or("out", "out"));
+    let docs = PathBuf::from(args.get_or("docs", "EXPERIMENTS.md"));
+    let mode = args.get_or("mode", "all");
+    if !matches!(mode, "all" | "generate" | "check") {
+        return Err(Box::new(ArgError(format!(
+            "unknown mode `{mode}` (all|generate|check)"
+        ))));
+    }
+
+    if mode != "check" {
+        println!("artifact: generating tables (profile `{}`) ...", profile.name);
+        let generated = art::generate(&profile, &out_dir).map_err(ArgError)?;
+        for table in &generated.tables {
+            println!("  regenerated {}", table.id);
+        }
+        for file in &generated.files {
+            println!("  wrote {}", file.display());
+        }
+    }
+    if mode == "generate" {
+        return Ok(());
+    }
+
+    println!("artifact: drift check against {} ...", docs.display());
+    let checks = art::check_docs(&docs, &out_dir);
+    let mut drifted = false;
+    for check in &checks {
+        if check.passed() {
+            println!(
+                "  {}: OK ({} exact cells match, {} machine-dependent cells skipped)",
+                check.id, check.exact_cells, check.skipped_cells
+            );
+        } else {
+            drifted = true;
+            println!("  {}: DRIFT", check.id);
+            for problem in &check.problems {
+                println!("    {problem}");
+            }
+        }
+    }
+    if drifted {
+        return Err(Box::new(ArgError(
+            "regenerated tables disagree with the committed EXPERIMENTS.md (see above); \
+             if the change is intentional, paste the regenerated out/<ID>.md blocks into \
+             the docs"
+                .into(),
+        )));
+    }
+    println!("artifact: all gated tables match the committed docs");
     Ok(())
 }

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # dlr-server — concurrent key-share service for the DLR `P2` role
 //!
 //! Turns the `P2` party of the DLR two-party scheme (PODC'12, §4) into a
@@ -28,7 +29,9 @@ pub mod loadgen;
 pub mod server;
 
 pub use keyring::{persist_atomically, KeyEntry, KeyState, Keyring};
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenOutcome};
+pub use loadgen::{
+    run_loadgen, run_loadgen_ladder, LadderConfig, LadderRung, LoadgenConfig, LoadgenOutcome,
+};
 pub use server::{
     EpochHook, Server, ServerConfig, ServerHandle, ServerStats, StatsSnapshot,
 };

@@ -164,6 +164,72 @@ impl LoadgenOutcome {
     }
 }
 
+/// Configuration for a loadgen *ladder*: the same closed-loop workload
+/// repeated at a sequence of concurrency levels ("rungs"), so throughput
+/// scaling with client count can be read off one run.
+///
+/// Each rung reuses `base` with its `clients` field replaced by the rung
+/// value; `encrypt_ops` is forced to `0` on every rung (the client-side
+/// encryption figure is a single-threaded measurement — repeating it per
+/// rung would only add noise to an unrelated axis).
+#[derive(Debug, Clone)]
+pub struct LadderConfig {
+    /// Concurrency levels to visit, in order (e.g. `[1, 2, 4, 8, 16]`).
+    pub rungs: Vec<usize>,
+    /// Decrypt requests per client at every rung.
+    pub requests_per_client: usize,
+    /// Template for everything else (key id, timeouts, backoff).
+    pub base: LoadgenConfig,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        Self {
+            rungs: vec![1, 2, 4, 8, 16],
+            requests_per_client: 25,
+            base: LoadgenConfig::default(),
+        }
+    }
+}
+
+/// One completed rung of a loadgen ladder.
+#[derive(Debug, Clone)]
+pub struct LadderRung {
+    /// Concurrency level this rung ran at.
+    pub clients: usize,
+    /// The full closed-loop outcome at that level.
+    pub outcome: LoadgenOutcome,
+}
+
+/// Run the closed-loop load generator once per rung of `ladder`, in
+/// order, against the same server. The server must admit at least
+/// `max(rungs)` concurrent sessions or the surplus clients will spend
+/// their reconnect budget against `Busy` replies.
+pub fn run_loadgen_ladder<E: Pairing, R: rand::RngCore>(
+    addr: SocketAddr,
+    pk: &PublicKey<E>,
+    share1: &Share1<E>,
+    ladder: &LadderConfig,
+    rng: &mut R,
+) -> Vec<LadderRung> {
+    ladder
+        .rungs
+        .iter()
+        .map(|&clients| {
+            let config = LoadgenConfig {
+                clients,
+                requests_per_client: ladder.requests_per_client,
+                encrypt_ops: 0,
+                ..ladder.base.clone()
+            };
+            LadderRung {
+                clients,
+                outcome: run_loadgen::<E, _>(addr, pk, share1, &config, rng),
+            }
+        })
+        .collect()
+}
+
 struct ClientOutcome {
     successes: usize,
     failures: usize,

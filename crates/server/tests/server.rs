@@ -468,6 +468,40 @@ fn loadgen_smoke_produces_valid_report() {
 }
 
 #[test]
+fn loadgen_ladder_visits_every_rung() {
+    let (pk, s1, s2) = keygen(165);
+    let mut ring = Keyring::new();
+    ring.insert(b"bench", pk.clone(), s2);
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), quick_config()).unwrap();
+    let running = start_server(server);
+
+    let ladder = dlr_server::LadderConfig {
+        rungs: vec![1, 2, 4],
+        requests_per_client: 3,
+        base: LoadgenConfig {
+            key_id: b"bench".to_vec(),
+            ..LoadgenConfig::default()
+        },
+    };
+    let mut r = rand::rngs::StdRng::seed_from_u64(166);
+    let rungs = dlr_server::run_loadgen_ladder::<E, _>(running.addr(), &pk, &s1, &ladder, &mut r);
+
+    assert_eq!(rungs.iter().map(|r| r.clients).collect::<Vec<_>>(), vec![1, 2, 4]);
+    for rung in &rungs {
+        assert_eq!(rung.outcome.clients, rung.clients);
+        assert_eq!(rung.outcome.successes, rung.clients * 3);
+        assert_eq!(rung.outcome.failures, 0);
+        assert_eq!(rung.outcome.mismatches, 0);
+        // encrypt throughput is measured once by the caller, never per rung
+        assert_eq!(rung.outcome.encrypt_ops, 0);
+    }
+
+    let stats = running.stop();
+    assert_eq!(stats.requests_decrypt, (1 + 2 + 4) * 3);
+    assert_eq!(stats.error_replies, 0);
+}
+
+#[test]
 fn graceful_shutdown_persists_and_reports() {
     let dir = std::env::temp_dir().join(format!("dlr-server-stats-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

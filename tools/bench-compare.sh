@@ -6,10 +6,107 @@
 # must move nanoseconds while keeping them bit-identical.
 #
 # usage: tools/bench-compare.sh BASELINE.json CANDIDATE.json
+#        tools/bench-compare.sh --all [BENCH.json ...]
+#
+# --all walks the committed BENCH_PR*.json trajectory (oldest to newest,
+# or an explicit file list): compares every consecutive pair *of the same
+# report kind* for op-count parity and prints a one-table summary of the
+# headline numbers (dec.p1.start, enc span time, loadgen throughput)
+# across the whole sequence. Session reports (harness --json) and loadgen
+# reports run different workloads over the same span names, so op counts
+# are only comparable within a kind; kind boundaries are announced and
+# skipped. Exits 1 if any same-kind consecutive pair disagrees.
 set -euo pipefail
+
+report_kind() {
+    python3 -c '
+import json, sys
+meta = json.load(open(sys.argv[1])).get("meta", {})
+print("loadgen" if meta.get("component") == "dlr-loadgen" else "session")
+' "$1"
+}
+
+if [ "${1:-}" = "--all" ]; then
+    shift
+    cd "$(dirname "$0")/.."
+    if [ $# -gt 0 ]; then
+        files=("$@")
+    else
+        # Sort by the numeric PR suffix, not lexically (PR10 > PR9).
+        mapfile -t files < <(ls BENCH_PR*.json 2>/dev/null \
+            | sed 's/^BENCH_PR\([0-9]*\)\.json$/\1 &/' | sort -n | cut -d' ' -f2)
+    fi
+    if [ "${#files[@]}" -lt 2 ]; then
+        echo "--all needs at least two BENCH_*.json files, found ${#files[@]}" >&2
+        exit 2
+    fi
+
+    status=0
+    compared=0
+    i=0
+    while [ $((i + 1)) -lt "${#files[@]}" ]; do
+        a="${files[$i]}" b="${files[$((i + 1))]}"
+        ka="$(report_kind "$a")" kb="$(report_kind "$b")"
+        if [ "$ka" = "$kb" ]; then
+            echo "==> $a -> $b ($ka)"
+            if ! "$0" "$a" "$b"; then
+                status=1
+            fi
+            compared=$((compared + 1))
+        else
+            echo "==> $a -> $b: methodology change ($ka -> $kb), op counts not comparable — skipped"
+        fi
+        echo
+        i=$((i + 1))
+    done
+    if [ "$compared" -eq 0 ]; then
+        echo "--all compared no pairs (every consecutive pair crossed a methodology boundary)" >&2
+        exit 2
+    fi
+
+    python3 - "${files[@]}" <<'PY'
+import json
+import sys
+
+print("trajectory summary (oldest -> newest):")
+header = f"{'report':<18} {'kind':<10} {'dec.p1.start':>14} {'enc span':>12} {'req/s':>8}"
+print(header)
+print("-" * len(header))
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.2f} {unit}"
+    return f"{ns} ns"
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    spans = {s["path"]: s for s in doc.get("spans", [])}
+    meta = doc.get("meta", {})
+    kind = "loadgen" if meta.get("component") == "dlr-loadgen" else "session"
+    p1s = fmt_ns(spans["dec.p1.start"]["total_ns"]) if "dec.p1.start" in spans else "-"
+    enc = fmt_ns(spans["enc"]["total_ns"]) if "enc" in spans else "-"
+    rps = meta.get("throughput_rps", "-")
+    print(f"{path:<18} {kind:<10} {p1s:>14} {enc:>12} {rps:>8}")
+
+print()
+print("note: session and loadgen reports run different workloads over the")
+print("same span names, so timings only trend within a kind; timings are")
+print("machine-dependent, op-count parity within a kind is the gate.")
+PY
+
+    if [ "$status" -ne 0 ]; then
+        echo "OP-COUNT MISMATCH somewhere in the trajectory (see above)" >&2
+        exit 1
+    fi
+    echo "trajectory OK: op counts identical across all same-kind consecutive pairs ($compared compared)"
+    exit 0
+fi
 
 if [ $# -ne 2 ]; then
     echo "usage: $0 BASELINE.json CANDIDATE.json" >&2
+    echo "       $0 --all [BENCH.json ...]" >&2
     exit 2
 fi
 

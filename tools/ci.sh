@@ -5,8 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> docs gate"
-tools/check-docs.sh
+echo "==> docs gate (incl. table-drift check)"
+tools/check-docs.sh --tables
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -21,7 +21,7 @@ cargo test -q --test server_e2e
 echo "==> loadgen smoke run"
 cargo run --release -q -p dlr-bench --bin loadgen -- --clients 2 --requests 5
 
-echo "==> bench report op-count parity (PR4 -> PR5)"
-tools/bench-compare.sh BENCH_PR4.json BENCH_PR5.json
+echo "==> kick-tires artifact run (tables + drift gate + trajectory parity)"
+tools/kick-tires.sh
 
 echo "ci OK"

