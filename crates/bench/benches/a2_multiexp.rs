@@ -1,8 +1,13 @@
-//! A2 — ablation: Straus interleaved multi-exponentiation vs naive
-//! per-base exponentiation (the workhorse of `P2`'s protocol role).
+//! A2 — ablation: the multi-exponentiation engines (Pippenger bucket
+//! windows, Straus interleaving, naive per-base exponentiation) across the
+//! batch widths `P2`'s protocol role produces. The TOY grid shows the
+//! small-batch regime; the SS512 `ℓ = 3κ = 1542` case (heavy-leakage
+//! profile `derive_for_bits(256, 128, 131072)`, κ = 514) is the wide
+//! regime the Pippenger engine targets — expect ≥1.5x over Straus there.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dlr_curve::{multiexp, Group, Pairing, Toy, G};
+use dlr_core::params::SchemeParams;
+use dlr_curve::{multiexp, Group, Pairing, Ss512, Toy, G};
 use dlr_math::FieldElement;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,10 +24,32 @@ fn benches(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("straus", n), &n, |b, _| {
             b.iter(|| multiexp::straus_raw(&bases, &exps))
         });
+        group.bench_with_input(BenchmarkId::new("pippenger", n), &n, |b, _| {
+            b.iter(|| multiexp::pippenger_raw(&bases, &exps))
+        });
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
             b.iter(|| multiexp::naive(&bases, &exps))
         });
     }
+    group.finish();
+
+    // The wide-batch regime on a production-width curve. ℓ = 3κ is the
+    // Πss share width of the decryption protocol; the heavy-leakage
+    // profile drives κ to 514, far past the Straus/Pippenger crossover.
+    let params = SchemeParams::derive_for_bits(256, 128, 131072);
+    let n = 3 * params.kappa;
+    assert_eq!(n, 1542, "heavy-leakage 3κ moved; update the A8 docs");
+    let bases: Vec<G<Ss512>> = (0..n).map(|_| G::random(&mut rng)).collect();
+    let exps: Vec<<Ss512 as Pairing>::Scalar> = (0..n)
+        .map(|_| <Ss512 as Pairing>::Scalar::random(&mut rng))
+        .collect();
+    let mut group = c.benchmark_group("a2/multiexp-ss512");
+    group.bench_with_input(BenchmarkId::new("straus", n), &n, |b, _| {
+        b.iter(|| multiexp::straus_raw(&bases, &exps))
+    });
+    group.bench_with_input(BenchmarkId::new("pippenger", n), &n, |b, _| {
+        b.iter(|| multiexp::pippenger_raw(&bases, &exps))
+    });
     group.finish();
 }
 

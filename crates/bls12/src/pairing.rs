@@ -276,6 +276,18 @@ impl dlr_curve::Pairing for Bls12_381 {
     fn pair_prepared(prep: &G1, q: &G2) -> Gt {
         pairing(prep, q)
     }
+
+    // No cached-line form on this backend yet: the prepared second slot is
+    // the point itself, mirroring `Prepared`.
+    type PreparedQ = G2;
+
+    fn prepare_q(q: &G2) -> G2 {
+        *q
+    }
+
+    fn pair_prepared_q(p: &G1, prep: &G2) -> Gt {
+        pairing(p, prep)
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ use crate::error::CoreError;
 use crate::hpske::{self, HpskeCiphertext, HpskeKey};
 use crate::params::SchemeParams;
 use crate::pss;
-use dlr_curve::{Group, LazyFixedBase, Pairing};
+use dlr_curve::{Group, LazyFixedBase, LazyPreparedBatch, Pairing};
 use dlr_math::FieldElement;
 use dlr_protocol::{Decoder, Device, Encoder};
 use rand::RngCore;
@@ -320,6 +320,12 @@ pub struct Party1<E: Pairing> {
     cached_f: Option<Vec<HpskeCiphertext<E::G2>>>,
     pending_a_prime: Option<Vec<E::G2>>,
     next_share: Option<Share1<E>>,
+    /// Prepared Miller chains for `[a_1, …, a_ℓ, Φ]` — the fixed per-key
+    /// second-slot pairing arguments of this period. Built at most once
+    /// (warm at key load via [`Self::warm`], or lazily on the first
+    /// `Fresh`-mode decrypt) and replaced wholesale when the share rolls
+    /// over in [`Self::ref_complete`].
+    prep_share: LazyPreparedBatch<E>,
 }
 
 impl<E: Pairing> core::fmt::Debug for Party1<E> {
@@ -352,7 +358,29 @@ impl<E: Pairing> Party1<E> {
             cached_f: None,
             pending_a_prime: None,
             next_share: None,
+            prep_share: LazyPreparedBatch::new(),
         }
+    }
+
+    /// The prepared second-slot chains for this share, `[a_1, …, a_ℓ, Φ]`
+    /// in order. Built at most once per key period; preparation bumps no
+    /// pairing counter.
+    fn share_preps(&self) -> &[E::PreparedQ] {
+        if !self.prep_share.is_warm() {
+            let mut pts = self.share.a.clone();
+            pts.push(self.share.phi);
+            self.prep_share.warm(&pts);
+        }
+        self.prep_share.get(&[])
+    }
+
+    /// Build the per-key pairing caches eagerly (the prepared share chains
+    /// consumed by [`CommMode::Fresh`] decryption) so the steady-state
+    /// `dec_start` pays zero Miller-chain precomputation. Idempotent, and
+    /// bumps no operation counter; call at key load and again after
+    /// [`Self::ref_complete`] rolls the share over.
+    pub fn warm(&self) {
+        let _ = self.share_preps();
     }
 
     /// The public key.
@@ -406,13 +434,14 @@ impl<E: Pairing> Party1<E> {
         rng: &mut R,
     ) -> DecMsg1<E> {
         let key = self.period_skcomm(rng);
-        // Every pairing below has A as its first slot: walk A's Miller
-        // chain once and replay it (ℓ·(κ+1) + 1 evaluations in Reuse mode).
-        let prep_a = E::prepare(&ct.big_a);
-        let d: Vec<HpskeCiphertext<E::Gt>> = match self.mode {
+        let (d, e_phi): (Vec<HpskeCiphertext<E::Gt>>, E::Gt) = match self.mode {
             CommMode::Reuse => {
-                // f_i = Enc'(a_i) over G with fresh direct-sampled coins;
-                // d_i = coordinate-wise pairing of f_i with A.
+                // Every pairing in this mode has A as its first slot: walk
+                // A's Miller chain once and replay it (ℓ·(κ+1) + 1
+                // evaluations). f_i = Enc'(a_i) over G with fresh
+                // direct-sampled coins; d_i = coordinate-wise pairing of
+                // f_i with A.
+                let prep_a = E::prepare(&ct.big_a);
                 let f: Vec<HpskeCiphertext<E::G2>> = self
                     .share
                     .a
@@ -428,15 +457,26 @@ impl<E: Pairing> Party1<E> {
                     .iter()
                     .map(|fi| hpske::pair_ciphertext_prepared::<E>(&prep_a, fi))
                     .collect();
+                let e_phi = E::pair_prepared(&prep_a, &self.share.phi);
                 self.cached_f = Some(f);
-                d
+                (d, e_phi)
             }
-            CommMode::Fresh => E::multi_pair_prepared(&prep_a, &self.share.a)
-                .iter()
-                .map(|ei| hpske::encrypt(&key, ei, rng))
-                .collect(),
+            CommMode::Fresh => {
+                // Here the fixed slots are the share elements, not A: every
+                // pairing reuses the per-key prepared chains (warm after
+                // key load / refresh), so the steady state walks no Miller
+                // chain at all — A rides in the cheap evaluation slot.
+                let preps = self.share_preps();
+                let ell = preps.len() - 1;
+                let d = E::multi_pair_prepared_q(&ct.big_a, &preps[..ell])
+                    .iter()
+                    .map(|ei| hpske::encrypt(&key, ei, rng))
+                    .collect();
+                let e_phi = E::pair_prepared_q(&ct.big_a, &preps[ell]);
+                (d, e_phi)
+            }
         };
-        let d_phi = hpske::encrypt(&key, &E::pair_prepared(&prep_a, &self.share.phi), rng);
+        let d_phi = hpske::encrypt(&key, &e_phi, rng);
         let d_b = hpske::encrypt(&key, &ct.big_b, rng);
 
         // Mirror the GT coins (secret randomness of this period).
@@ -551,6 +591,10 @@ impl<E: Pairing> Party1<E> {
         self.share = next;
         self.skcomm = None;
         self.cached_f = None;
+        // The prepared chains belong to the outgoing share: swap in a cold
+        // cache (clones sharing the old Arc keep their — now stale — view;
+        // this party rebuilds lazily or on the next `warm`).
+        self.prep_share = LazyPreparedBatch::new();
         self.device.secret.erase_prefix("rand.");
         self.device.secret.erase("share.a");
         self.device.secret.erase("share.phi");

@@ -257,6 +257,75 @@ mod tests {
         rand::rngs::StdRng::seed_from_u64(31)
     }
 
+    // Manual micro-benchmark for the encryption hot path (the numbers
+    // cited in DESIGN.md §4 "Arithmetic floor" come from min-of-N runs
+    // of this — criterion is too noisy on the single-core CI box):
+    //   cargo test --release -p dlr-core --lib -- --ignored hpske_micro_timings --nocapture
+    #[test]
+    #[ignore]
+    fn hpske_micro_timings() {
+        use dlr_curve::Group;
+        use std::time::Instant;
+        let mut r = rng();
+        let key = HpskeKey::<<Toy as dlr_curve::Pairing>::Scalar>::generate(3, &mut r);
+        let m = G::<Toy>::random(&mut r);
+        let iters = 2_000u32;
+        let best = |f: &mut dyn FnMut() -> u64| (0..5).map(|_| f()).min().unwrap();
+        let enc = best(&mut || {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(encrypt(&key, &m, &mut r));
+            }
+            t.elapsed().as_nanos() as u64 / iters as u64
+        });
+        let coins: Vec<G<Toy>> = (0..3).map(|_| G::random(&mut r)).collect();
+        let pop = best(&mut || {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(G::<Toy>::product_of_powers(&coins, &key.sigma));
+            }
+            t.elapsed().as_nanos() as u64 / iters as u64
+        });
+        let rnd = best(&mut || {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(G::<Toy>::random(&mut r));
+            }
+            t.elapsed().as_nanos() as u64 / iters as u64
+        });
+        eprintln!("TOY: hpske.enc={enc}ns | product_of_powers(3)={pop}ns g-random={rnd}ns");
+        // Primitive point-op costs behind the multiexp (uncounted raw ops).
+        let a = G::<Toy>::random(&mut r);
+        let b = G::<Toy>::random(&mut r);
+        let piters = 200_000u32;
+        let add = best(&mut || {
+            let t = Instant::now();
+            let mut acc = a;
+            for _ in 0..piters {
+                acc = acc.raw_op(&b);
+            }
+            std::hint::black_box(acc);
+            t.elapsed().as_nanos() as u64 / piters as u64
+        });
+        let dbl = best(&mut || {
+            let t = Instant::now();
+            let mut acc = a;
+            for _ in 0..piters {
+                acc = acc.raw_double();
+            }
+            std::hint::black_box(acc);
+            t.elapsed().as_nanos() as u64 / piters as u64
+        });
+        let straus = best(&mut || {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(dlr_curve::multiexp::straus_raw(&coins, &key.sigma));
+            }
+            t.elapsed().as_nanos() as u64 / iters as u64
+        });
+        eprintln!("TOY: raw_op={add}ns raw_double={dbl}ns straus_raw(3)={straus}ns");
+    }
+
     #[test]
     fn roundtrip_g_and_gt() {
         let mut r = rng();

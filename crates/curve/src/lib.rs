@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # dlr-curve — symmetric (Type-1) pairing groups from scratch
 //!
 //! The bilinear-group substrate of the DLR workspace: a supersingular curve
@@ -24,7 +25,8 @@
 //!   of a fixed first argument and replay them per second argument;
 //! * [`parallel`] — opt-in scoped-thread fan-out for batched pairings with
 //!   exact counter merging;
-//! * [`multiexp`] — Straus interleaved multi-exponentiation;
+//! * [`multiexp`] — size-adaptive multi-exponentiation (Pippenger bucket
+//!   windows, Straus interleaving below the crossover);
 //! * [`modgroup`] — tiny-order groups for exhaustive entropy experiments;
 //! * [`counters`] — thread-local operation counts backing the efficiency
 //!   experiments.
@@ -62,5 +64,5 @@ pub use fixedbase::{FixedBase, LazyFixedBase};
 pub use gt::Gt;
 pub use parallel::{parallel_threads, set_parallel_threads};
 pub use params::{ParamCaches, Ss1024, Ss512, Ss768, SsParams, Toy};
-pub use prepared::PreparedPoint;
+pub use prepared::{LazyPreparedBatch, PreparedPoint};
 pub use traits::{Group, GroupKind, Pairing};

@@ -37,7 +37,7 @@ pub(crate) struct Affine<F> {
 /// only on `P` and the bits of `r` — never on `Q` — so the chain can be
 /// walked once, its line coefficients cached, and replayed against many
 /// second arguments (see [`crate::prepared::PreparedPoint`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum MillerOp<F> {
     /// Square the `F_{p²}` accumulator.
     Square,
@@ -60,7 +60,9 @@ impl<F: PrimeField> MillerOp<F> {
         match self {
             MillerOp::Square => *f = f.square(),
             MillerOp::Line { lambda, theta } => {
-                *f *= Fp2::new(*lambda * *xq + *theta, *yq);
+                // Fused multiply-add: λ·x_Q + θ pays one Montgomery
+                // reduction (same canonical value as the eager form).
+                *f *= Fp2::new(lambda.mul_add(xq, theta), *yq);
             }
         }
     }
@@ -79,9 +81,9 @@ fn double_coeffs<F: PrimeField>(t: Affine<F>) -> (Option<(F, F)>, Option<Affine<
     let three_x2_plus_1 = xx.double() + xx + F::one();
     let lambda = three_x2_plus_1 * t.y.double().inverse().expect("y != 0");
     let x3 = lambda.square() - t.x.double();
-    let y3 = lambda * (t.x - x3) - t.y;
+    let y3 = lambda.mul_add(&(t.x - x3), &(-t.y));
     // line through (T, T): λ·x_Q + (λ·x_T − y_T) is the F_p part at φ(Q)
-    let theta = lambda * t.x - t.y;
+    let theta = lambda.mul_add(&t.x, &(-t.y));
     (Some((lambda, theta)), Some(Affine { x: x3, y: y3 }))
 }
 
@@ -99,8 +101,8 @@ fn add_coeffs<F: PrimeField>(
     }
     let lambda = (p.y - t.y) * (p.x - t.x).inverse().expect("x1 != x2");
     let x3 = lambda.square() - t.x - p.x;
-    let y3 = lambda * (t.x - x3) - t.y;
-    let theta = lambda * t.x - t.y;
+    let y3 = lambda.mul_add(&(t.x - x3), &(-t.y));
+    let theta = lambda.mul_add(&t.x, &(-t.y));
     (Some((lambda, theta)), Some(Affine { x: x3, y: y3 }))
 }
 
@@ -148,6 +150,178 @@ pub(crate) fn miller_chain<P: SsParams>(
             }
         }
     }
+}
+
+/// Walk the Miller chain of `p` with **batched inversions**: the running
+/// point advances in Jacobian coordinates (no per-step inversion), then
+/// every intermediate is normalized and every slope denominator inverted
+/// with two [`dlr_math::batch_inverse`] calls — two field inversions total
+/// instead of one per doubling/addition step.
+///
+/// The normalized intermediates are canonical affine coordinates and every
+/// degeneracy of the reference walker (vertical tangent/chord → no line,
+/// running point to infinity — the final addition of any in-subgroup chain
+/// lands on `T = −P`) is mirrored case for case, so the emitted `(λ, θ)`
+/// sequence is **bit-identical** to [`miller_chain`]'s for every input.
+/// `None` is unreachable in practice (a logged step can never have a zero
+/// denominator) and only kept so callers retain the reference fallback.
+pub(crate) fn miller_chain_batched<P: SsParams>(
+    p: Affine<P::Fp>,
+) -> Option<Vec<MillerOp<P::Fp>>> {
+    let r_limbs = crate::util::field_modulus_limbs::<P::Fr>();
+    let mut nbits = 0u32;
+    for (i, w) in r_limbs.iter().enumerate() {
+        if *w != 0 {
+            nbits = i as u32 * 64 + (64 - w.leading_zeros());
+        }
+    }
+
+    /// What a chain slot multiplies into the accumulator: nothing (the
+    /// squaring is implicit per bit), a tangent line at the logged step, or
+    /// a chord line through the logged step and the base point.
+    enum Slot {
+        Square,
+        Tangent(usize),
+        Chord(usize),
+    }
+
+    // Jacobian running point (x, y) = (X/Z², Y/Z³); `pre` logs the
+    // coordinates *before* each line-emitting op.
+    let (mut tx, mut ty, mut tz) = (p.x, p.y, P::Fp::one());
+    let mut infinity = false;
+    let mut pre: Vec<(P::Fp, P::Fp, P::Fp)> = Vec::new();
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut i = nbits - 1;
+    while i > 0 {
+        i -= 1;
+        slots.push(Slot::Square);
+        if !infinity {
+            if ty.is_zero() {
+                // Vertical tangent (2-torsion): subfield factor only, and
+                // the running point doubles to infinity.
+                infinity = true;
+            } else {
+                slots.push(Slot::Tangent(pre.len()));
+                pre.push((tx, ty, tz));
+                // Doubling on y² = x³ + x (a = 1): M = 3X² + Z⁴, S = 4XY².
+                let xx = tx.square();
+                let zz = tz.square();
+                let m = xx.double() + xx + zz.square();
+                let yy = ty.square();
+                let s = (tx * yy).double().double();
+                let x3 = m.square() - s.double();
+                let eight_y4 = yy.square().double().double().double();
+                let y3 = m * (s - x3) - eight_y4;
+                let z3 = (ty * tz).double();
+                tx = x3;
+                ty = y3;
+                tz = z3;
+            }
+        }
+        if (r_limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+            if infinity {
+                // O + P = P, trivial function.
+                tx = p.x;
+                ty = p.y;
+                tz = P::Fp::one();
+                infinity = false;
+            } else {
+                let zz = tz.square();
+                let u2 = p.x * zz;
+                if u2 == tx {
+                    // Same x-coordinate: either T = P (tangent case) or
+                    // T = −P (vertical chord — the final addition of every
+                    // in-subgroup chain).
+                    let s2 = p.y * zz * tz;
+                    if s2 == ty && !ty.is_zero() {
+                        slots.push(Slot::Tangent(pre.len()));
+                        pre.push((tx, ty, tz));
+                        let xx = tx.square();
+                        let m = xx.double() + xx + zz.square();
+                        let yy = ty.square();
+                        let s = (tx * yy).double().double();
+                        let x3 = m.square() - s.double();
+                        let eight_y4 = yy.square().double().double().double();
+                        let y3 = m * (s - x3) - eight_y4;
+                        let z3 = (ty * tz).double();
+                        tx = x3;
+                        ty = y3;
+                        tz = z3;
+                    } else {
+                        // Vertical chord (or 2-torsion tangent): no line,
+                        // running point to infinity.
+                        infinity = true;
+                    }
+                } else {
+                    slots.push(Slot::Chord(pre.len()));
+                    pre.push((tx, ty, tz));
+                    let s2 = p.y * zz * tz;
+                    let h = u2 - tx;
+                    let r = s2 - ty;
+                    let hh = h.square();
+                    let hhh = h * hh;
+                    let v = tx * hh;
+                    let x3 = r.square() - hhh - v.double();
+                    let y3 = r * (v - x3) - ty * hhh;
+                    let z3 = tz * h;
+                    tx = x3;
+                    ty = y3;
+                    tz = z3;
+                }
+            }
+        }
+    }
+
+    // One batched inversion normalizes every logged point ...
+    let zs: Vec<P::Fp> = pre.iter().map(|t| t.2).collect();
+    let zinv = dlr_math::batch_inverse(&zs)?;
+    let aff: Vec<Affine<P::Fp>> = pre
+        .iter()
+        .zip(&zinv)
+        .map(|((x, y, _), zi)| {
+            let zi2 = zi.square();
+            Affine {
+                x: *x * zi2,
+                y: *y * zi2 * *zi,
+            }
+        })
+        .collect();
+    // ... and a second one inverts every slope denominator.
+    let denoms: Vec<P::Fp> = slots
+        .iter()
+        .filter_map(|slot| match slot {
+            Slot::Square => None,
+            Slot::Tangent(k) => Some(aff[*k].y.double()),
+            Slot::Chord(k) => Some(p.x - aff[*k].x),
+        })
+        .collect();
+    let dinv = dlr_math::batch_inverse(&denoms)?;
+
+    let mut dinv_iter = dinv.into_iter();
+    let mut ops = Vec::with_capacity(slots.len());
+    for slot in &slots {
+        ops.push(match slot {
+            Slot::Square => MillerOp::Square,
+            Slot::Tangent(k) => {
+                let t = aff[*k];
+                let xx = t.x.square();
+                let lambda = (xx.double() + xx + P::Fp::one()) * dinv_iter.next()?;
+                MillerOp::Line {
+                    lambda,
+                    theta: lambda.mul_add(&t.x, &(-t.y)),
+                }
+            }
+            Slot::Chord(k) => {
+                let t = aff[*k];
+                let lambda = (p.y - t.y) * dinv_iter.next()?;
+                MillerOp::Line {
+                    lambda,
+                    theta: lambda.mul_add(&t.x, &(-t.y)),
+                }
+            }
+        });
+    }
+    Some(ops)
 }
 
 /// Miller loop `f_{r,P}(φ(Q))` over the bits of the subgroup order `r`.
@@ -324,6 +498,23 @@ impl<P: SsParams> Pairing for P {
 
     fn pairing_product(pairs: &[(Self::G1, Self::G2)]) -> Self::Gt {
         pairing_product::<P>(pairs)
+    }
+
+    // The Type-1 map is symmetric — ê(P, Q) = ê(Q, P) exactly (same
+    // canonical Gt element) — so a prepared *second* slot reuses the
+    // first-slot machinery with the arguments swapped.
+    type PreparedQ = crate::prepared::PreparedPoint<P>;
+
+    fn prepare_q(q: &Self::G2) -> Self::PreparedQ {
+        crate::prepared::PreparedPoint::prepare(q)
+    }
+
+    fn pair_prepared_q(p: &Self::G1, prep: &Self::PreparedQ) -> Self::Gt {
+        prep.pair(p)
+    }
+
+    fn multi_pair_prepared_q(p: &Self::G1, preps: &[Self::PreparedQ]) -> Vec<Self::Gt> {
+        crate::prepared::multi_pairing_many(preps, p)
     }
 }
 
@@ -503,6 +694,253 @@ mod tests {
             }
         }
         let _ = g;
+    }
+
+    #[test]
+    fn batched_chain_walker_is_bit_identical() {
+        let mut r = rng();
+        for _ in 0..6 {
+            let p = G::<Toy>::random(&mut r);
+            let (x, y) = p.to_affine().unwrap();
+            let a = Affine { x, y };
+            let mut reference = Vec::new();
+            miller_chain::<Toy>(a, |op| reference.push(op));
+            let batched = miller_chain_batched::<Toy>(a).expect("subgroup point");
+            assert_eq!(batched, reference);
+        }
+        // Out-of-subgroup point: exercises the vertical/degenerate paths.
+        let oos = crate::util::out_of_subgroup_point::<Toy>();
+        let (x, y) = oos.to_affine().unwrap();
+        let a = Affine { x, y };
+        let mut reference = Vec::new();
+        miller_chain::<Toy>(a, |op| reference.push(op));
+        assert_eq!(miller_chain_batched::<Toy>(a).unwrap(), reference);
+        // SS512 once (slow chain, still exact).
+        let g = G::<Ss512>::generator();
+        let (x, y) = g.to_affine().unwrap();
+        let a = Affine { x, y };
+        let mut reference = Vec::new();
+        miller_chain::<Ss512>(a, |op| reference.push(op));
+        assert_eq!(miller_chain_batched::<Ss512>(a).unwrap(), reference);
+    }
+
+    // Manual micro-benchmark over the arithmetic stack (field, tower,
+    // sampling, pairing atoms). Min-of-N loops instead of criterion —
+    // the single-core CI box's ±25% run-to-run variance drowns its
+    // statistics; DESIGN.md §4 "Arithmetic floor" cites these numbers:
+    //   cargo test --release -p dlr-curve --lib -- --ignored micro_timings --nocapture
+    #[test]
+    #[ignore]
+    fn micro_timings() {
+        use dlr_math::Fp2;
+        use std::time::Instant;
+
+        fn best_of<F: FnMut() -> u64>(mut f: F) -> u64 {
+            (0..5).map(|_| f()).min().unwrap()
+        }
+
+        fn fp2_suite<F: dlr_math::PrimeField>(label: &str, iters: u32) {
+            let mut r = rand::rngs::StdRng::seed_from_u64(3);
+            let a: Fp2<F> = Fp2::random(&mut r);
+            let b: Fp2<F> = Fp2::random(&mut r);
+            let lazy = best_of(|| {
+                let mut acc = a;
+                let t = Instant::now();
+                for _ in 0..iters {
+                    acc *= b;
+                }
+                let ns = t.elapsed().as_nanos() as u64 / iters as u64;
+                std::hint::black_box(acc);
+                ns
+            });
+            let eager = best_of(|| {
+                let mut acc = a;
+                let t = Instant::now();
+                for _ in 0..iters {
+                    acc = acc.mul_reduced_reference(&b);
+                }
+                let ns = t.elapsed().as_nanos() as u64 / iters as u64;
+                std::hint::black_box(acc);
+                ns
+            });
+            let sq_lazy = best_of(|| {
+                let mut acc = a;
+                let t = Instant::now();
+                for _ in 0..iters {
+                    acc = acc.square();
+                }
+                let ns = t.elapsed().as_nanos() as u64 / iters as u64;
+                std::hint::black_box(acc);
+                ns
+            });
+            let sq_eager = best_of(|| {
+                let mut acc = a;
+                let t = Instant::now();
+                for _ in 0..iters {
+                    acc = acc.mul_reduced_reference(&acc.clone());
+                }
+                let ns = t.elapsed().as_nanos() as u64 / iters as u64;
+                std::hint::black_box(acc);
+                ns
+            });
+            eprintln!(
+                "{label}: fp2 mul lazy={lazy}ns eager={eager}ns | sq lazy={sq_lazy}ns sq-as-mul={sq_eager}ns"
+            );
+        }
+
+        fn pairing_suite<P: SsParams>(label: &str, iters: u32) {
+            let mut r = rand::rngs::StdRng::seed_from_u64(4);
+            let p = G::<P>::random(&mut r);
+            let q = G::<P>::random(&mut r);
+            let pair_ns = best_of(|| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(P::pair(&p, &q));
+                }
+                t.elapsed().as_nanos() as u64 / iters as u64
+            });
+            let (x, y) = p.to_affine().unwrap();
+            let a = Affine { x, y };
+            let prep_batched = best_of(|| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(miller_chain_batched::<P>(a));
+                }
+                t.elapsed().as_nanos() as u64 / iters as u64
+            });
+            let prep_ref = best_of(|| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    let mut ops = Vec::new();
+                    miller_chain::<P>(a, |op| ops.push(op));
+                    std::hint::black_box(ops);
+                }
+                t.elapsed().as_nanos() as u64 / iters as u64
+            });
+            let prep = P::prepare_q(&q);
+            let eval = best_of(|| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(P::pair_prepared_q(&p, &prep));
+                }
+                t.elapsed().as_nanos() as u64 / iters as u64
+            });
+            eprintln!(
+                "{label}: pair={pair_ns}ns eval-prepared={eval}ns | prepare batched={prep_batched}ns reference={prep_ref}ns"
+            );
+        }
+
+        fn fp_suite<F: dlr_math::PrimeField>(label: &str, iters: u32) {
+            let mut r = rand::rngs::StdRng::seed_from_u64(5);
+            let a = F::random(&mut r);
+            let b = F::random(&mut r);
+            let c = F::random(&mut r);
+            let fused = best_of(|| {
+                let mut acc = a;
+                let t = Instant::now();
+                for _ in 0..iters {
+                    acc = acc.mul_add(&b, &c);
+                }
+                let ns = t.elapsed().as_nanos() as u64 / iters as u64;
+                std::hint::black_box(acc);
+                ns
+            });
+            let split = best_of(|| {
+                let mut acc = a;
+                let t = Instant::now();
+                for _ in 0..iters {
+                    acc = acc * b + c;
+                }
+                let ns = t.elapsed().as_nanos() as u64 / iters as u64;
+                std::hint::black_box(acc);
+                ns
+            });
+            let bytes: Vec<u8> = (0..F::byte_len() + 16).map(|i| i as u8 ^ 0x5a).collect();
+            let reduced = best_of(|| {
+                let t = Instant::now();
+                for _ in 0..iters / 8 {
+                    std::hint::black_box(F::from_bytes_be_reduced(&bytes));
+                }
+                t.elapsed().as_nanos() as u64 / (iters / 8) as u64
+            });
+            let sq = a.square();
+            let sqrt_ns = best_of(|| {
+                let t = Instant::now();
+                for _ in 0..iters / 8 {
+                    std::hint::black_box(sq.sqrt());
+                }
+                t.elapsed().as_nanos() as u64 / (iters / 8) as u64
+            });
+            eprintln!(
+                "{label}: fp mul_add fused={fused}ns split={split}ns | from_bytes_be_reduced={reduced}ns sqrt={sqrt_ns}ns"
+            );
+        }
+
+        fn sampling_suite<P: SsParams>(label: &str, iters: u32) {
+            let hk = best_of(|| {
+                let t = Instant::now();
+                for i in 0..iters {
+                    std::hint::black_box(dlr_hash::hkdf::hkdf(
+                        b"domain",
+                        &i.to_be_bytes(),
+                        b"dlr-h2c\0\0\0\0",
+                        P::Fp::byte_len() + 17,
+                    ));
+                }
+                t.elapsed().as_nanos() as u64 / iters as u64
+            });
+            let h2c = best_of(|| {
+                let t = Instant::now();
+                for i in 0..iters {
+                    std::hint::black_box(G::<P>::hash_to_group(b"bench", &i.to_be_bytes()));
+                }
+                t.elapsed().as_nanos() as u64 / iters as u64
+            });
+            let mut r = rand::rngs::StdRng::seed_from_u64(6);
+            let rnd = best_of(|| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(G::<P>::random(&mut r));
+                }
+                t.elapsed().as_nanos() as u64 / iters as u64
+            });
+            eprintln!("{label}: hkdf={hk}ns hash_to_group={h2c}ns g-random={rnd}ns");
+        }
+
+        fp2_suite::<crate::params::FpToy>("TOY", 2_000_000);
+        fp2_suite::<crate::params::Fp512>("SS512", 200_000);
+        fp_suite::<crate::params::FpToy>("TOY", 2_000_000);
+        fp_suite::<crate::params::Fp512>("SS512", 200_000);
+        sampling_suite::<Toy>("TOY", 20_000);
+        pairing_suite::<Toy>("TOY", 2_000);
+        pairing_suite::<Ss512>("SS512", 30);
+    }
+
+    #[test]
+    fn prepared_second_slot_is_bit_identical_to_pair() {
+        // Type-1 symmetry: ê(P, Q) = ê(Q, P) for subgroup points, and equal
+        // residues have one canonical representation — so the swapped-slot
+        // prepared evaluation must match `pair` exactly, not just up to
+        // equality of abstract values.
+        let mut r = rng();
+        let p = G::<Toy>::random(&mut r);
+        let qs: Vec<G<Toy>> = (0..5).map(|_| G::<Toy>::random(&mut r)).collect();
+        let preps: Vec<_> = qs.iter().map(Toy::prepare_q).collect();
+        for (q, prep) in qs.iter().zip(&preps) {
+            assert_eq!(Toy::pair_prepared_q(&p, prep), Toy::pair(&p, q));
+        }
+        let expected: Vec<_> = qs.iter().map(|q| Toy::pair(&p, q)).collect();
+        assert_eq!(Toy::multi_pair_prepared_q(&p, &preps), expected);
+        // Identity in either slot.
+        let id = G::<Toy>::identity();
+        assert_eq!(
+            Toy::pair_prepared_q(&p, &Toy::prepare_q(&id)),
+            Toy::pair(&p, &id)
+        );
+        assert_eq!(
+            Toy::pair_prepared_q(&id, &preps[0]),
+            Toy::pair(&id, &qs[0])
+        );
     }
 
     #[test]

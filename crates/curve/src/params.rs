@@ -196,6 +196,7 @@ mod params_validate {
     use super::*;
     use dlr_math::mont::is_probable_prime;
     use dlr_math::PrimeField;
+    use rand::SeedableRng;
 
     /// Schoolbook `c · r` into a wide accumulator, then compare to `p + 1`.
     fn check_cofactor_relation(p_be: &[u8], r_be: &[u8], c: &[u64]) {
@@ -278,6 +279,46 @@ mod params_validate {
     #[test]
     fn ss1024() {
         validate::<Ss1024, 16, 4>();
+    }
+
+    /// Differential check of the lazy-reduction `F_{p²}` arithmetic at the
+    /// production field widths (the math-crate tests cover a 1-limb field;
+    /// multi-limb overflow behaviour only shows up here).
+    fn lazy_fp2_differential<F: dlr_math::PrimeField>() {
+        use dlr_math::{FieldElement, Fp2};
+        let mut r = rand::rngs::StdRng::seed_from_u64(9);
+        let mut pool: Vec<Fp2<F>> = (0..16).map(|_| Fp2::random(&mut r)).collect();
+        let pm1 = -F::one();
+        for &x in &[F::zero(), F::one(), pm1] {
+            for &y in &[F::zero(), F::one(), pm1] {
+                pool.push(Fp2::new(x, y));
+            }
+        }
+        for a in &pool {
+            for b in &pool {
+                assert_eq!(*a * *b, a.mul_reduced_reference(b));
+            }
+            assert_eq!(a.square(), a.mul_reduced_reference(a));
+            assert_eq!(a.norm(), a.c0 * a.c0 + a.c1 * a.c1);
+        }
+        // Long p−1-valued accumulation: stresses the overflow limb.
+        let worst = Fp2::new(pm1, pm1);
+        let (a, b) = (vec![worst; 129], vec![worst; 129]);
+        let expect = a
+            .iter()
+            .zip(b.iter())
+            .fold(Fp2::zero(), |acc, (x, y)| acc + x.mul_reduced_reference(y));
+        assert_eq!(Fp2::sum_of_products(&a, &b), expect);
+    }
+
+    #[test]
+    fn lazy_fp2_differential_toy_field() {
+        lazy_fp2_differential::<FpToy>();
+    }
+
+    #[test]
+    fn lazy_fp2_differential_ss512_field() {
+        lazy_fp2_differential::<Fp512>();
     }
 
     #[test]

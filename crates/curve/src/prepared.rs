@@ -53,15 +53,23 @@ pub struct PreparedPoint<P: SsParams> {
 impl<P: SsParams> PreparedPoint<P> {
     /// Walk the Miller chain of `p` once and cache its line coefficients.
     ///
-    /// Costs one direct Miller loop's worth of `F_p` point arithmetic
-    /// (including the per-step slope inversions) but performs **no**
+    /// Uses the batched-inversion walker
+    /// ([`miller_chain_batched`](crate::pairing)): the chain advances in
+    /// Jacobian coordinates and pays **two** field inversions total instead
+    /// of one per step, emitting the bit-identical `(λ, θ)` sequence. Points
+    /// that hit a chain degeneracy (only possible outside the odd-order
+    /// subgroup) fall back to the reference affine walker. Performs no
     /// `F_{p²}` accumulator work and bumps no counter — the pairing count
     /// is charged per evaluation, not per preparation.
     pub fn prepare(p: &G<P>) -> Self {
         match p.to_affine() {
             Some((x, y)) => {
-                let mut ops = Vec::new();
-                miller_chain::<P>(Affine { x, y }, |op| ops.push(op));
+                let a = Affine { x, y };
+                let ops = crate::pairing::miller_chain_batched::<P>(a).unwrap_or_else(|| {
+                    let mut ops = Vec::new();
+                    miller_chain::<P>(a, |op| ops.push(op));
+                    ops
+                });
                 PreparedPoint {
                     ops,
                     infinity: false,
@@ -86,7 +94,7 @@ impl<P: SsParams> PreparedPoint<P> {
 
     /// Raw Miller value for `q`, with the zero sentinel for identity slots
     /// (mapped to the identity by
-    /// [`batch_final_exponentiation`](crate::pairing::batch_final_exponentiation)).
+    /// [`crate::pairing::batch_final_exponentiation`]).
     fn miller_or_sentinel(&self, q: &G<P>) -> Fp2<P::Fp> {
         counters::count_pairing();
         match (self.infinity, q.to_affine()) {
@@ -125,6 +133,95 @@ impl<P: SsParams> PreparedPoint<P> {
 /// Convenience: prepare `p` once and evaluate against every `q`.
 pub fn multi_pairing<P: SsParams>(p: &G<P>, qs: &[G<P>]) -> Vec<Gt<P>> {
     PreparedPoint::<P>::prepare(p).multi_pairing(qs)
+}
+
+/// An `Arc`-shared, lazily-built batch of prepared second-slot pairing
+/// arguments — the per-key cache pattern of
+/// [`LazyFixedBase`](crate::fixedbase::LazyFixedBase) applied to Miller
+/// chains: cheap to clone (all clones share one cell), built at most once,
+/// warmed explicitly at key load / after refresh rather than on the first
+/// decrypt. Dropping the cache and replacing it with a fresh one is the
+/// invalidation path (a `OnceLock` cannot be cleared in place).
+///
+/// Like the comb-table caches, this carries no semantic state: clones
+/// compare equal regardless of warmth and hash to nothing.
+pub struct LazyPreparedBatch<E: crate::traits::Pairing> {
+    cell: std::sync::Arc<std::sync::OnceLock<Vec<E::PreparedQ>>>,
+}
+
+impl<E: crate::traits::Pairing> LazyPreparedBatch<E> {
+    /// A cold cache.
+    pub fn new() -> Self {
+        Self {
+            cell: std::sync::Arc::new(std::sync::OnceLock::new()),
+        }
+    }
+
+    /// The prepared chains for `points`, building them on first use (all
+    /// clones then share the result). Preparation bumps no counter.
+    pub fn get(&self, points: &[E::G2]) -> &[E::PreparedQ] {
+        self.cell
+            .get_or_init(|| points.iter().map(E::prepare_q).collect())
+    }
+
+    /// Build the cache now (e.g. at key load or right after a refresh
+    /// commits) so no decrypt pays the Miller-chain walks.
+    pub fn warm(&self, points: &[E::G2]) {
+        let _ = self.get(points);
+    }
+
+    /// True once the chains are built.
+    pub fn is_warm(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}
+
+impl<E: crate::traits::Pairing> Default for LazyPreparedBatch<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: crate::traits::Pairing> Clone for LazyPreparedBatch<E> {
+    fn clone(&self) -> Self {
+        Self {
+            cell: std::sync::Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<E: crate::traits::Pairing> core::fmt::Debug for LazyPreparedBatch<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "LazyPreparedBatch({})",
+            if self.is_warm() { "warm" } else { "cold" }
+        )
+    }
+}
+
+impl<E: crate::traits::Pairing> PartialEq for LazyPreparedBatch<E> {
+    fn eq(&self, _other: &Self) -> bool {
+        true // caches carry no semantic state
+    }
+}
+impl<E: crate::traits::Pairing> Eq for LazyPreparedBatch<E> {}
+impl<E: crate::traits::Pairing> core::hash::Hash for LazyPreparedBatch<E> {
+    fn hash<H: core::hash::Hasher>(&self, _state: &mut H) {}
+}
+
+/// `[ê(P_k, q) for each cached chain]`: many **prepared** first arguments
+/// against one shared second argument, with batched final exponentiation
+/// and the same opt-in parallel fan-out as
+/// [`PreparedPoint::multi_pairing`]. This is the steady-state shape of the
+/// prepared-key cache: the per-key fixed points are prepared once and the
+/// fresh ciphertext component slots in as `q` (by pairing symmetry on the
+/// Type-1 map). Bumps `pairings` once per cached chain.
+pub fn multi_pairing_many<P: SsParams>(preps: &[PreparedPoint<P>], q: &G<P>) -> Vec<Gt<P>> {
+    parallel::fan_out_chunks(preps, |chunk| {
+        let millers: Vec<Fp2<P::Fp>> = chunk.iter().map(|p| p.miller_or_sentinel(q)).collect();
+        batch_final_exponentiation::<P>(&millers)
+    })
 }
 
 #[cfg(test)]

@@ -211,9 +211,10 @@ pub trait Group:
         self.pow(&Self::Scalar::from_u64(e))
     }
 
-    /// `∏ basesᵢ^{expsᵢ}` — multi-exponentiation via shared-doubling Straus
-    /// interleaving (see [`crate::multiexp`]). Counted as `bases.len()`
-    /// exponentiations.
+    /// `∏ basesᵢ^{expsᵢ}` — multi-exponentiation via the size-adaptive
+    /// dispatcher (see [`crate::multiexp`]): Pippenger bucket windows for
+    /// wide batches, shared-doubling Straus interleaving below the
+    /// crossover. Counted as `bases.len()` exponentiations.
     ///
     /// # Panics
     ///
@@ -226,7 +227,7 @@ pub trait Group:
                 _ => counters::count_g_pow(),
             }
         }
-        crate::multiexp::straus_raw(bases, exps)
+        crate::multiexp::multiexp(bases, exps)
     }
 }
 
@@ -285,6 +286,31 @@ pub trait Pairing: Sized + Send + Sync + 'static {
     /// `[e(p, q) for q in qs]` — prepare `p` once, then evaluate.
     fn multi_pair(p: &Self::G1, qs: &[Self::G2]) -> Vec<Self::Gt> {
         Self::multi_pair_prepared(&Self::prepare(p), qs)
+    }
+
+    /// A **second**-slot pairing argument with reusable precomputation
+    /// attached — the per-key fixed arguments (key-share coordinates) live
+    /// in this slot, so their preparations are cached across requests while
+    /// the ciphertext side stays fresh. Backends without a prepared form
+    /// use `G2` itself.
+    type PreparedQ: Clone + Send + Sync + 'static;
+
+    /// Precompute the reusable part of pairings with fixed **second** slot
+    /// `q`. Not itself a pairing: bumps no counter.
+    fn prepare_q(q: &Self::G2) -> Self::PreparedQ;
+
+    /// `e(p, q)` where `q` was [`prepare_q`](Self::prepare_q)'d. Must equal
+    /// [`pair`](Self::pair) exactly (same value, one `pairings` count).
+    fn pair_prepared_q(p: &Self::G1, prep: &Self::PreparedQ) -> Self::Gt;
+
+    /// `[e(p, q) for q in preps]` sharing `p` across many prepared second
+    /// slots. Counts one pairing per element; backends may batch the final
+    /// exponentiations.
+    fn multi_pair_prepared_q(p: &Self::G1, preps: &[Self::PreparedQ]) -> Vec<Self::Gt> {
+        preps
+            .iter()
+            .map(|prep| Self::pair_prepared_q(p, prep))
+            .collect()
     }
 
     /// `∏ e(pᵢ, qᵢ)`. Counts one pairing per constituent and **no** target

@@ -2,12 +2,55 @@
 //! streams (e.g. hashing identities to `n`-bit strings, deriving
 //! try-and-increment counters for hash-to-curve).
 
-use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::hmac::{hmac_sha256, HmacKey};
 use crate::sha256::DIGEST_LEN;
 
 /// HKDF-Extract: compress input keying material into a pseudorandom key.
 pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
     hmac_sha256(salt, ikm)
+}
+
+/// An extracted pseudorandom key with its HMAC midstates prepared, for
+/// callers that expand the same `(salt, ikm)` under many `info` values
+/// (e.g. try-and-increment hash-to-curve): the extract and the per-block
+/// key schedule are paid once instead of once per attempt. `Prk::expand`
+/// returns byte-identical output to [`hkdf`].
+#[derive(Clone, Debug)]
+pub struct Prk {
+    key: HmacKey,
+}
+
+impl Prk {
+    /// Extract-then-prepare: equivalent to keying HMAC with
+    /// `extract(salt, ikm)`.
+    pub fn new(salt: &[u8], ikm: &[u8]) -> Self {
+        Self {
+            key: HmacKey::new(&extract(salt, ikm)),
+        }
+    }
+
+    /// HKDF-Expand under this pseudorandom key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 255 · 32` (the RFC 5869 maximum).
+    pub fn expand(&self, info: &[u8], len: usize) -> Vec<u8> {
+        assert!(len <= 255 * DIGEST_LEN, "hkdf expand length too large");
+        let mut okm = Vec::with_capacity(len);
+        let mut t: Vec<u8> = Vec::new();
+        let mut counter = 1u8;
+        while okm.len() < len {
+            let mut h = self.key.begin();
+            h.update(&t);
+            h.update(info);
+            h.update(&[counter]);
+            t = h.finalize().to_vec();
+            let take = (len - okm.len()).min(DIGEST_LEN);
+            okm.extend_from_slice(&t[..take]);
+            counter = counter.checked_add(1).expect("hkdf counter overflow");
+        }
+        okm
+    }
 }
 
 /// HKDF-Expand: derive `len` output bytes from a pseudorandom key.
@@ -16,21 +59,10 @@ pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
 ///
 /// Panics if `len > 255 · 32` (the RFC 5869 maximum).
 pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
-    assert!(len <= 255 * DIGEST_LEN, "hkdf expand length too large");
-    let mut okm = Vec::with_capacity(len);
-    let mut t: Vec<u8> = Vec::new();
-    let mut counter = 1u8;
-    while okm.len() < len {
-        let mut h = HmacSha256::new(prk);
-        h.update(&t);
-        h.update(info);
-        h.update(&[counter]);
-        t = h.finalize().to_vec();
-        let take = (len - okm.len()).min(DIGEST_LEN);
-        okm.extend_from_slice(&t[..take]);
-        counter = counter.checked_add(1).expect("hkdf counter overflow");
+    Prk {
+        key: HmacKey::new(prk),
     }
-    okm
+    .expand(info, len)
 }
 
 /// Extract-then-expand in one call.
@@ -93,5 +125,15 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn expand_rejects_huge_len() {
         expand(&[0u8; 32], b"", 255 * 32 + 1);
+    }
+
+    #[test]
+    fn prk_expand_matches_one_shot_hkdf() {
+        let prk = Prk::new(b"salt", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            for info in [&b"info"[..], b"", b"dlr-h2c\x00\x00\x00\x07"] {
+                assert_eq!(prk.expand(info, len), hkdf(b"salt", b"ikm", info, len));
+            }
+        }
     }
 }

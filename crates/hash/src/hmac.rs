@@ -2,16 +2,20 @@
 
 use crate::sha256::{self, Sha256, BLOCK_LEN, DIGEST_LEN};
 
-/// Incremental HMAC-SHA-256 state.
+/// A prepared HMAC key: the SHA-256 midstates after absorbing the
+/// `ipad`/`opad` blocks. Deriving these costs two compressions; every MAC
+/// under the same key then starts from a clone instead of re-hashing the
+/// padded key — the win that makes HKDF-Expand (one key, many blocks) and
+/// try-and-increment hashing cheap.
 #[derive(Clone, Debug)]
-pub struct HmacSha256 {
-    inner: Sha256,
-    opad_key: [u8; BLOCK_LEN],
+pub struct HmacKey {
+    inner_mid: Sha256,
+    outer_mid: Sha256,
 }
 
-impl HmacSha256 {
-    /// Initialise with a key of any length (keys longer than the block size
-    /// are hashed first, per RFC 2104).
+impl HmacKey {
+    /// Prepare a key of any length (keys longer than the block size are
+    /// hashed first, per RFC 2104).
     pub fn new(key: &[u8]) -> Self {
         let mut k = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
@@ -26,12 +30,45 @@ impl HmacSha256 {
             ipad[i] = k[i] ^ 0x36;
             opad[i] = k[i] ^ 0x5c;
         }
-        let mut inner = Sha256::new();
-        inner.update(&ipad);
+        let mut inner_mid = Sha256::new();
+        inner_mid.update(&ipad);
+        let mut outer_mid = Sha256::new();
+        outer_mid.update(&opad);
         Self {
-            inner,
-            opad_key: opad,
+            inner_mid,
+            outer_mid,
         }
+    }
+
+    /// Start an incremental MAC under this key.
+    pub fn begin(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: self.inner_mid.clone(),
+            outer_mid: self.outer_mid.clone(),
+        }
+    }
+
+    /// One-shot MAC under this key.
+    pub fn mac(&self, data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = self.begin();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Incremental HMAC-SHA-256 state.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_mid: Sha256,
+}
+
+impl HmacSha256 {
+    /// Initialise with a key of any length (keys longer than the block size
+    /// are hashed first, per RFC 2104). For repeated MACs under one key,
+    /// prepare an [`HmacKey`] once and use [`HmacKey::begin`] instead.
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).begin()
     }
 
     /// Absorb message bytes.
@@ -42,8 +79,7 @@ impl HmacSha256 {
     /// Produce the MAC tag.
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer_mid;
         outer.update(&inner_digest);
         outer.finalize()
     }

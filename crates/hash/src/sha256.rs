@@ -104,6 +104,16 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            // SAFETY: `available` checked the sha/ssse3/sse4.1 CPUID bits.
+            unsafe { ni::compress(&mut self.state, block) };
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    fn compress_soft(&mut self, block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];
         for (i, item) in w.iter_mut().take(16).enumerate() {
             *item = u32::from_be_bytes([
@@ -161,6 +171,87 @@ pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
     h.finalize()
 }
 
+/// Hardware compression via the SHA-NI extension (`sha256rnds2` /
+/// `sha256msg1` / `sha256msg2`), selected at runtime. Produces the same
+/// state transition as [`Sha256::compress_soft`]; the `ni_matches_soft`
+/// test checks them against each other on every length class.
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    use super::{BLOCK_LEN, K};
+    #[allow(clippy::wildcard_imports)] // the intrinsics module is the API
+    use core::arch::x86_64::*;
+
+    pub fn available() -> bool {
+        // `is_x86_feature_detected!` caches in an atomic, so this is a
+        // relaxed load after the first call.
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Next four schedule words `w[i..i+4]` from the previous sixteen.
+    #[inline(always)]
+    unsafe fn schedule(w0: __m128i, w1: __m128i, w2: __m128i, w3: __m128i) -> __m128i {
+        let t = _mm_add_epi32(_mm_sha256msg1_epu32(w0, w1), _mm_alignr_epi8(w3, w2, 4));
+        _mm_sha256msg2_epu32(t, w3)
+    }
+
+    /// Four rounds: two `sha256rnds2` steps, role-swapping the ABEF/CDGH
+    /// halves (after two rounds the old ABEF lanes *are* the new CDGH).
+    #[inline(always)]
+    unsafe fn rounds4(abef: &mut __m128i, cdgh: &mut __m128i, wk: __m128i) {
+        *cdgh = _mm_sha256rnds2_epu32(*cdgh, *abef, wk);
+        *abef = _mm_sha256rnds2_epu32(*abef, *cdgh, _mm_shuffle_epi32(wk, 0x0E));
+    }
+
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // Repack [a,b,c,d] / [e,f,g,h] into the ABEF / CDGH lane order the
+        // rnds2 instruction wants (lane 3 = A resp. C).
+        let dcba = _mm_loadu_si128(state.as_ptr().cast());
+        let hgfe = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        let cdab = _mm_shuffle_epi32(dcba, 0xB1);
+        let efgh = _mm_shuffle_epi32(hgfe, 0x1B);
+        let mut abef = _mm_alignr_epi8(cdab, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, cdab, 0xF0);
+        let abef_in = abef;
+        let cdgh_in = cdgh;
+
+        // Message load with per-word byte swap (input is big-endian).
+        let bswap = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0b, 0x0405_0607_0001_0203);
+        let mut w0 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), bswap);
+        let mut w1 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), bswap);
+        let mut w2 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), bswap);
+        let mut w3 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), bswap);
+
+        let k = |i: usize| _mm_loadu_si128(K.as_ptr().add(4 * i).cast());
+        rounds4(&mut abef, &mut cdgh, _mm_add_epi32(w0, k(0)));
+        rounds4(&mut abef, &mut cdgh, _mm_add_epi32(w1, k(1)));
+        rounds4(&mut abef, &mut cdgh, _mm_add_epi32(w2, k(2)));
+        rounds4(&mut abef, &mut cdgh, _mm_add_epi32(w3, k(3)));
+        for i in 1..4 {
+            w0 = schedule(w0, w1, w2, w3);
+            rounds4(&mut abef, &mut cdgh, _mm_add_epi32(w0, k(4 * i)));
+            w1 = schedule(w1, w2, w3, w0);
+            rounds4(&mut abef, &mut cdgh, _mm_add_epi32(w1, k(4 * i + 1)));
+            w2 = schedule(w2, w3, w0, w1);
+            rounds4(&mut abef, &mut cdgh, _mm_add_epi32(w2, k(4 * i + 2)));
+            w3 = schedule(w3, w0, w1, w2);
+            rounds4(&mut abef, &mut cdgh, _mm_add_epi32(w3, k(4 * i + 3)));
+        }
+
+        abef = _mm_add_epi32(abef, abef_in);
+        cdgh = _mm_add_epi32(cdgh, cdgh_in);
+        // Repack ABEF / CDGH back to memory order.
+        let feba = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        let dcba = _mm_blend_epi16(feba, dchg, 0xF0);
+        let hgfe = _mm_alignr_epi8(dchg, feba, 8);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), dcba);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), hgfe);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +300,26 @@ mod tests {
             h.update(&data[..split]);
             h.update(&data[split..]);
             assert_eq!(h.finalize(), digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn ni_matches_soft() {
+        if !ni::available() {
+            return;
+        }
+        // Differential: the hardware compression must produce the exact
+        // state transition of the portable one, chained over many blocks.
+        let data: Vec<u8> = (0u32..4096).map(|i| (i * 31 + i / 7) as u8).collect();
+        let mut soft = Sha256::new();
+        let mut hw = Sha256::new();
+        for chunk in data.chunks(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block[..chunk.len()].copy_from_slice(chunk);
+            soft.compress_soft(&block);
+            unsafe { ni::compress(&mut hw.state, &block) };
+            assert_eq!(soft.state, hw.state);
         }
     }
 

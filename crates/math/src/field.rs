@@ -83,6 +83,45 @@ pub trait FieldElement:
 pub trait PrimeField: FieldElement + PartialOrd + Ord {
     /// Number of 64-bit limbs in an element.
     const LIMBS: usize;
+    /// Unreduced double-width Montgomery accumulator
+    /// ([`limbs::Wide`](crate::limbs::Wide) at `2·LIMBS`): holds sums of
+    /// products of field elements so a chain of multiply-accumulate steps
+    /// pays **one** Montgomery reduction at the end instead of one per
+    /// product. All lazy operations are exact — [`Self::wide_reduce`]
+    /// returns the same canonical representative the eager path produces,
+    /// bit for bit.
+    type Wide: Copy + Clone + Debug + Send + Sync + 'static;
+    /// Full double-width product `self·rhs`, unreduced.
+    fn mul_wide(&self, rhs: &Self) -> Self::Wide;
+    /// Full double-width square `self²`, unreduced.
+    fn square_wide(&self) -> Self::Wide;
+    /// The zero accumulator.
+    fn wide_zero() -> Self::Wide;
+    /// Accumulator addition `a + b`.
+    fn wide_add(a: Self::Wide, b: Self::Wide) -> Self::Wide;
+    /// Lazy subtraction `a − b` of a **single product** `b` (one
+    /// [`Self::mul_wide`]/[`Self::square_wide`] result, not an accumulated
+    /// sum), realised as `a + (p² − b)` so no borrow can occur.
+    fn wide_sub(a: Self::Wide, b: Self::Wide) -> Self::Wide;
+    /// Fold a reduced (Montgomery-form) element into the accumulator:
+    /// `a + x·R`, so that reduction yields `reduce(a) + x`.
+    fn wide_add_shifted(a: Self::Wide, x: &Self) -> Self::Wide;
+    /// Montgomery-reduce the accumulator to a canonical field element.
+    fn wide_reduce(a: Self::Wide) -> Self;
+    /// Fused multiply-add `self·rhs + add` with a single reduction.
+    ///
+    /// Width-gated: at narrow moduli the wide-accumulator fuse measures
+    /// well ahead of multiply-then-add, but past ~4 limbs the separate
+    /// SOS reduction pass falls behind the register-resident CIOS multiply,
+    /// so wide fields take the eager route. (The branch constant-folds per
+    /// monomorphisation.) Both routes return the same canonical element.
+    fn mul_add(&self, rhs: &Self, add: &Self) -> Self {
+        if Self::modulus_bits() <= 256 {
+            Self::wide_reduce(Self::wide_add_shifted(self.mul_wide(rhs), add))
+        } else {
+            *self * *rhs + *add
+        }
+    }
     /// Bit length of the modulus.
     fn modulus_bits() -> u32;
     /// Modulus as canonical big-endian bytes.
@@ -160,6 +199,12 @@ macro_rules! define_prime_field {
             const N0INV: u64 = $crate::limbs::mont_n0inv(Self::MODULUS[0]);
             const R: [u64; $limbs] = $crate::limbs::compute_r(&Self::MODULUS);
             const R2: [u64; $limbs] = $crate::limbs::compute_r2(&Self::MODULUS);
+            const MODULUS_SQUARED: [u64; 2 * $limbs] =
+                $crate::limbs::wide_mul::<$limbs, { 2 * $limbs }>(
+                    &Self::MODULUS,
+                    &Self::MODULUS,
+                )
+                .lo;
 
             /// Construct from little-endian limbs of a canonical
             /// (non-Montgomery) reduced integer.
@@ -292,7 +337,17 @@ macro_rules! define_prime_field {
                 $crate::limbs::is_zero(&self.0)
             }
             fn square(&self) -> Self {
-                Self($crate::limbs::mont_sqr(&self.0, &Self::MODULUS, Self::N0INV))
+                // CIOS beats the wide-square + SOS route for standalone
+                // squarings at these widths (the interleaved reduction
+                // stays in registers); the wide path pays off only when
+                // reductions are *deferred* — see `mul_add` and the
+                // `F_{p²}` tower.
+                Self($crate::limbs::mont_mul(
+                    &self.0,
+                    &self.0,
+                    &Self::MODULUS,
+                    Self::N0INV,
+                ))
             }
             fn inverse(&self) -> Option<Self> {
                 // Binary extended GCD on the canonical value, then back to
@@ -354,6 +409,34 @@ macro_rules! define_prime_field {
 
         impl $crate::field::PrimeField for $name {
             const LIMBS: usize = $limbs;
+            type Wide = $crate::limbs::Wide<{ 2 * $limbs }>;
+
+            fn mul_wide(&self, rhs: &Self) -> Self::Wide {
+                $crate::limbs::wide_mul(&self.0, &rhs.0)
+            }
+            fn square_wide(&self) -> Self::Wide {
+                $crate::limbs::wide_sqr(&self.0)
+            }
+            fn wide_zero() -> Self::Wide {
+                $crate::limbs::Wide::zero()
+            }
+            fn wide_add(a: Self::Wide, b: Self::Wide) -> Self::Wide {
+                $crate::limbs::wide_add(&a, &b)
+            }
+            fn wide_sub(a: Self::Wide, b: Self::Wide) -> Self::Wide {
+                $crate::limbs::wide_sub_from(&a, &b, &Self::MODULUS_SQUARED)
+            }
+            fn wide_add_shifted(a: Self::Wide, x: &Self) -> Self::Wide {
+                $crate::limbs::wide_add_shifted(&a, &x.0)
+            }
+            fn wide_reduce(a: Self::Wide) -> Self {
+                Self($crate::limbs::mont_reduce_wide(
+                    &a.lo,
+                    a.hi,
+                    &Self::MODULUS,
+                    Self::N0INV,
+                ))
+            }
 
             fn modulus_bits() -> u32 {
                 $crate::limbs::bits(&Self::MODULUS)
@@ -379,11 +462,20 @@ macro_rules! define_prime_field {
             }
             fn from_bytes_be_reduced(bytes: &[u8]) -> Self {
                 use $crate::field::FieldElement;
-                // Horner over bytes: acc = acc·256 + b
+                // Horner over 8-byte limbs: acc = acc·2⁶⁴ + limb — two
+                // multiplications per limb instead of one per byte. Same
+                // exact value (and therefore the same canonical element) as
+                // the byte-at-a-time recurrence.
+                let shift32 = Self::from_u64(1u64 << 32);
+                let shift64 = shift32 * shift32;
+                let lead = bytes.len() % 8;
                 let mut acc = Self::zero();
-                let two_fifty_six = Self::from_u64(256);
-                for &b in bytes {
-                    acc = acc * two_fifty_six + Self::from_u64(b as u64);
+                for &b in &bytes[..lead] {
+                    acc = acc * Self::from_u64(256) + Self::from_u64(b as u64);
+                }
+                for chunk in bytes[lead..].chunks_exact(8) {
+                    let limb = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+                    acc = acc * shift64 + Self::from_u64(limb);
                 }
                 acc
             }
@@ -560,6 +652,34 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 8]);
         assert_eq!(F64::from_bytes_be_reduced(&bytes), F64::from_u64(59));
         assert_eq!(F64::from_bytes_be_reduced(&[]), F64::zero());
+    }
+
+    #[test]
+    fn from_bytes_be_reduced_matches_byte_horner() {
+        // The limb-chunked Horner must agree with the byte-at-a-time
+        // recurrence at every length class, especially lengths that are
+        // not multiples of 8 (the leading-partial path).
+        fn byte_horner<F: PrimeField>(bytes: &[u8]) -> F {
+            let mut acc = F::zero();
+            for &b in bytes {
+                acc = acc * F::from_u64(256) + F::from_u64(b as u64);
+            }
+            acc
+        }
+        let data: Vec<u8> = (0u32..96).map(|i| (i * 37 + 11) as u8).collect();
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 24, 31, 40, 80, 96] {
+            let bytes = &data[..len];
+            assert_eq!(
+                F64::from_bytes_be_reduced(bytes),
+                byte_horner::<F64>(bytes),
+                "len {len}"
+            );
+            assert_eq!(
+                F61::from_bytes_be_reduced(bytes),
+                byte_horner::<F61>(bytes),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # dlr-math — fixed-width big integers and Montgomery prime fields
 //!
 //! Foundation crate of the DLR workspace (a from-scratch reproduction of

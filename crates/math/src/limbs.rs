@@ -207,9 +207,227 @@ pub const fn mont_mul<const L: usize>(
     select(&t, &diff, need & 1)
 }
 
-/// Montgomery squaring (currently delegates to [`mont_mul`]).
-pub const fn mont_sqr<const L: usize>(a: &[u64; L], m: &[u64; L], n0inv: u64) -> [u64; L] {
-    mont_mul(a, a, m, n0inv)
+/// Montgomery squaring: symmetric schoolbook square ([`wide_sqr`], about
+/// half the limb products of a general multiply) followed by one
+/// [`mont_reduce_wide`]. Returns exactly `mont_mul(a, a, m, n0inv)` —
+/// both paths end on the canonical representative.
+/// Callers must pass `L2 = 2·L` explicitly (const-generic arithmetic
+/// cannot derive it); the field macro monomorphises both from `$limbs`.
+pub const fn mont_sqr<const L: usize, const L2: usize>(
+    a: &[u64; L],
+    m: &[u64; L],
+    n0inv: u64,
+) -> [u64; L] {
+    let wide: Wide<L2> = wide_sqr(a);
+    mont_reduce_wide(&wide.lo, wide.hi, m, n0inv)
+}
+
+/// An **unreduced** double-width Montgomery accumulator: the value
+/// `lo + hi·2^{64·L2}` where `lo` is `L2 = 2L` little-endian limbs and
+/// `hi` an explicit overflow limb.
+///
+/// A product of two reduced Montgomery operands (`< p`) always fits in
+/// `lo`; `hi` buys headroom to *accumulate* many such products (and
+/// modulus-squared complements for lazy subtraction) before paying a
+/// single [`mont_reduce_wide`]. With `p ≈ 2^{64·L−1}` (the 0x8000…
+/// supersingular moduli) each accumulated term is at most `p² ≈ 2^{128·L}/4`,
+/// so `hi` overflows only after ~2⁶⁶ additions — far beyond any
+/// accumulation the `F_{p²}` tower performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Wide<const L2: usize> {
+    /// Low `2L` limbs, little-endian.
+    pub lo: [u64; L2],
+    /// Overflow beyond `2^{64·L2}`.
+    pub hi: u64,
+}
+
+impl<const L2: usize> Wide<L2> {
+    /// The zero accumulator.
+    pub const fn zero() -> Self {
+        Self {
+            lo: [0u64; L2],
+            hi: 0,
+        }
+    }
+}
+
+/// Full double-width schoolbook product `a·b` (no reduction).
+///
+/// `L2` must equal `2·L` (compile-time asserted); the result's `hi` is
+/// always zero but is carried so products feed directly into the
+/// accumulator algebra ([`wide_add`], [`wide_sub_from`]).
+pub const fn wide_mul<const L: usize, const L2: usize>(a: &[u64; L], b: &[u64; L]) -> Wide<L2> {
+    assert!(L2 == 2 * L, "wide product needs exactly 2L limbs");
+    let mut t = [0u64; L2];
+    let mut i = 0;
+    while i < L {
+        let mut carry = 0u64;
+        let mut j = 0;
+        while j < L {
+            let (lo, hi) = mac(t[i + j], a[i], b[j], carry);
+            t[i + j] = lo;
+            carry = hi;
+            j += 1;
+        }
+        t[i + L] = carry;
+        i += 1;
+    }
+    Wide { lo: t, hi: 0 }
+}
+
+/// Double-width **squaring**: computes the `i < j` cross products once,
+/// doubles them with a shift, and adds the diagonal squares — `L(L+1)/2`
+/// limb multiplications instead of the `L²` of [`wide_mul`].
+pub const fn wide_sqr<const L: usize, const L2: usize>(a: &[u64; L]) -> Wide<L2> {
+    assert!(L2 == 2 * L, "wide square needs exactly 2L limbs");
+    let mut t = [0u64; L2];
+    // Cross terms a[i]·a[j] for i < j, accumulated at positions i+j.
+    let mut i = 0;
+    while i < L {
+        let mut carry = 0u64;
+        let mut j = i + 1;
+        while j < L {
+            let (lo, hi) = mac(t[i + j], a[i], a[j], carry);
+            t[i + j] = lo;
+            carry = hi;
+            j += 1;
+        }
+        if i + L < L2 {
+            t[i + L] = carry;
+        }
+        i += 1;
+    }
+    // Double the cross terms (shift left one bit; the square fits 2L limbs,
+    // so the outgoing bit is provably zero).
+    let mut shifted_out = 0u64;
+    let mut k = 0;
+    while k < L2 {
+        let next_out = t[k] >> 63;
+        t[k] = (t[k] << 1) | shifted_out;
+        shifted_out = next_out;
+        k += 1;
+    }
+    // Add the diagonal squares a[i]² at positions 2i.
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < L {
+        let (lo, hi) = mac(t[2 * i], a[i], a[i], carry);
+        t[2 * i] = lo;
+        let (lo2, c2) = adc(t[2 * i + 1], hi, 0);
+        t[2 * i + 1] = lo2;
+        carry = c2;
+        i += 1;
+    }
+    Wide { lo: t, hi: 0 }
+}
+
+/// Accumulator addition `a + b` (carries into `hi`).
+pub const fn wide_add<const L2: usize>(a: &Wide<L2>, b: &Wide<L2>) -> Wide<L2> {
+    let (lo, carry) = add_carry(&a.lo, &b.lo);
+    Wide {
+        lo,
+        hi: a.hi + b.hi + carry,
+    }
+}
+
+/// Lazy subtraction of a **single product** from an accumulator:
+/// `a + (m² − b)` where `m2` is the squared modulus as `2L` limbs.
+/// Because `b` is one product of reduced operands, `b ≤ (p−1)² < p² = m²`,
+/// so the complement never borrows and the result's residue class mod `p`
+/// equals `a − b`.
+pub const fn wide_sub_from<const L2: usize>(
+    a: &Wide<L2>,
+    b: &Wide<L2>,
+    m2: &[u64; L2],
+) -> Wide<L2> {
+    let (comp, borrow) = sub_borrow(m2, &b.lo);
+    assert!(borrow == 0 && b.hi == 0, "lazy subtrahend must be a single product < m²");
+    let (lo, carry) = add_carry(&a.lo, &comp);
+    Wide {
+        lo,
+        hi: a.hi + carry,
+    }
+}
+
+/// Add a Montgomery-form field element `x` (as `L` limbs) **shifted by
+/// `R = 2^{64·L}`** into the accumulator: `a + x·R`. Since `REDC` divides
+/// by `R`, this folds a fully-reduced addend into an unreduced product sum
+/// for free: `REDC(ā·b̄ + x̄·R) = (a·b + x)·R mod p`.
+pub const fn wide_add_shifted<const L2: usize>(a: &Wide<L2>, x: &[u64]) -> Wide<L2> {
+    let l = L2 / 2;
+    assert!(x.len() == l, "shifted addend must be L limbs");
+    let mut lo = a.lo;
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < l {
+        let (s, c) = adc(lo[l + i], x[i], carry);
+        lo[l + i] = s;
+        carry = c;
+        i += 1;
+    }
+    Wide {
+        lo,
+        hi: a.hi + carry,
+    }
+}
+
+/// Generalized Montgomery reduction of an unreduced accumulator:
+/// returns `(lo + hi·2^{64·L2}) · R^{-1} mod m`, fully reduced
+/// (canonical), for **any** accumulator value — not just the `T < p·R`
+/// bound of textbook REDC.
+///
+/// SOS shape: `L` rounds of `u = t[i]·n0inv; t += u·m << 64i`, carries
+/// propagated through the upper limbs into the overflow word, then a
+/// trailing subtract-while-≥m loop. The loop runs at most
+/// `⌈T / (R·m)⌉ + 1` times — bounded by half the number of accumulated
+/// products, independent of how small `m` is relative to `R` (variable
+/// time, consistent with this crate's vartime arithmetic posture).
+pub const fn mont_reduce_wide<const L: usize, const L2: usize>(
+    lo: &[u64; L2],
+    hi: u64,
+    m: &[u64; L],
+    n0inv: u64,
+) -> [u64; L] {
+    assert!(L2 == 2 * L, "wide reduction needs exactly 2L limbs");
+    let mut t = *lo;
+    let mut t_hi = hi;
+    let mut i = 0;
+    while i < L {
+        let u = t[i].wrapping_mul(n0inv);
+        let mut carry = 0u64;
+        let mut j = 0;
+        while j < L {
+            let (lo_, hi_) = mac(t[i + j], u, m[j], carry);
+            t[i + j] = lo_;
+            carry = hi_;
+            j += 1;
+        }
+        // Propagate into the upper half and, past it, the overflow word.
+        let mut k = i + L;
+        while k < L2 && carry != 0 {
+            let (s, c) = adc(t[k], carry, 0);
+            t[k] = s;
+            carry = c;
+            k += 1;
+        }
+        t_hi += carry;
+        i += 1;
+    }
+    // The reduced value is the upper half plus the overflow word.
+    let mut r = [0u64; L];
+    let mut i = 0;
+    while i < L {
+        r[i] = t[i + L];
+        i += 1;
+    }
+    loop {
+        if t_hi == 0 && cmp(&r, m) < 0 {
+            return r;
+        }
+        let (d, borrow) = sub_borrow(&r, m);
+        r = d;
+        t_hi -= borrow;
+    }
 }
 
 /// `2^{64·L} mod m`, i.e. the Montgomery representation of 1.
@@ -336,6 +554,72 @@ pub const fn window(a: &[u64], bit_pos: usize, width: usize) -> usize {
         w |= (a[limb + 1] << (64 - shift)) & mask;
     }
     w as usize
+}
+
+/// Width-`w` non-adjacent form (wNAF) of a little-endian limb slice.
+///
+/// Returns signed digits `d_i` with `value = Σ d_i · 2^i`, where every
+/// nonzero digit is odd, `|d_i| < 2^{w−1}`, and a nonzero digit is
+/// followed by at least `w − 1` zeros. Digit order is little-endian
+/// (index = bit position); the result has at most `bits_slice(a) + 1`
+/// entries. This is the recoding behind signed-window exponentiation:
+/// in groups where inversion is cheap (curve point negation) it cuts the
+/// expected nonzero-digit density from `1 − 2^{−w}` per window to
+/// `1/(w+1)` per bit while halving the table to odd multiples only.
+///
+/// # Panics
+///
+/// Panics if `w` is outside `2..=8` (digits must fit an `i8`).
+pub fn wnaf_digits(a: &[u64], w: usize) -> Vec<i8> {
+    assert!((2..=8).contains(&w), "wnaf width out of range");
+    let mut e = a.to_vec();
+    let mut digits = Vec::with_capacity(bits_slice(a) as usize + 1);
+    let half = 1i64 << (w - 1);
+    let full = 1i64 << w;
+    let mask = (full - 1) as u64;
+    while bits_slice(&e) != 0 {
+        if e[0] & 1 == 1 {
+            // Centered residue mods 2^w: odd, in (−2^{w−1}, 2^{w−1}).
+            let low = (e[0] & mask) as i64;
+            let d = if low >= half { low - full } else { low };
+            if d > 0 {
+                // d ≤ low ≤ e, so the borrow chain always terminates.
+                let (diff, mut borrow) = sbb(e[0], d as u64, 0);
+                e[0] = diff;
+                let mut i = 1;
+                while borrow != 0 {
+                    let (diff, bo) = sbb(e[i], 0, borrow);
+                    e[i] = diff;
+                    borrow = bo;
+                    i += 1;
+                }
+            } else {
+                let (sum, mut carry) = adc(e[0], (-d) as u64, 0);
+                e[0] = sum;
+                let mut i = 1;
+                while carry != 0 && i < e.len() {
+                    let (sum, c) = adc(e[i], 0, carry);
+                    e[i] = sum;
+                    carry = c;
+                    i += 1;
+                }
+                if carry != 0 {
+                    e.push(carry);
+                }
+            }
+            digits.push(d as i8);
+        } else {
+            digits.push(0);
+        }
+        // e is now even; shift out the processed bit.
+        for i in 0..e.len() {
+            e[i] >>= 1;
+            if i + 1 < e.len() {
+                e[i] |= e[i + 1] << 63;
+            }
+        }
+    }
+    digits
 }
 
 /// Logical right shift by one bit.
@@ -641,6 +925,155 @@ mod tests {
         assert_eq!(shr1(&v), [0x8000_0000_0000_0000, 0]);
         assert_eq!(sub_u64(&[0, 1], 1), [u64::MAX, 0]);
         assert_eq!(add_u64(&[u64::MAX, 0], 1), [0, 1]);
+    }
+
+    #[test]
+    fn wide_mul_matches_u128_reference() {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, u64::MAX),
+            (u64::MAX, u64::MAX),
+            (0xdead_beef_1234_5678, 0x9abc_def0_8765_4321),
+        ] {
+            let w: Wide<2> = wide_mul(&[a], &[b]);
+            let expect = a as u128 * b as u128;
+            assert_eq!(w.lo, [expect as u64, (expect >> 64) as u64]);
+            assert_eq!(w.hi, 0);
+            let sq: Wide<2> = wide_sqr(&[a]);
+            assert_eq!(sq, wide_mul(&[a], &[a]), "square a={a}");
+        }
+    }
+
+    #[test]
+    fn wide_sqr_matches_wide_mul_multilimb() {
+        let vals: [[u64; 2]; 4] = [
+            [0, 0],
+            [u64::MAX, u64::MAX],
+            [0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210],
+            [1, u64::MAX],
+        ];
+        for a in vals {
+            let sq: Wide<4> = wide_sqr(&a);
+            assert_eq!(sq, wide_mul(&a, &a), "a={a:?}");
+        }
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul() {
+        let p: [u64; 1] = [0xffff_ffff_ffff_ffc5];
+        let n0 = mont_n0inv(p[0]);
+        for a in [0u64, 1, 59, p[0] - 1, 0x1234_5678_9abc_def0] {
+            assert_eq!(
+                mont_sqr::<1, 2>(&[a], &p, n0),
+                mont_mul(&[a], &[a], &p, n0),
+                "a={a}"
+            );
+        }
+        let p2: [u64; 2] = [0xae64_6733_8a04_eeeb, 0x42]; // Toy 71-bit modulus
+        let n02 = mont_n0inv(p2[0]);
+        for a in [[0u64, 0], [1, 0], [0xae64_6733_8a04_eeea, 0x42], [u64::MAX, 0x41]] {
+            assert_eq!(
+                mont_sqr::<2, 4>(&a, &p2, n02),
+                mont_mul(&a, &a, &p2, n02),
+                "a={a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mont_reduce_wide_accumulated_sum_matches_reduced_path() {
+        // Full-width single-limb modulus: products approach R², so a few
+        // accumulated terms push the sum past 2^128 into the overflow limb.
+        let p: [u64; 1] = [0xffff_ffff_ffff_ffc5];
+        let n0 = mont_n0inv(p[0]);
+        let terms: [(u64, u64); 5] = [
+            (p[0] - 1, p[0] - 1),
+            (p[0] - 1, p[0] - 2),
+            (0x1234_5678_9abc_def0, p[0] - 1),
+            (p[0] - 3, p[0] - 59),
+            (1, 1),
+        ];
+        let mut acc = Wide::<2>::zero();
+        let mut expect = [0u64; 1];
+        for (a, b) in terms {
+            acc = wide_add(&acc, &wide_mul(&[a], &[b]));
+            expect = add_mod(&expect, &mont_mul(&[a], &[b], &p, n0), &p);
+        }
+        assert!(acc.hi > 0, "test should exercise the overflow limb");
+        assert_eq!(mont_reduce_wide(&acc.lo, acc.hi, &p, n0), expect);
+    }
+
+    #[test]
+    fn wide_sub_from_is_exact_subtraction() {
+        let p: [u64; 1] = [0xffff_ffff_ffff_ffc5];
+        let n0 = mont_n0inv(p[0]);
+        let m2: Wide<2> = wide_mul(&p, &p);
+        let a = [p[0] - 1];
+        let b = [0x9999_8888_7777_6666];
+        let prod_a = wide_mul(&a, &a);
+        let prod_b = wide_mul(&b, &b);
+        let diff = wide_sub_from(&prod_a, &prod_b, &m2.lo);
+        let expect = sub_mod(
+            &mont_mul(&a, &a, &p, n0),
+            &mont_mul(&b, &b, &p, n0),
+            &p,
+        );
+        assert_eq!(mont_reduce_wide(&diff.lo, diff.hi, &p, n0), expect);
+    }
+
+    #[test]
+    fn wide_add_shifted_folds_reduced_addend() {
+        // REDC(a·b + x·R) must equal mont_mul(a,b) + x.
+        let p: [u64; 2] = [0xae64_6733_8a04_eeeb, 0x42];
+        let n0 = mont_n0inv(p[0]);
+        let a = [0x1111_2222_3333_4444u64, 0x12];
+        let b = [0x5555_6666_7777_8888u64, 0x3f];
+        let x = [0xaaaa_bbbb_cccc_ddddu64, 0x01];
+        let w: Wide<4> = wide_add_shifted(&wide_mul(&a, &b), &x);
+        let expect = add_mod(&mont_mul(&a, &b, &p, n0), &x, &p);
+        assert_eq!(mont_reduce_wide(&w.lo, w.hi, &p, n0), expect);
+    }
+
+    #[test]
+    fn wnaf_digits_reconstruct_and_satisfy_naf_property() {
+        // Deterministic value grid: small constants, limb-boundary
+        // straddlers, and saturated two-limb values.
+        let values: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![7],
+            vec![0xdead_beef],
+            vec![u64::MAX],
+            vec![u64::MAX, 1],
+            vec![u64::MAX, 0x3fff_ffff_ffff],
+            vec![0x0123_4567_89ab_cdef, 0x1fff_ffff_ffff],
+        ];
+        for v in &values {
+            for w in 2..=8usize {
+                let digits = wnaf_digits(v, w);
+                assert!(digits.len() <= bits_slice(v) as usize + 1, "len w={w}");
+                // Reconstruct Σ d_i 2^i in i128 (all grid values fit).
+                let value = v.iter().rev().fold(0i128, |acc, &l| (acc << 64) | l as i128);
+                let mut recon = 0i128;
+                for (i, &d) in digits.iter().enumerate() {
+                    recon += (d as i128) << i;
+                }
+                assert_eq!(recon, value, "reconstruct v={v:?} w={w}");
+                let half = 1i16 << (w - 1);
+                for (i, &d) in digits.iter().enumerate() {
+                    if d == 0 {
+                        continue;
+                    }
+                    assert!(d % 2 != 0, "digit parity");
+                    assert!((d as i16).abs() < half, "digit magnitude w={w}");
+                    for (j, &dj) in digits.iter().enumerate().take(i + w).skip(i + 1) {
+                        assert_eq!(dj, 0, "naf spacing w={w} i={i} j={j}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

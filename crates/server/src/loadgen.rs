@@ -353,6 +353,7 @@ fn client_loop<E: Pairing>(
         ..config.backoff.clone()
     };
     let mut p1 = Party1::new(pk, share1);
+    p1.warm(); // build the per-key pairing caches before the request clock starts
     let mut rng = rand::thread_rng();
     let mut reconnects = 0usize;
     let mut transport = connect(addr, config);

@@ -2,18 +2,19 @@
 # Kick-the-tires artifact run: from a clean checkout, offline, in minutes,
 # smoke-verify every headline claim of EXPERIMENTS.md and regenerate the
 # measured tables (A6 span fingerprint, A7 fixed-base parity, L1 server
-# load) into out/. Exits nonzero if any regenerated op count disagrees
+# load, A8 multiexp crossover) into out/. Exits nonzero if any
+# regenerated op count disagrees
 # with the committed docs.
 #
 # usage: tools/kick-tires.sh
 #
 # What it checks, in order:
 #   1. the workspace builds in release mode (no network access needed);
-#   2. `dlr artifact` regenerates A6/A7/L1 into out/ and every exact
+#   2. `dlr artifact` regenerates A6/A7/A8/L1 into out/ and every exact
 #      (op-count) cell matches EXPERIMENTS.md — the table-drift gate;
 #   3. the fresh A6/L1 metrics JSON is op-identical to the committed
-#      BENCH_PR2.json / BENCH_PR5.json baselines (live run vs history);
-#   4. the committed BENCH_PR1->PR5 trajectory itself holds op-count
+#      BENCH_PR2.json / BENCH_PR7.json baselines (live run vs history);
+#   4. the committed BENCH_PR1->PR7 trajectory itself holds op-count
 #      parity within each report kind (`bench-compare.sh --all`).
 #
 # The full-length counterpart (all parameter sets, criterion benches,
@@ -30,19 +31,19 @@ step "release build (offline)"
 cargo build --release -q -p dlr-cli -p dlr-bench
 claims+=("release build: OK")
 
-step "regenerate A6/A7/L1 tables + table-drift gate"
+step "regenerate A6/A7/A8/L1 tables + table-drift gate"
 ./target/release/dlr artifact --profile kick-tires --mode all
-claims+=("table-drift gate (A6/A7/L1 vs EXPERIMENTS.md): OK")
+claims+=("table-drift gate (A6/A7/A8/L1 vs EXPERIMENTS.md): OK")
 
 step "live session vs committed BENCH_PR2.json (op-count parity)"
 tools/bench-compare.sh BENCH_PR2.json out/A6.json
 claims+=("live A6 session op-identical to BENCH_PR2.json: OK")
 
-step "live loadgen vs committed BENCH_PR5.json (op-count parity)"
-tools/bench-compare.sh BENCH_PR5.json out/L1.json
-claims+=("live L1 loadgen op-identical to BENCH_PR5.json: OK")
+step "live loadgen vs committed BENCH_PR7.json (op-count parity)"
+tools/bench-compare.sh BENCH_PR7.json out/L1.json
+claims+=("live L1 loadgen op-identical to BENCH_PR7.json: OK")
 
-step "committed BENCH_PR1->PR5 trajectory parity"
+step "committed BENCH_PR1->PR7 trajectory parity"
 tools/bench-compare.sh --all
 claims+=("BENCH_PR* trajectory op-count parity: OK")
 
