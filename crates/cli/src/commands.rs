@@ -30,7 +30,8 @@ subcommands:
   decrypt         --pk FILE --sk1 FILE --sk2 FILE --in FILE --out FILE [--curve C]
   refresh         --pk FILE --sk1 FILE --sk2 FILE [--curve C]
   serve-p2        --pk FILE --sk2 FILE --listen ADDR [--curve C] [--key-id ID]
-                  [--max-sessions N] [--epoch-secs S] [--stats-json FILE] [--stats-secs S]
+                  [--max-sessions N] [--workers N] [--shards N]
+                  [--epoch-secs S] [--stats-json FILE] [--stats-secs S]
   decrypt-remote  --pk FILE --sk1 FILE --connect ADDR --in FILE --out FILE
                   [--curve C] [--key-id ID] [--retries N]
   loadgen         --pk FILE --sk1 FILE --connect ADDR [--curve C] [--key-id ID]
@@ -40,8 +41,10 @@ subcommands:
                   [--docs FILE]
   help
 
-`serve-p2` runs the concurrent dlr-server key-share service: bounded
-worker pool, per-session key selection via hello, epoch-driven refresh
+`serve-p2` runs the concurrent dlr-server key-share service: a fixed set
+of readiness event loops (--workers, 0 = auto) driving nonblocking
+sessions, the keyring sharded across them by key id (--shards, 0 = one
+per worker), per-session key selection via hello, epoch-driven refresh
 boundaries (--epoch-secs), durable share persistence back to --sk2 after
 every refresh, and periodic JSON stats dumps. `loadgen` drives a running
 server with concurrent closed-loop decrypt clients and prints (or writes
@@ -52,8 +55,9 @@ decrypt/refresh trials, plus one transport-backed decrypt+refresh) and
 prints the per-phase span tree, group-operation counts and wire traffic.
 
 `artifact` regenerates the measured EXPERIMENTS.md tables (A6 span
-fingerprint, A7 fixed-base parity, L1 server load; the full profile adds
-the L1 concurrency ladder) into --out (default `out/`) as markdown + CSV
+fingerprint, A7 fixed-base parity, A8 multiexp crossover, L1 server
+load, L2 high-concurrency ladder; the full profile adds the L1
+concurrency ladder) into --out (default `out/`) as markdown + CSV
 + raw metrics JSON, then diffs them against the committed tables in
 --docs (default `EXPERIMENTS.md`): op-count cells must match exactly,
 columns headed `(md)` are machine-dependent and skipped. Exits nonzero
@@ -196,14 +200,17 @@ fn serve_p2<E: Pairing>(args: &Args) -> Result<(), AnyError> {
     let stats_secs = args.get_u32_or("stats-secs", 10)?;
     let config = ServerConfig {
         max_sessions: args.get_u32_or("max-sessions", 32)? as usize,
+        workers: args.get_u32_or("workers", 0)? as usize,
+        shards: args.get_u32_or("shards", 0)? as usize,
         epoch_interval: (epoch_secs > 0).then(|| Duration::from_secs(epoch_secs.into())),
         stats_interval: (stats_secs > 0).then(|| Duration::from_secs(stats_secs.into())),
         stats_path: args.options_get("stats-json").map(PathBuf::from),
         ..ServerConfig::default()
     };
+    let (workers, shards) = (config.resolved_workers(), config.resolved_shards());
     let server = Server::bind(args.require("listen")?, Arc::new(keyring), config)?;
     println!(
-        "dlr-server: P2 serving on {} (key id `{}`)",
+        "dlr-server: P2 serving on {} (key id `{}`, {workers} workers, {shards} shards)",
         server.handle().local_addr(),
         args.get_or("key-id", "default"),
     );

@@ -27,5 +27,5 @@ pub mod wire;
 
 pub use memory::{Device, PublicMemory, SecretMemory, SecretView};
 pub use runtime::{run_pair, RunOutput};
-pub use transport::{duplex, Transport, TransportError, WireStats};
+pub use transport::{duplex, FrameReader, FrameWriter, Transport, TransportError, WireStats};
 pub use wire::{CodecError, Decoder, Encoder};

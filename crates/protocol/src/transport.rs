@@ -104,18 +104,156 @@ impl Transport for InMemoryTransport {
     }
 }
 
+/// Incremental decoder for `u32`-length-prefixed frames over any byte
+/// stream, usable with nonblocking sockets.
+///
+/// [`FrameReader::poll_frame`] pulls bytes from the source until either a
+/// complete frame is assembled (`Ok(Some(frame))`) or the source has no
+/// more bytes right now (`Ok(None)` on `WouldBlock`/`TimedOut`), keeping
+/// partial progress buffered across calls so the stream never desyncs.
+/// Reads never pull past the end of the frame currently being assembled,
+/// so with a level-triggered readiness poller any following frame stays in
+/// the kernel buffer and keeps the socket reporting readable.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Bytes of the in-progress frame (length prefix + body) accumulated
+    /// across `poll_frame` calls.
+    partial: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with no buffered partial frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when a frame has been started but not yet completed — useful
+    /// for distinguishing an idle connection from one stalled mid-frame.
+    pub fn is_mid_frame(&self) -> bool {
+        !self.partial.is_empty()
+    }
+
+    /// Fill `self.partial` up to `target` bytes. `Ok(true)` when the
+    /// target is reached, `Ok(false)` when the source would block first.
+    fn fill_to(&mut self, src: &mut impl Read, target: usize) -> Result<bool, TransportError> {
+        let mut scratch = [0u8; 8192];
+        while self.partial.len() < target {
+            let want = (target - self.partial.len()).min(scratch.len());
+            let n = match src.read(&mut scratch[..want]) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e.into()),
+            };
+            self.partial.extend_from_slice(&scratch[..n]);
+        }
+        Ok(true)
+    }
+
+    /// Advance frame assembly as far as the source allows. Returns the
+    /// completed frame, or `None` if the source ran dry mid-frame (retry
+    /// when the source is readable again).
+    pub fn poll_frame(&mut self, src: &mut impl Read) -> Result<Option<Bytes>, TransportError> {
+        if !self.fill_to(src, 4)? {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.partial[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(len));
+        }
+        if !self.fill_to(src, 4 + len)? {
+            return Ok(None);
+        }
+        let body = self.partial.split_off(4);
+        self.partial.clear();
+        Ok(Some(Bytes::from(body)))
+    }
+}
+
+/// Incremental encoder for `u32`-length-prefixed frames over any byte
+/// stream, usable with nonblocking sockets.
+///
+/// Frames are staged with [`FrameWriter::enqueue`] and drained with
+/// [`FrameWriter::poll_flush`], which writes as much as the sink accepts
+/// and reports whether the queue is empty — the nonblocking mirror of
+/// `TcpTransport::send`'s `write_all`.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    /// Encoded-but-unwritten bytes; `pos` marks how far the sink got.
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameWriter {
+    /// A writer with nothing queued.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage one frame (length prefix + body) for writing.
+    pub fn enqueue(&mut self, msg: &Bytes) -> Result<(), TransportError> {
+        if msg.len() > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(msg.len()));
+        }
+        self.buf.extend_from_slice(&(msg.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(msg);
+        Ok(())
+    }
+
+    /// True while staged bytes remain unwritten.
+    pub fn has_pending(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Bytes staged but not yet accepted by the sink.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Write staged bytes until the queue drains (`Ok(true)`) or the sink
+    /// would block (`Ok(false)`; retry when the sink is writable again).
+    pub fn poll_flush(&mut self, dst: &mut impl Write) -> Result<bool, TransportError> {
+        while self.pos < self.buf.len() {
+            match dst.write(&self.buf[self.pos..]) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
 /// TCP endpoint with `u32`-length-prefixed frames.
 ///
 /// Supports read deadlines ([`TcpTransport::set_read_timeout`]): a stalled
 /// peer surfaces as [`TransportError::TimedOut`] instead of wedging the
-/// caller forever. Partial frames are buffered internally, so a timed-out
-/// [`Transport::recv`] can safely be retried — the stream never desyncs.
+/// caller forever. Partial frames are buffered internally (via
+/// [`FrameReader`]), so a timed-out [`Transport::recv`] can safely be
+/// retried — the stream never desyncs.
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
-    /// Bytes of the in-progress frame (length prefix + body) accumulated
-    /// across timed-out `recv` calls.
-    partial: Vec<u8>,
+    reader: FrameReader,
 }
 
 impl TcpTransport {
@@ -123,7 +261,7 @@ impl TcpTransport {
     pub fn new(stream: TcpStream) -> Self {
         Self {
             stream,
-            partial: Vec::new(),
+            reader: FrameReader::new(),
         }
     }
 
@@ -153,22 +291,6 @@ impl TcpTransport {
         Ok(self.stream.peer_addr()?)
     }
 
-    /// Fill `self.partial` up to `target` bytes, preserving progress on
-    /// timeout.
-    fn fill_to(&mut self, target: usize) -> Result<(), TransportError> {
-        let mut scratch = [0u8; 8192];
-        while self.partial.len() < target {
-            let want = (target - self.partial.len()).min(scratch.len());
-            let n = match self.stream.read(&mut scratch[..want]) {
-                Ok(0) => return Err(TransportError::Disconnected),
-                Ok(n) => n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e.into()),
-            };
-            self.partial.extend_from_slice(&scratch[..n]);
-        }
-        Ok(())
-    }
 }
 
 impl Transport for TcpTransport {
@@ -183,15 +305,13 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self) -> Result<Bytes, TransportError> {
-        self.fill_to(4)?;
-        let len = u32::from_be_bytes(self.partial[..4].try_into().expect("4 bytes")) as usize;
-        if len > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge(len));
+        // On a blocking socket `poll_frame` returning `None` means the
+        // read deadline expired mid-frame; progress is preserved for a
+        // retry, matching the historical resumable-timeout contract.
+        match self.reader.poll_frame(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(TransportError::TimedOut),
         }
-        self.fill_to(4 + len)?;
-        let body = self.partial.split_off(4);
-        self.partial.clear();
-        Ok(Bytes::from(body))
     }
 }
 
@@ -452,6 +572,169 @@ mod tests {
             Err(TransportError::Disconnected)
         ));
         client.join().unwrap();
+    }
+
+    /// A `Read`/`Write` stub that yields its scripted chunks one at a
+    /// time, interleaving `WouldBlock` between them like a nonblocking
+    /// socket whose peer dribbles bytes.
+    struct Dribble {
+        chunks: std::collections::VecDeque<Vec<u8>>,
+        ready: bool,
+        written: Vec<u8>,
+        /// Max bytes each `write` accepts before blocking (0 = always block).
+        write_budget: usize,
+    }
+
+    impl Dribble {
+        fn new(chunks: Vec<Vec<u8>>) -> Self {
+            Self {
+                chunks: chunks.into(),
+                ready: false,
+                written: Vec::new(),
+                write_budget: usize::MAX,
+            }
+        }
+    }
+
+    impl std::io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            match self.chunks.front_mut() {
+                None => Ok(0),
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    chunk.drain(..n);
+                    if chunk.is_empty() {
+                        self.chunks.pop_front();
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    impl std::io::Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.write_budget);
+            if n == 0 {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.written.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_would_block() {
+        let mut frame = 6u32.to_be_bytes().to_vec();
+        frame.extend_from_slice(b"abcdef");
+        // Split the frame awkwardly: mid-prefix and mid-body.
+        let mut src = Dribble::new(vec![
+            frame[..2].to_vec(),
+            frame[2..7].to_vec(),
+            frame[7..].to_vec(),
+        ]);
+        let mut reader = FrameReader::new();
+        let mut polls = 0;
+        let got = loop {
+            polls += 1;
+            assert!(polls < 32, "frame never completed");
+            match reader.poll_frame(&mut src).unwrap() {
+                Some(f) => break f,
+                None => continue,
+            }
+        };
+        assert_eq!(got, Bytes::from_static(b"abcdef"));
+        assert!(!reader.is_mid_frame());
+        assert!(polls > 3, "expected interleaved WouldBlock returns");
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_and_reports_eof() {
+        let mut reader = FrameReader::new();
+        let mut huge = Dribble::new(vec![u32::MAX.to_be_bytes().to_vec()]);
+        let err = loop {
+            match reader.poll_frame(&mut huge) {
+                Ok(None) => continue,
+                Ok(Some(_)) => panic!("oversized frame accepted"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, TransportError::FrameTooLarge(_)));
+
+        let mut reader = FrameReader::new();
+        let mut eof = Dribble::new(vec![3u32.to_be_bytes().to_vec()]);
+        let err = loop {
+            match reader.poll_frame(&mut eof) {
+                Ok(None) => continue,
+                Ok(Some(_)) => panic!("truncated frame accepted"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, TransportError::Disconnected));
+    }
+
+    #[test]
+    fn frame_writer_drains_across_partial_writes() {
+        let mut writer = FrameWriter::new();
+        writer.enqueue(&Bytes::from_static(b"hello")).unwrap();
+        writer.enqueue(&Bytes::from_static(b"world!")).unwrap();
+        assert!(writer.has_pending());
+        assert_eq!(writer.pending_bytes(), 4 + 5 + 4 + 6);
+
+        let mut sink = Dribble::new(vec![]);
+        sink.write_budget = 3; // force many partial writes
+        let mut flushes = 0;
+        while !writer.poll_flush(&mut sink).unwrap() {
+            flushes += 1;
+            assert!(flushes < 100, "writer never drained");
+        }
+        assert!(!writer.has_pending());
+
+        let mut expect = 5u32.to_be_bytes().to_vec();
+        expect.extend_from_slice(b"hello");
+        expect.extend_from_slice(&6u32.to_be_bytes());
+        expect.extend_from_slice(b"world!");
+        assert_eq!(sink.written, expect);
+
+        // A decoder sees the two frames intact.
+        let mut reader = FrameReader::new();
+        let mut replay = Dribble::new(vec![sink.written.clone()]);
+        let mut frames = Vec::new();
+        while frames.len() < 2 {
+            if let Some(f) = reader.poll_frame(&mut replay).unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames[0], Bytes::from_static(b"hello"));
+        assert_eq!(frames[1], Bytes::from_static(b"world!"));
+    }
+
+    #[test]
+    fn frame_writer_blocked_sink_reports_pending() {
+        let mut writer = FrameWriter::new();
+        writer.enqueue(&Bytes::from_static(b"x")).unwrap();
+        let mut sink = Dribble::new(vec![]);
+        sink.write_budget = 0; // sink accepts nothing
+        assert!(!writer.poll_flush(&mut sink).unwrap());
+        assert!(writer.has_pending());
+        assert_eq!(writer.pending_bytes(), 5);
+        // Oversized frames are rejected before anything is staged.
+        let huge = Bytes::from(vec![0u8; MAX_FRAME + 1]);
+        assert!(matches!(
+            writer.enqueue(&huge),
+            Err(TransportError::FrameTooLarge(_))
+        ));
+        assert_eq!(writer.pending_bytes(), 5);
     }
 
     #[test]

@@ -233,6 +233,20 @@ impl<E: Pairing> Keyring<E> {
     }
 }
 
+/// Which shard a key id belongs to, out of `shards` total.
+///
+/// FNV-1a over the id bytes, reduced modulo the shard count — stable
+/// across runs and platforms, so tests and operators can predict key
+/// placement. `shards == 0` is treated as a single shard.
+pub fn shard_of(id: &[u8], shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in id {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +261,19 @@ mod tests {
         let mut r = rand::rngs::StdRng::seed_from_u64(seed);
         let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
         dlr::keygen::<E, _>(params, &mut r)
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            for id in [b"alpha".as_slice(), b"beta", b"", b"k-0123456789"] {
+                let s = shard_of(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(id, shards), "deterministic");
+            }
+        }
+        // degenerate count treated as one shard
+        assert_eq!(shard_of(b"anything", 0), 0);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! * [`keyring`] — key id → `(PublicKey, Party2)` registry with a per-key
 //!   **generation lock** and atomic (temp-file + rename) share
 //!   persistence;
-//! * [`server`] — non-blocking acceptor with a bounded scoped-thread
-//!   worker pool, versioned hello/key-selection, structured error
+//! * [`server`] — readiness event loops (vendored epoll/kqueue poller)
+//!   driving nonblocking per-connection frame state machines across a
+//!   fixed set of workers, with the keyring **sharded** by key id across
+//!   those workers, versioned hello/key-selection, structured error
 //!   replies, an **epoch scheduler** marking leakage-period boundaries,
 //!   periodic stats dumps, and graceful drain-persist-exit shutdown;
 //! * [`loadgen`] — closed-loop multi-client load generator emitting
@@ -28,10 +30,10 @@ pub mod keyring;
 pub mod loadgen;
 pub mod server;
 
-pub use keyring::{persist_atomically, KeyEntry, KeyState, Keyring};
+pub use keyring::{persist_atomically, shard_of, KeyEntry, KeyState, Keyring};
 pub use loadgen::{
     run_loadgen, run_loadgen_ladder, LadderConfig, LadderRung, LoadgenConfig, LoadgenOutcome,
 };
 pub use server::{
-    EpochHook, Server, ServerConfig, ServerHandle, ServerStats, StatsSnapshot,
+    EpochHook, Server, ServerConfig, ServerHandle, ServerStats, ShardSnapshot, StatsSnapshot,
 };

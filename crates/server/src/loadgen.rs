@@ -75,6 +75,10 @@ pub struct LoadgenOutcome {
     pub successes: usize,
     /// Requests that failed (after per-request reconnects).
     pub failures: usize,
+    /// Client threads that panicked mid-run. Their unreported requests
+    /// are counted as failures; the run itself still completes and
+    /// reports the surviving clients' numbers.
+    pub client_panics: usize,
     /// Responses that decoded but decrypted to the wrong plaintext.
     pub mismatches: usize,
     /// Wall-clock time of the whole run.
@@ -140,6 +144,7 @@ impl LoadgenOutcome {
             .with_meta("requests", &self.requests.to_string())
             .with_meta("successes", &self.successes.to_string())
             .with_meta("failures", &self.failures.to_string())
+            .with_meta("client_panics", &self.client_panics.to_string())
             .with_meta("mismatches", &self.mismatches.to_string())
             .with_meta("elapsed_ms", &self.elapsed.as_millis().to_string())
             .with_meta(
@@ -256,20 +261,32 @@ pub fn run_loadgen<E: Pairing, R: rand::RngCore>(
     let ct = dlr::encrypt(pk, &message, rng);
 
     let started = Instant::now();
-    let per_client: Vec<ClientOutcome> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..config.clients)
-            .map(|idx| {
-                let pk = pk.clone();
-                let share1 = share1.clone();
-                let config = config.clone();
-                s.spawn(move || client_loop(addr, idx, pk, share1, ct, message, &config))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen client panicked"))
-            .collect()
-    });
+    // A panicking client must not abort the whole run: its join error is
+    // recorded (and its requests counted as failures below) while every
+    // surviving client still reports.
+    let (per_client, client_panics): (Vec<ClientOutcome>, usize) =
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..config.clients)
+                .map(|idx| {
+                    let pk = pk.clone();
+                    let share1 = share1.clone();
+                    let config = config.clone();
+                    s.spawn(move || client_loop(addr, idx, pk, share1, ct, message, &config))
+                })
+                .collect();
+            let mut panics = 0usize;
+            let outcomes = handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(outcome) => Some(outcome),
+                    Err(_) => {
+                        panics += 1;
+                        None
+                    }
+                })
+                .collect();
+            (outcomes, panics)
+        });
     let elapsed = started.elapsed();
 
     // Client-side encryption throughput: time `encrypt_ops` fresh-scalar
@@ -295,8 +312,9 @@ pub fn run_loadgen<E: Pairing, R: rand::RngCore>(
         clients: config.clients,
         requests: config.clients * config.requests_per_client,
         successes: 0,
-        failures: 0,
+        failures: client_panics * config.requests_per_client,
         mismatches: 0,
+        client_panics,
         elapsed,
         latencies_ns: Vec::new(),
         wire: WireStats::default(),

@@ -1,25 +1,54 @@
-//! The concurrent `P2` service: acceptor, session workers, epoch
-//! scheduler, and aggregated statistics.
+//! The concurrent `P2` service: readiness event loops, sharded keyring
+//! ownership, epoch scheduler, and aggregated statistics.
 //!
 //! ## Threading model
 //!
-//! [`Server::run`] blocks the calling thread on a non-blocking accept
-//! loop; every accepted connection gets a scoped session worker thread
-//! (vendored `crossbeam::thread::scope`, the same pattern as
-//! `dlr-curve/src/parallel.rs`), bounded by
-//! [`ServerConfig::max_sessions`]. Connections arriving above the bound
-//! are answered with a structured [`ErrorCode::Busy`] reply and closed —
-//! backpressure the client's retry policy
-//! ([`dlr_core::driver::p1_decrypt_with_retry`]) understands.
+//! [`Server::run`] blocks the calling thread on an **acceptor event
+//! loop** (a vendored `polling` epoll/kqueue [`polling::Poller`] watching
+//! the listener) and spawns a small fixed set of **worker event loops**
+//! ([`ServerConfig::workers`]). Every accepted connection is made
+//! nonblocking and handed to a worker, where a per-connection frame state
+//! machine (read → decode/execute → encode → write, built from
+//! [`dlr_protocol::transport::FrameReader`] /
+//! [`dlr_protocol::transport::FrameWriter`]) drives it under per-state
+//! deadlines: [`ServerConfig::read_timeout`] while waiting for a request,
+//! [`ServerConfig::write_timeout`] while flushing a reply. No session
+//! ever owns a thread, so thousands of concurrent connections cost a few
+//! file descriptors each, not a stack.
+//!
+//! Connections arriving above [`ServerConfig::max_sessions`] are answered
+//! with a structured [`ErrorCode::Busy`] reply — backpressure the
+//! client's retry policy ([`dlr_core::driver::p1_decrypt_with_retry`])
+//! understands. The reject is flushed **nonblockingly** on a worker loop
+//! under the short [`ServerConfig::reject_write_timeout`]; a stalled or
+//! adversarial rejected client is dropped at the deadline and can never
+//! head-of-line-block the accept path.
+//!
+//! ## Keyring sharding
+//!
+//! Keys are sharded by id ([`crate::keyring::shard_of`], FNV-1a over the
+//! key id modulo [`ServerConfig::shards`]) and each shard is owned by
+//! worker `shard % workers`. After a connection's first served request
+//! binds it to a key, the connection **migrates** to that key's owner
+//! worker (its socket, buffered partial frames, and statistics travel
+//! with it). Steady-state, every session touching a key runs on one
+//! loop, so the per-key generation lock is only ever taken from a single
+//! thread — a long refresh on shard A cannot stall decrypts on shard B,
+//! because they execute on different workers with no shared lock.
 //!
 //! A background **epoch scheduler** thread marks leakage-period
 //! boundaries (paper §4.4): every [`ServerConfig::epoch_interval`] (or on
-//! [`ServerHandle::force_epoch`]) it bumps the epoch counter and invokes
-//! the registered epoch hook. The hook is where deployment-specific
-//! refresh coordination lives — refresh is a *two-party* protocol, so the
-//! scheduler cannot rotate the share alone; the hook typically nudges the
-//! `P1` co-device, which then drives a wire refresh through a normal
-//! session (the integration tests do exactly this).
+//! [`ServerHandle::force_epoch`]) it bumps the epoch counter, wakes every
+//! worker loop through its poller's eventfd/pipe (each worker re-warms
+//! its own shards' fixed-base tables outside any lock and records the
+//! boundary in its shard statistics), and invokes the registered epoch
+//! hook. The hook is where deployment-specific refresh coordination
+//! lives — refresh is a *two-party* protocol, so the scheduler cannot
+//! rotate the share alone; the hook typically nudges the `P1` co-device,
+//! which then drives a wire refresh through a normal session (the
+//! integration tests do exactly this). The scheduler's kick mutex
+//! recovers from poisoning: a panicking waiter cannot take the epoch
+//! clock down with it.
 //!
 //! ## Generation binding
 //!
@@ -30,7 +59,7 @@
 //! from mismatched shares. The session stays open — the client re-hellos
 //! (with its refreshed `P1` share) and continues.
 
-use crate::keyring::{persist_atomically, KeyEntry, Keyring};
+use crate::keyring::{persist_atomically, shard_of, KeyEntry, Keyring};
 use bytes::Bytes;
 use dlr_core::driver::{
     error_reply, error_reply_for, ok_reply, p2_handle_frame, ErrorCode, HelloMsg, RequestTag,
@@ -38,13 +67,16 @@ use dlr_core::driver::{
 };
 use dlr_curve::Pairing;
 use dlr_metrics::Report;
-use dlr_protocol::transport::TcpTransport;
-use dlr_protocol::{Encoder, Transport, TransportError, WireStats};
+use dlr_protocol::transport::{FrameReader, FrameWriter};
+use dlr_protocol::WireStats;
+use polling::{Event, Events, Poller};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server`].
@@ -54,11 +86,24 @@ pub struct ServerConfig {
     /// [`ErrorCode::Busy`] reply and are closed.
     pub max_sessions: usize,
     /// Per-session idle limit: a session receiving nothing for this long
-    /// is closed (read deadline).
+    /// is closed (read-state deadline).
     pub read_timeout: Duration,
-    /// Socket poll quantum: workers wake this often to check the
-    /// shutdown flag and accumulate idle time.
+    /// Event-loop wakeup quantum: loops wake at least this often to check
+    /// the shutdown flag and sweep per-connection deadlines.
     pub poll_interval: Duration,
+    /// Write-state deadline: a peer that stops draining its reply for
+    /// this long is disconnected.
+    pub write_timeout: Duration,
+    /// Deadline for flushing a [`ErrorCode::Busy`] reject reply; a
+    /// rejected client that stalls past it is dropped without the
+    /// courtesy reply (counted in `rejects_dropped`).
+    pub reject_write_timeout: Duration,
+    /// Worker event loops. `0` = auto (available parallelism, clamped to
+    /// `1..=4`).
+    pub workers: usize,
+    /// Keyring shards (each owned by worker `shard % workers`). `0` =
+    /// one per worker.
+    pub shards: usize,
     /// Leakage-period length: the epoch scheduler fires every interval.
     /// `None` disables timed epochs ([`ServerHandle::force_epoch`] still
     /// works).
@@ -67,6 +112,10 @@ pub struct ServerConfig {
     pub stats_interval: Option<Duration>,
     /// Where periodic + final stats dumps go (atomic temp+rename).
     pub stats_path: Option<PathBuf>,
+    /// Fault injection (tests only): a request frame whose first byte
+    /// matches panics the dispatcher, exercising the panic-recovery path
+    /// without a special build.
+    pub inject_panic_tag: Option<u8>,
 }
 
 impl Default for ServerConfig {
@@ -75,9 +124,37 @@ impl Default for ServerConfig {
             max_sessions: 32,
             read_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(10),
+            reject_write_timeout: Duration::from_millis(300),
+            workers: 0,
+            shards: 0,
             epoch_interval: None,
             stats_interval: None,
             stats_path: None,
+            inject_panic_tag: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The worker count after resolving the `0` = auto default.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 4)
+        }
+    }
+
+    /// The shard count after resolving the `0` = per-worker default.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.resolved_workers()
         }
     }
 }
@@ -85,6 +162,16 @@ impl Default for ServerConfig {
 /// Bound on retained per-round latency samples in the aggregate wire
 /// stats — a long-lived server must not grow its sample buffer forever.
 const MAX_LATENCY_SAMPLES: usize = 8192;
+
+/// Per-shard service counters (sessions/requests attributed to the shard
+/// a connection's bound key hashes to; epochs observed by the owning
+/// worker loop).
+#[derive(Debug, Default)]
+struct ShardStats {
+    sessions: AtomicU64,
+    requests: AtomicU64,
+    epochs: AtomicU64,
+}
 
 /// Monotonic service counters, updated lock-free by the workers.
 #[derive(Debug, Default)]
@@ -99,10 +186,23 @@ pub struct ServerStats {
     epochs: AtomicU64,
     refreshes: AtomicU64,
     persist_failures: AtomicU64,
+    session_panics: AtomicU64,
+    rejects_dropped: AtomicU64,
+    migrations: AtomicU64,
+    loop_wakeups: AtomicU64,
+    last_panic: parking_lot::Mutex<Option<String>>,
+    shards: Vec<ShardStats>,
     wire: parking_lot::Mutex<WireStats>,
 }
 
 impl ServerStats {
+    fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| ShardStats::default()).collect(),
+            ..Self::default()
+        }
+    }
+
     fn merge_wire(&self, session: &WireStats) {
         let mut agg = self.wire.lock();
         agg.merge(session);
@@ -110,6 +210,16 @@ impl ServerStats {
         if len > MAX_LATENCY_SAMPLES {
             agg.round_latency_ns.drain(..len - MAX_LATENCY_SAMPLES);
         }
+    }
+
+    fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        self.session_panics.fetch_add(1, Ordering::Relaxed);
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        *self.last_panic.lock() = Some(message);
     }
 
     /// Consistent point-in-time copy of every counter.
@@ -125,19 +235,44 @@ impl ServerStats {
             epochs: self.epochs.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
             persist_failures: self.persist_failures.load(Ordering::Relaxed),
+            session_panics: self.session_panics.load(Ordering::Relaxed),
+            rejects_dropped: self.rejects_dropped.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
+            last_panic: self.last_panic.lock().clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    sessions: s.sessions.load(Ordering::Relaxed),
+                    requests: s.requests.load(Ordering::Relaxed),
+                    epochs: s.epochs.load(Ordering::Relaxed),
+                })
+                .collect(),
             wire: self.wire.lock().clone(),
         }
     }
 }
 
+/// Plain-value copy of one shard's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Sessions whose bound key hashed to this shard.
+    pub sessions: u64,
+    /// Requests served against this shard's keys.
+    pub requests: u64,
+    /// Epoch boundaries observed by the owning worker loop.
+    pub epochs: u64,
+}
+
 /// Plain-value copy of [`ServerStats`] plus the merged wire statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Connections accepted into a session worker.
+    /// Connections accepted into a session.
     pub sessions_accepted: u64,
     /// Connections refused with [`ErrorCode::Busy`].
     pub sessions_rejected_busy: u64,
-    /// Sessions that ended (shutdown, disconnect, or idle deadline).
+    /// Sessions that ended (shutdown, disconnect, panic, or deadline).
     pub sessions_completed: u64,
     /// Hello requests served.
     pub requests_hello: u64,
@@ -153,6 +288,19 @@ pub struct StatsSnapshot {
     pub refreshes: u64,
     /// Refresh commits whose share persistence failed.
     pub persist_failures: u64,
+    /// Request dispatches that panicked (session closed, slot reclaimed).
+    pub session_panics: u64,
+    /// Busy rejects dropped at the reject-write deadline because the
+    /// client never drained the courtesy reply.
+    pub rejects_dropped: u64,
+    /// Connections migrated to their bound key's owner worker.
+    pub migrations: u64,
+    /// Readiness-loop wakeups across all worker event loops.
+    pub loop_wakeups: u64,
+    /// Message of the most recent dispatch panic, if any.
+    pub last_panic: Option<String>,
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
     /// Wire statistics merged across all completed sessions.
     pub wire: WireStats,
 }
@@ -162,6 +310,13 @@ impl StatsSnapshot {
     /// wire statistics as a wire row, plus any spans recorded in this
     /// process. Serializes to the standard report JSON/CSV schema.
     pub fn to_report(&self) -> Report {
+        let join = |f: fn(&ShardSnapshot) -> u64| {
+            self.shards
+                .iter()
+                .map(|s| f(s).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         let mut report = Report::capture()
             .with_meta("component", "dlr-server")
             .with_meta("sessions_accepted", &self.sessions_accepted.to_string())
@@ -176,7 +331,15 @@ impl StatsSnapshot {
             .with_meta("error_replies", &self.error_replies.to_string())
             .with_meta("epochs", &self.epochs.to_string())
             .with_meta("refreshes", &self.refreshes.to_string())
-            .with_meta("persist_failures", &self.persist_failures.to_string());
+            .with_meta("persist_failures", &self.persist_failures.to_string())
+            .with_meta("session_panics", &self.session_panics.to_string())
+            .with_meta("rejects_dropped", &self.rejects_dropped.to_string())
+            .with_meta("migrations", &self.migrations.to_string())
+            .with_meta("loop_wakeups", &self.loop_wakeups.to_string())
+            .with_meta("shards", &self.shards.len().to_string())
+            .with_meta("shard_sessions", &join(|s| s.sessions))
+            .with_meta("shard_requests", &join(|s| s.requests))
+            .with_meta("shard_epochs", &join(|s| s.epochs));
         report.push_wire("server.sessions", self.wire.clone());
         report
     }
@@ -185,6 +348,20 @@ impl StatsSnapshot {
 /// Invoked by the epoch scheduler at each period boundary with the new
 /// epoch number.
 pub type EpochHook = Box<dyn FnMut(u64) + Send>;
+
+/// Lock a std mutex, recovering the guard if a previous holder panicked.
+/// The protected values here (kick counters) are plain integers that are
+/// never left mid-update, so the poisoned state is always consistent.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Cross-thread channel into one worker event loop: its poller (for
+/// wakeups) and the count of epoch boundaries it has not yet observed.
+struct WorkerLink {
+    poller: Poller,
+    pending_epochs: AtomicU64,
+}
 
 struct Shared {
     shutdown: AtomicBool,
@@ -196,6 +373,38 @@ struct Shared {
     wake: Condvar,
     stats: ServerStats,
     local_addr: SocketAddr,
+    workers: usize,
+    shards: usize,
+    links: Vec<WorkerLink>,
+    accept_poller: Poller,
+}
+
+impl Shared {
+    /// Wake every event loop (acceptor + workers).
+    fn notify_all_loops(&self) {
+        let _ = self.accept_poller.notify();
+        for link in &self.links {
+            let _ = link.poller.notify();
+        }
+    }
+}
+
+/// RAII ownership of one session slot: decrements `active` and counts the
+/// session completed when dropped — on clean close, peer disconnect,
+/// server shutdown, *and* dispatch panic alike, so a panicking session
+/// can never leak its slot.
+struct SlotGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+        self.shared
+            .stats
+            .sessions_completed
+            .fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Cloneable remote control for a running [`Server`].
@@ -205,18 +414,19 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Begin graceful shutdown: stop accepting, let workers drain at
-    /// their next poll, persist shares, exit [`Server::run`].
+    /// Begin graceful shutdown: stop accepting, drain the event loops,
+    /// persist shares, exit [`Server::run`].
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wake.notify_all();
+        self.shared.notify_all_loops();
     }
 
     /// Trigger an epoch boundary now (asynchronous: the scheduler thread
     /// runs the hook; observe completion via [`Self::epoch`]).
     pub fn force_epoch(&self) {
         {
-            let mut kicks = self.shared.kick.lock().unwrap();
+            let mut kicks = lock_recover(&self.shared.kick);
             *kicks += 1;
         }
         self.shared.wake.notify_all();
@@ -269,6 +479,16 @@ impl<E: Pairing> Server<E> {
         config: ServerConfig,
     ) -> io::Result<Self> {
         let local_addr = listener.local_addr()?;
+        let workers = config.resolved_workers();
+        let shards = config.resolved_shards();
+        let links = (0..workers)
+            .map(|_| {
+                Ok(WorkerLink {
+                    poller: Poller::new()?,
+                    pending_epochs: AtomicU64::new(0),
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
         Ok(Self {
             listener,
             keyring,
@@ -279,8 +499,12 @@ impl<E: Pairing> Server<E> {
                 active: AtomicUsize::new(0),
                 kick: Mutex::new(0),
                 wake: Condvar::new(),
-                stats: ServerStats::default(),
+                stats: ServerStats::with_shards(shards),
                 local_addr,
+                workers,
+                shards,
+                links,
+                accept_poller: Poller::new()?,
             }),
             epoch_hook: None,
         })
@@ -301,15 +525,28 @@ impl<E: Pairing> Server<E> {
 
     /// Serve until [`ServerHandle::shutdown`] (or a fatal accept error).
     ///
-    /// Blocks the calling thread. On exit every session worker has been
-    /// joined, all shares persisted, and a final stats dump written (when
-    /// configured); returns the final statistics.
+    /// Blocks the calling thread on the acceptor event loop. On exit
+    /// every worker loop has drained its connections, all shares are
+    /// persisted, and a final stats dump written (when configured);
+    /// returns the final statistics.
     pub fn run(mut self) -> io::Result<StatsSnapshot> {
         self.listener.set_nonblocking(true)?;
         let shared = Arc::clone(&self.shared);
         let keyring = Arc::clone(&self.keyring);
         let config = self.config.clone();
         let mut hook = self.epoch_hook.take();
+
+        // Shard → keys map so each worker can re-warm its own shards'
+        // fixed-base tables after an epoch boundary.
+        let mut shard_keys: Vec<Vec<Arc<KeyEntry<E>>>> = vec![Vec::new(); shared.shards];
+        for entry in keyring.entries() {
+            shard_keys[shard_of(entry.id(), shared.shards)].push(Arc::clone(entry));
+        }
+        let mesh = Mesh {
+            inboxes: (0..shared.workers)
+                .map(|_| parking_lot::Mutex::new(VecDeque::new()))
+                .collect(),
+        };
 
         let mut accept_err: Option<io::Error> = None;
         crossbeam::thread::scope(|s| {
@@ -324,51 +561,28 @@ impl<E: Pairing> Server<E> {
                 let path = path.clone();
                 s.spawn(move || stats_dumper(&shared, interval, &path));
             }
-
-            loop {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        if shared.active.load(Ordering::Acquire) >= config.max_sessions {
-                            shared
-                                .stats
-                                .sessions_rejected_busy
-                                .fetch_add(1, Ordering::Relaxed);
-                            let mut t = TcpTransport::new(stream);
-                            let _ = t.send(error_reply(
-                                ErrorCode::Busy,
-                                "server at session limit; retry after backoff",
-                            ));
-                            continue;
-                        }
-                        shared.stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
-                        shared.active.fetch_add(1, Ordering::AcqRel);
-                        let shared = Arc::clone(&shared);
-                        let keyring = Arc::clone(&keyring);
-                        let config = config.clone();
-                        s.spawn(move || {
-                            session_worker(stream, &shared, &keyring, &config);
-                            shared.active.fetch_sub(1, Ordering::AcqRel);
-                            shared.stats.sessions_completed.fetch_add(1, Ordering::Relaxed);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        accept_err = Some(e);
-                        shared.shutdown.store(true, Ordering::Release);
-                        break;
-                    }
-                }
+            for index in 0..shared.workers {
+                let mut worker = Worker {
+                    index,
+                    shared: &shared,
+                    mesh: &mesh,
+                    keyring: &keyring,
+                    config: &config,
+                    shard_keys: &shard_keys,
+                    slab: Vec::new(),
+                    free: Vec::new(),
+                };
+                s.spawn(move || worker.run());
             }
-            // Wake the scheduler/dumper so the scope can join them; the
-            // workers notice the flag at their next poll tick.
+
+            accept_err = acceptor_loop(&self.listener, &shared, &mesh, &config);
+
+            // Wake everything so the scope can join: the scheduler/dumper
+            // observe the flag under their own wakeups, the workers drain
+            // their connections at the next loop iteration.
             shared.shutdown.store(true, Ordering::Release);
             shared.wake.notify_all();
+            shared.notify_all_loops();
         });
 
         if let Some(e) = accept_err {
@@ -383,12 +597,76 @@ impl<E: Pairing> Server<E> {
     }
 }
 
+/// Accept connections until shutdown; returns the fatal accept error, if
+/// any. At capacity a connection is staged as a nonblocking Busy reject
+/// on a worker loop — the accept path itself never writes to a socket.
+fn acceptor_loop<E: Pairing>(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    mesh: &Mesh<E>,
+    config: &ServerConfig,
+) -> Option<io::Error> {
+    if let Err(e) = shared.accept_poller.add(listener, Event::readable(0)) {
+        return Some(e);
+    }
+    let mut events = Events::new();
+    let mut next_worker = 0usize;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        let _ = shared
+            .accept_poller
+            .wait(&mut events, Some(config.poll_interval));
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Some(e),
+            };
+            let _ = stream.set_nonblocking(true);
+            let _ = stream.set_nodelay(true);
+            let inbound = if shared.active.load(Ordering::Acquire) >= config.max_sessions {
+                shared
+                    .stats
+                    .sessions_rejected_busy
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut writer = FrameWriter::new();
+                let _ = writer.enqueue(&error_reply(
+                    ErrorCode::Busy,
+                    "server at session limit; retry after backoff",
+                ));
+                Inbound::Reject { stream, writer }
+            } else {
+                shared
+                    .stats
+                    .sessions_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.active.fetch_add(1, Ordering::AcqRel);
+                Inbound::Session {
+                    stream,
+                    guard: SlotGuard {
+                        shared: Arc::clone(shared),
+                    },
+                }
+            };
+            mesh.inboxes[next_worker].lock().push_back(inbound);
+            let _ = shared.links[next_worker].poller.notify();
+            next_worker = (next_worker + 1) % shared.workers;
+        }
+    }
+}
+
 fn epoch_scheduler(shared: &Shared, interval: Option<Duration>, hook: &mut Option<EpochHook>) {
     let mut seen_kicks = 0u64;
     loop {
         let fired;
         {
-            let mut kicks = shared.kick.lock().unwrap();
+            let mut kicks = lock_recover(&shared.kick);
             if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
@@ -398,12 +676,18 @@ fn epoch_scheduler(shared: &Shared, interval: Option<Duration>, hook: &mut Optio
             } else {
                 let timed_out = match interval {
                     Some(d) => {
-                        let (guard, result) = shared.wake.wait_timeout(kicks, d).unwrap();
+                        let (guard, result) = shared
+                            .wake
+                            .wait_timeout(kicks, d)
+                            .unwrap_or_else(PoisonError::into_inner);
                         kicks = guard;
                         result.timed_out()
                     }
                     None => {
-                        kicks = shared.wake.wait(kicks).unwrap();
+                        kicks = shared
+                            .wake
+                            .wait(kicks)
+                            .unwrap_or_else(PoisonError::into_inner);
                         false
                     }
                 };
@@ -421,6 +705,13 @@ fn epoch_scheduler(shared: &Shared, interval: Option<Duration>, hook: &mut Optio
         if fired {
             let epoch = shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
             shared.stats.epochs.fetch_add(1, Ordering::Relaxed);
+            // Wake every worker loop through its poller so each re-warms
+            // its own shards and stamps its shard epoch counters — the
+            // old kick/condvar fan-out replaced by an eventfd per loop.
+            for link in &shared.links {
+                link.pending_epochs.fetch_add(1, Ordering::Release);
+                let _ = link.poller.notify();
+            }
             // The hook runs outside every lock: it may open sessions
             // against this very server (wire refresh via P1).
             if let Some(h) = hook.as_mut() {
@@ -438,72 +729,472 @@ fn stats_dumper(shared: &Shared, interval: Duration, path: &std::path::Path) {
         since += step;
         if since >= interval {
             since = Duration::ZERO;
-            let _ = persist_atomically(path, shared.stats.snapshot().to_report().to_json().as_bytes());
+            let _ =
+                persist_atomically(path, shared.stats.snapshot().to_report().to_json().as_bytes());
         }
     }
 }
 
-/// Serve one connection until session shutdown, disconnect, idle
-/// deadline, or server shutdown.
-fn session_worker<E: Pairing>(
+/// A connection handed between event loops: a freshly accepted session, a
+/// capacity reject carrying its preloaded Busy reply, or a live session
+/// migrating to its bound key's owner worker.
+enum Inbound<E: Pairing> {
+    Session { stream: TcpStream, guard: SlotGuard },
+    Reject { stream: TcpStream, writer: FrameWriter },
+    Migrated(Box<Conn<E>>),
+}
+
+/// Worker-to-worker handoff queues (acceptor → worker, worker → worker on
+/// migration). Separate from [`Shared`] so [`Shared`] stays non-generic.
+struct Mesh<E: Pairing> {
+    inboxes: Vec<parking_lot::Mutex<VecDeque<Inbound<E>>>>,
+}
+
+/// One nonblocking connection's frame state machine. The current state is
+/// implicit: bytes pending in `writer` mean the write state, otherwise
+/// the read state; `closing` marks the final flush before teardown.
+struct Conn<E: Pairing> {
     stream: TcpStream,
-    shared: &Shared,
-    keyring: &Keyring<E>,
-    config: &ServerConfig,
-) {
-    let mut transport = TcpTransport::new(stream);
-    let _ = transport.set_nodelay(true);
-    // Short poll deadline so the worker can observe the shutdown flag;
-    // idle time accumulates across polls up to the real read deadline.
-    // Partial frames survive a poll tick (the transport buffers them).
-    let _ = transport.set_read_timeout(Some(config.poll_interval));
+    reader: FrameReader,
+    writer: FrameWriter,
+    session: Session<E>,
+    /// `None` for capacity rejects (they never held a session slot).
+    /// Never read — held so its `Drop` reclaims the slot when the
+    /// connection is torn down, panics included.
+    _guard: Option<SlotGuard>,
+    wire: WireStats,
+    /// Start of the in-flight request (set at frame receipt, consumed
+    /// when its reply finishes flushing).
+    req_started: Option<Instant>,
+    /// Payload length of the staged reply, for wire accounting at flush.
+    pending_reply: u64,
+    /// Current per-state deadline (idle limit / write stall limit).
+    deadline: Instant,
+    /// Tear down once the writer drains.
+    closing: bool,
+    /// Interest currently registered with the poller.
+    want_write: bool,
+    /// Shard of the bound key, once a request has bound one.
+    shard: Option<usize>,
+    /// Whether this connection was already counted in shard sessions.
+    shard_counted: bool,
+    is_reject: bool,
+}
 
-    let mut session = Session {
-        entry: keyring.default_entry(),
-        bound_generation: 0,
-    };
-    session.bound_generation = session.entry.as_ref().map_or(0, |e| e.generation());
+enum Verdict {
+    /// Connection stays on this loop; re-arm interest as needed.
+    Keep,
+    /// Tear the connection down.
+    Close,
+    /// Hand the connection to the worker owning its key's shard.
+    Migrate(usize),
+}
 
-    let mut rng = rand::thread_rng();
-    let mut wire = WireStats::default();
-    let mut idle = Duration::ZERO;
+/// One worker event loop: a slab of connections driven by readiness
+/// events from its poller, plus the epoch/inbox control channels.
+struct Worker<'a, E: Pairing> {
+    index: usize,
+    shared: &'a Arc<Shared>,
+    mesh: &'a Mesh<E>,
+    keyring: &'a Keyring<E>,
+    config: &'a ServerConfig,
+    shard_keys: &'a [Vec<Arc<KeyEntry<E>>>],
+    slab: Vec<Option<Conn<E>>>,
+    free: Vec<usize>,
+}
 
-    loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
+impl<E: Pairing> Worker<'_, E> {
+    fn link(&self) -> &WorkerLink {
+        &self.shared.links[self.index]
+    }
+
+    fn run(&mut self) {
+        let mut events = Events::new();
+        let mut rng = rand::thread_rng();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let timeout = self.next_timeout();
+            let _ = self.link().poller.wait(&mut events, Some(timeout));
+            self.shared.stats.loop_wakeups.fetch_add(1, Ordering::Relaxed);
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            self.observe_epochs();
+            self.drain_inbox(&mut rng);
+            for ev in events.iter() {
+                self.drive(ev.key, &mut rng);
+            }
+            self.sweep_deadlines();
         }
-        let req = match transport.recv() {
-            Ok(frame) => {
-                idle = Duration::ZERO;
-                frame
-            }
-            Err(TransportError::TimedOut) => {
-                idle += config.poll_interval;
-                if idle >= config.read_timeout {
-                    break;
-                }
-                continue;
-            }
-            Err(_) => break, // disconnect / hard I/O failure
-        };
-        let started = Instant::now();
-        wire.frames_received += 1;
-        wire.bytes_received += 4 + req.len() as u64;
+        for key in 0..self.slab.len() {
+            self.close(key);
+        }
+    }
 
-        match dispatch(&req, &mut session, keyring, &shared.stats, &mut rng) {
-            None => break, // session shutdown tag
-            Some(reply) => {
-                let reply_len = reply.len() as u64;
-                if transport.send(reply).is_err() {
-                    break;
-                }
-                wire.frames_sent += 1;
-                wire.bytes_sent += 4 + reply_len;
-                wire.round_latency_ns.push(started.elapsed().as_nanos() as u64);
+    /// Sleep until the nearest connection deadline, capped at the poll
+    /// quantum (wakeups for new work arrive via the poller's notify).
+    fn next_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let mut timeout = self.config.poll_interval;
+        for conn in self.slab.iter().flatten() {
+            timeout = timeout.min(conn.deadline.saturating_duration_since(now));
+        }
+        timeout
+    }
+
+    /// Apply epoch boundaries the scheduler has published since the last
+    /// wakeup: stamp shard epoch counters and re-warm this worker's
+    /// shards' fixed-base tables, all outside any generation lock.
+    fn observe_epochs(&mut self) {
+        let pending = self.link().pending_epochs.swap(0, Ordering::AcqRel);
+        if pending == 0 {
+            return;
+        }
+        let workers = self.shared.workers.max(1);
+        let mut shard = self.index;
+        while shard < self.shared.shards {
+            self.shared.stats.shards[shard]
+                .epochs
+                .fetch_add(pending, Ordering::Relaxed);
+            for entry in &self.shard_keys[shard] {
+                entry.warm();
+            }
+            shard += workers;
+        }
+    }
+
+    fn drain_inbox<R: rand::RngCore>(&mut self, rng: &mut R) {
+        loop {
+            let inbound = self.mesh.inboxes[self.index].lock().pop_front();
+            let Some(inbound) = inbound else { return };
+            if let Some(key) = self.adopt(inbound) {
+                // Drive immediately: a fresh session may already have its
+                // hello buffered, and a reject's Busy reply usually fits
+                // the socket buffer in one write.
+                self.drive(key, rng);
             }
         }
     }
-    shared.stats.merge_wire(&wire);
+
+    /// Register an inbound connection in the slab and with the poller.
+    fn adopt(&mut self, inbound: Inbound<E>) -> Option<usize> {
+        let now = Instant::now();
+        let conn = match inbound {
+            Inbound::Session { stream, guard } => {
+                let entry = self.keyring.default_entry();
+                let bound_generation = entry.as_ref().map_or(0, |e| e.generation());
+                Conn {
+                    stream,
+                    reader: FrameReader::new(),
+                    writer: FrameWriter::new(),
+                    session: Session {
+                        entry,
+                        bound_generation,
+                    },
+                    _guard: Some(guard),
+                    wire: WireStats::default(),
+                    req_started: None,
+                    pending_reply: 0,
+                    deadline: now + self.config.read_timeout,
+                    closing: false,
+                    want_write: false,
+                    shard: None,
+                    shard_counted: false,
+                    is_reject: false,
+                }
+            }
+            Inbound::Reject { stream, writer } => Conn {
+                stream,
+                reader: FrameReader::new(),
+                writer,
+                session: Session {
+                    entry: None,
+                    bound_generation: 0,
+                },
+                _guard: None,
+                wire: WireStats::default(),
+                req_started: None,
+                pending_reply: 0,
+                deadline: now + self.config.reject_write_timeout,
+                closing: true,
+                want_write: true,
+                shard: None,
+                shard_counted: false,
+                is_reject: true,
+            },
+            Inbound::Migrated(conn) => {
+                let mut conn = *conn;
+                conn.deadline = now + self.config.read_timeout;
+                conn.want_write = conn.writer.has_pending();
+                conn
+            }
+        };
+        let key = self.free.pop().unwrap_or_else(|| {
+            self.slab.push(None);
+            self.slab.len() - 1
+        });
+        let interest = if conn.want_write {
+            Event::writable(key)
+        } else {
+            Event::readable(key)
+        };
+        match self.link().poller.add(&conn.stream, interest) {
+            Ok(()) => {
+                self.slab[key] = Some(conn);
+                Some(key)
+            }
+            Err(_) => {
+                // Registration failed (fd limit, dead socket): drop the
+                // connection; the guard reclaims the slot.
+                if !conn.is_reject {
+                    self.shared.stats.merge_wire(&conn.wire);
+                }
+                self.free.push(key);
+                None
+            }
+        }
+    }
+
+    /// Advance one connection's state machine as far as its socket
+    /// allows, then apply the verdict (interest re-arm, close, migrate).
+    fn drive<R: rand::RngCore>(&mut self, key: usize, rng: &mut R) {
+        let verdict = {
+            let Worker {
+                slab,
+                index,
+                shared,
+                keyring,
+                config,
+                ..
+            } = self;
+            let Some(conn) = slab.get_mut(key).and_then(Option::as_mut) else {
+                return;
+            };
+            drive_conn(conn, *index, shared, keyring, config, rng)
+        };
+        match verdict {
+            Verdict::Keep => {
+                let Worker { slab, shared, index, .. } = self;
+                let conn = slab[key].as_mut().expect("kept conn present");
+                let want_write = conn.writer.has_pending();
+                if want_write != conn.want_write {
+                    let interest = if want_write {
+                        Event::writable(key)
+                    } else {
+                        Event::readable(key)
+                    };
+                    match shared.links[*index].poller.modify(&conn.stream, interest) {
+                        Ok(()) => conn.want_write = want_write,
+                        Err(_) => self.close(key),
+                    }
+                }
+            }
+            Verdict::Close => self.close(key),
+            Verdict::Migrate(home) => self.migrate(key, home),
+        }
+    }
+
+    fn close(&mut self, key: usize) {
+        let Some(conn) = self.slab[key].take() else {
+            return;
+        };
+        let _ = self.link().poller.delete(&conn.stream);
+        if !conn.is_reject {
+            self.shared.stats.merge_wire(&conn.wire);
+        }
+        self.free.push(key);
+        // `conn` (and its SlotGuard) drops here: slot + completion
+        // accounting happen exactly once per session, panics included.
+    }
+
+    fn migrate(&mut self, key: usize, home: usize) {
+        let Some(mut conn) = self.slab[key].take() else {
+            return;
+        };
+        let _ = self.link().poller.delete(&conn.stream);
+        self.free.push(key);
+        conn.want_write = false;
+        self.shared.stats.migrations.fetch_add(1, Ordering::Relaxed);
+        self.mesh.inboxes[home].lock().push_back(Inbound::Migrated(Box::new(conn)));
+        let _ = self.shared.links[home].poller.notify();
+    }
+
+    /// Close connections whose current-state deadline has passed: idle
+    /// sessions, write-stalled peers, and reject clients that never
+    /// drained their Busy reply.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        for key in 0..self.slab.len() {
+            let expired = matches!(&self.slab[key], Some(c) if c.deadline <= now);
+            if expired {
+                if let Some(c) = &self.slab[key] {
+                    if c.is_reject && c.writer.has_pending() {
+                        self.shared
+                            .stats
+                            .rejects_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                self.close(key);
+            }
+        }
+    }
+}
+
+/// Which worker should own `conn`, if not the current one.
+fn migration_target<E: Pairing>(conn: &Conn<E>, shared: &Shared, index: usize) -> Option<usize> {
+    if shared.workers <= 1 {
+        return None;
+    }
+    let shard = conn.shard?;
+    let home = shard % shared.workers;
+    (home != index).then_some(home)
+}
+
+/// Run one connection's read/decode/execute/encode/write cycle until its
+/// socket would block (or the connection reaches a terminal state).
+fn drive_conn<E: Pairing, R: rand::RngCore>(
+    conn: &mut Conn<E>,
+    index: usize,
+    shared: &Shared,
+    keyring: &Keyring<E>,
+    config: &ServerConfig,
+    rng: &mut R,
+) -> Verdict {
+    if conn.is_reject {
+        return drive_reject(conn);
+    }
+    loop {
+        // Write state: flush the staged reply before reading again (the
+        // protocols are strict request/response ping-pong).
+        if conn.writer.has_pending() {
+            match conn.writer.poll_flush(&mut conn.stream) {
+                Ok(true) => {
+                    finish_round(conn);
+                    if conn.closing {
+                        return Verdict::Close;
+                    }
+                    conn.deadline = Instant::now() + config.read_timeout;
+                    if let Some(home) = migration_target(conn, shared, index) {
+                        return Verdict::Migrate(home);
+                    }
+                }
+                Ok(false) => return Verdict::Keep,
+                Err(_) => return Verdict::Close,
+            }
+        }
+        if conn.closing {
+            return Verdict::Close;
+        }
+        // Read state: assemble the next request frame.
+        match conn.reader.poll_frame(&mut conn.stream) {
+            Ok(Some(req)) => {
+                conn.deadline = Instant::now() + config.read_timeout;
+                process_request(conn, &req, shared, keyring, config, rng);
+                if !conn.writer.has_pending() && conn.closing {
+                    return Verdict::Close;
+                }
+                // Loop: the write state above flushes the reply, then
+                // reads the next (possibly pipelined) request.
+            }
+            Ok(None) => return Verdict::Keep,
+            // Disconnect, oversized frame, or hard I/O failure all end
+            // only this session.
+            Err(_) => return Verdict::Close,
+        }
+    }
+}
+
+/// Drive a capacity-reject connection: flush the Busy reply, then linger
+/// (write side shut, reads drained and discarded) until the peer closes
+/// or the reject deadline sweeps it. Closing immediately after the flush
+/// would race the peer's read — its unread request in our receive buffer
+/// turns the close into an RST that can destroy the reply in flight.
+fn drive_reject<E: Pairing>(conn: &mut Conn<E>) -> Verdict {
+    if conn.writer.has_pending() {
+        match conn.writer.poll_flush(&mut conn.stream) {
+            Ok(true) => {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+            }
+            Ok(false) => return Verdict::Keep,
+            Err(_) => return Verdict::Close,
+        }
+    }
+    let mut scratch = [0u8; 1024];
+    loop {
+        match io::Read::read(&mut conn.stream, &mut scratch) {
+            Ok(0) => return Verdict::Close,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Verdict::Keep,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Verdict::Close,
+        }
+    }
+}
+
+/// Account a fully flushed reply against the connection's wire stats.
+fn finish_round<E: Pairing>(conn: &mut Conn<E>) {
+    conn.wire.frames_sent += 1;
+    conn.wire.bytes_sent += 4 + conn.pending_reply;
+    if let Some(t0) = conn.req_started.take() {
+        conn.wire.round_latency_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Decode/execute/encode one request frame: dispatch under a panic guard,
+/// stage the reply, and attribute the request to its key's shard.
+fn process_request<E: Pairing, R: rand::RngCore>(
+    conn: &mut Conn<E>,
+    req: &Bytes,
+    shared: &Shared,
+    keyring: &Keyring<E>,
+    config: &ServerConfig,
+    rng: &mut R,
+) {
+    conn.wire.frames_received += 1;
+    conn.wire.bytes_received += 4 + req.len() as u64;
+    conn.req_started = Some(Instant::now());
+
+    let session = &mut conn.session;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if let Some(tag) = config.inject_panic_tag {
+            if req.first() == Some(&tag) {
+                panic!("injected fault: request tag {tag:#x}");
+            }
+        }
+        dispatch(req, session, keyring, &shared.stats, rng)
+    }));
+    match outcome {
+        Err(payload) => {
+            // The dispatcher panicked. The generation lock (parking_lot)
+            // unlocked during unwind; close this session only — its
+            // SlotGuard reclaims the slot on drop.
+            shared.stats.record_panic(payload.as_ref());
+            conn.closing = true;
+        }
+        Ok(None) => conn.closing = true, // session shutdown tag
+        Ok(Some(reply)) => {
+            conn.pending_reply = reply.len() as u64;
+            if conn.writer.enqueue(&reply).is_err() {
+                conn.closing = true;
+                return;
+            }
+            conn.deadline = Instant::now() + config.write_timeout;
+            if let Some(entry) = conn.session.entry.as_ref() {
+                let shard = shard_of(entry.id(), shared.shards);
+                conn.shard = Some(shard);
+                if let Some(stats) = shared.stats.shards.get(shard) {
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    if !conn.shard_counted {
+                        conn.shard_counted = true;
+                        stats.sessions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
 }
 
 struct Session<E: Pairing> {
@@ -615,5 +1306,66 @@ fn dispatch<E: Pairing, R: rand::RngCore>(
             }
             Some(reply)
         }
+    }
+}
+
+use dlr_protocol::Encoder;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_curve::Toy;
+
+    /// Satellite regression: a waiter that panics while holding the kick
+    /// mutex poisons it; `force_epoch` and the scheduler must recover
+    /// instead of cascading the panic.
+    #[test]
+    fn scheduler_survives_poisoned_kick_lock() {
+        let ring = Arc::new(Keyring::<Toy>::new());
+        let server = Server::bind("127.0.0.1:0", ring, ServerConfig::default()).unwrap();
+        let handle = server.handle();
+
+        // Poison the kick mutex the way a panicking epoch coordinator
+        // would: lock, then unwind.
+        let poisoner = handle.clone();
+        let t = std::thread::spawn(move || {
+            let _guard = poisoner.shared.kick.lock().unwrap();
+            panic!("poison the kick lock");
+        });
+        assert!(t.join().is_err());
+        assert!(handle.shared.kick.is_poisoned());
+
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        // force_epoch takes the poisoned lock; it must not panic, and the
+        // scheduler (also locking it) must still fire the epoch.
+        handle.force_epoch();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.epoch() < 1 {
+            assert!(
+                Instant::now() < deadline,
+                "scheduler never fired through the poisoned lock"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        handle.shutdown();
+        let stats = runner.join().unwrap();
+        assert_eq!(stats.epochs, 1);
+    }
+
+    #[test]
+    fn config_resolution_defaults() {
+        let config = ServerConfig::default();
+        let workers = config.resolved_workers();
+        assert!((1..=4).contains(&workers));
+        assert_eq!(config.resolved_shards(), workers);
+        let explicit = ServerConfig {
+            workers: 3,
+            shards: 7,
+            ..ServerConfig::default()
+        };
+        assert_eq!(explicit.resolved_workers(), 3);
+        assert_eq!(explicit.resolved_shards(), 7);
     }
 }

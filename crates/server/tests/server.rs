@@ -552,3 +552,204 @@ fn graceful_shutdown_persists_and_reports() {
         Err(TransportError::Disconnected | TransportError::TimedOut | TransportError::Io(_))
     ));
 }
+
+#[test]
+fn panicking_dispatch_reclaims_slot_and_keeps_serving() {
+    let (pk, s1, s2) = keygen(180);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk.clone(), s2);
+    let config = ServerConfig {
+        max_sessions: 2,
+        inject_panic_tag: Some(0xEE),
+        ..quick_config()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    // Crash more sessions than the session limit: if a panicking session
+    // leaked its slot (the old accept-path bug), the third connection
+    // here would be rejected Busy instead of served.
+    for _ in 0..4 {
+        let mut t = connect(addr);
+        assert_eq!(driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap(), 0);
+        t.send(Bytes::from_static(&[0xEE])).unwrap();
+        match t.recv() {
+            Err(TransportError::Disconnected) => {}
+            other => panic!("expected the panicked session to be closed, got {other:?}"),
+        }
+        wait_until("panicked slot to free", Duration::from_secs(5), || {
+            running.handle.active_sessions() == 0
+        });
+    }
+
+    // The key state survived and the server is fully available.
+    let mut r = rand::rngs::StdRng::seed_from_u64(181);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = dlr::encrypt(&pk, &m, &mut r);
+    let mut p1 = Party1::new(pk, s1);
+    let mut t = connect(addr);
+    assert_eq!(driver::p1_hello(&mut t, b"k", GENERATION_ANY).unwrap(), 0);
+    assert_eq!(driver::p1_decrypt(&mut p1, &ct, &mut t, &mut r).unwrap(), m);
+    driver::p1_shutdown(&mut t).unwrap();
+
+    let stats = running.stop();
+    assert_eq!(stats.session_panics, 4);
+    assert_eq!(stats.sessions_accepted, 5);
+    assert_eq!(stats.sessions_completed, 5);
+    assert_eq!(stats.sessions_rejected_busy, 0, "no slot may leak");
+    let msg = stats.last_panic.expect("panic message must be recorded");
+    assert!(msg.contains("injected fault"), "unexpected message: {msg}");
+}
+
+#[test]
+fn stalled_busy_reject_does_not_block_the_accept_path() {
+    let (pk, _s1, s2) = keygen(185);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk, s2);
+    let config = ServerConfig {
+        max_sessions: 1,
+        reject_write_timeout: Duration::from_millis(100),
+        ..quick_config()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    let mut a = connect(addr);
+    driver::p1_hello(&mut a, b"k", GENERATION_ANY).unwrap();
+
+    // A client that gets rejected and then just sits there: never reads
+    // its Busy reply, never closes its socket.
+    let staller = TcpStream::connect(addr).unwrap();
+    wait_until("staller to be rejected", Duration::from_secs(5), || {
+        running.handle.stats().sessions_rejected_busy == 1
+    });
+
+    // The stalled reject must not head-of-line block the accept path
+    // (the old server wrote the reject reply synchronously from the
+    // accept loop): free the slot and serve a new session while the
+    // staller still holds its connection open.
+    driver::p1_shutdown(&mut a).unwrap();
+    wait_until("slot to free", Duration::from_secs(5), || {
+        running.handle.active_sessions() == 0
+    });
+    let mut c = connect(addr);
+    assert_eq!(driver::p1_hello(&mut c, b"k", GENERATION_ANY).unwrap(), 0);
+    driver::p1_shutdown(&mut c).unwrap();
+
+    // Long after the server dropped the reject at its deadline, the Busy
+    // reply is still sitting in the staller's receive buffer — it was
+    // flushed before the drop, so even a slow client learns why it was
+    // turned away.
+    std::thread::sleep(Duration::from_millis(300));
+    let late = TcpTransport::new(staller);
+    late.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut late = late;
+    match driver::parse_reply(&late.recv().unwrap()) {
+        Err(CoreError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Busy as u8),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    let stats = running.stop();
+    assert_eq!(stats.sessions_rejected_busy, 1);
+    assert_eq!(stats.sessions_accepted, 2);
+    assert_eq!(stats.sessions_completed, 2);
+}
+
+#[test]
+fn refresh_on_one_shard_does_not_stall_decrypts_on_another() {
+    // Two keys that hash to different shards of a two-worker server.
+    let shards = 2usize;
+    let mut ids: Vec<Vec<u8>> = Vec::new();
+    for i in 0..64 {
+        let id = format!("key-{i}").into_bytes();
+        if !ids
+            .iter()
+            .any(|x| dlr_server::shard_of(x, shards) == dlr_server::shard_of(&id, shards))
+        {
+            ids.push(id);
+        }
+        if ids.len() == 2 {
+            break;
+        }
+    }
+    let [id_a, id_b] = &ids[..] else {
+        panic!("could not find ids on distinct shards")
+    };
+    let shard_a = dlr_server::shard_of(id_a, shards);
+    let shard_b = dlr_server::shard_of(id_b, shards);
+    assert_ne!(shard_a, shard_b);
+
+    let (pk_a, s1_a, s2_a) = keygen(190);
+    let (pk_b, s1_b, s2_b) = keygen(191);
+    let mut ring = Keyring::new();
+    ring.insert(id_a, pk_a.clone(), s2_a);
+    ring.insert(id_b, pk_b.clone(), s2_b);
+    let config = ServerConfig {
+        workers: 2,
+        shards,
+        ..quick_config()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    const DECRYPTS: usize = 30;
+    const REFRESHES: usize = 5;
+    let start = Arc::new(Barrier::new(2));
+
+    // Shard B: a client hammering decrypts while shard A refreshes.
+    let decrypter = {
+        let id_b = id_b.clone();
+        let start = Arc::clone(&start);
+        std::thread::spawn(move || {
+            let mut r = rand::rngs::StdRng::seed_from_u64(192);
+            let m = <E as Pairing>::Gt::random(&mut r);
+            let ct = dlr::encrypt(&pk_b, &m, &mut r);
+            let mut p1 = Party1::new(pk_b, s1_b);
+            let mut t = connect(addr);
+            driver::p1_hello(&mut t, &id_b, GENERATION_ANY).unwrap();
+            start.wait();
+            let mut max_latency = Duration::ZERO;
+            for _ in 0..DECRYPTS {
+                let t0 = Instant::now();
+                assert_eq!(driver::p1_decrypt(&mut p1, &ct, &mut t, &mut r).unwrap(), m);
+                max_latency = max_latency.max(t0.elapsed());
+            }
+            driver::p1_shutdown(&mut t).unwrap();
+            max_latency
+        })
+    };
+
+    // Shard A: its key's generation advances while B's session (bound to
+    // an untouched key on another worker) keeps decrypting.
+    let mut r = rand::rngs::StdRng::seed_from_u64(193);
+    let mut p1 = Party1::new(pk_a, s1_a);
+    let mut t = connect(addr);
+    driver::p1_hello(&mut t, id_a, GENERATION_ANY).unwrap();
+    start.wait();
+    for _ in 0..REFRESHES {
+        driver::p1_refresh(&mut p1, &mut t, &mut r).unwrap();
+    }
+    driver::p1_shutdown(&mut t).unwrap();
+    let max_latency = decrypter.join().unwrap();
+
+    // A slow shard-A refresh may briefly share the wire, but a decrypt
+    // on shard B must never wait out a cross-shard lock.
+    assert!(
+        max_latency < Duration::from_secs(2),
+        "shard-B decrypt stalled for {max_latency:?}"
+    );
+
+    let stats = running.stop();
+    assert_eq!(stats.refreshes, REFRESHES as u64);
+    assert_eq!(stats.requests_decrypt, DECRYPTS as u64);
+    assert_eq!(stats.error_replies, 0);
+    assert_eq!(stats.shards.len(), shards);
+    // Requests were attributed to the shard their key hashes to.
+    assert_eq!(stats.shards[shard_a].requests, REFRESHES as u64 + 1);
+    assert_eq!(stats.shards[shard_b].requests, DECRYPTS as u64 + 1);
+    assert_eq!(stats.shards[shard_a].sessions, 1);
+    assert_eq!(stats.shards[shard_b].sessions, 1);
+}

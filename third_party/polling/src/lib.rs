@@ -1,0 +1,654 @@
+#![allow(clippy::all)] // vendored shim: mirrors upstream API, not linted
+//! Offline vendored shim for the subset of the `polling 3.x` readiness
+//! API used by the DLR workspace: a [`Poller`] multiplexing OS readiness
+//! events (epoll on Linux/Android, kqueue on macOS/iOS) plus a built-in
+//! wakeup channel ([`Poller::notify`], an `eventfd` on Linux, a pipe on
+//! kqueue platforms) so event loops can be interrupted from other
+//! threads without a signal or a sacrificial socket.
+//!
+//! Documented divergences from upstream `polling`:
+//!
+//! * **Level-triggered, persistent interest.** Upstream delivers events
+//!   in oneshot mode and requires re-arming after every event; this shim
+//!   keeps the registered interest active until [`Poller::modify`] or
+//!   [`Poller::delete`] changes it, which matches how the `dlr-server`
+//!   readiness loop manages per-connection interest state.
+//! * **No `Source`/`Borrowed` wrappers** — registration takes any
+//!   `AsRawFd` directly and the caller guarantees the fd outlives its
+//!   registration (the server owns every registered socket).
+//! * [`Poller::wait`] never surfaces the internal notification fd as an
+//!   event; a wakeup with no ready sockets returns `Ok(0)` and the
+//!   caller re-checks its control state (inbox, shutdown flag, epoch
+//!   counters) — exactly the upstream `notify` contract.
+//!
+//! Syscalls are declared as `extern "C"` bindings against the platform
+//! libc that `std` already links, keeping the workspace free of a
+//! vendored `libc` crate. See the workspace `Cargo.toml` for why
+//! third-party crates are vendored.
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+/// Key reserved for the internal notification fd; never delivered.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// A readiness event (or an interest registration) for one fd.
+///
+/// `key` is the caller-chosen identifier passed at registration and
+/// handed back verbatim with every event. Error/hang-up conditions are
+/// reported as both readable and writable so the caller discovers the
+/// failure from the I/O call itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier for the registered fd.
+    pub key: usize,
+    /// Readable (or in an error/hup state).
+    pub readable: bool,
+    /// Writable (or in an error/hup state).
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Self {
+        Self { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Self {
+        Self { key, readable: false, writable: true }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Self {
+        Self { key, readable: true, writable: true }
+    }
+
+    /// Registered but dormant (useful before the first `modify`).
+    pub fn none(key: usize) -> Self {
+        Self { key, readable: false, writable: false }
+    }
+}
+
+/// Reusable buffer of events filled by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterate over the events of the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the last wait delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// OS readiness multiplexer with a built-in cross-thread wakeup channel.
+#[derive(Debug)]
+pub struct Poller {
+    sys: sys::Poller,
+}
+
+// The poller is a kernel object: registration and waiting from multiple
+// threads are serialized by the kernel, and `notify` is explicitly a
+// cross-thread operation.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Create a poller (and its internal notification channel).
+    pub fn new() -> io::Result<Self> {
+        Ok(Self { sys: sys::Poller::new()? })
+    }
+
+    /// Register `source` with the given interest. `interest.key` must not
+    /// be `usize::MAX` (reserved for the internal notification channel).
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "event key usize::MAX is reserved",
+            ));
+        }
+        self.sys.add(source.as_raw_fd(), interest)
+    }
+
+    /// Replace the interest registered for `source`.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "event key usize::MAX is reserved",
+            ));
+        }
+        self.sys.modify(source.as_raw_fd(), interest)
+    }
+
+    /// Remove `source` from the poller. Removing an fd that was never
+    /// added (or was auto-removed by `close`) is not an error.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.sys.delete(source.as_raw_fd())
+    }
+
+    /// Block until at least one registered fd is ready, the timeout
+    /// expires, or another thread calls [`Poller::notify`]. Returns the
+    /// number of events appended to `events` (0 on timeout/notify).
+    /// `None` waits forever. A signal interruption reports as `Ok(0)`.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.sys.wait(&mut events.inner, timeout)
+    }
+
+    /// Wake up a concurrent (or the next) [`Poller::wait`]. Multiple
+    /// notifications may coalesce into a single wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        self.sys.notify()
+    }
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod sys {
+    //! epoll backend (level-triggered) with an eventfd wakeup channel.
+
+    use super::{Event, NOTIFY_KEY};
+    use std::io;
+    use std::os::raw::{c_int, c_uint, c_void};
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EINTR: i32 = 4;
+    const ENOENT: i32 = 2;
+
+    // The kernel ABI packs epoll_event on x86-64; other architectures
+    // use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Poller {
+        epfd: c_int,
+        event_fd: c_int,
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Self> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let event_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let poller = Self { epfd, event_fd };
+            poller.ctl(
+                EPOLL_CTL_ADD,
+                event_fd,
+                Event { key: NOTIFY_KEY, readable: true, writable: false },
+            )?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: c_int, fd: c_int, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub(super) fn add(&self, fd: i32, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest)
+        }
+
+        pub(super) fn modify(&self, fd: i32, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest)
+        }
+
+        pub(super) fn delete(&self, fd: i32) -> io::Result<()> {
+            match self.ctl(EPOLL_CTL_DEL, fd, Event::none(0)) {
+                Err(e) if e.raw_os_error() == Some(ENOENT) => Ok(()),
+                other => other,
+            }
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let timeout_ms: c_int = match timeout {
+                // Round up so a sub-millisecond deadline cannot spin.
+                Some(d) => ((d.as_nanos() + 999_999) / 1_000_000).min(c_int::MAX as u128) as c_int,
+                None => -1,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = match cvt(unsafe {
+                epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms)
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.raw_os_error() == Some(EINTR) => 0,
+                Err(e) => return Err(e),
+            };
+            let mut delivered = 0;
+            for ev in &buf[..n] {
+                let key = { ev.data } as usize;
+                if key == NOTIFY_KEY {
+                    self.drain_notify();
+                    continue;
+                }
+                let bits = { ev.events };
+                let failed = bits & (EPOLLERR | EPOLLHUP) != 0;
+                out.push(Event {
+                    key,
+                    readable: failed || bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: failed || bits & EPOLLOUT != 0,
+                });
+                delivered += 1;
+            }
+            Ok(delivered)
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            // EAGAIN means the counter is already saturated: a wakeup is
+            // pending, which is all notify promises.
+            unsafe { write(self.event_fd, (&one as *const u64).cast(), 8) };
+            Ok(())
+        }
+
+        fn drain_notify(&self) {
+            let mut buf = 0u64;
+            // A single read resets the eventfd counter to zero.
+            unsafe { read(self.event_fd, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.event_fd);
+                close(self.epfd);
+            }
+        }
+    }
+
+    fn interest_bits(interest: Event) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+#[cfg(any(target_os = "macos", target_os = "ios"))]
+mod sys {
+    //! kqueue backend (level-triggered) with a pipe wakeup channel.
+
+    use super::{Event, NOTIFY_KEY};
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::ptr;
+    use std::time::Duration;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const F_SETFL: c_int = 4;
+    const F_SETFD: c_int = 2;
+    const FD_CLOEXEC: c_int = 1;
+    const O_NONBLOCK: c_int = 0x0004;
+    const EINTR: i32 = 4;
+    const ENOENT: i32 = 2;
+
+    #[repr(C)]
+    struct KEvent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: isize,
+        tv_nsec: isize,
+    }
+
+    extern "C" {
+        fn kqueue() -> c_int;
+        fn kevent(
+            kq: c_int,
+            changelist: *const KEvent,
+            nchanges: c_int,
+            eventlist: *mut KEvent,
+            nevents: c_int,
+            timeout: *const Timespec,
+        ) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Poller {
+        kq: c_int,
+        pipe_read: c_int,
+        pipe_write: c_int,
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Self> {
+            let kq = cvt(unsafe { kqueue() })?;
+            let mut fds = [0 as c_int; 2];
+            if let Err(e) = cvt(unsafe { pipe(fds.as_mut_ptr()) }) {
+                unsafe { close(kq) };
+                return Err(e);
+            }
+            for fd in fds {
+                unsafe {
+                    fcntl(fd, F_SETFD, FD_CLOEXEC);
+                    fcntl(fd, F_SETFL, O_NONBLOCK);
+                }
+            }
+            let poller = Self { kq, pipe_read: fds[0], pipe_write: fds[1] };
+            poller.apply(fds[0], EVFILT_READ, EV_ADD, NOTIFY_KEY)?;
+            Ok(poller)
+        }
+
+        fn apply(&self, fd: c_int, filter: i16, flags: u16, key: usize) -> io::Result<()> {
+            let change = KEvent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: key as *mut c_void,
+            };
+            match cvt(unsafe { kevent(self.kq, &change, 1, ptr::null_mut(), 0, ptr::null()) }) {
+                Err(e)
+                    if flags == EV_DELETE && e.raw_os_error() == Some(ENOENT) =>
+                {
+                    Ok(())
+                }
+                other => other.map(|_| ()),
+            }
+        }
+
+        fn set_interest(&self, fd: i32, interest: Event) -> io::Result<()> {
+            self.apply(
+                fd,
+                EVFILT_READ,
+                if interest.readable { EV_ADD } else { EV_DELETE },
+                interest.key,
+            )?;
+            self.apply(
+                fd,
+                EVFILT_WRITE,
+                if interest.writable { EV_ADD } else { EV_DELETE },
+                interest.key,
+            )
+        }
+
+        pub(super) fn add(&self, fd: i32, interest: Event) -> io::Result<()> {
+            self.set_interest(fd, interest)
+        }
+
+        pub(super) fn modify(&self, fd: i32, interest: Event) -> io::Result<()> {
+            self.set_interest(fd, interest)
+        }
+
+        pub(super) fn delete(&self, fd: i32) -> io::Result<()> {
+            self.apply(fd, EVFILT_READ, EV_DELETE, 0)?;
+            self.apply(fd, EVFILT_WRITE, EV_DELETE, 0)
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let ts = timeout.map(|d| Timespec {
+                tv_sec: d.as_secs().min(isize::MAX as u64) as isize,
+                tv_nsec: d.subsec_nanos() as isize,
+            });
+            let ts_ptr = ts.as_ref().map_or(ptr::null(), |t| t as *const Timespec);
+            let mut buf: [KEvent; 64] = unsafe { std::mem::zeroed() };
+            let n = match cvt(unsafe {
+                kevent(self.kq, ptr::null(), 0, buf.as_mut_ptr(), buf.len() as c_int, ts_ptr)
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.raw_os_error() == Some(EINTR) => 0,
+                Err(e) => return Err(e),
+            };
+            let mut delivered = 0;
+            for ev in &buf[..n] {
+                let key = ev.udata as usize;
+                if key == NOTIFY_KEY {
+                    self.drain_notify();
+                    continue;
+                }
+                out.push(Event {
+                    key,
+                    readable: ev.filter == EVFILT_READ,
+                    writable: ev.filter == EVFILT_WRITE,
+                });
+                delivered += 1;
+            }
+            Ok(delivered)
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            let byte = 1u8;
+            unsafe { write(self.pipe_write, (&byte as *const u8).cast(), 1) };
+            Ok(())
+        }
+
+        fn drain_notify(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe { read(self.pipe_read, buf.as_mut_ptr().cast(), buf.len()) };
+                if n < buf.len() as isize {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_read);
+                close(self.pipe_write);
+                close(self.kq);
+            }
+        }
+    }
+}
+
+#[cfg(not(any(
+    target_os = "linux",
+    target_os = "android",
+    target_os = "macos",
+    target_os = "ios",
+)))]
+compile_error!("the vendored polling shim supports epoll (Linux/Android) and kqueue (macOS/iOS) only");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::new();
+        let started = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(40))).unwrap();
+        assert_eq!(n, 0);
+        assert!(started.elapsed() >= Duration::from_millis(35));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let started = Instant::now();
+        // No registered sources at all: only the notify can end this wait.
+        let n = poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn read_readiness_is_reported_with_the_registered_key() {
+        let (mut client, server) = tcp_pair();
+        let poller = Poller::new().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        let mut events = Events::new();
+        // Nothing to read yet.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+
+        client.write_all(b"x").unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        // Level-triggered: unread data keeps reporting.
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let mut byte = [0u8; 8];
+        let mut s = &server;
+        assert_eq!(s.read(&mut byte).unwrap(), 1);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+    }
+
+    #[test]
+    fn interest_can_be_modified_and_deleted() {
+        let (mut client, server) = tcp_pair();
+        let poller = Poller::new().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.add(&server, Event::none(3)).unwrap();
+
+        // A fresh socket is writable the moment we ask for it.
+        poller.modify(&server, Event::all(3)).unwrap();
+        let mut events = Events::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().writable);
+
+        // Back to read-only interest: writability stops reporting.
+        poller.modify(&server, Event::readable(3)).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+
+        // After delete, even readable data stays silent.
+        poller.delete(&server).unwrap();
+        client.write_all(b"y").unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(30))).unwrap(), 0);
+        // Deleting twice is fine.
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let (_client, server) = tcp_pair();
+        let poller = Poller::new().unwrap();
+        assert!(poller.add(&server, Event::readable(usize::MAX)).is_err());
+    }
+}

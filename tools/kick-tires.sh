@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # Kick-the-tires artifact run: from a clean checkout, offline, in minutes,
 # smoke-verify every headline claim of EXPERIMENTS.md and regenerate the
-# measured tables (A6 span fingerprint, A7 fixed-base parity, L1 server
-# load, A8 multiexp crossover) into out/. Exits nonzero if any
-# regenerated op count disagrees
-# with the committed docs.
+# measured tables (A6 span fingerprint, A7 fixed-base parity, A8 multiexp
+# crossover, L1 server load, L2 high-concurrency ladder) into out/. Exits
+# nonzero if any regenerated op count disagrees with the committed docs.
 #
 # usage: tools/kick-tires.sh
 #
 # What it checks, in order:
 #   1. the workspace builds in release mode (no network access needed);
-#   2. `dlr artifact` regenerates A6/A7/A8/L1 into out/ and every exact
-#      (op-count) cell matches EXPERIMENTS.md — the table-drift gate;
+#   2. `dlr artifact` regenerates A6/A7/A8/L1/L2 into out/ and every
+#      exact (op-count) cell matches EXPERIMENTS.md — the table-drift
+#      gate (L2 includes the 1024-concurrent-session rung against the
+#      event-loop server);
 #   3. the fresh A6/L1 metrics JSON is op-identical to the committed
-#      BENCH_PR2.json / BENCH_PR7.json baselines (live run vs history);
-#   4. the committed BENCH_PR1->PR7 trajectory itself holds op-count
+#      BENCH_PR2.json / BENCH_PR8.json baselines (live run vs history);
+#   4. the committed PR7->PR8 server rebuild preserved the workload's
+#      op-count fingerprint exactly (BENCH_PR7.json vs BENCH_PR8.json);
+#   5. the committed BENCH_PR1->PR8 trajectory itself holds op-count
 #      parity within each report kind (`bench-compare.sh --all`).
 #
 # The full-length counterpart (all parameter sets, criterion benches,
@@ -31,19 +34,23 @@ step "release build (offline)"
 cargo build --release -q -p dlr-cli -p dlr-bench
 claims+=("release build: OK")
 
-step "regenerate A6/A7/A8/L1 tables + table-drift gate"
+step "regenerate A6/A7/A8/L1/L2 tables + table-drift gate"
 ./target/release/dlr artifact --profile kick-tires --mode all
-claims+=("table-drift gate (A6/A7/A8/L1 vs EXPERIMENTS.md): OK")
+claims+=("table-drift gate (A6/A7/A8/L1/L2 vs EXPERIMENTS.md): OK")
 
 step "live session vs committed BENCH_PR2.json (op-count parity)"
 tools/bench-compare.sh BENCH_PR2.json out/A6.json
 claims+=("live A6 session op-identical to BENCH_PR2.json: OK")
 
-step "live loadgen vs committed BENCH_PR7.json (op-count parity)"
-tools/bench-compare.sh BENCH_PR7.json out/L1.json
-claims+=("live L1 loadgen op-identical to BENCH_PR7.json: OK")
+step "live loadgen vs committed BENCH_PR8.json (op-count parity)"
+tools/bench-compare.sh BENCH_PR8.json out/L1.json
+claims+=("live L1 loadgen op-identical to BENCH_PR8.json: OK")
 
-step "committed BENCH_PR1->PR7 trajectory parity"
+step "PR7->PR8 server rebuild preserved the op-count fingerprint"
+tools/bench-compare.sh BENCH_PR7.json BENCH_PR8.json
+claims+=("event-loop rebuild op-identical to threaded server (PR7 vs PR8): OK")
+
+step "committed BENCH_PR1->PR8 trajectory parity"
 tools/bench-compare.sh --all
 claims+=("BENCH_PR* trajectory op-count parity: OK")
 
@@ -54,10 +61,12 @@ p1_pairings=$(awk -F, '$1 == "dec.p1.start" { print $7 }' out/A6.csv)
 dec_gexp=$(awk -F, '$1 == "dec" { print $4 }' out/A6.csv)
 a7_parity=$(awk -F, 'NR > 1 { printf "%s%s: %s", (NR > 2 ? ", " : ""), $1, $7 }' out/A7.csv)
 l1_row=$(awk -F, 'NR == 2 { print $2 " requests, " $3 " verified, " $4 " failures" }' out/L1.csv)
+l2_top=$(awk -F, 'END { print $1 " concurrent sessions, " $3 "/" $2 " verified, " $4 " failures, " $6 " client panics" }' out/L2.csv)
 [ "$p2_pairings" = "0" ] || { echo "FAIL: P2 did $p2_pairings pairings (claim: zero)"; exit 1; }
 claims+=("P2 does zero pairings (all $p1_pairings on P1): OK")
 claims+=("A7 fixed-base/generic parity ($a7_parity): OK")
 claims+=("L1 load run clean ($l1_row): OK")
+claims+=("L2 top rung clean ($l2_top): OK")
 
 elapsed=$(( $(date +%s) - started ))
 cat <<EOF
