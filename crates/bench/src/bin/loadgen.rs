@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release -p dlr-bench --bin loadgen -- --json BENCH_PR4.json
 //! cargo run --release -p dlr-bench --bin loadgen -- --clients 8 --requests 100
+//! cargo run --release -p dlr-bench --bin loadgen -- --fleet --json BENCH_PR9.json
 //! ```
 //!
 //! One mid-run epoch boundary is forced so the measured traffic includes
@@ -12,12 +13,17 @@
 //! generation-lock contention a real deployment would see, not an
 //! idealized refresh-free steady state.
 //!
-//! The session itself lives in [`dlr_bench::artifact::loadgen_session`],
-//! shared with the `dlr artifact` harness so the committed
-//! `BENCH_PR4/5.json` and the regenerated `out/L1.json` come from the
-//! same code path.
+//! `--fleet` runs the identical workload against a 2-replica key-sharded
+//! fleet through routed clients (the `BENCH_PR9.json` methodology):
+//! same seed, same op-count fingerprint, plus redirect/failover counters
+//! and per-shard percentiles in the report metadata.
+//!
+//! The sessions themselves live in [`dlr_bench::artifact::loadgen_session`]
+//! and [`dlr_bench::artifact::fleet_loadgen_session`], shared with the
+//! `dlr artifact` harness so the committed `BENCH_PR*.json` and the
+//! regenerated `out/L1.json` / `out/L3.json` come from the same code path.
 
-use dlr_bench::artifact::loadgen_session;
+use dlr_bench::artifact::{fleet_loadgen_session, loadgen_session};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -32,22 +38,39 @@ fn main() {
     let requests: usize = arg_value(&args, "--requests")
         .map_or(50, |v| v.parse().expect("--requests must be a number"));
     let json_path = arg_value(&args, "--json");
+    let fleet = args.iter().any(|a| a == "--fleet");
 
-    let session = loadgen_session(clients, requests);
-    let outcome = &session.outcome;
-
-    println!(
-        "loadgen: {clients} clients x {requests} reqs -> {:.1} req/s, p50 {} µs, p95 {} µs, p99 {} µs",
-        outcome.throughput_rps(),
-        outcome.latency_percentile_ns(50.0) / 1_000,
-        outcome.latency_percentile_ns(95.0) / 1_000,
-        outcome.latency_percentile_ns(99.0) / 1_000,
-    );
+    let report = if fleet {
+        let session = fleet_loadgen_session(clients, requests);
+        let outcome = &session.outcome;
+        println!(
+            "fleet loadgen: {clients} clients x {requests} reqs over {} replicas -> \
+             {:.1} req/s, p50 {} µs, p95 {} µs, {} redirects, {} failovers",
+            session.topology.replicas.len(),
+            outcome.throughput_rps(),
+            outcome.latency_percentile_ns(50.0) / 1_000,
+            outcome.latency_percentile_ns(95.0) / 1_000,
+            outcome.redirects,
+            outcome.failovers,
+        );
+        session.report
+    } else {
+        let session = loadgen_session(clients, requests);
+        let outcome = &session.outcome;
+        println!(
+            "loadgen: {clients} clients x {requests} reqs -> {:.1} req/s, p50 {} µs, p95 {} µs, p99 {} µs",
+            outcome.throughput_rps(),
+            outcome.latency_percentile_ns(50.0) / 1_000,
+            outcome.latency_percentile_ns(95.0) / 1_000,
+            outcome.latency_percentile_ns(99.0) / 1_000,
+        );
+        session.report
+    };
     match json_path {
         Some(path) => {
-            std::fs::write(&path, session.report.to_json()).expect("write report");
+            std::fs::write(&path, report.to_json()).expect("write report");
             eprintln!("wrote {path}");
         }
-        None => println!("{}", session.report.render()),
+        None => println!("{}", report.render()),
     }
 }

@@ -10,6 +10,7 @@ use dlr_curve::{Group, Pairing, Ss1024, Ss512, Ss768, Toy};
 use dlr_protocol::runtime::run_pair;
 use dlr_protocol::transport::TcpTransport;
 use dlr_protocol::Transport;
+use dlr_cluster::{run_fleet_ladder, FleetFault, FleetLadderConfig, FleetLadderKey};
 use dlr_server::{Keyring, LoadgenConfig, Server, ServerConfig};
 use std::error::Error;
 use std::fs;
@@ -36,9 +37,12 @@ subcommands:
                   [--curve C] [--key-id ID] [--retries N]
   loadgen         --pk FILE --sk1 FILE --connect ADDR [--curve C] [--key-id ID]
                   [--clients N] [--requests N] [--out FILE]
+  cluster         [--curve C] [--replicas N] [--keys K] [--clients N] [--requests N]
+                  [--shards N] [--n N] [--lambda L] [--out FILE]
+                  [--fault-ms MS] [--downtime-ms MS] [--fault-replica I]
   metrics         [--curve C] [--trials N] [--n N] [--lambda L]
   artifact        [--profile kick-tires|full] [--out DIR] [--mode all|generate|check]
-                  [--docs FILE]
+                  [--docs FILE] [--l2-workers N,N,...]
   help
 
 `serve-p2` runs the concurrent dlr-server key-share service: a fixed set
@@ -50,14 +54,27 @@ every refresh, and periodic JSON stats dumps. `loadgen` drives a running
 server with concurrent closed-loop decrypt clients and prints (or writes
 with --out) a throughput/latency report in dlr-metrics JSON.
 
+`cluster` is a self-contained fleet demo: it generates K keys in
+process, spawns a key-sharded fleet of --replicas dlr-server instances
+(each owning the slice of the FNV-1a key ring whose `shard % replicas`
+lands on it), then drives the routed closed-loop load generator — every
+client follows NotMine redirects and fails over on replica death. With
+--fault-ms it kills replica --fault-replica (default 0) that many ms
+into the run and restarts it after --downtime-ms, proving routed
+clients ride through the outage. Prints aggregate and per-shard
+percentiles plus redirect/failover counters; --out writes the
+dlr-metrics JSON report.
+
 `metrics` runs an instrumented in-process session (keygen, encrypt, N
 decrypt/refresh trials, plus one transport-backed decrypt+refresh) and
 prints the per-phase span tree, group-operation counts and wire traffic.
 
 `artifact` regenerates the measured EXPERIMENTS.md tables (A6 span
 fingerprint, A7 fixed-base parity, A8 multiexp crossover, L1 server
-load, L2 high-concurrency ladder; the full profile adds the L1
-concurrency ladder) into --out (default `out/`) as markdown + CSV
+load, L2 high-concurrency ladder, L3 fleet replica ladder; the full
+profile adds the L1 concurrency ladder, and --l2-workers N,N,... adds
+an ungated machine-dependent worker-count sweep of the L2 workload)
+into --out (default `out/`) as markdown + CSV
 + raw metrics JSON, then diffs them against the committed tables in
 --docs (default `EXPERIMENTS.md`): op-count cells must match exactly,
 columns headed `(md)` are machine-dependent and skipped. Exits nonzero
@@ -90,6 +107,7 @@ fn run<E: Pairing>(args: &Args) -> Result<(), AnyError> {
         "serve-p2" => serve_p2::<E>(args),
         "decrypt-remote" => decrypt_remote::<E>(args),
         "loadgen" => loadgen::<E>(args),
+        "cluster" => cluster::<E>(args),
         "metrics" => metrics::<E>(args),
         "artifact" => artifact(args),
         other => Err(Box::new(ArgError(format!(
@@ -290,6 +308,115 @@ fn loadgen<E: Pairing>(args: &Args) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// Self-contained fleet demo: keygen in process, spawn a key-sharded
+/// replica fleet, drive it with routed clients, optionally kill and
+/// restart one replica mid-load, and report per-shard percentiles.
+fn cluster<E: Pairing>(args: &Args) -> Result<(), AnyError> {
+    let replicas = (args.get_u32_or("replicas", 2)? as usize).max(1);
+    let key_count = (args.get_u32_or("keys", 4)? as usize).max(1);
+    let clients = (args.get_u32_or("clients", 4)? as usize).max(1);
+    let requests = args.get_u32_or("requests", 25)? as usize;
+    let shards = args.get_u32_or("shards", 0)? as usize;
+    let n = args.get_u32_or("n", 16)?;
+    let lambda = args.get_u32_or("lambda", 64)?;
+    let fault_ms = args.get_u32_or("fault-ms", 0)?;
+
+    let params = SchemeParams::derive::<E::Scalar>(n, lambda);
+    let mut rng = rand::thread_rng();
+    let keys: Vec<FleetLadderKey<E>> = (0..key_count)
+        .map(|i| {
+            let (pk, share1, share2) = dlr::keygen::<E, _>(params, &mut rng);
+            FleetLadderKey {
+                id: format!("key-{i}").into_bytes(),
+                pk,
+                share1,
+                share2,
+            }
+        })
+        .collect();
+
+    let data_dir = std::env::temp_dir().join(format!("dlr-cluster-cli-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&data_dir);
+    let config = FleetLadderConfig {
+        replica_rungs: vec![replicas],
+        shards,
+        data_dir: data_dir.clone(),
+        base_server: ServerConfig {
+            max_sessions: clients + 2,
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+        base: dlr_cluster::FleetLoadgenConfig {
+            clients,
+            requests_per_client: requests,
+            read_timeout: Some(Duration::from_millis(2_000)),
+            max_reconnects: 64,
+            backoff: driver::RetryPolicy {
+                max_attempts: 12,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(50),
+                ..driver::RetryPolicy::default()
+            },
+            ..dlr_cluster::FleetLoadgenConfig::default()
+        },
+        fault: (fault_ms > 0).then(|| FleetFault {
+            replica: args.get_u32_or("fault-replica", 0).unwrap_or(0) as usize,
+            delay: Duration::from_millis(fault_ms.into()),
+            downtime: Duration::from_millis(
+                args.get_u32_or("downtime-ms", 150).unwrap_or(150).into(),
+            ),
+        }),
+    };
+    let rungs = run_fleet_ladder(&config, &keys, &mut rng)?;
+    let _ = fs::remove_dir_all(&data_dir);
+    let rung = rungs.into_iter().next().expect("one rung requested");
+    let outcome = &rung.outcome;
+
+    println!(
+        "cluster: {replicas} replicas / {} shards, {key_count} keys, {clients} clients x {requests} reqs",
+        rung.topology.shards,
+    );
+    println!(
+        "  {}/{} ok, {:.1} req/s, p50 {} µs, p95 {} µs, p99 {} µs",
+        outcome.successes,
+        outcome.requests,
+        outcome.throughput_rps(),
+        outcome.latency_percentile_ns(50.0) / 1_000,
+        outcome.latency_percentile_ns(95.0) / 1_000,
+        outcome.latency_percentile_ns(99.0) / 1_000,
+    );
+    println!(
+        "  {} redirects, {} failovers, {} reconnects{}",
+        outcome.redirects,
+        outcome.failovers,
+        outcome.reconnects,
+        match rung.restarted_replica {
+            Some(i) => format!(" (replica {i} killed and restarted mid-run)"),
+            None => String::new(),
+        },
+    );
+    for (&shard, samples) in &outcome.per_shard {
+        println!(
+            "  shard {shard} -> replica {}: {} reqs, p50 {} µs, p95 {} µs",
+            shard % replicas,
+            samples.len(),
+            outcome.shard_percentile_ns(shard, 50.0) / 1_000,
+            outcome.shard_percentile_ns(shard, 95.0) / 1_000,
+        );
+    }
+    if let Some(path) = args.options_get("out") {
+        fs::write(path, outcome.to_report(&rung.topology).to_json())?;
+        println!("  wrote {path}");
+    }
+    if outcome.failures > 0 || outcome.mismatches > 0 || outcome.client_panics > 0 {
+        return Err(Box::new(ArgError(format!(
+            "cluster run saw {} failures, {} mismatches, {} client panics",
+            outcome.failures, outcome.mismatches, outcome.client_panics
+        ))));
+    }
+    Ok(())
+}
+
 fn metrics<E: Pairing>(args: &Args) -> Result<(), AnyError>
 where
     Party1<E>: Send,
@@ -348,7 +475,7 @@ where
 fn artifact(args: &Args) -> Result<(), AnyError> {
     use dlr_bench::artifact as art;
 
-    let profile = match args.get_or("profile", "kick-tires") {
+    let mut profile = match args.get_or("profile", "kick-tires") {
         "kick-tires" => art::kick_tires_profile(),
         "full" => art::full_profile(),
         other => {
@@ -357,6 +484,17 @@ fn artifact(args: &Args) -> Result<(), AnyError> {
             ))))
         }
     };
+    if let Some(list) = args.options_get("l2-workers") {
+        profile.l2_worker_rungs = list
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| {
+                ArgError(format!(
+                    "--l2-workers must be a comma-separated list of worker counts, got `{list}`"
+                ))
+            })?;
+    }
     let out_dir = PathBuf::from(args.get_or("out", "out"));
     let docs = PathBuf::from(args.get_or("docs", "EXPERIMENTS.md"));
     let mode = args.get_or("mode", "all");

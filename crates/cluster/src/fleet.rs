@@ -1,0 +1,305 @@
+//! Fleet supervisor: spawn, monitor, kill and restart a set of
+//! [`dlr_server::Server`] replicas, each owning a slice of the key-id
+//! shard ring.
+//!
+//! ## Ownership model
+//!
+//! The ring is the same FNV-1a hash the in-process keyring shards by
+//! ([`dlr_protocol::shard_of`]): key id → shard → replica
+//! `shard % replicas`. Every replica is constructed with
+//!
+//! * a keyring holding **only** the keys whose shard it owns,
+//! * the full fleet [`TopologyMsg`] (served on the `Topology` request),
+//! * an [`OwnerHint`] oracle over that topology, so a hello for a key
+//!   another replica owns is answered with `NotMine` + the owner's
+//!   address instead of `UnknownKey`.
+//!
+//! ## Durability and restart
+//!
+//! Every key share is persisted (atomic temp + fsync + rename) into the
+//! fleet's `data_dir` before its replica first serves it, and re-persisted
+//! by the server on every committed refresh. [`Fleet::restart_replica`]
+//! therefore rebuilds a killed replica's keyring **from disk**, picking up
+//! whatever generation the share had reached — the supervisor holds no
+//! share material of its own beyond spawn time.
+
+use dlr_core::dlr::{PublicKey, Share2};
+use dlr_core::driver::{TopologyMsg, WIRE_VERSION};
+use dlr_curve::Pairing;
+use dlr_protocol::shard_of;
+use dlr_server::keyring::persist_atomically;
+use dlr_server::{Keyring, OwnerHint, Server, ServerConfig, ServerHandle, StatsSnapshot};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of server replicas to spawn.
+    pub replicas: usize,
+    /// Shard-ring size. `0` = one shard per replica. A ring larger than
+    /// the replica count spreads keys more evenly and keeps shard→key
+    /// assignments stable under replica-count changes.
+    pub shards: usize,
+    /// Directory holding the durable key shares (`<hex(id)>.share`).
+    pub data_dir: PathBuf,
+    /// Per-replica server template. Its `topology` and `owner_hint`
+    /// fields are overwritten per replica by the supervisor.
+    pub base: ServerConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            shards: 0,
+            data_dir: std::env::temp_dir().join("dlr-fleet"),
+            base: ServerConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The ring size after resolving the `0` = per-replica default.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.replicas.max(1)
+        }
+    }
+}
+
+/// One key registered with the fleet: identity, public half, and the
+/// durable share location its owning replica loads from.
+pub struct FleetKey<E: Pairing> {
+    /// Registry id (hello key id).
+    pub id: Vec<u8>,
+    /// Public key (never changes across refreshes).
+    pub pk: PublicKey<E>,
+    share_path: PathBuf,
+}
+
+/// A live replica incarnation: its control handle plus the thread running
+/// [`Server::run`].
+struct RunningReplica {
+    handle: ServerHandle,
+    thread: JoinHandle<io::Result<StatsSnapshot>>,
+}
+
+/// One replica seat: a fixed address that is either occupied by a running
+/// server or empty (killed, awaiting restart).
+struct ReplicaSeat {
+    addr: SocketAddr,
+    running: Option<RunningReplica>,
+    /// Final stats of every previous incarnation, oldest first.
+    retired: Vec<StatsSnapshot>,
+}
+
+/// A supervised fleet of N `dlr-server` replicas sharing one shard ring.
+pub struct Fleet<E: Pairing> {
+    config: FleetConfig,
+    topology: TopologyMsg,
+    keys: Vec<FleetKey<E>>,
+    seats: Vec<ReplicaSeat>,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn invalid_data<Err: std::fmt::Display>(e: Err) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl<E: Pairing> Fleet<E> {
+    /// Spawn the fleet: bind every replica's listener, persist each key's
+    /// share under `data_dir`, and start one server thread per replica
+    /// with the keys its ring slice owns.
+    pub fn spawn(
+        config: FleetConfig,
+        keys: Vec<(Vec<u8>, PublicKey<E>, Share2<E>)>,
+    ) -> io::Result<Self> {
+        let replicas = config.replicas.max(1);
+        let shards = config.resolved_shards();
+        std::fs::create_dir_all(&config.data_dir)?;
+
+        // Bind all listeners before starting any server, so the topology
+        // handed to every replica names the whole fleet's final addresses.
+        let listeners: Vec<TcpListener> = (0..replicas)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(TcpListener::local_addr)
+            .collect::<io::Result<_>>()?;
+        let topology = TopologyMsg {
+            version: WIRE_VERSION,
+            shards: shards as u32,
+            replicas: addrs.iter().map(SocketAddr::to_string).collect(),
+        };
+
+        let mut fleet_keys = Vec::with_capacity(keys.len());
+        for (id, pk, share) in keys {
+            let share_path = config.data_dir.join(format!("{}.share", hex(&id)));
+            persist_atomically(&share_path, &share.to_bytes())?;
+            fleet_keys.push(FleetKey { id, pk, share_path });
+        }
+
+        let mut fleet = Self {
+            config,
+            topology,
+            keys: fleet_keys,
+            seats: addrs
+                .into_iter()
+                .map(|addr| ReplicaSeat {
+                    addr,
+                    running: None,
+                    retired: Vec::new(),
+                })
+                .collect(),
+        };
+        for (index, listener) in listeners.into_iter().enumerate() {
+            let running = fleet.start_replica(index, listener)?;
+            fleet.seats[index].running = Some(running);
+        }
+        Ok(fleet)
+    }
+
+    /// Build and launch one replica on an already-bound listener.
+    fn start_replica(&self, index: usize, listener: TcpListener) -> io::Result<RunningReplica> {
+        let shards = self.topology.shards as usize;
+        let replicas = self.seats.len().max(1);
+
+        let mut ring = Keyring::new();
+        for key in &self.keys {
+            if shard_of(&key.id, shards) % replicas != index {
+                continue;
+            }
+            // Load from disk even on first spawn: the restart path and
+            // the spawn path must be the same code, or restart rot sets in.
+            let bytes = std::fs::read(&key.share_path)?;
+            let share = Share2::<E>::from_bytes(&bytes, &key.pk.params).map_err(invalid_data)?;
+            ring.insert_persistent(&key.id, key.pk.clone(), share, key.share_path.clone());
+        }
+
+        let mut config = self.config.base.clone();
+        config.topology = Some(self.topology.clone());
+        let topology = self.topology.clone();
+        config.owner_hint = Some(OwnerHint(Arc::new(move |id: &[u8]| {
+            let owner = shard_of(id, shards) % replicas;
+            if owner == index {
+                None // ours but unregistered: a true UnknownKey
+            } else {
+                Some(topology.replicas[owner].clone())
+            }
+        })));
+
+        listener.set_nonblocking(false)?;
+        let server = Server::new(listener, Arc::new(ring), config)?;
+        let handle = server.handle();
+        let thread = std::thread::Builder::new()
+            .name(format!("dlr-fleet-replica-{index}"))
+            .spawn(move || server.run())?;
+        Ok(RunningReplica { handle, thread })
+    }
+
+    /// The fleet topology (shared verbatim with every replica).
+    pub fn topology(&self) -> &TopologyMsg {
+        &self.topology
+    }
+
+    /// Number of replica seats (running or not).
+    pub fn replica_count(&self) -> usize {
+        self.seats.len()
+    }
+
+    /// The fixed address of replica `index`.
+    pub fn addr(&self, index: usize) -> SocketAddr {
+        self.seats[index].addr
+    }
+
+    /// The replica index owning `key_id` on this fleet's ring.
+    pub fn owner_of(&self, key_id: &[u8]) -> usize {
+        shard_of(key_id, self.topology.shards as usize) % self.seats.len().max(1)
+    }
+
+    /// Whether replica `index` currently has a running server.
+    pub fn is_up(&self, index: usize) -> bool {
+        self.seats[index].running.is_some()
+    }
+
+    /// Control handle of replica `index`, if it is running.
+    pub fn handle(&self, index: usize) -> Option<&ServerHandle> {
+        self.seats[index].running.as_ref().map(|r| &r.handle)
+    }
+
+    /// Keys registered with the fleet.
+    pub fn keys(&self) -> &[FleetKey<E>] {
+        &self.keys
+    }
+
+    /// Live stats snapshot per replica (`None` for killed seats).
+    pub fn stats(&self) -> Vec<Option<StatsSnapshot>> {
+        self.seats
+            .iter()
+            .map(|seat| seat.running.as_ref().map(|r| r.handle.stats()))
+            .collect()
+    }
+
+    /// Final stats of replica `index`'s previous incarnations.
+    pub fn retired_stats(&self, index: usize) -> &[StatsSnapshot] {
+        &self.seats[index].retired
+    }
+
+    /// Kill replica `index`: shut its server down (open connections are
+    /// closed, shares persisted) and reap the thread. The seat keeps its
+    /// address so [`restart_replica`](Self::restart_replica) comes back
+    /// exactly where the topology says. No-op if already down.
+    pub fn kill_replica(&mut self, index: usize) -> io::Result<Option<StatsSnapshot>> {
+        let Some(running) = self.seats[index].running.take() else {
+            return Ok(None);
+        };
+        running.handle.shutdown();
+        let stats = running
+            .thread
+            .join()
+            .map_err(|_| io::Error::other("replica thread panicked"))??;
+        self.seats[index].retired.push(stats.clone());
+        Ok(Some(stats))
+    }
+
+    /// Restart a killed replica on its original address, rebuilding its
+    /// keyring from the durable shares (whatever generation they reached).
+    /// No-op if the replica is already running.
+    pub fn restart_replica(&mut self, index: usize) -> io::Result<()> {
+        if self.seats[index].running.is_some() {
+            return Ok(());
+        }
+        let listener = TcpListener::bind(self.seats[index].addr)?;
+        let running = self.start_replica(index, listener)?;
+        self.seats[index].running = Some(running);
+        Ok(())
+    }
+
+    /// Shut the whole fleet down, returning every replica's stats history
+    /// (previous incarnations followed by the final one), indexed by
+    /// replica.
+    pub fn shutdown(mut self) -> io::Result<Vec<Vec<StatsSnapshot>>> {
+        let mut all = Vec::with_capacity(self.seats.len());
+        for index in 0..self.seats.len() {
+            self.kill_replica(index)?;
+            all.push(std::mem::take(&mut self.seats[index].retired));
+        }
+        Ok(all)
+    }
+}
+
+/// The durable share path the fleet uses for `id` under `data_dir` —
+/// exposed so tests and tools can inspect the spool.
+pub fn share_path(data_dir: &Path, id: &[u8]) -> PathBuf {
+    data_dir.join(format!("{}.share", hex(id)))
+}

@@ -1,0 +1,317 @@
+//! End-to-end tests for the dlr-cluster subsystem: routed clients over a
+//! key-sharded fleet, NotMine redirects, mid-load replica failover, and
+//! shard-local epoch boundaries.
+
+use dlr_cluster::loadgen::{
+    run_fleet_ladder, run_fleet_loadgen, FleetFault, FleetKeyMaterial, FleetLadderConfig,
+    FleetLadderKey, FleetLoadgenConfig,
+};
+use dlr_cluster::{EpochCoordinator, Fleet, FleetConfig};
+use dlr_core::dlr::{self, Party1, PublicKey, Share1, Share2};
+use dlr_core::driver::{self, RetryPolicy, Router, GENERATION_ANY};
+use dlr_core::params::SchemeParams;
+use dlr_core::CoreError;
+use dlr_curve::{Group, Pairing, Toy};
+use dlr_protocol::shard_of;
+use dlr_protocol::transport::{TcpTransport, Transport};
+use dlr_server::ServerConfig;
+use rand::SeedableRng;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+type E = Toy;
+
+fn keygen(seed: u64) -> (PublicKey<E>, Share1<E>, Share2<E>) {
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    let params = SchemeParams::derive::<<E as Pairing>::Scalar>(16, 64);
+    dlr::keygen::<E, _>(params, &mut r)
+}
+
+/// A key id hashing onto `shard` of a `shards`-wide ring.
+fn id_on_shard(shard: usize, shards: usize) -> Vec<u8> {
+    (0u32..)
+        .map(|n| format!("key-{n}").into_bytes())
+        .find(|id| shard_of(id, shards) == shard)
+        .unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlr-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        max_sessions: 16,
+        read_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(addr: &str) -> Result<Box<dyn Transport>, CoreError> {
+    let stream = TcpStream::connect(addr).map_err(|e| CoreError::Transport(e.into()))?;
+    let t = TcpTransport::new(stream);
+    let _ = t.set_nodelay(true);
+    let _ = t.set_read_timeout(Some(Duration::from_secs(5)));
+    Ok(Box::new(t))
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 10,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(100),
+        ..RetryPolicy::default()
+    }
+}
+
+/// Two replicas, a key on each shard: the topology is fetchable from any
+/// replica, correctly-routed clients never redirect, and a stale route is
+/// healed by exactly one NotMine redirect.
+#[test]
+fn routed_clients_reach_sharded_keys() {
+    let (pk_a, s1_a, s2_a) = keygen(900);
+    let (pk_b, s1_b, s2_b) = keygen(901);
+    let id_a = id_on_shard(0, 2);
+    let id_b = id_on_shard(1, 2);
+
+    let fleet = Fleet::spawn(
+        FleetConfig {
+            replicas: 2,
+            shards: 0,
+            data_dir: temp_dir("smoke"),
+            base: quick_config(),
+        },
+        vec![
+            (id_a.clone(), pk_a.clone(), s2_a),
+            (id_b.clone(), pk_b.clone(), s2_b),
+        ],
+    )
+    .unwrap();
+    assert_eq!(fleet.owner_of(&id_a), 0);
+    assert_eq!(fleet.owner_of(&id_b), 1);
+
+    // The topology is served by every replica and names the whole fleet.
+    for i in 0..2 {
+        let mut t = connect(&fleet.addr(i).to_string()).unwrap();
+        let topo = driver::p1_fetch_topology(t.as_mut()).unwrap();
+        assert_eq!(topo.shards, 2);
+        assert_eq!(topo.replicas, fleet.topology().replicas);
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut router = Router::new(fleet.topology().clone(), fast_retry());
+    for (id, pk, s1) in [(&id_a, &pk_a, &s1_a), (&id_b, &pk_b, &s1_b)] {
+        let message = <E as Pairing>::Gt::random(&mut rng);
+        let ct = dlr::encrypt(pk, &message, &mut rng);
+        let mut p1 = Party1::new(pk.clone(), s1.clone());
+        let got = router
+            .decrypt(&mut p1, &ct, id, &mut connect, &mut rng)
+            .unwrap();
+        assert_eq!(got, message);
+    }
+    assert_eq!(router.redirects(), 0, "correct routes must not redirect");
+
+    // A stale route (key B pinned to replica 0) heals via one NotMine.
+    let mut stale = Router::new(fleet.topology().clone(), fast_retry());
+    stale.seed_route(&id_b, &fleet.topology().replicas[0]);
+    let message = <E as Pairing>::Gt::random(&mut rng);
+    let ct = dlr::encrypt(&pk_b, &message, &mut rng);
+    let mut p1 = Party1::new(pk_b.clone(), s1_b.clone());
+    let got = stale
+        .decrypt(&mut p1, &ct, &id_b, &mut connect, &mut rng)
+        .unwrap();
+    assert_eq!(got, message);
+    assert_eq!(stale.redirects(), 1);
+
+    // The mis-routed hello shows up in replica 0's counters.
+    let stats = fleet.stats();
+    assert_eq!(stats[0].as_ref().unwrap().not_mine_replies, 1);
+    assert_eq!(stats[1].as_ref().unwrap().not_mine_replies, 0);
+
+    fleet.shutdown().unwrap();
+}
+
+/// Kill the owning replica mid-load and restart it: every in-flight
+/// request completes through the routers' retry envelope with zero
+/// mismatches and zero failures, and the failover counters prove the
+/// outage was actually hit.
+#[test]
+fn routed_load_survives_replica_restart() {
+    let (pk, s1, s2) = keygen(910);
+    let id = id_on_shard(0, 2);
+
+    let mut fleet = Fleet::spawn(
+        FleetConfig {
+            replicas: 2,
+            shards: 0,
+            data_dir: temp_dir("failover"),
+            base: quick_config(),
+        },
+        vec![(id.clone(), pk.clone(), s2)],
+    )
+    .unwrap();
+    let owner = fleet.owner_of(&id);
+    let topology = fleet.topology().clone();
+    let material = vec![FleetKeyMaterial {
+        id: id.clone(),
+        pk,
+        share1: s1,
+    }];
+    let config = FleetLoadgenConfig {
+        clients: 3,
+        requests_per_client: 60,
+        read_timeout: Some(Duration::from_millis(500)),
+        max_reconnects: 64,
+        backoff: RetryPolicy {
+            max_attempts: 12,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        },
+        encrypt_ops: 0,
+        seed_stale_routes: false,
+    };
+
+    let outcome = crossbeam::thread::scope(|s| {
+        let loadgen = s.spawn(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            run_fleet_loadgen::<E, _>(&topology, &material, &config, &mut rng)
+        });
+        // Pull the owning replica out from under the load, then bring it
+        // back on the same address.
+        std::thread::sleep(Duration::from_millis(150));
+        fleet.kill_replica(owner).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        fleet.restart_replica(owner).unwrap();
+        loadgen.join().expect("loadgen thread panicked")
+    });
+
+    assert_eq!(outcome.client_panics, 0);
+    assert_eq!(outcome.mismatches, 0, "failover must never corrupt plaintexts");
+    assert_eq!(outcome.failures, 0, "retry envelope should absorb the outage");
+    assert_eq!(outcome.successes, outcome.requests);
+    assert!(
+        outcome.failovers + outcome.reconnects > 0,
+        "the outage window was never observed — kill/restart timing is off"
+    );
+
+    // The restarted seat has a fresh incarnation plus a retired one.
+    assert!(fleet.is_up(owner));
+    assert_eq!(fleet.retired_stats(owner).len(), 1);
+    fleet.shutdown().unwrap();
+}
+
+/// Epoch boundaries are shard-local: kicking the shard of key A advances
+/// only its owning replica's epoch; a live session decrypting key B on
+/// the other replica sees no stall, no reconnect, and no epoch movement.
+#[test]
+fn epoch_refresh_is_shard_local() {
+    let (pk_a, _s1_a, s2_a) = keygen(920);
+    let (pk_b, s1_b, s2_b) = keygen(921);
+    let id_a = id_on_shard(0, 2);
+    let id_b = id_on_shard(1, 2);
+
+    let fleet = Fleet::spawn(
+        FleetConfig {
+            replicas: 2,
+            shards: 0,
+            data_dir: temp_dir("epoch"),
+            base: quick_config(),
+        },
+        vec![(id_a.clone(), pk_a, s2_a), (id_b.clone(), pk_b.clone(), s2_b)],
+    )
+    .unwrap();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let message = <E as Pairing>::Gt::random(&mut rng);
+    let ct = dlr::encrypt(&pk_b, &message, &mut rng);
+    let mut p1 = Party1::new(pk_b.clone(), s1_b);
+
+    // Hold one session open to key B on replica 1 across the whole test.
+    let mut t = connect(&fleet.addr(1).to_string()).unwrap();
+    driver::p1_hello(t.as_mut(), &id_b, GENERATION_ANY).unwrap();
+    assert_eq!(driver::p1_decrypt(&mut p1, &ct, t.as_mut(), &mut rng).unwrap(), message);
+
+    let coordinator = EpochCoordinator::new(&fleet);
+    let epochs_before = coordinator.epochs();
+    let (kicked, epoch_after) = coordinator
+        .kick_shard_sync(0, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(kicked, 0, "shard 0 is owned by replica 0");
+    assert!(epoch_after > epochs_before[0].unwrap());
+
+    // Replica 1 never saw a boundary, and the open session keeps serving
+    // decrypts with no re-hello — a fleet-wide pause would break both.
+    assert_eq!(coordinator.epoch_of_replica(1), epochs_before[1]);
+    for _ in 0..5 {
+        assert_eq!(
+            driver::p1_decrypt(&mut p1, &ct, t.as_mut(), &mut rng).unwrap(),
+            message
+        );
+    }
+
+    // kick_key resolves through the ring to the same owner.
+    let replica = coordinator.kick_key(&id_a).unwrap();
+    assert_eq!(replica, 0);
+
+    let _ = driver::p1_shutdown(t.as_mut());
+    fleet.shutdown().unwrap();
+}
+
+/// The replica ladder completes a faulted rung: a mid-rung restart is
+/// absorbed (no abort, no panics) and the rung still reports per-shard
+/// latencies.
+#[test]
+fn fleet_ladder_tolerates_faulted_rung() {
+    let (pk, s1, s2) = keygen(930);
+    let id = id_on_shard(0, 2);
+    let keys = vec![FleetLadderKey {
+        id,
+        pk,
+        share1: s1,
+        share2: s2,
+    }];
+    let config = FleetLadderConfig {
+        replica_rungs: vec![1, 2],
+        shards: 0,
+        data_dir: temp_dir("ladder"),
+        base_server: quick_config(),
+        base: FleetLoadgenConfig {
+            clients: 2,
+            requests_per_client: 40,
+            read_timeout: Some(Duration::from_millis(500)),
+            max_reconnects: 64,
+            backoff: RetryPolicy {
+                max_attempts: 12,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(50),
+                ..RetryPolicy::default()
+            },
+            encrypt_ops: 0,
+            seed_stale_routes: true,
+        },
+        fault: Some(FleetFault {
+            replica: 0,
+            delay: Duration::from_millis(100),
+            downtime: Duration::from_millis(150),
+        }),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let rungs = run_fleet_ladder::<E, _>(&config, &keys, &mut rng).unwrap();
+
+    assert_eq!(rungs.len(), 2);
+    // Rung 1 (single replica) runs un-faulted.
+    assert_eq!(rungs[0].restarted_replica, None);
+    assert_eq!(rungs[0].outcome.mismatches, 0);
+    assert_eq!(rungs[0].outcome.successes, rungs[0].outcome.requests);
+    // Rung 2 absorbs the restart of the key's owner.
+    assert_eq!(rungs[1].restarted_replica, Some(0));
+    assert_eq!(rungs[1].outcome.client_panics, 0);
+    assert_eq!(rungs[1].outcome.mismatches, 0);
+    assert_eq!(rungs[1].outcome.failures, 0);
+    assert!(!rungs[1].outcome.per_shard.is_empty());
+}

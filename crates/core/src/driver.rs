@@ -55,9 +55,21 @@ pub enum RequestTag {
     Shutdown = 3,
     /// Session preamble: key selection + generation binding.
     Hello = 4,
+    /// Cluster topology fetch: the reply body is a [`TopologyMsg`].
+    Topology = 5,
 }
 
 impl RequestTag {
+    /// Every tag in the protocol, in wire-byte order. Adding a variant
+    /// without extending this table fails the exhaustive round-trip test.
+    pub const ALL: [RequestTag; 5] = [
+        RequestTag::Decrypt,
+        RequestTag::Refresh,
+        RequestTag::Shutdown,
+        RequestTag::Hello,
+        RequestTag::Topology,
+    ];
+
     /// Parse a wire tag byte.
     pub fn from_u8(v: u8) -> Option<Self> {
         match v {
@@ -65,12 +77,25 @@ impl RequestTag {
             2 => Some(RequestTag::Refresh),
             3 => Some(RequestTag::Shutdown),
             4 => Some(RequestTag::Hello),
+            5 => Some(RequestTag::Topology),
             _ => None,
         }
     }
 }
 
 /// Machine-readable error codes carried by [`REPLY_ERR`] frames.
+///
+/// The full code space (see also the wire-format notes in `dlr-protocol`):
+///
+/// | byte | code | meaning | client action |
+/// |------|------|---------|---------------|
+/// | 1 | [`BadRequest`](Self::BadRequest) | body failed to decode/validate | fix the request; do not retry |
+/// | 2 | [`UnknownTag`](Self::UnknownTag) | tag byte not in [`RequestTag`] | do not retry |
+/// | 3 | [`UnknownKey`](Self::UnknownKey) | key id not held *anywhere* the server knows of | do not retry |
+/// | 4 | [`StaleGeneration`](Self::StaleGeneration) | session generation outdated by a refresh | re-hello, then retry |
+/// | 5 | [`Busy`](Self::Busy) | server at its session limit | retry after jittered backoff |
+/// | 6 | [`Internal`](Self::Internal) | server-side failure | report; retry at most once |
+/// | 7 | [`NotMine`](Self::NotMine) | key owned by another replica; detail = owner address hint | re-route to the hinted replica |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum ErrorCode {
@@ -88,9 +113,26 @@ pub enum ErrorCode {
     Busy = 5,
     /// The server failed internally while serving the request.
     Internal = 6,
+    /// The key id hashes to a shard owned by a *different* replica of the
+    /// fleet. The reply's detail field carries the owning replica's
+    /// address (`owner_hint`) — re-route there ([`Router`] does this and
+    /// invalidates its cached route).
+    NotMine = 7,
 }
 
 impl ErrorCode {
+    /// Every code in the protocol, in wire-byte order. Adding a variant
+    /// without extending this table fails the exhaustive round-trip test.
+    pub const ALL: [ErrorCode; 7] = [
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownTag,
+        ErrorCode::UnknownKey,
+        ErrorCode::StaleGeneration,
+        ErrorCode::Busy,
+        ErrorCode::Internal,
+        ErrorCode::NotMine,
+    ];
+
     /// Parse a wire code byte.
     pub fn from_u8(v: u8) -> Option<Self> {
         match v {
@@ -100,6 +142,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::StaleGeneration),
             5 => Some(ErrorCode::Busy),
             6 => Some(ErrorCode::Internal),
+            7 => Some(ErrorCode::NotMine),
             _ => None,
         }
     }
@@ -143,6 +186,73 @@ impl HelloMsg {
             key_id,
             generation,
         })
+    }
+}
+
+/// Cluster topology: how key ids map onto fleet replicas.
+///
+/// Replica `i` owns every key id with
+/// `shard_of(id, shards) % replicas.len() == i` — the same FNV-1a ring the
+/// server keyring shards by, so client-side routing and server-side
+/// ownership agree byte-for-byte. Served as the reply body of
+/// [`RequestTag::Topology`]; any replica can answer for the whole fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyMsg {
+    /// Wire protocol version ([`WIRE_VERSION`]).
+    pub version: u8,
+    /// Total shard count of the ring (≥ replica count in practice).
+    pub shards: u32,
+    /// Replica addresses, indexed by replica number.
+    pub replicas: Vec<String>,
+}
+
+impl TopologyMsg {
+    /// Serialize the topology body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u8(self.version).put_u32(self.shards);
+        enc.put_bytes_seq(self.replicas.iter().map(String::as_bytes));
+        enc.finish()
+    }
+
+    /// Parse a topology body.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.get_u8()?;
+        if version != WIRE_VERSION {
+            return Err(CoreError::Protocol("unsupported wire version"));
+        }
+        let shards = dec.get_u32()?;
+        let mut replicas = Vec::new();
+        for raw in dec.get_bytes_seq()? {
+            let addr = std::str::from_utf8(raw)
+                .map_err(|_| CoreError::Protocol("replica address is not utf-8"))?;
+            replicas.push(addr.to_string());
+        }
+        dec.finish()?;
+        Ok(Self {
+            version,
+            shards,
+            replicas,
+        })
+    }
+
+    /// The shard a key id hashes to on this ring.
+    pub fn shard_of(&self, key_id: &[u8]) -> usize {
+        dlr_protocol::shard_of(key_id, self.shards.max(1) as usize)
+    }
+
+    /// The replica index owning `key_id`, or `None` for an empty fleet.
+    pub fn owner_index(&self, key_id: &[u8]) -> Option<usize> {
+        if self.replicas.is_empty() {
+            return None;
+        }
+        Some(self.shard_of(key_id) % self.replicas.len())
+    }
+
+    /// The address of the replica owning `key_id`.
+    pub fn owner_addr(&self, key_id: &[u8]) -> Option<&str> {
+        self.owner_index(key_id).map(|i| self.replicas[i].as_str())
     }
 }
 
@@ -228,6 +338,12 @@ pub fn p1_hello(
     let server_generation = dec.get_u64()?;
     dec.finish()?;
     Ok(server_generation)
+}
+
+/// `P1` side: fetch the fleet topology from any replica.
+pub fn p1_fetch_topology(transport: &mut dyn Transport) -> Result<TopologyMsg, CoreError> {
+    let body = call(transport, RequestTag::Topology, &[])?;
+    TopologyMsg::from_bytes(&body)
 }
 
 /// `P1` side: run the decryption protocol for `ct` over `transport`.
@@ -379,6 +495,198 @@ pub fn p1_decrypt_with_retry<E: Pairing, R: RngCore + ?Sized>(
     Err(last_err.unwrap_or(CoreError::Protocol("retry budget exhausted")))
 }
 
+/// Topology-aware client-side router for a key-sharded fleet.
+///
+/// Routes each key id to the replica that owns its shard (per
+/// [`TopologyMsg`]), keeping a per-key route cache on top of the computed
+/// ring position. A [`ErrorCode::NotMine`] reply carries the owning
+/// replica's address in its detail field: the router counts it as a
+/// *redirect*, replaces the cached route with the hint, and re-routes
+/// immediately (no backoff — a redirect is information, not a failure).
+/// Transport-level failures and [`ErrorCode::Busy`] count as *failovers*:
+/// the cached route is invalidated (falling back to the computed owner,
+/// which is where a restarted replica reappears) and the attempt backs
+/// off under the [`RetryPolicy`]'s jittered schedule.
+/// A connector opening a raw transport to one replica address, as taken
+/// by [`Router::open`] / [`Router::decrypt`].
+pub type Connector<'a> = dyn FnMut(&str) -> Result<Box<dyn Transport>, CoreError> + 'a;
+
+#[derive(Debug)]
+pub struct Router {
+    topology: TopologyMsg,
+    /// Retry schedule for routed operations.
+    pub policy: RetryPolicy,
+    cache: std::collections::BTreeMap<Vec<u8>, String>,
+    redirects: u64,
+    failovers: u64,
+}
+
+impl Router {
+    /// Build a router over a fetched (or locally constructed) topology.
+    pub fn new(topology: TopologyMsg, policy: RetryPolicy) -> Self {
+        Self {
+            topology,
+            policy,
+            cache: std::collections::BTreeMap::new(),
+            redirects: 0,
+            failovers: 0,
+        }
+    }
+
+    /// Fetch the topology from a seed replica and build a router on it.
+    pub fn from_seed(
+        transport: &mut dyn Transport,
+        policy: RetryPolicy,
+    ) -> Result<Self, CoreError> {
+        Ok(Self::new(p1_fetch_topology(transport)?, policy))
+    }
+
+    /// The topology this router routes over.
+    pub fn topology(&self) -> &TopologyMsg {
+        &self.topology
+    }
+
+    /// NotMine redirects followed so far.
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Failed routed attempts that invalidated a route and retried.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The address the next attempt for `key_id` goes to: the cached
+    /// route if one exists, else the ring-computed owner.
+    pub fn route(&self, key_id: &[u8]) -> Result<&str, CoreError> {
+        if let Some(addr) = self.cache.get(key_id) {
+            return Ok(addr.as_str());
+        }
+        self.topology
+            .owner_addr(key_id)
+            .ok_or(CoreError::Protocol("empty fleet topology"))
+    }
+
+    /// Seed the route cache (e.g. from a stale topology) — exercised by
+    /// the fleet loadgen to force the redirect path deterministically.
+    pub fn seed_route(&mut self, key_id: &[u8], addr: &str) {
+        self.cache.insert(key_id.to_vec(), addr.to_string());
+    }
+
+    /// Record a [`ErrorCode::NotMine`] redirect: the stale cached route is
+    /// replaced by the owner hint.
+    pub fn note_redirect(&mut self, key_id: &[u8], owner_hint: &str) {
+        self.redirects += 1;
+        self.cache.insert(key_id.to_vec(), owner_hint.to_string());
+    }
+
+    /// Record a routed-attempt failure: the cached route is dropped so the
+    /// next attempt falls back to the ring-computed owner.
+    pub fn note_failure(&mut self, key_id: &[u8]) {
+        self.failovers += 1;
+        self.cache.remove(key_id);
+    }
+
+    /// Open a routed session for `key_id`: connect to its route, hello,
+    /// and follow [`ErrorCode::NotMine`] hints / retry failures per the
+    /// policy. Returns the live transport and the server's generation.
+    ///
+    /// `connect` opens a raw connection to one replica address.
+    pub fn open(
+        &mut self,
+        key_id: &[u8],
+        generation: u64,
+        connect: &mut Connector<'_>,
+    ) -> Result<(Box<dyn Transport>, u64), CoreError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff_delay_jittered(attempt - 1));
+            }
+            // Follow NotMine hints within the attempt, without sleeping;
+            // bounded by fleet size so a cyclic hint chain cannot spin.
+            let mut hops = 0usize;
+            loop {
+                let addr = self.route(key_id)?.to_string();
+                let mut transport = match connect(&addr) {
+                    Ok(t) => t,
+                    Err(e) if is_retryable(&e) => {
+                        self.note_failure(key_id);
+                        last_err = Some(e);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                };
+                match p1_hello(transport.as_mut(), key_id, generation) {
+                    Ok(server_generation) => {
+                        self.cache.insert(key_id.to_vec(), addr);
+                        return Ok((transport, server_generation));
+                    }
+                    Err(CoreError::Remote { code, message })
+                        if code == ErrorCode::NotMine as u8 =>
+                    {
+                        hops += 1;
+                        if hops > self.topology.replicas.len().max(1) {
+                            return Err(CoreError::Protocol("NotMine hint cycle"));
+                        }
+                        self.note_redirect(key_id, &message);
+                    }
+                    Err(e) if is_retryable(&e) => {
+                        self.note_failure(key_id);
+                        last_err = Some(e);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Err(last_err.unwrap_or(CoreError::Protocol("retry budget exhausted")))
+    }
+
+    /// Run one routed decryption: open a session for `key_id` (following
+    /// redirects), then run the decrypt protocol, retrying on transport
+    /// failures with the policy's jittered backoff.
+    pub fn decrypt<E: Pairing, R: RngCore + ?Sized>(
+        &mut self,
+        p1: &mut Party1<E>,
+        ct: &Ciphertext<E>,
+        key_id: &[u8],
+        connect: &mut Connector<'_>,
+        rng: &mut R,
+    ) -> Result<E::Gt, CoreError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff_delay_jittered(attempt - 1));
+            }
+            let (mut transport, _gen) = match self.open(key_id, GENERATION_ANY, connect) {
+                Ok(session) => session,
+                Err(e) if is_retryable(&e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match p1_decrypt(p1, ct, transport.as_mut(), rng) {
+                Ok(m) => return Ok(m),
+                Err(CoreError::Remote { code, message }) if code == ErrorCode::NotMine as u8 => {
+                    // Ownership moved mid-session; adopt the hint and retry.
+                    self.note_redirect(key_id, &message);
+                    last_err = Some(CoreError::Remote { code, message });
+                }
+                Err(e) if is_retryable(&e) => {
+                    self.note_failure(key_id);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(CoreError::Protocol("retry budget exhausted")))
+    }
+}
+
 /// `P2` side: handle one already-received request frame against a single
 /// [`Party2`].
 ///
@@ -416,6 +724,11 @@ pub fn p2_handle_frame<E: Pairing, R: RngCore + ?Sized>(
             let mut enc = Encoder::new();
             enc.put_u64(generation);
             Some(enc.finish())
+        }
+        RequestTag::Topology => {
+            // Single-key endpoints have no fleet to describe; the server
+            // crate answers this tag before delegating here.
+            return Err(CoreError::Protocol("no topology at this endpoint"));
         }
         RequestTag::Shutdown => None,
     };
@@ -670,6 +983,206 @@ mod tests {
             ..mk(5)
         };
         assert_eq!(zero.backoff_delay_jittered(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn error_code_space_round_trips_exhaustively() {
+        // Compile-time exhaustiveness: adding an ErrorCode variant breaks
+        // this match until the wire byte (and ALL) are updated.
+        fn wire_byte(c: ErrorCode) -> u8 {
+            match c {
+                ErrorCode::BadRequest => 1,
+                ErrorCode::UnknownTag => 2,
+                ErrorCode::UnknownKey => 3,
+                ErrorCode::StaleGeneration => 4,
+                ErrorCode::Busy => 5,
+                ErrorCode::Internal => 6,
+                ErrorCode::NotMine => 7,
+            }
+        }
+        let bytes: std::collections::BTreeSet<u8> =
+            ErrorCode::ALL.iter().map(|&c| c as u8).collect();
+        assert_eq!(bytes.len(), ErrorCode::ALL.len(), "duplicate wire byte");
+        for &code in &ErrorCode::ALL {
+            assert_eq!(wire_byte(code), code as u8);
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+            // and the full error frame round-trips through the codec
+            match parse_reply(&error_reply(code, "detail")).unwrap_err() {
+                CoreError::Remote { code: c, message } => {
+                    assert_eq!(c, code as u8);
+                    assert_eq!(message, "detail");
+                }
+                other => panic!("expected Remote, got {other}"),
+            }
+        }
+        for v in 0..=255u8 {
+            assert_eq!(
+                ErrorCode::from_u8(v).is_some(),
+                bytes.contains(&v),
+                "byte {v} decodes inconsistently with ErrorCode::ALL"
+            );
+        }
+    }
+
+    #[test]
+    fn request_tag_space_round_trips_exhaustively() {
+        fn wire_byte(t: RequestTag) -> u8 {
+            match t {
+                RequestTag::Decrypt => 1,
+                RequestTag::Refresh => 2,
+                RequestTag::Shutdown => 3,
+                RequestTag::Hello => 4,
+                RequestTag::Topology => 5,
+            }
+        }
+        let bytes: std::collections::BTreeSet<u8> =
+            RequestTag::ALL.iter().map(|&t| t as u8).collect();
+        assert_eq!(bytes.len(), RequestTag::ALL.len(), "duplicate wire byte");
+        for &tag in &RequestTag::ALL {
+            assert_eq!(wire_byte(tag), tag as u8);
+            assert_eq!(RequestTag::from_u8(tag as u8), Some(tag));
+        }
+        for v in 0..=255u8 {
+            assert_eq!(
+                RequestTag::from_u8(v).is_some(),
+                bytes.contains(&v),
+                "byte {v} decodes inconsistently with RequestTag::ALL"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_msg_round_trips_and_maps_owners() {
+        let topo = TopologyMsg {
+            version: WIRE_VERSION,
+            shards: 8,
+            replicas: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
+        };
+        let parsed = TopologyMsg::from_bytes(&topo.to_bytes()).unwrap();
+        assert_eq!(parsed, topo);
+
+        // ownership agrees with the canonical ring hash
+        for id in [b"alpha".as_slice(), b"beta", b"key-17"] {
+            let shard = dlr_protocol::shard_of(id, 8);
+            assert_eq!(topo.shard_of(id), shard);
+            assert_eq!(topo.owner_index(id), Some(shard % 2));
+            assert_eq!(topo.owner_addr(id), Some(topo.replicas[shard % 2].as_str()));
+        }
+
+        let empty = TopologyMsg {
+            version: WIRE_VERSION,
+            shards: 4,
+            replicas: vec![],
+        };
+        assert_eq!(empty.owner_index(b"x"), None);
+
+        let mut bad = topo.to_bytes();
+        bad[0] = 99; // future version
+        assert!(TopologyMsg::from_bytes(&bad).is_err());
+    }
+
+    /// One-shot scripted replica: a thread that answers every received
+    /// frame with a fixed reply. Returns the client transport endpoint.
+    fn scripted_replica(reply: Bytes) -> Box<dyn Transport> {
+        let (a, mut b) = dlr_protocol::duplex();
+        std::thread::spawn(move || {
+            while b.recv().is_ok() {
+                if b.send(reply.clone()).is_err() {
+                    break;
+                }
+            }
+        });
+        Box::new(a)
+    }
+
+    fn hello_ok_reply(generation: u64) -> Bytes {
+        let mut enc = Encoder::new();
+        enc.put_u64(generation);
+        ok_reply(&enc.finish())
+    }
+
+    #[test]
+    fn router_follows_not_mine_hint_and_updates_cache() {
+        let topo = TopologyMsg {
+            version: WIRE_VERSION,
+            shards: 2,
+            replicas: vec!["replica-a".into(), "replica-b".into()],
+        };
+        let mut router = Router::new(topo, RetryPolicy::default());
+        // A stale cached route points at replica-a, which does not own
+        // the key and answers NotMine with the owner hint.
+        router.seed_route(b"k", "replica-a");
+        let (_t, generation) = router
+            .open(b"k", GENERATION_ANY, &mut |addr| {
+                Ok(match addr {
+                    "replica-a" => scripted_replica(error_reply(ErrorCode::NotMine, "replica-b")),
+                    "replica-b" => scripted_replica(hello_ok_reply(3)),
+                    other => panic!("unexpected route {other}"),
+                })
+            })
+            .unwrap();
+        assert_eq!(generation, 3);
+        assert_eq!(router.redirects(), 1);
+        assert_eq!(router.failovers(), 0);
+        // the redirect invalidated the stale cache entry in favor of the hint
+        assert_eq!(router.route(b"k").unwrap(), "replica-b");
+    }
+
+    #[test]
+    fn router_fails_over_to_computed_owner_after_connect_failure() {
+        let topo = TopologyMsg {
+            version: WIRE_VERSION,
+            shards: 2,
+            replicas: vec!["replica-a".into(), "replica-b".into()],
+        };
+        let owner = topo.owner_addr(b"k").unwrap().to_string();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            jitter_seed: 1,
+        };
+        let mut router = Router::new(topo, policy);
+        let mut connects = 0u32;
+        let (_t, generation) = router
+            .open(b"k", GENERATION_ANY, &mut |addr| {
+                assert_eq!(addr, owner);
+                connects += 1;
+                if connects == 1 {
+                    // replica down: transport-level failure, retryable
+                    Err(CoreError::Transport(TransportError::Disconnected))
+                } else {
+                    Ok(scripted_replica(hello_ok_reply(0)))
+                }
+            })
+            .unwrap();
+        assert_eq!(generation, 0);
+        assert_eq!(connects, 2);
+        assert_eq!(router.failovers(), 1);
+        assert_eq!(router.redirects(), 0);
+    }
+
+    #[test]
+    fn router_detects_hint_cycles() {
+        let topo = TopologyMsg {
+            version: WIRE_VERSION,
+            shards: 2,
+            replicas: vec!["replica-a".into(), "replica-b".into()],
+        };
+        let mut router = Router::new(topo, RetryPolicy::default());
+        // Both replicas disown the key and point at each other.
+        let result = router.open(b"k", GENERATION_ANY, &mut |addr| {
+            let hint = if addr == "replica-a" {
+                "replica-b"
+            } else {
+                "replica-a"
+            };
+            Ok(scripted_replica(error_reply(ErrorCode::NotMine, hint)))
+        });
+        assert!(matches!(
+            result,
+            Err(CoreError::Protocol("NotMine hint cycle"))
+        ));
     }
 
     #[test]

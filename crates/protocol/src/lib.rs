@@ -19,6 +19,28 @@
 //! therefore validate well-formedness (so a corrupted channel cannot cause
 //! memory-unsafety or panics) but protocol logic does not defend against a
 //! Byzantine peer.
+//!
+//! ## Reply status bytes and the error-code space
+//!
+//! Every reply frame of the request/reply protocol built on this codec
+//! (`dlr_core::driver`) opens with one status byte: `0x00` (`REPLY_OK`,
+//! success body follows) or `0xFF` (`REPLY_ERR`, a structured error frame
+//! follows). An error frame is `code: u8` + length-prefixed UTF-8 detail.
+//! The code space is closed and versioned with the wire protocol:
+//!
+//! | byte | code | retryable? |
+//! |------|------|------------|
+//! | 1 | `BadRequest` — body failed to decode/validate | no |
+//! | 2 | `UnknownTag` — request tag byte unassigned | no |
+//! | 3 | `UnknownKey` — key id held by no replica | no |
+//! | 4 | `StaleGeneration` — session outdated by a refresh | after re-hello |
+//! | 5 | `Busy` — server at its session limit | after jittered backoff |
+//! | 6 | `Internal` — server-side failure | at most once |
+//! | 7 | `NotMine` — key owned by another replica; detail carries the owner address hint | re-route, then retry |
+//!
+//! The enum itself (`dlr_core::driver::ErrorCode`) carries an `ALL` table
+//! and an exhaustive round-trip test, so a code added without updating the
+//! table fails the build, not just the docs.
 
 pub mod memory;
 pub mod runtime;
@@ -29,3 +51,19 @@ pub use memory::{Device, PublicMemory, SecretMemory, SecretView};
 pub use runtime::{run_pair, RunOutput};
 pub use transport::{duplex, FrameReader, FrameWriter, Transport, TransportError, WireStats};
 pub use wire::{CodecError, Decoder, Encoder};
+
+/// Which shard a key id belongs to, out of `shards` total.
+///
+/// FNV-1a over the id bytes, reduced modulo the shard count — stable
+/// across runs and platforms, so tests and operators can predict key
+/// placement, and shared between the server keyring and the client-side
+/// cluster router (both sides of the wire must agree on the ring).
+/// `shards == 0` is treated as a single shard.
+pub fn shard_of(id: &[u8], shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in id {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}

@@ -235,17 +235,10 @@ impl<E: Pairing> Keyring<E> {
 
 /// Which shard a key id belongs to, out of `shards` total.
 ///
-/// FNV-1a over the id bytes, reduced modulo the shard count — stable
-/// across runs and platforms, so tests and operators can predict key
-/// placement. `shards == 0` is treated as a single shard.
-pub fn shard_of(id: &[u8], shards: usize) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in id {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h % shards.max(1) as u64) as usize
-}
+/// Re-exported from `dlr-protocol`, where the FNV-1a ring hash lives so
+/// that client-side routing ([`dlr_core::driver::TopologyMsg`]) and
+/// server-side keyring placement agree byte-for-byte.
+pub use dlr_protocol::shard_of;
 
 #[cfg(test)]
 mod tests {

@@ -35,5 +35,6 @@ pub use loadgen::{
     run_loadgen, run_loadgen_ladder, LadderConfig, LadderRung, LoadgenConfig, LoadgenOutcome,
 };
 pub use server::{
-    EpochHook, Server, ServerConfig, ServerHandle, ServerStats, ShardSnapshot, StatsSnapshot,
+    EpochHook, OwnerHint, Server, ServerConfig, ServerHandle, ServerStats, ShardSnapshot,
+    StatsSnapshot,
 };

@@ -63,7 +63,7 @@ use crate::keyring::{persist_atomically, shard_of, KeyEntry, Keyring};
 use bytes::Bytes;
 use dlr_core::driver::{
     error_reply, error_reply_for, ok_reply, p2_handle_frame, ErrorCode, HelloMsg, RequestTag,
-    GENERATION_ANY,
+    TopologyMsg, GENERATION_ANY, WIRE_VERSION,
 };
 use dlr_curve::Pairing;
 use dlr_metrics::Report;
@@ -78,6 +78,30 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Cluster ownership oracle consulted on a hello naming a key the local
+/// keyring does not hold: return the owning replica's address (sent as a
+/// [`ErrorCode::NotMine`] owner hint) or `None` if the key is unknown
+/// fleet-wide (plain [`ErrorCode::UnknownKey`]). Set by the fleet
+/// supervisor (`dlr-cluster`); standalone servers leave it unset.
+#[derive(Clone)]
+pub struct OwnerHint(pub Arc<OwnerHintFn>);
+
+/// The closure type inside [`OwnerHint`]: key id → owning replica address.
+pub type OwnerHintFn = dyn Fn(&[u8]) -> Option<String> + Send + Sync;
+
+impl OwnerHint {
+    /// The owner hint for `key_id`, if the fleet holds it elsewhere.
+    pub fn lookup(&self, key_id: &[u8]) -> Option<String> {
+        (self.0)(key_id)
+    }
+}
+
+impl std::fmt::Debug for OwnerHint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OwnerHint(..)")
+    }
+}
 
 /// Tuning knobs for [`Server`].
 #[derive(Debug, Clone)]
@@ -116,6 +140,13 @@ pub struct ServerConfig {
     /// matches panics the dispatcher, exercising the panic-recovery path
     /// without a special build.
     pub inject_panic_tag: Option<u8>,
+    /// Fleet topology served on [`RequestTag::Topology`]. `None` (the
+    /// standalone default) synthesizes a single-replica topology from the
+    /// bound address at construction time, so the fetch always works.
+    pub topology: Option<TopologyMsg>,
+    /// Cluster ownership oracle for [`ErrorCode::NotMine`] replies on
+    /// hello misses; `None` (standalone) answers `UnknownKey` as before.
+    pub owner_hint: Option<OwnerHint>,
 }
 
 impl Default for ServerConfig {
@@ -132,6 +163,8 @@ impl Default for ServerConfig {
             stats_interval: None,
             stats_path: None,
             inject_panic_tag: None,
+            topology: None,
+            owner_hint: None,
         }
     }
 }
@@ -182,6 +215,8 @@ pub struct ServerStats {
     requests_hello: AtomicU64,
     requests_decrypt: AtomicU64,
     requests_refresh: AtomicU64,
+    requests_topology: AtomicU64,
+    not_mine_replies: AtomicU64,
     error_replies: AtomicU64,
     epochs: AtomicU64,
     refreshes: AtomicU64,
@@ -231,6 +266,8 @@ impl ServerStats {
             requests_hello: self.requests_hello.load(Ordering::Relaxed),
             requests_decrypt: self.requests_decrypt.load(Ordering::Relaxed),
             requests_refresh: self.requests_refresh.load(Ordering::Relaxed),
+            requests_topology: self.requests_topology.load(Ordering::Relaxed),
+            not_mine_replies: self.not_mine_replies.load(Ordering::Relaxed),
             error_replies: self.error_replies.load(Ordering::Relaxed),
             epochs: self.epochs.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
@@ -280,6 +317,12 @@ pub struct StatsSnapshot {
     pub requests_decrypt: u64,
     /// Refresh requests served successfully.
     pub requests_refresh: u64,
+    /// Topology fetches served.
+    pub requests_topology: u64,
+    /// [`ErrorCode::NotMine`] redirects sent (hello for a key another
+    /// replica owns). Counted separately from `error_replies` — a
+    /// redirect is routing information, not a service failure.
+    pub not_mine_replies: u64,
     /// Structured error frames sent.
     pub error_replies: u64,
     /// Epoch boundaries marked by the scheduler.
@@ -328,6 +371,8 @@ impl StatsSnapshot {
             .with_meta("requests_hello", &self.requests_hello.to_string())
             .with_meta("requests_decrypt", &self.requests_decrypt.to_string())
             .with_meta("requests_refresh", &self.requests_refresh.to_string())
+            .with_meta("requests_topology", &self.requests_topology.to_string())
+            .with_meta("not_mine_replies", &self.not_mine_replies.to_string())
             .with_meta("error_replies", &self.error_replies.to_string())
             .with_meta("epochs", &self.epochs.to_string())
             .with_meta("refreshes", &self.refreshes.to_string())
@@ -476,11 +521,20 @@ impl<E: Pairing> Server<E> {
     pub fn new(
         listener: TcpListener,
         keyring: Arc<Keyring<E>>,
-        config: ServerConfig,
+        mut config: ServerConfig,
     ) -> io::Result<Self> {
         let local_addr = listener.local_addr()?;
         let workers = config.resolved_workers();
         let shards = config.resolved_shards();
+        // Standalone servers are a fleet of one: synthesize the topology
+        // from the bound address so a topology fetch always has an answer.
+        if config.topology.is_none() {
+            config.topology = Some(TopologyMsg {
+                version: WIRE_VERSION,
+                shards: shards as u32,
+                replicas: vec![local_addr.to_string()],
+            });
+        }
         let links = (0..workers)
             .map(|_| {
                 Ok(WorkerLink {
@@ -1164,7 +1218,7 @@ fn process_request<E: Pairing, R: rand::RngCore>(
                 panic!("injected fault: request tag {tag:#x}");
             }
         }
-        dispatch(req, session, keyring, &shared.stats, rng)
+        dispatch(req, session, keyring, &shared.stats, config, rng)
     }));
     match outcome {
         Err(payload) => {
@@ -1208,6 +1262,7 @@ fn dispatch<E: Pairing, R: rand::RngCore>(
     session: &mut Session<E>,
     keyring: &Keyring<E>,
     stats: &ServerStats,
+    config: &ServerConfig,
     rng: &mut R,
 ) -> Option<Bytes> {
     let err = |stats: &ServerStats, code, detail: &str| {
@@ -1221,6 +1276,14 @@ fn dispatch<E: Pairing, R: rand::RngCore>(
     match RequestTag::from_u8(tag_byte) {
         None => err(stats, ErrorCode::UnknownTag, "unknown request tag"),
         Some(RequestTag::Shutdown) => None,
+        Some(RequestTag::Topology) => {
+            // Resolved to at least a singleton at construction time.
+            let Some(topology) = config.topology.as_ref() else {
+                return err(stats, ErrorCode::Internal, "no topology configured");
+            };
+            stats.requests_topology.fetch_add(1, Ordering::Relaxed);
+            Some(ok_reply(&topology.to_bytes()))
+        }
         Some(RequestTag::Hello) => {
             let hello = match HelloMsg::from_bytes(&req[1..]) {
                 Ok(h) => h,
@@ -1230,6 +1293,16 @@ fn dispatch<E: Pairing, R: rand::RngCore>(
                 }
             };
             let Some(entry) = keyring.get(&hello.key_id) else {
+                // Not in the local ring — if the fleet oracle knows the
+                // owner, redirect the client there instead of failing.
+                if let Some(owner) = config
+                    .owner_hint
+                    .as_ref()
+                    .and_then(|h| h.lookup(&hello.key_id))
+                {
+                    stats.not_mine_replies.fetch_add(1, Ordering::Relaxed);
+                    return Some(error_reply(ErrorCode::NotMine, &owner));
+                }
                 return err(
                     stats,
                     ErrorCode::UnknownKey,

@@ -18,6 +18,9 @@
 //!   statistics for the protocols (see `crates/metrics/README.md`);
 //! * [`server`] — the concurrent key-share service: keyring, epoch-driven
 //!   refresh, durable shares, and the closed-loop load generator;
+//! * [`cluster`] — the key-sharded multi-replica fleet: supervisor,
+//!   routed clients over the topology ring, per-shard epoch coordination,
+//!   and fault-injecting fleet load generation;
 //! * the `examples/` directory for end-to-end scenarios.
 //!
 //! ```
@@ -36,6 +39,7 @@
 
 pub use dlr_baselines as baselines;
 pub use dlr_bls12 as bls12;
+pub use dlr_cluster as cluster;
 pub use dlr_core as core;
 pub use dlr_curve as curve;
 pub use dlr_hash as hash;

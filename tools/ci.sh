@@ -18,8 +18,15 @@ echo "==> server integration tests (live TCP)"
 cargo test -q -p dlr-server
 cargo test -q --test server_e2e
 
+echo "==> cluster integration tests (2-replica fleet, routing/failover/epoch locality)"
+cargo test -q -p dlr-cluster
+
 echo "==> loadgen smoke run"
 cargo run --release -q -p dlr-bench --bin loadgen -- --clients 2 --requests 5
+
+echo "==> cluster smoke run (2 replicas, routed clients, mid-run replica restart)"
+cargo run --release -q -p dlr-cli -- cluster --replicas 2 --keys 3 --clients 3 \
+    --requests 8 --fault-ms 60 --downtime-ms 120
 
 echo "==> kick-tires artifact run (tables + drift gate + trajectory parity)"
 tools/kick-tires.sh

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full artifact run, unattended: everything kick-tires.sh checks, plus
 # every EXPERIMENTS.md table on every parameter set (harness --full),
-# the A1-A7 + T2/F1/F2/F6/F7 criterion benches, and the L1 loadgen
-# concurrency ladder (1..16 clients). Expect tens of minutes to hours
-# depending on the machine; all output lands in out/.
+# the A1-A7 + T2/F1/F2/F6/F7 criterion benches, the L1 loadgen
+# concurrency ladder (1..16 clients), and the L2 worker-count sweep
+# (generation-only, machine-dependent — flat on a single-core box).
+# Expect tens of minutes to hours depending on the machine; all output
+# lands in out/.
 #
 # usage: tools/full.sh
 set -euo pipefail
@@ -22,9 +24,9 @@ step "full workspace test suite"
 cargo test --workspace -q
 claims+=("workspace test suite: OK")
 
-step "regenerate gated tables + L1 concurrency ladder (full profile)"
-./target/release/dlr artifact --profile full --mode all
-claims+=("full-profile tables incl. L1 ladder: OK")
+step "regenerate gated tables + L1 concurrency ladder + L2 worker sweep (full profile)"
+./target/release/dlr artifact --profile full --mode all --l2-workers 1,2,4
+claims+=("full-profile tables incl. L1 ladder + L2 worker sweep (machine-dependent): OK")
 
 step "all experiment tables, all parameter sets (harness --full)"
 cargo run --release -q -p dlr-bench --bin harness -- all --full | tee out/harness-full.txt
