@@ -33,6 +33,7 @@ subcommands:
   serve-p2        --pk FILE --sk2 FILE --listen ADDR [--curve C] [--key-id ID]
                   [--max-sessions N] [--workers N] [--shards N]
                   [--epoch-secs S] [--stats-json FILE] [--stats-secs S]
+                  [--batch-max N] [--batch-wait-us US]
   decrypt-remote  --pk FILE --sk1 FILE --connect ADDR --in FILE --out FILE
                   [--curve C] [--key-id ID] [--retries N]
   loadgen         --pk FILE --sk1 FILE --connect ADDR [--curve C] [--key-id ID]
@@ -40,6 +41,7 @@ subcommands:
   cluster         [--curve C] [--replicas N] [--keys K] [--clients N] [--requests N]
                   [--shards N] [--n N] [--lambda L] [--out FILE]
                   [--fault-ms MS] [--downtime-ms MS] [--fault-replica I]
+                  [--epoch-sweep-secs S] [--batch-max N] [--batch-wait-us US]
   metrics         [--curve C] [--trials N] [--n N] [--lambda L]
   artifact        [--profile kick-tires|full] [--out DIR] [--mode all|generate|check]
                   [--docs FILE] [--l2-workers N,N,...]
@@ -50,9 +52,14 @@ of readiness event loops (--workers, 0 = auto) driving nonblocking
 sessions, the keyring sharded across them by key id (--shards, 0 = one
 per worker), per-session key selection via hello, epoch-driven refresh
 boundaries (--epoch-secs), durable share persistence back to --sk2 after
-every refresh, and periodic JSON stats dumps. `loadgen` drives a running
-server with concurrent closed-loop decrypt clients and prints (or writes
-with --out) a throughput/latency report in dlr-metrics JSON.
+every refresh, and periodic JSON stats dumps. --batch-max N with N != 1
+turns on dynamic cross-request batching: decrypt requests decoded in the
+same readiness tick are executed as one fused multi-exponentiation batch
+per key (N = 0 removes the size cap; --batch-wait-us bounds how long a
+multi-request window stays open; a lone request is flushed immediately,
+preserving idle latency). `loadgen` drives a running server with
+concurrent closed-loop decrypt clients and prints (or writes with --out)
+a throughput/latency report in dlr-metrics JSON.
 
 `cluster` is a self-contained fleet demo: it generates K keys in
 process, spawns a key-sharded fleet of --replicas dlr-server instances
@@ -61,9 +68,12 @@ lands on it), then drives the routed closed-loop load generator — every
 client follows NotMine redirects and fails over on replica death. With
 --fault-ms it kills replica --fault-replica (default 0) that many ms
 into the run and restarts it after --downtime-ms, proving routed
-clients ride through the outage. Prints aggregate and per-shard
-percentiles plus redirect/failover counters; --out writes the
-dlr-metrics JSON report.
+clients ride through the outage. --epoch-sweep-secs S rolls a staggered
+epoch boundary across the running replicas every S seconds while the
+load runs; --batch-max/--batch-wait-us enable per-replica cross-request
+batching as in serve-p2. Prints aggregate and per-shard percentiles
+plus redirect/failover counters; --out writes the dlr-metrics JSON
+report.
 
 `metrics` runs an instrumented in-process session (keygen, encrypt, N
 decrypt/refresh trials, plus one transport-backed decrypt+refresh) and
@@ -223,12 +233,27 @@ fn serve_p2<E: Pairing>(args: &Args) -> Result<(), AnyError> {
         epoch_interval: (epoch_secs > 0).then(|| Duration::from_secs(epoch_secs.into())),
         stats_interval: (stats_secs > 0).then(|| Duration::from_secs(stats_secs.into())),
         stats_path: args.options_get("stats-json").map(PathBuf::from),
+        batch_max: args.get_u32_or("batch-max", 1)? as usize,
+        batch_wait: Duration::from_micros(args.get_u32_or("batch-wait-us", 0)?.into()),
         ..ServerConfig::default()
     };
     let (workers, shards) = (config.resolved_workers(), config.resolved_shards());
+    let batching = if config.batching_enabled() {
+        format!(
+            ", batching <= {} / {} µs",
+            if config.batch_max == 0 {
+                "∞".to_string()
+            } else {
+                config.batch_max.to_string()
+            },
+            config.batch_wait.as_micros()
+        )
+    } else {
+        String::new()
+    };
     let server = Server::bind(args.require("listen")?, Arc::new(keyring), config)?;
     println!(
-        "dlr-server: P2 serving on {} (key id `{}`, {workers} workers, {shards} shards)",
+        "dlr-server: P2 serving on {} (key id `{}`, {workers} workers, {shards} shards{batching})",
         server.handle().local_addr(),
         args.get_or("key-id", "default"),
     );
@@ -320,6 +345,7 @@ fn cluster<E: Pairing>(args: &Args) -> Result<(), AnyError> {
     let n = args.get_u32_or("n", 16)?;
     let lambda = args.get_u32_or("lambda", 64)?;
     let fault_ms = args.get_u32_or("fault-ms", 0)?;
+    let epoch_sweep_secs = args.get_u32_or("epoch-sweep-secs", 0)?;
 
     let params = SchemeParams::derive::<E::Scalar>(n, lambda);
     let mut rng = rand::thread_rng();
@@ -344,6 +370,8 @@ fn cluster<E: Pairing>(args: &Args) -> Result<(), AnyError> {
         base_server: ServerConfig {
             max_sessions: clients + 2,
             poll_interval: Duration::from_millis(5),
+            batch_max: args.get_u32_or("batch-max", 1)? as usize,
+            batch_wait: Duration::from_micros(args.get_u32_or("batch-wait-us", 0)?.into()),
             ..ServerConfig::default()
         },
         base: dlr_cluster::FleetLoadgenConfig {
@@ -366,6 +394,8 @@ fn cluster<E: Pairing>(args: &Args) -> Result<(), AnyError> {
                 args.get_u32_or("downtime-ms", 150).unwrap_or(150).into(),
             ),
         }),
+        epoch_sweep: (epoch_sweep_secs > 0)
+            .then(|| Duration::from_secs(epoch_sweep_secs.into())),
     };
     let rungs = run_fleet_ladder(&config, &keys, &mut rng)?;
     let _ = fs::remove_dir_all(&data_dir);

@@ -32,8 +32,10 @@ use dlr_server::{Keyring, OwnerHint, Server, ServerConfig, ServerHandle, StatsSn
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Fleet-level configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +51,14 @@ pub struct FleetConfig {
     /// Per-replica server template. Its `topology` and `owner_hint`
     /// fields are overwritten per replica by the supervisor.
     pub base: ServerConfig,
+    /// Opt-in epoch sweep timer: every `interval`, roll a staggered epoch
+    /// boundary across the running replicas (the timer-driven form of
+    /// [`EpochCoordinator::sweep_staggered`](crate::EpochCoordinator::sweep_staggered)).
+    /// `None` (the default) means epochs advance only when kicked
+    /// explicitly. The stagger gap is `interval / (4 · replicas)`, so a
+    /// whole wave lands within the first quarter of each window and no two
+    /// replicas refresh at the same instant.
+    pub epoch_sweep: Option<Duration>,
 }
 
 impl Default for FleetConfig {
@@ -58,6 +68,7 @@ impl Default for FleetConfig {
             shards: 0,
             data_dir: std::env::temp_dir().join("dlr-fleet"),
             base: ServerConfig::default(),
+            epoch_sweep: None,
         }
     }
 }
@@ -99,12 +110,93 @@ struct ReplicaSeat {
     retired: Vec<StatsSnapshot>,
 }
 
+/// The timer thread behind [`FleetConfig::epoch_sweep`]: wakes every
+/// interval, snapshots the handle mirror, and kicks a staggered epoch
+/// wave across whatever replicas are up at that moment. Kill/restart
+/// churn is safe because the sweeper only ever sees the mirror the
+/// supervisor maintains — it never touches `Fleet` itself.
+struct Sweeper {
+    stop: Arc<AtomicBool>,
+    sweeps: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Sweeper {
+    /// Sleep granularity: how quickly the timer notices a stop request
+    /// (both between sweeps and inside a stagger gap).
+    const TICK: Duration = Duration::from_millis(2);
+
+    fn start(interval: Duration, handles: Arc<Mutex<Vec<Option<ServerHandle>>>>) -> io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let sweeps = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let sweeps = Arc::clone(&sweeps);
+            std::thread::Builder::new()
+                .name("dlr-fleet-epoch-sweep".into())
+                .spawn(move || {
+                    let mut next = Instant::now() + interval;
+                    while !Self::wait_until(&stop, next) {
+                        let snapshot: Vec<ServerHandle> = handles
+                            .lock()
+                            .map(|h| h.iter().flatten().cloned().collect())
+                            .unwrap_or_default();
+                        let gap = interval / (4 * snapshot.len().max(1) as u32);
+                        for (i, handle) in snapshot.iter().enumerate() {
+                            if i > 0 && Self::wait_until(&stop, Instant::now() + gap) {
+                                return;
+                            }
+                            handle.force_epoch();
+                        }
+                        sweeps.fetch_add(1, Ordering::Relaxed);
+                        next = Instant::now() + interval;
+                    }
+                })?
+        };
+        Ok(Self {
+            stop,
+            sweeps,
+            thread: Some(thread),
+        })
+    }
+
+    /// Sleep until `deadline` in stop-aware slices; `true` = stop requested.
+    fn wait_until(stop: &AtomicBool, deadline: Instant) -> bool {
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            std::thread::sleep(left.min(Self::TICK));
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Sweeper {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
 /// A supervised fleet of N `dlr-server` replicas sharing one shard ring.
 pub struct Fleet<E: Pairing> {
     config: FleetConfig,
     topology: TopologyMsg,
     keys: Vec<FleetKey<E>>,
     seats: Vec<ReplicaSeat>,
+    /// Mirror of each seat's control handle for the sweeper thread,
+    /// updated on spawn/kill/restart (`None` = seat down).
+    handles: Arc<Mutex<Vec<Option<ServerHandle>>>>,
+    sweeper: Option<Sweeper>,
 }
 
 fn hex(bytes: &[u8]) -> String {
@@ -161,12 +253,25 @@ impl<E: Pairing> Fleet<E> {
                     retired: Vec::new(),
                 })
                 .collect(),
+            handles: Arc::new(Mutex::new(vec![None; replicas])),
+            sweeper: None,
         };
         for (index, listener) in listeners.into_iter().enumerate() {
             let running = fleet.start_replica(index, listener)?;
+            fleet.mirror_handle(index, Some(running.handle.clone()));
             fleet.seats[index].running = Some(running);
         }
+        if let Some(interval) = fleet.config.epoch_sweep {
+            fleet.sweeper = Some(Sweeper::start(interval, Arc::clone(&fleet.handles))?);
+        }
         Ok(fleet)
+    }
+
+    /// Keep the sweeper's view of seat `index` in step with the seat.
+    fn mirror_handle(&self, index: usize, handle: Option<ServerHandle>) {
+        if let Ok(mut handles) = self.handles.lock() {
+            handles[index] = handle;
+        }
     }
 
     /// Build and launch one replica on an already-bound listener.
@@ -263,6 +368,8 @@ impl<E: Pairing> Fleet<E> {
         let Some(running) = self.seats[index].running.take() else {
             return Ok(None);
         };
+        // Unmirror first so a concurrent sweep never kicks a dying server.
+        self.mirror_handle(index, None);
         running.handle.shutdown();
         let stats = running
             .thread
@@ -281,14 +388,34 @@ impl<E: Pairing> Fleet<E> {
         }
         let listener = TcpListener::bind(self.seats[index].addr)?;
         let running = self.start_replica(index, listener)?;
+        self.mirror_handle(index, Some(running.handle.clone()));
         self.seats[index].running = Some(running);
         Ok(())
+    }
+
+    /// Number of complete staggered sweep waves the epoch-sweep timer has
+    /// finished so far (`0` when [`FleetConfig::epoch_sweep`] is off).
+    pub fn epoch_sweeps(&self) -> u64 {
+        self.sweeper
+            .as_ref()
+            .map_or(0, |s| s.sweeps.load(Ordering::Relaxed))
+    }
+
+    /// Whether the epoch-sweep timer is running.
+    pub fn sweeper_running(&self) -> bool {
+        self.sweeper.is_some()
     }
 
     /// Shut the whole fleet down, returning every replica's stats history
     /// (previous incarnations followed by the final one), indexed by
     /// replica.
     pub fn shutdown(mut self) -> io::Result<Vec<Vec<StatsSnapshot>>> {
+        // Stop the sweep timer before tearing replicas down so no epoch
+        // kick races the shutdown sequence (Drop would also stop it, but
+        // only after the replicas are gone).
+        if let Some(mut sweeper) = self.sweeper.take() {
+            sweeper.stop_and_join();
+        }
         let mut all = Vec::with_capacity(self.seats.len());
         for index in 0..self.seats.len() {
             self.kill_replica(index)?;

@@ -554,6 +554,10 @@ pub struct FleetLadderConfig {
     /// rungs with a fault report nonzero `failovers`/`reconnects`, never
     /// a panic abort.
     pub fault: Option<FleetFault>,
+    /// Per-rung [`FleetConfig::epoch_sweep`] timer: when set, each rung's
+    /// fleet rolls staggered epoch boundaries on this interval while the
+    /// load runs.
+    pub epoch_sweep: Option<Duration>,
 }
 
 /// One completed rung of a fleet ladder.
@@ -586,6 +590,7 @@ pub fn run_fleet_ladder<E: Pairing, R: rand::RngCore>(
             shards: config.shards,
             data_dir: config.data_dir.join(format!("r{replicas}")),
             base: config.base_server.clone(),
+            epoch_sweep: config.epoch_sweep,
         };
         let fleet = Fleet::spawn(
             fleet_config,

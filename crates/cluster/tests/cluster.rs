@@ -18,7 +18,7 @@ use dlr_server::ServerConfig;
 use rand::SeedableRng;
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type E = Toy;
 
@@ -84,6 +84,7 @@ fn routed_clients_reach_sharded_keys() {
             shards: 0,
             data_dir: temp_dir("smoke"),
             base: quick_config(),
+            epoch_sweep: None,
         },
         vec![
             (id_a.clone(), pk_a.clone(), s2_a),
@@ -150,6 +151,7 @@ fn routed_load_survives_replica_restart() {
             shards: 0,
             data_dir: temp_dir("failover"),
             base: quick_config(),
+            epoch_sweep: None,
         },
         vec![(id.clone(), pk.clone(), s2)],
     )
@@ -221,6 +223,7 @@ fn epoch_refresh_is_shard_local() {
             shards: 0,
             data_dir: temp_dir("epoch"),
             base: quick_config(),
+            epoch_sweep: None,
         },
         vec![(id_a.clone(), pk_a, s2_a), (id_b.clone(), pk_b.clone(), s2_b)],
     )
@@ -262,6 +265,92 @@ fn epoch_refresh_is_shard_local() {
     fleet.shutdown().unwrap();
 }
 
+/// The opt-in epoch-sweep timer rolls staggered boundaries across the
+/// whole fleet on its own clock: a live session keeps decrypting with
+/// bounded latency right through the waves (no fleet-wide pause), killed
+/// seats are skipped without stalling the timer, and shutdown stops the
+/// sweeper cleanly.
+#[test]
+fn timed_epoch_sweep_never_blocks_live_decrypts() {
+    let (pk_a, _s1_a, s2_a) = keygen(940);
+    let (pk_b, s1_b, s2_b) = keygen(941);
+    let id_a = id_on_shard(0, 2);
+    let id_b = id_on_shard(1, 2);
+
+    let mut fleet = Fleet::spawn(
+        FleetConfig {
+            replicas: 2,
+            shards: 0,
+            data_dir: temp_dir("sweep"),
+            base: quick_config(),
+            epoch_sweep: Some(Duration::from_millis(60)),
+        },
+        vec![(id_a, pk_a, s2_a), (id_b.clone(), pk_b.clone(), s2_b)],
+    )
+    .unwrap();
+    assert!(fleet.sweeper_running());
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let message = <E as Pairing>::Gt::random(&mut rng);
+    let ct = dlr::encrypt(&pk_b, &message, &mut rng);
+    let mut p1 = Party1::new(pk_b.clone(), s1_b);
+    let mut t = connect(&fleet.addr(1).to_string()).unwrap();
+    driver::p1_hello(t.as_mut(), &id_b, GENERATION_ANY).unwrap();
+
+    // Decrypt continuously until two complete waves have been issued. A
+    // sweep kicks BOTH replicas (including the one serving this session),
+    // so a bounded per-request latency here proves boundaries are
+    // asynchronous and shard-local — mid-sweep decrypts never block.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut max_latency = Duration::ZERO;
+    while fleet.epoch_sweeps() < 2 {
+        assert!(Instant::now() < deadline, "sweep timer never completed two waves");
+        let t0 = Instant::now();
+        assert_eq!(
+            driver::p1_decrypt(&mut p1, &ct, t.as_mut(), &mut rng).unwrap(),
+            message
+        );
+        max_latency = max_latency.max(t0.elapsed());
+    }
+    assert!(
+        max_latency < Duration::from_secs(2),
+        "decrypt stalled for {max_latency:?} during a sweep wave"
+    );
+    // force_epoch is asynchronous; give each replica's scheduler a bounded
+    // moment for the issued boundaries to land, then both must have moved.
+    {
+        let coordinator = EpochCoordinator::new(&fleet);
+        while coordinator.epochs().iter().any(|e| e.unwrap_or(0) < 2) {
+            assert!(Instant::now() < deadline, "issued epoch boundaries never landed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // Kill a seat mid-schedule: subsequent waves skip it (no error, no
+    // stall) and the surviving replica keeps advancing.
+    fleet.kill_replica(0).unwrap();
+    let sweeps_at_kill = fleet.epoch_sweeps();
+    let epoch_b = fleet.handle(1).unwrap().epoch();
+    while fleet.epoch_sweeps() < sweeps_at_kill + 2 {
+        assert!(Instant::now() < deadline, "sweeps stopped after a replica was killed");
+        assert_eq!(
+            driver::p1_decrypt(&mut p1, &ct, t.as_mut(), &mut rng).unwrap(),
+            message
+        );
+    }
+    while fleet.handle(1).unwrap().epoch() < epoch_b + 2 {
+        assert!(Instant::now() < deadline, "surviving replica stopped sweeping");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    fleet.restart_replica(0).unwrap();
+
+    let _ = driver::p1_shutdown(t.as_mut());
+    // Clean shutdown: the timer is stopped and joined before the replicas
+    // go down, so no wave races the teardown.
+    let histories = fleet.shutdown().unwrap();
+    assert_eq!(histories.len(), 2);
+}
+
 /// The replica ladder completes a faulted rung: a mid-rung restart is
 /// absorbed (no abort, no panics) and the rung still reports per-shard
 /// latencies.
@@ -299,6 +388,7 @@ fn fleet_ladder_tolerates_faulted_rung() {
             delay: Duration::from_millis(100),
             downtime: Duration::from_millis(150),
         }),
+        epoch_sweep: None,
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(77);
     let rungs = run_fleet_ladder::<E, _>(&config, &keys, &mut rng).unwrap();

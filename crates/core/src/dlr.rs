@@ -677,6 +677,37 @@ impl<E: Pairing> Party2<E> {
         })
     }
 
+    /// Decryption step 2 over a whole batch of concurrent requests for
+    /// this key: one [`BatchDecryptCtx`](dlr_curve::BatchDecryptCtx) is
+    /// built from the share vector and reused across every request, so the
+    /// exponent recoding and multiexp dispatch are paid once per batch
+    /// instead of once per coordinate per request.
+    ///
+    /// Per-request semantics are **identical** to calling
+    /// [`Self::dec_respond`] in a loop: each request gets its own
+    /// `dec.p2.respond` span with the same operation fingerprint
+    /// (`(κ+1)·ℓ` target-group exponentiations + `κ+1` mul + `κ+1` div
+    /// ops), a malformed-length request fails alone with the same error,
+    /// and the returned elements are bit-identical (canonical
+    /// representations, same engine, same window). `bench-compare`
+    /// therefore cannot tell a batch of 64 from 64 sequential calls —
+    /// which is the point.
+    pub fn dec_respond_batch(&mut self, msgs: &[&DecMsg1<E>]) -> Vec<Result<DecMsg2<E>, CoreError>> {
+        let ctx = dlr_curve::BatchDecryptCtx::new(&self.share.s);
+        msgs.iter()
+            .map(|msg| {
+                dlr_metrics::span("dec.p2.respond", || {
+                    if msg.d.len() != self.share.s.len() {
+                        return Err(CoreError::Protocol("dec message length mismatch"));
+                    }
+                    let prod = HpskeCiphertext::product_of_powers_ctx(&msg.d, &ctx);
+                    let c_prime = msg.d_b.mul(&prod).div(&msg.d_phi);
+                    Ok(DecMsg2 { c_prime })
+                })
+            })
+            .collect()
+    }
+
     /// Refresh protocol, step 2: choose `s'`, reply with
     /// `f = ∏ f'^{s'_i}_i / f^{s_i}_i · f_Φ`, and stage the new share.
     /// Call [`Self::ref_complete`] to erase the old share.
@@ -1024,5 +1055,72 @@ mod tests {
         let mut m1 = p1.dec_start(&ct, &mut r);
         m1.d.pop();
         assert!(p2.dec_respond(&m1).is_err());
+    }
+
+    #[test]
+    fn batch_respond_matches_sequential_byte_for_byte() {
+        // The batching parity contract end-to-end at the protocol layer:
+        // `dec_respond_batch` must be indistinguishable from a loop of
+        // `dec_respond` calls — identical reply bytes AND identical
+        // operation-counter fingerprint per request.
+        let mut r = rng();
+        let (mut p1, mut p2, pk) = setup(&mut r);
+        let msgs: Vec<DecMsg1<E>> = (0..4)
+            .map(|_| {
+                let m = <E as Pairing>::Gt::random(&mut r);
+                let ct = encrypt(&pk, &m, &mut r);
+                p1.dec_start(&ct, &mut r)
+            })
+            .collect();
+        let (seq, seq_ops) = dlr_curve::counters::measure(|| {
+            msgs.iter()
+                .map(|m1| p2.dec_respond(m1).unwrap().to_bytes())
+                .collect::<Vec<_>>()
+        });
+        let refs: Vec<&DecMsg1<E>> = msgs.iter().collect();
+        let (bat, bat_ops) = dlr_curve::counters::measure(|| {
+            p2.dec_respond_batch(&refs)
+                .into_iter()
+                .map(|res| res.unwrap().to_bytes())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(seq, bat, "batch replies must be byte-identical");
+        assert_eq!(seq_ops, bat_ops, "batch op fingerprint must match");
+    }
+
+    #[test]
+    fn batch_respond_malformed_fails_alone() {
+        use crate::driver::p2_handle_decrypt_batch;
+        let mut r = rng();
+        let (mut p1, mut p2, pk) = setup(&mut r);
+        let make_body = |p1: &mut Party1<E>, r: &mut rand::rngs::StdRng| {
+            let m = <E as Pairing>::Gt::random(r);
+            let ct = encrypt(&pk, &m, r);
+            p1.dec_start(&ct, r).to_bytes()
+        };
+        let good_a = make_body(&mut p1, &mut r);
+        let good_b = make_body(&mut p1, &mut r);
+        // sequential reference replies for the two good requests
+        let expect_a = p2
+            .dec_respond(&DecMsg1::<E>::from_bytes(&good_a, &pk.params).unwrap())
+            .unwrap()
+            .to_bytes();
+        let expect_b = p2
+            .dec_respond(&DecMsg1::<E>::from_bytes(&good_b, &pk.params).unwrap())
+            .unwrap()
+            .to_bytes();
+        // a truncated frame in the middle of the batch fails alone
+        let garbage = &good_a[..10];
+        let bodies: Vec<&[u8]> = vec![&good_a, garbage, &good_b];
+        let results = p2_handle_decrypt_batch(&mut p2, &bodies);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap(), &expect_a);
+        assert!(results[1].is_err(), "malformed sibling must fail");
+        assert_eq!(results[2].as_ref().unwrap(), &expect_b);
+        // a wrong-length (parsed but ℓ-mismatched) request also fails alone
+        let mut short = DecMsg1::<E>::from_bytes(&good_a, &pk.params).unwrap();
+        short.d.pop();
+        let refs: Vec<&DecMsg1<E>> = vec![&short];
+        assert!(p2.dec_respond_batch(&refs)[0].is_err());
     }
 }

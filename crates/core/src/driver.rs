@@ -735,6 +735,39 @@ pub fn p2_handle_frame<E: Pairing, R: RngCore + ?Sized>(
     Ok((tag, reply))
 }
 
+/// `P2` side: handle a batch of already-received **Decrypt** request
+/// bodies (tag byte stripped) against a single [`Party2`] — the
+/// driver-visible grouping behind the server's cross-request batch
+/// executor (DESIGN.md §5).
+///
+/// Each body is parsed independently, the parse survivors run through
+/// [`Party2::dec_respond_batch`] (one shared recoding context; identical
+/// per-request `dec.p2.respond` spans and operation counts), and reply
+/// bodies come back in input order. A malformed or length-mismatched
+/// request fails **alone**: its siblings still produce `ok` reply bodies,
+/// exactly as if each had been served by [`p2_handle_frame`] in sequence.
+pub fn p2_handle_decrypt_batch<E: Pairing>(
+    p2: &mut Party2<E>,
+    bodies: &[&[u8]],
+) -> Vec<Result<Vec<u8>, CoreError>> {
+    let parsed: Vec<Result<DecMsg1<E>, CoreError>> = bodies
+        .iter()
+        .map(|body| DecMsg1::<E>::from_bytes(body, &p2.public_key().params))
+        .collect();
+    let good: Vec<&DecMsg1<E>> = parsed.iter().filter_map(|p| p.as_ref().ok()).collect();
+    let mut responses = p2.dec_respond_batch(&good).into_iter();
+    parsed
+        .into_iter()
+        .map(|p| match p {
+            Ok(_) => responses
+                .next()
+                .expect("one batch response per parsed request")
+                .map(|m2| m2.to_bytes()),
+            Err(e) => Err(e),
+        })
+        .collect()
+}
+
 /// `P2` side: serve exactly one request. Returns the tag served.
 ///
 /// A handling failure is answered with a structured error reply (best

@@ -27,6 +27,9 @@
 //!   exact counter merging;
 //! * [`multiexp`] — size-adaptive multi-exponentiation (Pippenger bucket
 //!   windows, Straus interleaving below the crossover);
+//! * [`batch`] — [`BatchDecryptCtx`]: per-key shared exponent recoding and
+//!   engine dispatch for cross-request batched decryption, op-count
+//!   identical to the sequential path;
 //! * [`modgroup`] — tiny-order groups for exhaustive entropy experiments;
 //! * [`counters`] — thread-local operation counts backing the efficiency
 //!   experiments.
@@ -46,6 +49,7 @@
 //! assert_eq!(lhs, Toy::pair_generators().pow(&a));
 //! ```
 
+pub mod batch;
 pub mod counters;
 pub mod curve;
 pub mod fixedbase;
@@ -59,6 +63,7 @@ pub mod prepared;
 pub mod traits;
 mod util;
 
+pub use batch::BatchDecryptCtx;
 pub use curve::G;
 pub use fixedbase::{FixedBase, LazyFixedBase};
 pub use gt::Gt;

@@ -169,12 +169,26 @@ pub fn pippenger_raw<G: Group>(bases: &[G], exps: &[G::Scalar]) -> G {
     let Some(max_bits) = max_bits else {
         return G::identity();
     };
+    let nonzero = exp_limbs.iter().filter(|l| bits_slice(l) > 0).count();
+    let w = best_window(nonzero, max_bits, pippenger_cost);
+    pippenger_with_window(bases, &exp_limbs, max_bits, w)
+}
+
+/// Pippenger engine over pre-recoded exponent limbs at an explicit window
+/// width. [`pippenger_raw`] recodes then delegates here;
+/// [`crate::batch::BatchDecryptCtx`] calls it directly so a whole flush of
+/// requests shares one recoding of the fixed share vector.
+pub fn pippenger_with_window<G: Group>(
+    bases: &[G],
+    exp_limbs: &[Vec<u64>],
+    max_bits: usize,
+    w: usize,
+) -> G {
     let pairs: Vec<(&G, &Vec<u64>)> = bases
         .iter()
-        .zip(&exp_limbs)
+        .zip(exp_limbs)
         .filter(|(_, l)| bits_slice(l) > 0)
         .collect();
-    let w = best_window(pairs.len(), max_bits, pippenger_cost);
     let windows = max_bits.div_ceil(w);
 
     let mut acc = G::identity();
@@ -237,10 +251,18 @@ pub fn multiexp<G: Group>(bases: &[G], exps: &[G::Scalar]) -> G {
     let ws = best_window(nonzero, max_bits, straus_cost);
     let wp = best_window(nonzero, max_bits, pippenger_cost);
     if pippenger_cost(nonzero, max_bits, wp) < straus_cost(nonzero, max_bits, ws) {
-        pippenger_raw(bases, exps)
+        pippenger_with_window(bases, &exp_limbs, max_bits, wp)
     } else {
         straus_with_window(bases, &exp_limbs, max_bits, ws)
     }
+}
+
+/// Recoded batch shape shared by [`multiexp`] and
+/// [`crate::batch::BatchDecryptCtx`]: canonical limbs plus the highest set
+/// bit (`None` when every exponent is zero). Public within the crate so the
+/// batch context reuses the exact recoding the dispatcher would produce.
+pub(crate) fn recode<G: Group>(exps: &[G::Scalar]) -> (Vec<Vec<u64>>, Option<usize>) {
+    canonical_exponents::<G>(exps)
 }
 
 #[cfg(test)]

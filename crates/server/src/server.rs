@@ -50,6 +50,25 @@
 //! recovers from poisoning: a panicking waiter cannot take the epoch
 //! clock down with it.
 //!
+//! ## Dynamic cross-request batching
+//!
+//! With [`ServerConfig::batch_max`] ≠ 1, each worker runs a **batch
+//! executor**: decrypt requests that finish the decode stage while the
+//! worker's batch window is open park in a worker-local queue instead of
+//! executing inline. The window closes on a size cap (`batch_max`), a
+//! delay cap ([`ServerConfig::batch_wait`], once ≥ 2 requests are
+//! parked), or the singleton fast-path (a tick ending with one parked
+//! request flushes immediately, so an idle server keeps inline latency).
+//! At flush, requests group by key id and each group executes under a
+//! **single** generation-lock acquisition through the shared-context
+//! batch path ([`dlr_core::driver::p2_handle_decrypt_batch`] over
+//! `dlr_curve::BatchDecryptCtx`), then replies fan back to each
+//! connection's encode stage. Per-request semantics — replies, error
+//! isolation, generation checks, operation counters, metric spans — are
+//! identical to the inline path by construction; only the shared
+//! per-key work (exponent recoding, engine dispatch, lock traffic, loop
+//! wakeups) is amortized. See DESIGN.md §5.
+//!
 //! ## Generation binding
 //!
 //! Sessions bind to a key **generation** at accept/hello time. Decrypt
@@ -62,8 +81,8 @@
 use crate::keyring::{persist_atomically, shard_of, KeyEntry, Keyring};
 use bytes::Bytes;
 use dlr_core::driver::{
-    error_reply, error_reply_for, ok_reply, p2_handle_frame, ErrorCode, HelloMsg, RequestTag,
-    TopologyMsg, GENERATION_ANY, WIRE_VERSION,
+    error_reply, error_reply_for, ok_reply, p2_handle_decrypt_batch, p2_handle_frame, ErrorCode,
+    HelloMsg, RequestTag, TopologyMsg, GENERATION_ANY, WIRE_VERSION,
 };
 use dlr_curve::Pairing;
 use dlr_metrics::Report;
@@ -147,6 +166,20 @@ pub struct ServerConfig {
     /// Cluster ownership oracle for [`ErrorCode::NotMine`] replies on
     /// hello misses; `None` (standalone) answers `UnknownKey` as before.
     pub owner_hint: Option<OwnerHint>,
+    /// Cross-request batch size cap (`--batch-max`): decrypt requests
+    /// decoded while a worker's batch window is open execute together,
+    /// flushing as soon as this many are parked. `1` (the default)
+    /// disables batching — every request executes inline exactly as
+    /// before; `0` removes the size cap (the window closes on the delay
+    /// cap or the singleton fast-path only).
+    pub batch_max: usize,
+    /// Batch window delay cap (`--batch-wait-us`): once two or more
+    /// requests are parked, the window stays open at most this long
+    /// waiting for more before a timer flush. Zero flushes at the end of
+    /// the readiness tick. A tick ending with a single parked request
+    /// always flushes immediately (the singleton fast-path), so an idle
+    /// server never trades latency for a batch that cannot form.
+    pub batch_wait: Duration,
 }
 
 impl Default for ServerConfig {
@@ -165,6 +198,8 @@ impl Default for ServerConfig {
             inject_panic_tag: None,
             topology: None,
             owner_hint: None,
+            batch_max: 1,
+            batch_wait: Duration::ZERO,
         }
     }
 }
@@ -188,6 +223,21 @@ impl ServerConfig {
             self.shards
         } else {
             self.resolved_workers()
+        }
+    }
+
+    /// Whether the cross-request batch executor is active (`batch_max`
+    /// anything but the inline default of 1).
+    pub fn batching_enabled(&self) -> bool {
+        self.batch_max != 1
+    }
+
+    /// The batch size cap with `0` resolved to "unbounded".
+    pub fn batch_cap(&self) -> usize {
+        if self.batch_max == 0 {
+            usize::MAX
+        } else {
+            self.batch_max
         }
     }
 }
@@ -225,9 +275,31 @@ pub struct ServerStats {
     rejects_dropped: AtomicU64,
     migrations: AtomicU64,
     loop_wakeups: AtomicU64,
+    batched_requests: AtomicU64,
+    batch_flushes_full: AtomicU64,
+    batch_flushes_timer: AtomicU64,
+    batch_flushes_idle: AtomicU64,
+    batch_size_hist: [AtomicU64; BATCH_HIST_BUCKETS],
     last_panic: parking_lot::Mutex<Option<String>>,
     shards: Vec<ShardStats>,
     wire: parking_lot::Mutex<WireStats>,
+}
+
+/// Batch-size histogram buckets: 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+.
+const BATCH_HIST_BUCKETS: usize = 8;
+
+/// Histogram bucket for a flush of `n` requests.
+fn batch_hist_bucket(n: usize) -> usize {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        33..=64 => 6,
+        _ => 7,
+    }
 }
 
 impl ServerStats {
@@ -276,6 +348,15 @@ impl ServerStats {
             rejects_dropped: self.rejects_dropped.load(Ordering::Relaxed),
             migrations: self.migrations.load(Ordering::Relaxed),
             loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            batch_flushes_full: self.batch_flushes_full.load(Ordering::Relaxed),
+            batch_flushes_timer: self.batch_flushes_timer.load(Ordering::Relaxed),
+            batch_flushes_idle: self.batch_flushes_idle.load(Ordering::Relaxed),
+            batch_size_hist: self
+                .batch_size_hist
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             last_panic: self.last_panic.lock().clone(),
             shards: self
                 .shards
@@ -340,6 +421,23 @@ pub struct StatsSnapshot {
     pub migrations: u64,
     /// Readiness-loop wakeups across all worker event loops.
     pub loop_wakeups: u64,
+    /// Decrypt requests served through the batch executor (parked in a
+    /// worker batch window instead of executing inline). Every one of
+    /// them is also counted in `requests_decrypt`/`error_replies` exactly
+    /// as the inline path would.
+    pub batched_requests: u64,
+    /// Batch flushes triggered by the size cap (`--batch-max` reached).
+    pub batch_flushes_full: u64,
+    /// Batch flushes triggered by the delay cap (`--batch-wait-us`
+    /// expired with ≥ 2 requests parked).
+    pub batch_flushes_timer: u64,
+    /// Batch flushes via the singleton fast-path (a readiness tick ended
+    /// with exactly one parked request — flushed immediately so an idle
+    /// server keeps inline latency).
+    pub batch_flushes_idle: u64,
+    /// Flush-size histogram, buckets 1, 2, 3–4, 5–8, 9–16, 17–32,
+    /// 33–64, 65+.
+    pub batch_size_hist: Vec<u64>,
     /// Message of the most recent dispatch panic, if any.
     pub last_panic: Option<String>,
     /// Per-shard counters, indexed by shard id.
@@ -349,6 +447,18 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Total batch flushes across all three window-close reasons.
+    pub fn batch_flushes(&self) -> u64 {
+        self.batch_flushes_full + self.batch_flushes_timer + self.batch_flushes_idle
+    }
+
+    /// Batch efficiency: requests per flush (the amortization factor the
+    /// batching loadgen reports). `None` when no flush ever happened.
+    pub fn batch_efficiency(&self) -> Option<f64> {
+        let flushes = self.batch_flushes();
+        (flushes > 0).then(|| self.batched_requests as f64 / flushes as f64)
+    }
+
     /// Render as a `dlr-metrics` [`Report`]: counters as metadata, merged
     /// wire statistics as a wire row, plus any spans recorded in this
     /// process. Serializes to the standard report JSON/CSV schema.
@@ -381,6 +491,25 @@ impl StatsSnapshot {
             .with_meta("rejects_dropped", &self.rejects_dropped.to_string())
             .with_meta("migrations", &self.migrations.to_string())
             .with_meta("loop_wakeups", &self.loop_wakeups.to_string())
+            .with_meta("batched_requests", &self.batched_requests.to_string())
+            .with_meta("batch_flushes_full", &self.batch_flushes_full.to_string())
+            .with_meta("batch_flushes_timer", &self.batch_flushes_timer.to_string())
+            .with_meta("batch_flushes_idle", &self.batch_flushes_idle.to_string())
+            .with_meta(
+                "batch_size_hist",
+                &self
+                    .batch_size_hist
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+            .with_meta(
+                "batch_efficiency",
+                &self
+                    .batch_efficiency()
+                    .map_or_else(|| "n/a".to_string(), |e| format!("{e:.2}")),
+            )
             .with_meta("shards", &self.shards.len().to_string())
             .with_meta("shard_sessions", &join(|s| s.sessions))
             .with_meta("shard_requests", &join(|s| s.requests))
@@ -625,6 +754,8 @@ impl<E: Pairing> Server<E> {
                     shard_keys: &shard_keys,
                     slab: Vec::new(),
                     free: Vec::new(),
+                    batch: BatchQueue::default(),
+                    next_conn_id: 0,
                 };
                 s.spawn(move || worker.run());
             }
@@ -833,6 +964,68 @@ struct Conn<E: Pairing> {
     /// Whether this connection was already counted in shard sessions.
     shard_counted: bool,
     is_reject: bool,
+    /// A decrypt request from this connection is parked in the worker's
+    /// batch window; the connection reads nothing further (strict
+    /// ping-pong) until the flush stages its reply.
+    parked: bool,
+    /// Worker-local identity token: a flush cross-checks it against the
+    /// parked request so a slab slot freed and reused while the request
+    /// waited can never receive a stranger's reply.
+    conn_id: u64,
+}
+
+/// One request parked in a worker's batch window, addressed by slab slot
+/// plus the connection identity token current at park time.
+struct ParkedReq {
+    slab_key: usize,
+    conn_id: u64,
+    req: Bytes,
+}
+
+/// Why a batch window closed.
+#[derive(Clone, Copy)]
+enum FlushReason {
+    /// Size cap reached (`--batch-max`).
+    Full,
+    /// Delay cap expired with ≥ 2 requests parked (`--batch-wait-us`).
+    Timer,
+    /// Singleton fast-path: the readiness tick ended with one parked
+    /// request and nothing to pair it with.
+    Idle,
+}
+
+/// A worker's batch window: requests parked since the last flush plus the
+/// instant the window opened (first park after an empty state).
+#[derive(Default)]
+struct BatchQueue {
+    parked: Vec<ParkedReq>,
+    opened: Option<Instant>,
+}
+
+impl BatchQueue {
+    fn push(&mut self, req: ParkedReq) {
+        if self.parked.is_empty() {
+            self.opened = Some(Instant::now());
+        }
+        self.parked.push(req);
+    }
+
+    fn len(&self) -> usize {
+        self.parked.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.parked.is_empty()
+    }
+
+    fn age(&self) -> Duration {
+        self.opened.map_or(Duration::ZERO, |t| t.elapsed())
+    }
+
+    fn take(&mut self) -> Vec<ParkedReq> {
+        self.opened = None;
+        std::mem::take(&mut self.parked)
+    }
 }
 
 enum Verdict {
@@ -855,6 +1048,11 @@ struct Worker<'a, E: Pairing> {
     shard_keys: &'a [Vec<Arc<KeyEntry<E>>>],
     slab: Vec<Option<Conn<E>>>,
     free: Vec<usize>,
+    /// Cross-request batch window (empty and never opened when
+    /// [`ServerConfig::batching_enabled`] is off).
+    batch: BatchQueue,
+    /// Monotonic source for [`Conn::conn_id`] tokens.
+    next_conn_id: u64,
 }
 
 impl<E: Pairing> Worker<'_, E> {
@@ -879,7 +1077,11 @@ impl<E: Pairing> Worker<'_, E> {
             self.drain_inbox(&mut rng);
             for ev in events.iter() {
                 self.drive(ev.key, &mut rng);
+                if self.batch.len() >= self.config.batch_cap() {
+                    self.flush_batch(FlushReason::Full, &mut rng);
+                }
             }
+            self.close_batch_window(&mut rng);
             self.sweep_deadlines();
         }
         for key in 0..self.slab.len() {
@@ -888,12 +1090,16 @@ impl<E: Pairing> Worker<'_, E> {
     }
 
     /// Sleep until the nearest connection deadline, capped at the poll
-    /// quantum (wakeups for new work arrive via the poller's notify).
+    /// quantum (wakeups for new work arrive via the poller's notify) and
+    /// at the batch window's remaining delay budget when one is open.
     fn next_timeout(&self) -> Duration {
         let now = Instant::now();
         let mut timeout = self.config.poll_interval;
         for conn in self.slab.iter().flatten() {
             timeout = timeout.min(conn.deadline.saturating_duration_since(now));
+        }
+        if !self.batch.is_empty() {
+            timeout = timeout.min(self.config.batch_wait.saturating_sub(self.batch.age()));
         }
         timeout
     }
@@ -928,6 +1134,9 @@ impl<E: Pairing> Worker<'_, E> {
                 // hello buffered, and a reject's Busy reply usually fits
                 // the socket buffer in one write.
                 self.drive(key, rng);
+                if self.batch.len() >= self.config.batch_cap() {
+                    self.flush_batch(FlushReason::Full, rng);
+                }
             }
         }
     }
@@ -957,6 +1166,8 @@ impl<E: Pairing> Worker<'_, E> {
                     shard: None,
                     shard_counted: false,
                     is_reject: false,
+                    parked: false,
+                    conn_id: 0,
                 }
             }
             Inbound::Reject { stream, writer } => Conn {
@@ -977,6 +1188,8 @@ impl<E: Pairing> Worker<'_, E> {
                 shard: None,
                 shard_counted: false,
                 is_reject: true,
+                parked: false,
+                conn_id: 0,
             },
             Inbound::Migrated(conn) => {
                 let mut conn = *conn;
@@ -985,6 +1198,13 @@ impl<E: Pairing> Worker<'_, E> {
                 conn
             }
         };
+        let mut conn = conn;
+        // A worker-unique token per adoption (migrated connections get a
+        // fresh one too): parked requests name their connection by
+        // (slot, token), so slot reuse can never cross replies.
+        self.next_conn_id += 1;
+        conn.conn_id = self.next_conn_id;
+        conn.parked = false;
         let key = self.free.pop().unwrap_or_else(|| {
             self.slab.push(None);
             self.slab.len() - 1
@@ -1021,12 +1241,13 @@ impl<E: Pairing> Worker<'_, E> {
                 shared,
                 keyring,
                 config,
+                batch,
                 ..
             } = self;
             let Some(conn) = slab.get_mut(key).and_then(Option::as_mut) else {
                 return;
             };
-            drive_conn(conn, *index, shared, keyring, config, rng)
+            drive_conn(conn, key, *index, shared, keyring, config, batch, rng)
         };
         match verdict {
             Verdict::Keep => {
@@ -1095,6 +1316,148 @@ impl<E: Pairing> Worker<'_, E> {
             }
         }
     }
+
+    /// End-of-tick batch window policy (the adaptive part of the window):
+    ///
+    /// * size cap already flushed mid-tick ([`FlushReason::Full`]);
+    /// * a lone parked request flushes **now** ([`FlushReason::Idle`]) —
+    ///   the singleton fast-path: nothing arrived this tick to pair it
+    ///   with, so holding it would trade latency for no amortization;
+    /// * two or more parked requests are held until the delay cap
+    ///   ([`ServerConfig::batch_wait`]) expires ([`FlushReason::Timer`]),
+    ///   letting later ticks top the batch up to the size cap.
+    ///
+    /// Loops because staging replies can surface pipelined follow-up
+    /// requests that park into a fresh window.
+    fn close_batch_window<R: rand::RngCore>(&mut self, rng: &mut R) {
+        loop {
+            if self.batch.is_empty() {
+                return;
+            }
+            if self.batch.len() >= self.config.batch_cap() {
+                self.flush_batch(FlushReason::Full, rng);
+            } else if self.batch.len() == 1 {
+                self.flush_batch(FlushReason::Idle, rng);
+            } else if self.batch.age() >= self.config.batch_wait {
+                self.flush_batch(FlushReason::Timer, rng);
+            } else {
+                return; // window stays open; next_timeout caps the wait
+            }
+        }
+    }
+
+    /// Drain the batch window: group parked requests by key, execute each
+    /// group through the shared-context batch path, and fan the replies
+    /// back to their connections' encode stages.
+    fn flush_batch<R: rand::RngCore>(&mut self, reason: FlushReason, rng: &mut R) {
+        let parked = self.batch.take();
+        if parked.is_empty() {
+            return;
+        }
+        let stats = &self.shared.stats;
+        match reason {
+            FlushReason::Full => &stats.batch_flushes_full,
+            FlushReason::Timer => &stats.batch_flushes_timer,
+            FlushReason::Idle => &stats.batch_flushes_idle,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        stats.batch_size_hist[batch_hist_bucket(parked.len())].fetch_add(1, Ordering::Relaxed);
+        stats
+            .batched_requests
+            .fetch_add(parked.len() as u64, Ordering::Relaxed);
+
+        // Group by key id (Arc identity), preserving arrival order within
+        // each group. Requests whose connection vanished while parked
+        // (deadline sweep, error close) are dropped — their reply has no
+        // socket to go to and the token check keeps slot reuse safe.
+        let mut groups: Vec<(Arc<KeyEntry<E>>, Vec<ParkedReq>)> = Vec::new();
+        for preq in parked {
+            let Some(conn) = self.slab.get(preq.slab_key).and_then(Option::as_ref) else {
+                continue;
+            };
+            if conn.conn_id != preq.conn_id || !conn.parked {
+                continue;
+            }
+            let Some(entry) = conn.session.entry.as_ref() else {
+                continue; // park predicate requires a bound key
+            };
+            match groups.iter_mut().find(|(e, _)| Arc::ptr_eq(e, entry)) {
+                Some((_, group)) => group.push(preq),
+                None => groups.push((Arc::clone(entry), vec![preq])),
+            }
+        }
+        for (entry, group) in groups {
+            self.execute_group(&entry, group, rng);
+        }
+    }
+
+    /// Execute one same-key group under a single generation-lock
+    /// acquisition and panic guard, then stage + flush every reply. A
+    /// panic anywhere in the group closes every connection in it — each
+    /// SlotGuard reclaims its slot, exactly like the inline panic path.
+    fn execute_group<R: rand::RngCore>(
+        &mut self,
+        entry: &Arc<KeyEntry<E>>,
+        group: Vec<ParkedReq>,
+        rng: &mut R,
+    ) {
+        let bounds: Vec<u64> = group
+            .iter()
+            .map(|p| {
+                self.slab[p.slab_key]
+                    .as_ref()
+                    .expect("validated at grouping")
+                    .session
+                    .bound_generation
+            })
+            .collect();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            batch_dispatch(entry, &group, &bounds, &self.shared.stats, self.config)
+        }));
+        match outcome {
+            Ok(replies) => {
+                let shard = shard_of(entry.id(), self.shared.shards);
+                for (preq, reply) in group.iter().zip(replies) {
+                    let conn = self.slab[preq.slab_key]
+                        .as_mut()
+                        .expect("validated at grouping");
+                    conn.parked = false;
+                    conn.pending_reply = reply.len() as u64;
+                    if conn.writer.enqueue(&reply).is_err() {
+                        conn.closing = true;
+                        continue;
+                    }
+                    conn.deadline = Instant::now() + self.config.write_timeout;
+                    conn.shard = Some(shard);
+                    if let Some(s) = self.shared.stats.shards.get(shard) {
+                        s.requests.fetch_add(1, Ordering::Relaxed);
+                        if !conn.shard_counted {
+                            conn.shard_counted = true;
+                            s.sessions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Fan out: drive each connection's encode/write stage (and
+                // any migration the freshly bound shard calls for).
+                for preq in &group {
+                    self.drive(preq.slab_key, rng);
+                }
+            }
+            Err(payload) => {
+                self.shared.stats.record_panic(payload.as_ref());
+                for preq in &group {
+                    let still_there = self
+                        .slab
+                        .get(preq.slab_key)
+                        .and_then(Option::as_ref)
+                        .is_some_and(|c| c.conn_id == preq.conn_id);
+                    if still_there {
+                        self.close(preq.slab_key);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Which worker should own `conn`, if not the current one.
@@ -1109,16 +1472,32 @@ fn migration_target<E: Pairing>(conn: &Conn<E>, shared: &Shared, index: usize) -
 
 /// Run one connection's read/decode/execute/encode/write cycle until its
 /// socket would block (or the connection reaches a terminal state).
+///
+/// With batching enabled, a decoded decrypt request on a key-bound
+/// session does not execute inline: it parks in the worker's batch window
+/// (`batch`) and the connection goes quiet until the flush stages its
+/// reply — the execute stage moves from this per-connection FSM into
+/// [`Worker::flush_batch`].
+#[allow(clippy::too_many_arguments)]
 fn drive_conn<E: Pairing, R: rand::RngCore>(
     conn: &mut Conn<E>,
+    key: usize,
     index: usize,
     shared: &Shared,
     keyring: &Keyring<E>,
     config: &ServerConfig,
+    batch: &mut BatchQueue,
     rng: &mut R,
 ) -> Verdict {
     if conn.is_reject {
         return drive_reject(conn);
+    }
+    if conn.parked {
+        // Strict ping-pong: nothing to read or write until the batch
+        // flush answers the parked request. Spurious readiness (e.g. a
+        // disconnecting peer) resolves at flush time when the staged
+        // reply fails to write.
+        return Verdict::Keep;
     }
     loop {
         // Write state: flush the staged reply before reading again (the
@@ -1146,6 +1525,24 @@ fn drive_conn<E: Pairing, R: rand::RngCore>(
         match conn.reader.poll_frame(&mut conn.stream) {
             Ok(Some(req)) => {
                 conn.deadline = Instant::now() + config.read_timeout;
+                if config.batching_enabled()
+                    && req.first() == Some(&(RequestTag::Decrypt as u8))
+                    && conn.session.entry.is_some()
+                {
+                    // Park instead of executing inline. Wire receipt and
+                    // the latency clock start now, exactly as the inline
+                    // path would; the batch wait is part of the round.
+                    conn.wire.frames_received += 1;
+                    conn.wire.bytes_received += 4 + req.len() as u64;
+                    conn.req_started = Some(Instant::now());
+                    conn.parked = true;
+                    batch.push(ParkedReq {
+                        slab_key: key,
+                        conn_id: conn.conn_id,
+                        req,
+                    });
+                    return Verdict::Keep;
+                }
                 process_request(conn, &req, shared, keyring, config, rng);
                 if !conn.writer.has_pending() && conn.closing {
                     return Verdict::Close;
@@ -1380,6 +1777,71 @@ fn dispatch<E: Pairing, R: rand::RngCore>(
             Some(reply)
         }
     }
+}
+
+/// Execute one same-key group of parked decrypt requests: a single
+/// generation-lock acquisition covers the per-request binding checks and
+/// the shared-context batch respond
+/// ([`dlr_core::driver::p2_handle_decrypt_batch`]). Returns one reply per
+/// request in group order.
+///
+/// Per-request semantics mirror [`dispatch`] exactly: a stale generation
+/// binding earns [`ErrorCode::StaleGeneration`], a malformed body earns
+/// its own parse error while siblings still get `ok` replies, and every
+/// request bumps the same `requests_decrypt`/`error_replies` counters and
+/// per-request `dec.p2.respond` span the inline path would.
+fn batch_dispatch<E: Pairing>(
+    entry: &KeyEntry<E>,
+    group: &[ParkedReq],
+    bounds: &[u64],
+    stats: &ServerStats,
+    config: &ServerConfig,
+) -> Vec<Bytes> {
+    // Fault injection mirrors the inline path: with batching on, a
+    // decrypt-tagged inject panics here — inside batch execute — so the
+    // recovery tests exercise the group teardown.
+    if let Some(tag) = config.inject_panic_tag {
+        if group.iter().any(|p| p.req.first() == Some(&tag)) {
+            panic!("injected fault: request tag {tag:#x}");
+        }
+    }
+    entry.with_state(|state| {
+        let mut replies: Vec<Option<Bytes>> = (0..group.len()).map(|_| None).collect();
+        let mut bodies: Vec<&[u8]> = Vec::with_capacity(group.len());
+        let mut slots: Vec<usize> = Vec::with_capacity(group.len());
+        for (i, (preq, bound)) in group.iter().zip(bounds).enumerate() {
+            if state.generation != *bound {
+                stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                let detail = format!(
+                    "session bound to generation {bound}, key at {}",
+                    state.generation
+                );
+                replies[i] = Some(error_reply(ErrorCode::StaleGeneration, &detail));
+            } else {
+                bodies.push(&preq.req[1..]);
+                slots.push(i);
+            }
+        }
+        for (slot, result) in slots
+            .into_iter()
+            .zip(p2_handle_decrypt_batch(&mut state.p2, &bodies))
+        {
+            replies[slot] = Some(match result {
+                Ok(body) => {
+                    stats.requests_decrypt.fetch_add(1, Ordering::Relaxed);
+                    ok_reply(&body)
+                }
+                Err(e) => {
+                    stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                    error_reply_for(&e)
+                }
+            });
+        }
+        replies
+            .into_iter()
+            .map(|r| r.expect("every grouped request answered"))
+            .collect()
+    })
 }
 
 use dlr_protocol::Encoder;

@@ -3,7 +3,7 @@
 //! live decrypt traffic.
 
 use bytes::Bytes;
-use dlr_core::dlr::{self, Party1, PublicKey, Share1, Share2};
+use dlr_core::dlr::{self, DecMsg2, Party1, PublicKey, Share1, Share2};
 use dlr_core::driver::{self, ErrorCode, GENERATION_ANY};
 use dlr_core::error::CoreError;
 use dlr_core::params::SchemeParams;
@@ -655,6 +655,289 @@ fn stalled_busy_reject_does_not_block_the_accept_path() {
     assert_eq!(stats.sessions_rejected_busy, 1);
     assert_eq!(stats.sessions_accepted, 2);
     assert_eq!(stats.sessions_completed, 2);
+}
+
+/// A lone parked request takes the idle singleton fast-path, and its
+/// reply must be byte-identical to the inline (batching-off) path: same
+/// `DecMsg2` bytes, same per-request op counters, only the scheduling
+/// differs.
+#[test]
+fn batch_singleton_reply_matches_inline_byte_for_byte() {
+    let (pk, s1, s2) = keygen(200);
+    let start = |config: ServerConfig| {
+        let mut ring = Keyring::new();
+        ring.insert(b"k", pk.clone(), s2.clone());
+        start_server(Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap())
+    };
+    let inline_srv = start(quick_config());
+    let batched_srv = start(ServerConfig {
+        batch_max: 8,
+        batch_wait: Duration::from_millis(20),
+        ..quick_config()
+    });
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(201);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = dlr::encrypt(&pk, &m, &mut r);
+    let mut p1 = Party1::new(pk.clone(), s1);
+
+    let mut ti = connect(inline_srv.addr());
+    let mut tb = connect(batched_srv.addr());
+    driver::p1_hello(&mut ti, b"k", GENERATION_ANY).unwrap();
+    driver::p1_hello(&mut tb, b"k", GENERATION_ANY).unwrap();
+
+    const ROUNDS: usize = 3;
+    for _ in 0..ROUNDS {
+        // One DecMsg1, the identical frame to both servers: dec_respond is
+        // deterministic, so any divergence in the batched reply is a bug.
+        let m1 = p1.dec_start(&ct, &mut r);
+        let mut frame = vec![1u8]; // RequestTag::Decrypt
+        frame.extend_from_slice(&m1.to_bytes());
+        ti.send(Bytes::from(frame.clone())).unwrap();
+        tb.send(Bytes::from(frame)).unwrap();
+        let reply_inline = ti.recv().unwrap();
+        let reply_batched = tb.recv().unwrap();
+        assert_eq!(
+            reply_inline, reply_batched,
+            "singleton batch reply must be byte-identical to the inline path"
+        );
+        let body = driver::parse_reply(&reply_batched).unwrap();
+        let m2 = DecMsg2::<E>::from_bytes(body, &pk.params).unwrap();
+        assert_eq!(p1.dec_finish(&m2).unwrap(), m);
+    }
+    driver::p1_shutdown(&mut ti).unwrap();
+    driver::p1_shutdown(&mut tb).unwrap();
+
+    let inline_stats = inline_srv.stop();
+    let batched_stats = batched_srv.stop();
+    assert_eq!(inline_stats.requests_decrypt, ROUNDS as u64);
+    assert_eq!(inline_stats.batched_requests, 0, "batching off must not park");
+    assert_eq!(inline_stats.batch_flushes(), 0);
+    assert_eq!(batched_stats.requests_decrypt, ROUNDS as u64);
+    // A strict ping-pong client never has two requests in flight, so every
+    // round is a singleton flush through the idle fast-path.
+    assert_eq!(batched_stats.batched_requests, ROUNDS as u64);
+    assert_eq!(batched_stats.batch_flushes_idle, ROUNDS as u64);
+    assert_eq!(batched_stats.batch_size_hist[0], ROUNDS as u64);
+    assert_eq!(batched_stats.batch_efficiency(), Some(1.0));
+}
+
+/// Two sessions bound to different keys park in the same batch window;
+/// the flush splits the batch per key entry and both replies are correct.
+/// Driven single-threaded (send both, then read both) so the two requests
+/// land as close together as the transport allows; rounds repeat until a
+/// multi-request flush is observed.
+#[test]
+fn mixed_key_batch_splits_per_key_and_stays_correct() {
+    let (pk_a, s1_a, s2_a) = keygen(210);
+    let (pk_b, s1_b, s2_b) = keygen(211);
+    let mut ring = Keyring::new();
+    ring.insert(b"ka", pk_a.clone(), s2_a);
+    ring.insert(b"kb", pk_b.clone(), s2_b);
+    let config = ServerConfig {
+        workers: 1,
+        shards: 1,
+        batch_max: 0, // unbounded
+        batch_wait: Duration::from_millis(10),
+        ..quick_config()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(212);
+    let m_a = <E as Pairing>::Gt::random(&mut r);
+    let m_b = <E as Pairing>::Gt::random(&mut r);
+    let ct_a = dlr::encrypt(&pk_a, &m_a, &mut r);
+    let ct_b = dlr::encrypt(&pk_b, &m_b, &mut r);
+    let mut p1_a = Party1::new(pk_a.clone(), s1_a);
+    let mut p1_b = Party1::new(pk_b.clone(), s1_b);
+
+    let mut ta = connect(addr);
+    let mut tb = connect(addr);
+    driver::p1_hello(&mut ta, b"ka", GENERATION_ANY).unwrap();
+    driver::p1_hello(&mut tb, b"kb", GENERATION_ANY).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut rounds = 0u64;
+    loop {
+        let m1_a = p1_a.dec_start(&ct_a, &mut r);
+        let m1_b = p1_b.dec_start(&ct_b, &mut r);
+        let mut fa = vec![1u8];
+        fa.extend_from_slice(&m1_a.to_bytes());
+        let mut fb = vec![1u8];
+        fb.extend_from_slice(&m1_b.to_bytes());
+        ta.send(Bytes::from(fa)).unwrap();
+        tb.send(Bytes::from(fb)).unwrap();
+        let body_a = driver::parse_reply(&ta.recv().unwrap()).unwrap().to_vec();
+        let body_b = driver::parse_reply(&tb.recv().unwrap()).unwrap().to_vec();
+        let m2_a = DecMsg2::<E>::from_bytes(&body_a, &pk_a.params).unwrap();
+        let m2_b = DecMsg2::<E>::from_bytes(&body_b, &pk_b.params).unwrap();
+        assert_eq!(p1_a.dec_finish(&m2_a).unwrap(), m_a);
+        assert_eq!(p1_b.dec_finish(&m2_b).unwrap(), m_b);
+        rounds += 1;
+
+        // The only two sessions hold one request each, so any flush of
+        // size >= 2 is exactly {key-a request, key-b request}: the split
+        // path ran and both answers above were still correct.
+        let hist = running.handle.stats().batch_size_hist;
+        if hist.iter().skip(1).any(|&c| c > 0) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no multi-request flush observed after {rounds} rounds"
+        );
+    }
+    driver::p1_shutdown(&mut ta).unwrap();
+    driver::p1_shutdown(&mut tb).unwrap();
+
+    let stats = running.stop();
+    assert_eq!(stats.requests_decrypt, 2 * rounds);
+    assert_eq!(stats.batched_requests, 2 * rounds, "every decrypt parked");
+    assert_eq!(stats.error_replies, 0);
+    // A size-2 flush can only close by the adaptive window timer.
+    assert!(stats.batch_flushes_timer >= 1);
+}
+
+/// A malformed request inside a batch fails alone: its sibling in the same
+/// flush decrypts correctly, and the offending session survives to issue a
+/// well-formed request afterwards (same contract as the inline path).
+#[test]
+fn malformed_request_in_batch_fails_alone() {
+    let (pk, s1, s2) = keygen(220);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk.clone(), s2);
+    let config = ServerConfig {
+        workers: 1,
+        shards: 1,
+        batch_max: 0,
+        batch_wait: Duration::from_millis(10),
+        ..quick_config()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    let mut r = rand::rngs::StdRng::seed_from_u64(221);
+    let m = <E as Pairing>::Gt::random(&mut r);
+    let ct = dlr::encrypt(&pk, &m, &mut r);
+    let mut p1 = Party1::new(pk.clone(), s1);
+
+    let mut good = connect(addr);
+    let mut bad = connect(addr);
+    driver::p1_hello(&mut good, b"k", GENERATION_ANY).unwrap();
+    driver::p1_hello(&mut bad, b"k", GENERATION_ANY).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut rounds = 0u64;
+    loop {
+        let m1 = p1.dec_start(&ct, &mut r);
+        let mut frame = vec![1u8];
+        frame.extend_from_slice(&m1.to_bytes());
+        good.send(Bytes::from(frame)).unwrap();
+        // Truncated decrypt body: parks (Decrypt tag, bound session) but
+        // fails to parse inside the batch.
+        bad.send(Bytes::from_static(&[1, 0, 0])).unwrap();
+
+        let body = driver::parse_reply(&good.recv().unwrap()).unwrap().to_vec();
+        let m2 = DecMsg2::<E>::from_bytes(&body, &pk.params).unwrap();
+        assert_eq!(p1.dec_finish(&m2).unwrap(), m, "sibling must stay correct");
+        match driver::parse_reply(&bad.recv().unwrap()) {
+            Err(CoreError::Remote { code, .. }) => {
+                assert_eq!(code, ErrorCode::BadRequest as u8)
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        rounds += 1;
+
+        let hist = running.handle.stats().batch_size_hist;
+        if hist.iter().skip(1).any(|&c| c > 0) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no multi-request flush observed after {rounds} rounds"
+        );
+    }
+
+    // The session that kept sending garbage is still healthy.
+    assert_eq!(driver::p1_decrypt(&mut p1, &ct, &mut bad, &mut r).unwrap(), m);
+    driver::p1_shutdown(&mut good).unwrap();
+    driver::p1_shutdown(&mut bad).unwrap();
+
+    let stats = running.stop();
+    assert_eq!(stats.requests_decrypt, rounds + 1);
+    assert_eq!(stats.error_replies, rounds);
+    assert_eq!(stats.batched_requests, 2 * rounds + 1);
+}
+
+/// Extends `panicking_dispatch_reclaims_slot_and_keeps_serving` to the
+/// batch execute path: a panic while a flush is being dispatched must
+/// release the slot of EVERY parked session in the group. Crashing more
+/// sessions than `max_sessions` proves no parked slot leaks.
+#[test]
+fn panic_in_batch_execute_releases_every_parked_slot() {
+    let (pk, _s1, s2) = keygen(230);
+    let mut ring = Keyring::new();
+    ring.insert(b"k", pk, s2);
+    let config = ServerConfig {
+        max_sessions: 2,
+        workers: 1,
+        shards: 1,
+        batch_max: 0,
+        batch_wait: Duration::from_millis(10),
+        // Decrypt requests park, so the injected fault fires inside
+        // batch_dispatch under the execute stage's catch_unwind.
+        inject_panic_tag: Some(1),
+        ..quick_config()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(ring), config).unwrap();
+    let running = start_server(server);
+    let addr = running.addr();
+
+    const ROUNDS: usize = 3;
+    for _ in 0..ROUNDS {
+        // Fill BOTH slots, park a decrypt on each, and let the flush panic.
+        let mut a = connect(addr);
+        let mut b = connect(addr);
+        assert_eq!(driver::p1_hello(&mut a, b"k", GENERATION_ANY).unwrap(), 0);
+        assert_eq!(driver::p1_hello(&mut b, b"k", GENERATION_ANY).unwrap(), 0);
+        a.send(Bytes::from_static(&[1, 0, 0])).unwrap();
+        b.send(Bytes::from_static(&[1, 0, 0])).unwrap();
+        for t in [&mut a, &mut b] {
+            match t.recv() {
+                Err(TransportError::Disconnected) => {}
+                other => panic!("expected the panicked session to be closed, got {other:?}"),
+            }
+        }
+        wait_until("panicked slots to free", Duration::from_secs(5), || {
+            running.handle.active_sessions() == 0
+        });
+    }
+
+    // Both slots are reusable simultaneously afterwards.
+    let mut a = connect(addr);
+    let mut b = connect(addr);
+    assert_eq!(driver::p1_hello(&mut a, b"k", GENERATION_ANY).unwrap(), 0);
+    assert_eq!(driver::p1_hello(&mut b, b"k", GENERATION_ANY).unwrap(), 0);
+    driver::p1_shutdown(&mut a).unwrap();
+    driver::p1_shutdown(&mut b).unwrap();
+
+    let stats = running.stop();
+    // One panic per flushed group: 1 or 2 per round depending on whether
+    // the pair clumped into one flush.
+    assert!(
+        stats.session_panics >= ROUNDS as u64 && stats.session_panics <= 2 * ROUNDS as u64,
+        "unexpected panic count {}",
+        stats.session_panics
+    );
+    assert_eq!(stats.batched_requests, 2 * ROUNDS as u64);
+    assert_eq!(stats.sessions_accepted, 2 * ROUNDS as u64 + 2);
+    assert_eq!(stats.sessions_completed, 2 * ROUNDS as u64 + 2);
+    assert_eq!(stats.sessions_rejected_busy, 0, "no parked slot may leak");
+    let msg = stats.last_panic.expect("panic message must be recorded");
+    assert!(msg.contains("injected fault"), "unexpected message: {msg}");
 }
 
 #[test]

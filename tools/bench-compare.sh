@@ -134,6 +134,14 @@ def fmt_ns(ns):
 
 print(f"baseline : {base_path}")
 print(f"candidate: {cand_path}")
+base_batching = base.get("meta", {}).get("batching", "off")
+cand_batching = cand.get("meta", {}).get("batching", "off")
+if base_batching != cand_batching:
+    # Server-side batching is a scheduling change, not a methodology
+    # change: the fused batch engine must be counter-identical to the
+    # inline path, so op-count parity is still enforced across it.
+    print(f"note: server batching changed ({base_batching} -> {cand_batching}); "
+          "batching must be free at the op-count level, parity still enforced")
 print()
 header = f"{'span':<28} {'count':>5} {'total_ns delta':>16} {'%':>8} {'self_ns delta':>16}"
 print(header)

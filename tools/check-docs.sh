@@ -3,7 +3,7 @@
 # must pass. Run from the repository root (CI runs this on every push).
 #
 # With --tables, additionally regenerates the measured EXPERIMENTS.md
-# tables (A6/A7/A8/L1/L2/L3) into out/ via `dlr artifact` and fails if any exact
+# tables (A6/A7/A8/A9/L1/L2/L3) into out/ via `dlr artifact` and fails if any exact
 # (op-count) cell disagrees with the committed docs — the table-drift
 # gate. Timing cells (columns headed `(md)`) are machine-dependent and
 # never compared.

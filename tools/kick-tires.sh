@@ -2,26 +2,31 @@
 # Kick-the-tires artifact run: from a clean checkout, offline, in minutes,
 # smoke-verify every headline claim of EXPERIMENTS.md and regenerate the
 # measured tables (A6 span fingerprint, A7 fixed-base parity, A8 multiexp
-# crossover, L1 server load, L2 high-concurrency ladder, L3 replica-fleet
-# ladder) into out/. Exits nonzero if any regenerated op count disagrees
-# with the committed docs.
+# crossover, A9 dynamic-batching ablation, L1 server load, L2
+# high-concurrency ladder, L3 replica-fleet ladder) into out/. Exits
+# nonzero if any regenerated op count disagrees with the committed docs.
 #
 # usage: tools/kick-tires.sh
 #
 # What it checks, in order:
 #   1. the workspace builds in release mode (no network access needed);
-#   2. `dlr artifact` regenerates A6/A7/A8/L1/L2/L3 into out/ and every
-#      exact (op-count) cell matches EXPERIMENTS.md — the table-drift
-#      gate (L2 includes the 1024-concurrent-session rung against the
-#      event-loop server; L3 sweeps 1/2/4 key-sharded replicas with
-#      routed clients and drift-gates the redirect counts);
+#   2. `dlr artifact` regenerates A6/A7/A8/A9/L1/L2/L3 into out/ and
+#      every exact (op-count) cell matches EXPERIMENTS.md — the
+#      table-drift gate (L2 includes the 1024-concurrent-session rung
+#      against the event-loop server with the adaptive batch window on;
+#      A9 ablates batch=1 vs adaptive vs unbounded windows and gates the
+#      deterministic batched-request counts; L3 sweeps 1/2/4 key-sharded
+#      replicas with routed clients and drift-gates the redirect counts);
 #   3. the fresh A6/L1/L3 metrics JSON is op-identical to the committed
-#      BENCH_PR2.json / BENCH_PR8.json / BENCH_PR9.json baselines (live
+#      BENCH_PR2.json / BENCH_PR8.json / BENCH_PR10.json baselines (live
 #      run vs history);
-#   4. the committed PR7->PR8 server rebuild and the PR8->PR9 fleet
-#      routing each preserved the workload's op-count fingerprint
-#      exactly (routing must be free at the op-count level);
-#   5. the committed BENCH_PR1->PR9 trajectory itself holds op-count
+#   4. the committed PR7->PR8 server rebuild, the PR8->PR9 fleet
+#      routing, and the PR9->PR10 batch executor each preserved the
+#      workload's op-count fingerprint exactly (routing and batching
+#      must be free at the op-count level);
+#   5. a negative control: a deliberately perturbed dec.p2.respond op
+#      count must make the comparator fail (the parity gate can fail);
+#   6. the committed BENCH_PR1->PR10 trajectory itself holds op-count
 #      parity within each report kind (`bench-compare.sh --all`).
 #
 # The full-length counterpart (all parameter sets, criterion benches,
@@ -38,9 +43,9 @@ step "release build (offline)"
 cargo build --release -q -p dlr-cli -p dlr-bench
 claims+=("release build: OK")
 
-step "regenerate A6/A7/A8/L1/L2/L3 tables + table-drift gate"
+step "regenerate A6/A7/A8/A9/L1/L2/L3 tables + table-drift gate"
 ./target/release/dlr artifact --profile kick-tires --mode all
-claims+=("table-drift gate (A6/A7/A8/L1/L2/L3 vs EXPERIMENTS.md): OK")
+claims+=("table-drift gate (A6/A7/A8/A9/L1/L2/L3 vs EXPERIMENTS.md): OK")
 
 step "live session vs committed BENCH_PR2.json (op-count parity)"
 tools/bench-compare.sh BENCH_PR2.json out/A6.json
@@ -50,9 +55,9 @@ step "live loadgen vs committed BENCH_PR8.json (op-count parity)"
 tools/bench-compare.sh BENCH_PR8.json out/L1.json
 claims+=("live L1 loadgen op-identical to BENCH_PR8.json: OK")
 
-step "live fleet loadgen vs committed BENCH_PR9.json (op-count parity)"
-tools/bench-compare.sh BENCH_PR9.json out/L3.json
-claims+=("live fleet session op-identical to BENCH_PR9.json: OK")
+step "live fleet loadgen vs committed BENCH_PR10.json (op-count parity)"
+tools/bench-compare.sh BENCH_PR10.json out/L3.json
+claims+=("live fleet session op-identical to BENCH_PR10.json: OK")
 
 step "PR7->PR8 server rebuild preserved the op-count fingerprint"
 tools/bench-compare.sh BENCH_PR7.json BENCH_PR8.json
@@ -62,7 +67,32 @@ step "PR8->PR9 fleet routing preserved the op-count fingerprint"
 tools/bench-compare.sh BENCH_PR8.json BENCH_PR9.json
 claims+=("2-replica routed fleet op-identical to single server (PR8 vs PR9): OK")
 
-step "committed BENCH_PR1->PR9 trajectory parity"
+step "PR9->PR10 dynamic batching preserved the op-count fingerprint"
+tools/bench-compare.sh BENCH_PR9.json BENCH_PR10.json
+claims+=("adaptive batch executor op-identical to inline path (PR9 vs PR10): OK")
+
+step "negative control: a perturbed dec.p2.respond op count must fail"
+perturbed=$(mktemp /tmp/dlr-perturbed-XXXXXX.json)
+python3 - out/L3.json "$perturbed" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+bumped = 0
+for s in doc["spans"]:
+    if s["path"] == "dec.p2.respond":
+        s["ops"]["gt_pow"] += 1
+        bumped += 1
+assert bumped == 1, f"expected one dec.p2.respond span, found {bumped}"
+json.dump(doc, open(sys.argv[2], "w"))
+PY
+if tools/bench-compare.sh BENCH_PR10.json "$perturbed" >/dev/null 2>&1; then
+    rm -f "$perturbed"
+    echo "FAIL: comparator accepted a perturbed dec.p2.respond op count"
+    exit 1
+fi
+rm -f "$perturbed"
+claims+=("comparator rejects a perturbed batch op count (negative control): OK")
+
+step "committed BENCH_PR1->PR10 trajectory parity"
 tools/bench-compare.sh --all
 claims+=("BENCH_PR* trajectory op-count parity: OK")
 
@@ -74,12 +104,14 @@ dec_gexp=$(awk -F, '$1 == "dec" { print $4 }' out/A6.csv)
 a7_parity=$(awk -F, 'NR > 1 { printf "%s%s: %s", (NR > 2 ? ", " : ""), $1, $7 }' out/A7.csv)
 l1_row=$(awk -F, 'NR == 2 { print $2 " requests, " $3 " verified, " $4 " failures" }' out/L1.csv)
 l2_top=$(awk -F, 'END { print $1 " concurrent sessions, " $3 "/" $2 " verified, " $4 " failures, " $6 " client panics" }' out/L2.csv)
+a9_top=$(awk -F, 'END { print $1 " @ " $2 " sessions: " $6 "/" $3 " batched, " $7 " flushes" }' out/A9.csv)
 l3_top=$(awk -F, 'END { print $1 " replicas, " $5 "/" $4 " verified, " $6 " failures, " $8 " redirects" }' out/L3.csv)
 [ "$p2_pairings" = "0" ] || { echo "FAIL: P2 did $p2_pairings pairings (claim: zero)"; exit 1; }
 claims+=("P2 does zero pairings (all $p1_pairings on P1): OK")
 claims+=("A7 fixed-base/generic parity ($a7_parity): OK")
 claims+=("L1 load run clean ($l1_row): OK")
 claims+=("L2 top rung clean ($l2_top): OK")
+claims+=("A9 top ablation cell clean ($a9_top): OK")
 claims+=("L3 fleet top rung clean ($l3_top): OK")
 
 elapsed=$(( $(date +%s) - started ))
